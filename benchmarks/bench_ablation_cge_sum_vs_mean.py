@@ -1,0 +1,17 @@
+"""A1 — Ablation: CGE as a sum (paper) vs a mean of the kept gradients.
+
+Design choice called out in DESIGN.md §4. Expected shape: identical
+direction, different scale — with curvature-matched schedules both variants
+converge to the same point; under one fixed schedule the scale mismatch
+appears as a speed gap.
+"""
+
+from repro.experiments import run_cge_sum_vs_mean
+
+
+def test_ablation_cge_sum_vs_mean(benchmark, reporter):
+    result = benchmark(run_cge_sum_vs_mean)
+    reporter(result)
+    errors = {(row[0], row[1]): row[2] for row in result.rows}
+    assert errors[("sum", "matched")] < 0.15
+    assert errors[("mean", "matched")] < 0.15

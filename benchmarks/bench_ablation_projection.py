@@ -1,0 +1,20 @@
+"""A3 — Ablation: size of the compact constraint set W.
+
+Design choice called out in DESIGN.md §4 (the convergence theorem requires
+compact W). Expected shape: any W containing x_H yields the same answer; a
+W excluding x_H converges to the boundary with error ≈ dist(x_H, W).
+"""
+
+import pytest
+
+from repro.experiments import run_projection_ablation
+
+
+def test_ablation_projection(benchmark, reporter):
+    result = benchmark(run_projection_ablation)
+    reporter(result)
+    inside_errors = [row[2] for row in result.rows if row[1] == "yes"]
+    assert max(inside_errors) - min(inside_errors) < 1e-6
+    for row in result.rows:
+        if row[1] == "no":
+            assert row[2] == pytest.approx(row[3], rel=0.25)

@@ -1,0 +1,21 @@
+"""A4 — Ablation: step sizes under stochastic gradients (SGD extension).
+
+Extension of the paper's deterministic setting to the SGD oracle of the
+authors' follow-up work. Expected shape: the Robbins–Monro (diminishing)
+schedule reaches a tail error far below the constant-step noise floors,
+and the floors scale with the step size — the behaviour absent from the
+deterministic ablation A2.
+"""
+
+from repro.experiments import run_stochastic_step_sizes
+
+
+def test_ablation_stochastic_step_sizes(benchmark, reporter):
+    result = benchmark(run_stochastic_step_sizes)
+    reporter(result)
+    tail = {row[0]: row[2] for row in result.rows}
+    rm = tail["diminishing 1/t (RM)"]
+    floors = [value for name, value in tail.items() if "constant" in name]
+    assert all(rm < floor for floor in floors)
+    # Larger constant step -> larger floor.
+    assert tail["constant 0.05 (not RM)"] > tail["constant 0.01 (not RM)"]

@@ -1,0 +1,23 @@
+"""E2 — Figure 2: honest loss and distance-to-x_H across 500 iterations.
+
+Paper artefact: the convergence plots comparing fault-free DGD, DGD+CGE,
+DGD+CWTM, and unfiltered DGD under each fault model.
+
+Expected shape: robust-filter distance curves track the fault-free curve;
+the unfiltered curves plateau (gradient-reverse) or blow up (random).
+"""
+
+from repro.experiments import run_trajectories
+
+
+def test_fig2_trajectories(benchmark, reporter):
+    result = benchmark(run_trajectories)
+    reporter(result)
+    for attack in ("gradient-reverse", "random"):
+        robust = result.series[f"cge+{attack}/distance"][-1]
+        unfiltered = result.series[f"average+{attack}/distance"][-1]
+        assert robust < unfiltered
+    # Loss curves decrease overall for the robust runs.
+    for name in ("fault-free/loss", "cge+gradient-reverse/loss"):
+        series = result.series[name]
+        assert series[-1] < series[0]

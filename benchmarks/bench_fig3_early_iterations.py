@@ -1,0 +1,20 @@
+"""E3 — Figure 3: the first 80 iterations, magnified.
+
+Paper artefact: the zoomed-in early-phase view of the Figure 2 curves.
+
+Expected shape: within the first 80 iterations the robust filters have
+already separated from the unfiltered run under attack.
+"""
+
+from repro.experiments import run_trajectories
+
+
+def test_fig3_early_iterations(benchmark, reporter):
+    result = benchmark(lambda: run_trajectories(early_window=80))
+    reporter(result)
+    assert result.experiment_id == "E3"
+    for name, series in result.series.items():
+        assert len(series) == 80, name
+    robust = result.series["cge+random/distance"][-1]
+    unfiltered = result.series["average+random/distance"][-1]
+    assert robust < unfiltered

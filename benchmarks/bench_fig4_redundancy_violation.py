@@ -1,0 +1,26 @@
+"""E5 — Figure 4: graceful degradation under redundancy violation.
+
+Paper artefact: the redundancy/accuracy trade-off — the central message of
+the characterization, swept empirically by injecting observation noise.
+
+Expected shape: measured margin ε*(σ) and final errors grow together; at
+σ = 0 the exact algorithm's error is numerically zero.
+"""
+
+import numpy as np
+
+from repro.experiments import run_noise_sweep
+
+
+def test_fig4_redundancy_violation(benchmark, reporter):
+    result = benchmark(run_noise_sweep)
+    reporter(result)
+    margins = result.series["margin eps*(sigma)"]
+    errors = result.series["cge final error(sigma)"]
+    assert margins[0] < 1e-9
+    assert np.all(np.diff(margins) > 0)
+    # Errors grow with the margin once above the optimization floor.
+    assert errors[-1] > errors[0]
+    for row in result.rows:
+        _, margin, _, exact_error, _ = row
+        assert exact_error <= 2.0 * margin + 1e-9

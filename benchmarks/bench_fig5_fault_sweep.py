@@ -1,0 +1,27 @@
+"""E6 — Figure 5: final error vs number of Byzantine agents, per filter.
+
+Paper artefact: the fault-count dependence of the guarantees — the
+``α(f) > 0`` condition of the CGE analysis against empirical breakdown.
+
+Expected shape: robust filters hold errors near zero for small f; plain
+averaging degrades immediately; α decreases monotonically in f.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fault_sweep
+
+
+def test_fig5_fault_sweep(benchmark, reporter):
+    result = benchmark(run_fault_sweep)
+    reporter(result)
+    alphas = result.series["alpha vs f"]
+    assert np.all(np.diff(alphas) < 0)
+    cge = result.series["cge error vs f"]
+    average = result.series["average error vs f"]
+    # At the largest fault count, averaging is far worse than CGE.
+    assert average[-1] > 5 * cge[-1]
+    # While alpha > 0, CGE errors stay tiny.
+    for alpha, error in zip(alphas, cge):
+        if alpha > 0:
+            assert error < 0.05

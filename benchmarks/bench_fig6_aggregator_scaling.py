@@ -1,0 +1,26 @@
+"""E9 — Figure 6: aggregation wall-time vs n and d.
+
+Paper artefact: the practicality argument for gradient filters — CGE and
+the trimmed mean are near-linear in input size, Krum quadratic in n, and
+the subset-enumeration algorithm exponentially out of reach.
+
+Expected shape: cge/cwtm times grow mildly in n; krum grows superlinearly.
+"""
+
+from repro.experiments import run_aggregator_scaling
+
+
+def test_fig6_aggregator_scaling(benchmark, reporter):
+    result = benchmark(
+        lambda: run_aggregator_scaling(
+            agent_counts=(10, 25, 50, 100), dimensions=(2, 100), repeats=3
+        )
+    )
+    reporter(result)
+    def times(name, d):
+        return [row[3] for row in result.rows if row[0] == name and row[2] == d]
+
+    cge_times = times("cge", 100)
+    krum_times = times("krum", 100)
+    # Krum's n² pairwise term dominates at the largest n.
+    assert krum_times[-1] > cge_times[-1]

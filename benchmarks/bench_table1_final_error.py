@@ -1,0 +1,21 @@
+"""E1 — Table 1: final error of filtered DGD under Byzantine attacks.
+
+Paper artefact: the headline results table (outputs ``x_out`` and errors
+``dist(x_H, x_out)`` for CGE/CWTM under gradient-reverse and random faults,
+``n = 6, f = 1, d = 2`` linear regression).
+
+Expected shape: robust filters land within the instance's redundancy margin
+of ``x_H``; plain averaging does not; the fault-free run brackets them.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_final_error(benchmark, reporter):
+    result = benchmark(run_table1)
+    reporter(result)
+    errors = {(row[0], row[1]): row[3] for row in result.rows if row[0] != "fault-free"}
+    margin = float(result.notes[1].split("=")[-1])
+    for attack in ("gradient-reverse", "random"):
+        assert errors[("cge", attack)] < errors[("average", attack)]
+        assert errors[("cge", attack)] <= 2.5 * margin

@@ -1,0 +1,21 @@
+"""E7 — Table 3: distributed learning under attack.
+
+Paper artefact: the distributed-learning application (the paper's SVM-style
+experiments) — accuracy and honest loss per filter/attack, i.i.d. vs
+heterogeneous local data.
+
+Expected shape: robust filters reach near-fault-free accuracy in the i.i.d.
+(redundant) regime; averaging collapses under the amplified sign-flip.
+"""
+
+from repro.experiments import run_learning_eval
+
+
+def test_table3_learning(benchmark, reporter):
+    result = benchmark(run_learning_eval)
+    reporter(result)
+    iid = {(row[1], row[2]): row[4] for row in result.rows if row[0] == 0.0}
+    reference = iid[("fault-free", "(none)")]
+    assert iid[("cge", "sign-flip")] > reference - 0.05
+    assert iid[("cwtm", "sign-flip")] > reference - 0.05
+    assert iid[("average", "sign-flip")] < reference - 0.2

@@ -1,0 +1,26 @@
+"""E10 — Table 5: every registered filter × every registered attack.
+
+Paper artefact: situates CGE in the robust-aggregation design space (the
+comparison the paper's related-work discussion implies).
+
+Expected shape: under the paper's fault models every robust filter stays
+bounded while averaging fails; norm-camouflaged attacks expose CGE's large
+guarantee constant without unbounded divergence.
+"""
+
+from repro.experiments import run_robustness_matrix
+
+
+def test_table5_robustness_matrix(benchmark, reporter):
+    result = benchmark(run_robustness_matrix)
+    reporter(result)
+    by_filter = {row[0]: row[1:] for row in result.rows}
+    attacks = result.headers[1:]
+    random_column = attacks.index("random")
+    # Averaging diverges under the random attack; CGE does not.
+    assert by_filter["average"][random_column] > 10 * by_filter["cge"][random_column]
+    # No robust filter produces a non-finite error.
+    for name, row in by_filter.items():
+        for value in row:
+            if value != "n/a":
+                assert value < 100.0, (name, value)

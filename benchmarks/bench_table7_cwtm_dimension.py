@@ -1,0 +1,34 @@
+"""E12 — Table 7: the trimmed-mean condition's dimension dependence.
+
+Paper artefact: the remark that the CWTM guarantee's skew condition
+``λ < γ/(μ√d)`` tightens with the dimension (larger d → tighter bound).
+
+Expected shape: flat measured skew, 1/√d threshold decay, a verdict flip
+at some dimension, and near-zero empirical error throughout (the condition
+is sufficient, not necessary).
+"""
+
+from math import sqrt
+
+import pytest
+
+from repro.experiments import run_cwtm_dimension_sweep
+
+
+def test_table7_cwtm_dimension(benchmark, reporter):
+    result = benchmark(run_cwtm_dimension_sweep)
+    reporter(result)
+    skews = [row[1] for row in result.rows]
+    thresholds = [row[2] for row in result.rows]
+    verdicts = [row[3] for row in result.rows]
+    errors = [row[5] for row in result.rows]
+    # Skew flat, thresholds strictly decreasing as 1/sqrt(d).
+    assert max(skews) - min(skews) < 1e-6
+    assert all(a > b for a, b in zip(thresholds, thresholds[1:]))
+    dims = [row[0] for row in result.rows]
+    assert thresholds[0] / thresholds[-1] == pytest.approx(
+        sqrt(dims[-1] / dims[0]), rel=1e-6
+    )
+    # The verdict flips inside the sweep; errors stay tiny regardless.
+    assert verdicts[0] == "holds" and verdicts[-1] == "fails"
+    assert max(errors) < 0.01

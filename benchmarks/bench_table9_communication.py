@@ -1,0 +1,28 @@
+"""E15 — Table 9: communication cost per algorithm family.
+
+Paper artefact: the systems trade-off implicit in the paper's three
+algorithmic options (server-based DGD, peer-to-peer via broadcast, the
+combinatorial subset algorithm).
+
+Expected shape: server traffic is Θ(T·n); the peer-to-peer overhead ratio
+grows with n·f; the subset algorithm's argmin-solve count grows
+combinatorially while its communication stays one-shot.
+"""
+
+from repro.experiments import run_communication_costs
+
+
+def test_table9_communication(benchmark, reporter):
+    result = benchmark(run_communication_costs)
+    reporter(result)
+    rows = result.rows
+    # Server messages: exactly 2n per round.
+    for row in rows:
+        n, f = row[0], row[1]
+        assert row[2] == 100 * 2 * n
+    # P2P overhead ratio strictly increasing across configurations.
+    ratios = [row[5] for row in rows]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    # Subset solve counts grow combinatorially.
+    solves = [row[6] for row in rows]
+    assert all(a < b for a, b in zip(solves, solves[1:]))

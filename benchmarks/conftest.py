@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's (reconstructed) tables
+or figures — see DESIGN.md §2 for the experiment index and EXPERIMENTS.md
+for the recorded observations. Benches print the full rendered table/series
+so that ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+artefacts in the terminal; the timed body is the full experiment run.
+"""
+
+import pytest
+
+
+def render(result):
+    """Print an ExperimentResult under pytest's captured stdout."""
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    return render

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Byzantine-robust distributed learning on synthetic data.
+
+Ten agents hold local two-class datasets; three are Byzantine. We train a
+linear classifier with filtered distributed gradient descent and compare
+test accuracy under a data-level label-flip attack and an amplified
+sign-flip attack, in both the i.i.d. (redundant) and heterogeneous
+regimes.
+
+Run:  python examples/distributed_learning.py
+"""
+
+import repro
+from repro.optimization.step_sizes import DiminishingStepSize
+from repro.problems.learning import label_flip_attack
+
+N, F, D = 10, 3, 5
+
+
+def train(instance, behavior, filter_name, faulty_ids, schedule):
+    trace = repro.run_dgd(
+        instance.costs,
+        behavior,
+        gradient_filter=filter_name,
+        faulty_ids=faulty_ids,
+        iterations=300,
+        step_sizes=schedule,
+        seed=3,
+    )
+    return instance.accuracy(trace.final_estimate)
+
+
+def main() -> None:
+    schedule = DiminishingStepSize(c=2.0, t0=5.0)
+    faulty_ids = tuple(range(F))
+    rows = []
+    for heterogeneity in (0.0, 0.5):
+        instance = repro.make_learning_instance(
+            n=N, d=D, samples_per_agent=30, heterogeneity=heterogeneity,
+            regularization=0.05, seed=3,
+        )
+        honest = [i for i in range(N) if i not in faulty_ids]
+        reference = repro.run_dgd(
+            [instance.costs[i] for i in honest], None,
+            gradient_filter="average", iterations=300,
+            step_sizes=schedule, seed=3,
+        )
+        rows.append([heterogeneity, "fault-free", "(none)",
+                     instance.accuracy(reference.final_estimate)])
+        attacks = {
+            "label-flip": label_flip_attack(instance, faulty_ids),
+            "sign-flip x5": repro.SignFlip(strength=5.0),
+        }
+        for attack_name, behavior in attacks.items():
+            for filter_name in ("cge", "cwtm", "average"):
+                accuracy = train(instance, behavior, filter_name, faulty_ids, schedule)
+                rows.append([heterogeneity, filter_name, attack_name, accuracy])
+
+    print(repro.format_table(
+        ["heterogeneity", "filter", "attack", "test accuracy"], rows,
+        title=f"Distributed learning with {F}/{N} Byzantine agents",
+    ))
+    print(
+        "\nIn the i.i.d. (redundant) regime the robust filters match the "
+        "fault-free accuracy; plain averaging collapses under the amplified "
+        "sign-flip. Heterogeneity (weaker redundancy) costs every filter "
+        "some headroom — the paper's redundancy/accuracy trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

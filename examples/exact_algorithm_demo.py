@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The achievability proof's algorithm, run against a live adversary.
+
+Demonstrates both directions of the paper's characterization:
+
+1. **Achievability** — on a 2f-redundant instance, the subset-enumeration
+   algorithm recovers the honest minimizer exactly, whatever cost function
+   the Byzantine agent submits.
+2. **Necessity** — on a non-redundant instance, we exhibit two
+   indistinguishable scenarios that force any deterministic algorithm to be
+   wrong in at least one of them.
+
+Run:  python examples/exact_algorithm_demo.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def achievability() -> None:
+    print("=== Achievability under 2f-redundancy ===")
+    instance = repro.make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+    print(f"2f-redundancy holds: {repro.check_2f_redundancy(instance.costs, 1)}")
+    algorithm = repro.SubsetEnumerationAlgorithm(n=6, f=1)
+    print(f"(cost: ~{algorithm.estimated_subset_solves()} subset argmin solves)")
+
+    for description, byzantine_cost in [
+        ("pull toward (40, -40)", repro.TranslatedQuadratic([40.0, -40.0])),
+        ("mimic honest structure, shifted x*", repro.LeastSquaresCost(
+            instance.A[0][None, :], (instance.A[0] @ (instance.x_star + 10.0))[None]
+        )),
+    ]:
+        submitted = list(instance.costs)
+        submitted[0] = byzantine_cost
+        result = algorithm.run(submitted)
+        error = float(np.linalg.norm(result.output - instance.x_star))
+        print(f"  adversary: {description:<38} output error {error:.2e} "
+              f"(selected subset {result.selected_subset})")
+
+
+def necessity() -> None:
+    print("\n=== Necessity: no redundancy, no exactness ===")
+    # d=1, three agents at targets 4, 0, 2; f=1. Subsets disagree, so
+    # 2f-redundancy fails.
+    costs = [repro.TranslatedQuadratic([v]) for v in (4.0, 0.0, 2.0)]
+    print(f"2f-redundancy holds: {repro.check_2f_redundancy(costs, 1)}")
+    output = repro.SubsetEnumerationAlgorithm(3, 1).run(costs).output
+    for honest, label in [([1, 2], "scenario A: agent 0 Byzantine"),
+                          ([0, 2], "scenario B: agent 1 Byzantine")]:
+        report = repro.evaluate_resilience(output, costs, honest, f=1)
+        print(f"  {label}: output {np.round(output, 3)} is "
+              f"{'EXACT' if report.exact else f'off by {report.epsilon:.3f}'}")
+    print(
+        "  The received costs are identical in both scenarios, so a\n"
+        "  deterministic algorithm must answer the same — and is therefore\n"
+        "  wrong in at least one of them."
+    )
+
+
+if __name__ == "__main__":
+    achievability()
+    necessity()

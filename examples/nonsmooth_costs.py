@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Exact fault-tolerance without differentiability.
+
+The paper's characterization — 2f-redundancy is necessary *and* sufficient
+for exact fault-tolerance — makes no smoothness assumption; only the
+gradient-descent machinery needs differentiable costs. This example runs
+the full theory on weighted absolute-deviation (L1) costs, whose aggregate
+argmin sets are weighted-median *intervals* (boxes), computed in closed
+form:
+
+1. redundancy checking with set-valued (box) argmins;
+2. the subset-enumeration algorithm recovering the honest minimizer
+   exactly against a Byzantine submission;
+3. a case where the argmin set is a genuine box, not a point.
+
+Run:  python examples/nonsmooth_costs.py
+"""
+
+import numpy as np
+
+import repro
+from repro.optimization.nonsmooth import (
+    AbsoluteDeviationCost,
+    l1_aggregate_argmin,
+    l1_solver,
+)
+
+
+def main() -> None:
+    target = np.array([2.0, -1.0])
+
+    # --- 1. Redundancy checking on L1 costs. ---
+    identical = [AbsoluteDeviationCost(target) for _ in range(6)]
+    spread = [AbsoluteDeviationCost(target + 0.3 * i) for i in range(6)]
+    print("identical L1 costs 2f-redundant (f=2):",
+          repro.check_2f_redundancy(identical, f=2, solver=l1_solver))
+    report = repro.measure_redundancy_margin(spread, f=1, solver=l1_solver)
+    print("spread L1 costs:", report.summary())
+
+    # --- 2. Exact recovery via the subset algorithm, no gradients used. ---
+    submitted = list(identical)
+    submitted[0] = AbsoluteDeviationCost([50.0, 50.0], weight=3.0)
+    algorithm = repro.SubsetEnumerationAlgorithm(n=6, f=2, solver=l1_solver)
+    result = algorithm.run(submitted)
+    print(f"\nByzantine agent pulls toward (50, 50) with triple weight;")
+    print(f"subset algorithm output: {np.round(result.output, 6)} "
+          f"(honest target {target}, error "
+          f"{np.linalg.norm(result.output - target):.2e})")
+
+    # --- 3. A set-valued argmin: even counts give median intervals. ---
+    four = [AbsoluteDeviationCost([float(v)]) for v in (0.0, 1.0, 3.0, 4.0)]
+    argmin = l1_aggregate_argmin(four)
+    print(f"\nargmin of |x|+|x-1|+|x-3|+|x-4| is the interval "
+          f"[{argmin.lower[0]}, {argmin.upper[0]}] — a set, not a point; "
+          "the library's Hausdorff machinery handles it exactly.")
+
+
+if __name__ == "__main__":
+    main()

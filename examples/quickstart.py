@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: fault-tolerant distributed optimization in ~40 lines.
+
+Five robots want to agree on a meeting point that minimizes their total
+travel cost, but one robot is Byzantine and lies about its gradient. We run
+the distributed gradient-descent method with the paper's CGE gradient
+filter and compare against unprotected averaging.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+N, F = 5, 1
+
+
+def main() -> None:
+    # All robots start from (roughly) the same depot: the problem is
+    # redundant, so the honest meeting point survives one liar.
+    instance = repro.make_meeting_instance(n=N, d=2, spread=0.05, seed=7)
+    honest = list(range(1, N))
+    target = instance.honest_meeting_point(honest)
+    print(f"honest meeting point: {np.round(target, 4)}")
+
+    margin = repro.measure_redundancy_margin(instance.costs, F)
+    print(margin.summary())
+
+    for filter_name in ("cge", "average"):
+        trace = repro.run_dgd(
+            instance.costs,
+            repro.RandomGaussian(scale=50.0),  # robot 0 sends garbage vectors
+            faulty_ids=[0],
+            gradient_filter=filter_name,
+            iterations=400,
+            seed=0,
+        )
+        error = repro.final_error(trace, target)
+        print(
+            f"{filter_name:>8}: reached {np.round(trace.final_estimate, 4)} "
+            f"(error {error:.4f})"
+        )
+
+    print(
+        "\nCGE eliminates the liar's large gradients and lands near the "
+        "honest optimum; plain averaging is dragged around by them."
+    )
+
+
+if __name__ == "__main__":
+    main()

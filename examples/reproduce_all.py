@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the reproduction in one run.
+
+Runs all experiments (E1–E15 and the ablations A1–A4), prints each rendered
+artefact, and saves the structured results as JSON under ``results/`` so
+they can be diffed across machines or loaded for plotting.
+
+Run:  python examples/reproduce_all.py [output_dir]
+(Complete run takes a few minutes on a laptop.)
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.serialization import save_experiment
+from repro.cli import EXPERIMENTS
+
+
+def main() -> int:
+    output_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    output_dir.mkdir(parents=True, exist_ok=True)
+    total_start = time.perf_counter()
+    for experiment_id in sorted(EXPERIMENTS):
+        start = time.perf_counter()
+        result = EXPERIMENTS[experiment_id]()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        path = save_experiment(result, output_dir / f"{experiment_id}.json")
+        print(f"[{experiment_id}: {elapsed:.1f}s -> {path}]\n")
+    print(f"all experiments regenerated in {time.perf_counter() - total_start:.1f}s")
+    print(f"artifacts in {output_dir.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

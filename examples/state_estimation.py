@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Resilient distributed state estimation (sensing).
+
+Eight sensors each observe one linear projection of a 3-dimensional system
+state; two sensors are compromised and report adversarial observations.
+Because the sensor network is 2f-sparse observable (equivalently: the
+sensing costs are 2f-redundant), the filtered DGD recovers the true state.
+
+Run:  python examples/state_estimation.py
+"""
+
+import numpy as np
+
+import repro
+
+N, F, D = 8, 2, 3
+
+
+def main() -> None:
+    instance = repro.make_sensing_instance(n=N, d=D, f=F, noise_std=0.0, seed=11)
+    print(f"2f-sparse observable: {instance.is_sparse_observable(F)}")
+    print(f"true state x* = {np.round(instance.x_star, 4)}")
+
+    faulty = list(range(F))
+    honest = [i for i in range(N) if i not in faulty]
+
+    # The compromised sensors report observations consistent with a rogue
+    # state — the hardest, undetectable kind of sensor fault.
+    rogue_state = instance.x_star + np.array([5.0, -5.0, 2.0])
+    substituted = {
+        i: repro.LeastSquaresCost(
+            instance.observation_matrices[i],
+            instance.observation_matrices[i] @ rogue_state,
+        )
+        for i in faulty
+    }
+    behavior = repro.CostSubstitution(substituted)
+
+    rows = []
+    for filter_name in ("cge", "cwtm", "average"):
+        trace = repro.run_dgd(
+            instance.costs, behavior, gradient_filter=filter_name,
+            faulty_ids=faulty, iterations=2000, seed=11,
+        )
+        error = float(np.linalg.norm(trace.final_estimate - instance.x_star))
+        rows.append([filter_name, np.round(trace.final_estimate, 4), error])
+    centralized = instance.honest_state_estimate(honest)
+    rows.append(["(honest least squares)", np.round(centralized, 4),
+                 float(np.linalg.norm(centralized - instance.x_star))])
+
+    print(repro.format_table(
+        ["estimator", "state estimate", "error"], rows,
+        title=f"\nState recovery with {F}/{N} compromised sensors",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Gradient filters (Byzantine-robust aggregation rules).
+
+The server-side defence of the paper's gradient-descent algorithm: a
+gradient filter maps the ``n`` received gradients (a ``(n, d)`` matrix) to a
+single ``d``-vector used in the update rule. The paper's filter is
+**Comparative Gradient Elimination (CGE)**; the others are standard
+baselines from the robust-aggregation literature used by the comparison
+experiments.
+"""
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.bulyan import Bulyan
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.clipping import CenteredClipping
+from repro.aggregators.diagnostics import FilterCallRecord, RecordingFilter
+from repro.aggregators.krum import Krum, MultiKrum
+from repro.aggregators.mean import Average, TrimmedSum
+from repro.aggregators.median import CoordinateWiseMedian, GeometricMedian
+from repro.aggregators.mom import GeometricMedianOfMeans, MedianOfMeans
+from repro.aggregators.registry import available_filters, make_filter
+from repro.aggregators.signsgd import SignSGDMajorityVote
+from repro.aggregators.trimmed_mean import CoordinateWiseTrimmedMean
+
+__all__ = [
+    "GradientFilter",
+    "Average",
+    "TrimmedSum",
+    "ComparativeGradientElimination",
+    "CoordinateWiseTrimmedMean",
+    "CoordinateWiseMedian",
+    "GeometricMedian",
+    "Krum",
+    "MultiKrum",
+    "Bulyan",
+    "MedianOfMeans",
+    "GeometricMedianOfMeans",
+    "CenteredClipping",
+    "SignSGDMajorityVote",
+    "RecordingFilter",
+    "FilterCallRecord",
+    "make_filter",
+    "available_filters",
+]

@@ -1,0 +1,97 @@
+"""Base class shared by all gradient filters."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_matrix
+
+
+class GradientFilter(abc.ABC):
+    """A map from ``n`` received gradients to one aggregate direction.
+
+    Subclasses implement :meth:`_aggregate` on a validated ``(n, d)``
+    matrix; the public ``__call__`` handles validation (shape, finiteness of
+    what can be checked, and the filter's own feasibility constraints).
+
+    Parameters
+    ----------
+    f:
+        Number of Byzantine inputs the filter is configured to tolerate.
+        ``0`` is allowed — most filters then degenerate gracefully (e.g.
+        CGE with ``f = 0`` is a plain sum).
+    """
+
+    #: Human-readable short name used by the registry and reports.
+    name: str = "filter"
+
+    def __init__(self, f: int = 0):
+        f = int(f)
+        if f < 0:
+            raise InvalidParameterError(f"f must be non-negative, got {f}")
+        self._f = f
+
+    @property
+    def f(self) -> int:
+        """Configured fault tolerance."""
+        return self._f
+
+    def minimum_inputs(self) -> int:
+        """Smallest ``n`` for which the filter is well defined."""
+        return max(2 * self._f + 1, 1)
+
+    def __call__(self, gradients) -> np.ndarray:
+        """Aggregate the received gradients.
+
+        Parameters
+        ----------
+        gradients:
+            Array-like of shape ``(n, d)``: one row per agent, Byzantine
+            rows included. Rows may contain arbitrary finite values; NaNs
+            and infinities are replaced by large-but-finite surrogates so a
+            Byzantine agent cannot crash the server with a malformed
+            message (the filter's robustness must handle the surrogate like
+            any other outlier).
+
+        Returns
+        -------
+        numpy.ndarray
+            The aggregated ``d``-vector.
+        """
+        matrix = check_matrix(gradients, name="gradients", allow_non_finite=True)
+        matrix = self.sanitize(matrix)
+        n = matrix.shape[0]
+        if n < self.minimum_inputs():
+            raise InvalidParameterError(
+                f"{type(self).__name__} with f={self._f} requires at least "
+                f"{self.minimum_inputs()} gradients, got {n}"
+            )
+        return self._aggregate(matrix)
+
+    @staticmethod
+    def sanitize(matrix: np.ndarray, cap: float = 1e12) -> np.ndarray:
+        """Replace non-finite entries with large finite surrogates.
+
+        A Byzantine sender controls its message bytes, so the server must
+        not assume finiteness; mapping ``±inf``/``nan`` to ``±cap`` keeps
+        every downstream norm/sort well defined while preserving the
+        "extreme outlier" character of the message.
+        """
+        if np.all(np.isfinite(matrix)):
+            return matrix
+        cleaned = matrix.copy()
+        cleaned[np.isnan(cleaned)] = cap
+        cleaned[np.isposinf(cleaned)] = cap
+        cleaned[np.isneginf(cleaned)] = -cap
+        return cleaned
+
+    @abc.abstractmethod
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        """Aggregate a validated, finite ``(n, d)`` matrix."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(f={self._f})"

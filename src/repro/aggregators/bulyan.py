@@ -1,0 +1,49 @@
+"""Bulyan gradient filter (El Mhamdi et al., ICML 2018).
+
+Two stages: (1) repeatedly apply Krum to select ``n − 2f`` gradients;
+(2) per coordinate, average the ``n − 4f`` values closest to the
+coordinate-wise median of the selection. Requires ``n >= 4f + 3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.krum import _krum_scores
+from repro.exceptions import InvalidParameterError
+
+
+class Bulyan(GradientFilter):
+    """Krum-selection followed by a median-centered trimmed average."""
+
+    name = "bulyan"
+
+    def minimum_inputs(self) -> int:
+        return 4 * self._f + 3
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        n = gradients.shape[0]
+        f = self._f
+        selection_size = n - 2 * f
+        remaining = list(range(n))
+        selected = []
+        while len(selected) < selection_size:
+            pool = gradients[remaining]
+            # Krum's neighbour count must stay >= 1 as the pool shrinks.
+            effective_f = min(f, len(remaining) - 3)
+            if effective_f < 0:
+                # Pool too small for scoring: take what's left in order.
+                selected.extend(remaining[: selection_size - len(selected)])
+                break
+            scores = _krum_scores(pool, effective_f)
+            best = int(np.argmin(scores))
+            selected.append(remaining.pop(best))
+        chosen = gradients[selected]
+        beta = max(selection_size - 2 * f, 1)
+        median = np.median(chosen, axis=0)
+        # Per coordinate, keep the beta values nearest the median.
+        deviations = np.abs(chosen - median)
+        order = np.argsort(deviations, axis=0, kind="stable")[:beta]
+        kept = np.take_along_axis(chosen, order, axis=0)
+        return kept.mean(axis=0)

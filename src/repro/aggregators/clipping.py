@@ -1,0 +1,66 @@
+"""Centered-clipping gradient filter (Karimireddy, He & Jaggi, 2021).
+
+Iteratively re-centers on the clipped mean: starting from a reference point
+``v`` (the previous round's aggregate), each gradient's deviation from ``v``
+is clipped to radius ``tau`` and the deviations are averaged back onto
+``v``. Stateful across rounds — the filter remembers its last output as the
+next round's reference, matching the "history" mechanism of the original
+method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.exceptions import InvalidParameterError
+
+
+class CenteredClipping(GradientFilter):
+    """Clip deviations from a running reference and average.
+
+    Parameters
+    ----------
+    f:
+        Declared tolerance (informational).
+    radius:
+        Clipping radius ``tau``.
+    inner_iterations:
+        Re-centering passes per call.
+    """
+
+    name = "clipping"
+
+    def __init__(self, f: int = 0, radius: float = 1.0, inner_iterations: int = 3):
+        super().__init__(f)
+        if radius <= 0:
+            raise InvalidParameterError(f"radius must be positive, got {radius}")
+        if inner_iterations <= 0:
+            raise InvalidParameterError(
+                f"inner_iterations must be positive, got {inner_iterations}"
+            )
+        self._radius = float(radius)
+        self._inner_iterations = int(inner_iterations)
+        self._reference: Optional[np.ndarray] = None
+
+    def minimum_inputs(self) -> int:
+        return 1
+
+    def reset(self) -> None:
+        """Forget the running reference (start of a new execution)."""
+        self._reference = None
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        if self._reference is None or self._reference.shape[0] != gradients.shape[1]:
+            reference = np.median(gradients, axis=0)
+        else:
+            reference = self._reference
+        for _ in range(self._inner_iterations):
+            deviations = gradients - reference
+            norms = np.linalg.norm(deviations, axis=1)
+            scales = np.minimum(1.0, self._radius / np.maximum(norms, 1e-12))
+            reference = reference + (deviations * scales[:, None]).mean(axis=0)
+        self._reference = reference.copy()
+        return reference

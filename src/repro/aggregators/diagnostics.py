@@ -1,0 +1,94 @@
+"""Diagnostic instrumentation for gradient filters.
+
+:class:`RecordingFilter` wraps any filter transparently (it *is* a
+:class:`GradientFilter`, so the server accepts it unchanged) and records a
+per-round log of input norms and the aggregate output. For CGE it
+additionally records which rows survived the norm cut, enabling survival
+analysis of Byzantine gradients — e.g. "in what fraction of rounds did the
+forged gradient slip past the filter?", the quantity that explains CGE's
+behaviour under norm-camouflaged attacks (see EXPERIMENTS.md E10/E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.cge import ComparativeGradientElimination
+
+
+@dataclass
+class FilterCallRecord:
+    """One aggregation call's diagnostics."""
+
+    round_index: int
+    input_norms: np.ndarray
+    output: np.ndarray
+    kept_rows: Optional[np.ndarray] = None  # CGE only
+
+    @property
+    def num_inputs(self) -> int:
+        return int(self.input_norms.shape[0])
+
+
+class RecordingFilter(GradientFilter):
+    """Transparent recording wrapper around any gradient filter.
+
+    The wrapped filter's result is returned unchanged; every call appends a
+    :class:`FilterCallRecord` to :attr:`records`.
+    """
+
+    name = "recording"
+
+    def __init__(self, inner: GradientFilter):
+        super().__init__(inner.f)
+        self._inner = inner
+        self.records: List[FilterCallRecord] = []
+
+    @property
+    def inner(self) -> GradientFilter:
+        return self._inner
+
+    def minimum_inputs(self) -> int:
+        return self._inner.minimum_inputs()
+
+    def reset(self) -> None:
+        """Clear recorded calls (and delegate to stateful inner filters)."""
+        self.records.clear()
+        if hasattr(self._inner, "reset"):
+            self._inner.reset()
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        output = self._inner(gradients)
+        kept = None
+        if isinstance(self._inner, ComparativeGradientElimination):
+            kept = self._inner.kept_indices(gradients)
+        self.records.append(
+            FilterCallRecord(
+                round_index=len(self.records),
+                input_norms=np.linalg.norm(gradients, axis=1),
+                output=np.asarray(output, dtype=float).copy(),
+                kept_rows=kept,
+            )
+        )
+        return output
+
+    def survival_fraction(self, row_index: int) -> float:
+        """Fraction of recorded CGE rounds in which ``row_index`` was kept.
+
+        Only meaningful when the inner filter is CGE (rows are ordered by
+        the server's sorted sender ids, so a fixed Byzantine sender maps to
+        a fixed row). Returns NaN when no kept-row data was recorded.
+        """
+        relevant = [r for r in self.records if r.kept_rows is not None]
+        if not relevant:
+            return float("nan")
+        kept = sum(1 for r in relevant if row_index in r.kept_rows)
+        return kept / len(relevant)
+
+    def output_norm_series(self) -> np.ndarray:
+        """``||GradFilter(·)||`` per recorded round."""
+        return np.array([float(np.linalg.norm(r.output)) for r in self.records])

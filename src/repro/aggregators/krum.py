@@ -1,0 +1,74 @@
+"""Krum and Multi-Krum gradient filters (Blanchard et al., NeurIPS 2017).
+
+Krum scores each gradient by the sum of squared distances to its
+``n − f − 2`` nearest neighbours and outputs the gradient with the smallest
+score. Multi-Krum averages the ``m`` best-scoring gradients. Standard
+baselines for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.exceptions import InvalidParameterError
+
+
+def _krum_scores(gradients: np.ndarray, f: int) -> np.ndarray:
+    """Krum score of each row: sum of its ``n − f − 2`` smallest squared distances."""
+    n = gradients.shape[0]
+    neighbours = n - f - 2
+    if neighbours < 1:
+        raise InvalidParameterError(
+            f"Krum requires n >= f + 3; got n={n}, f={f}"
+        )
+    deltas = gradients[:, None, :] - gradients[None, :, :]
+    squared = np.einsum("ijk,ijk->ij", deltas, deltas)
+    np.fill_diagonal(squared, np.inf)
+    nearest = np.sort(squared, axis=1)[:, :neighbours]
+    return nearest.sum(axis=1)
+
+
+class Krum(GradientFilter):
+    """Select the single gradient closest to its nearest-neighbour cloud."""
+
+    name = "krum"
+
+    def minimum_inputs(self) -> int:
+        return self._f + 3
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        scores = _krum_scores(gradients, self._f)
+        return gradients[int(np.argmin(scores))].copy()
+
+
+class MultiKrum(GradientFilter):
+    """Average of the ``m`` best Krum-scoring gradients.
+
+    Parameters
+    ----------
+    f:
+        Fault bound used in the score definition.
+    m:
+        Number of selected gradients; defaults to ``n − f`` at call time
+        when left unset.
+    """
+
+    name = "multikrum"
+
+    def __init__(self, f: int, m: int = None):
+        super().__init__(f)
+        if m is not None and m <= 0:
+            raise InvalidParameterError(f"m must be positive, got {m}")
+        self._m = m
+
+    def minimum_inputs(self) -> int:
+        return self._f + 3
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        n = gradients.shape[0]
+        m = self._m if self._m is not None else n - self._f
+        m = min(m, n)
+        scores = _krum_scores(gradients, self._f)
+        chosen = np.argsort(scores, kind="stable")[:m]
+        return gradients[chosen].mean(axis=0)

@@ -1,0 +1,70 @@
+"""Median-of-means style gradient filters.
+
+Gradients are split into ``k`` contiguous groups, each group is averaged,
+and the group means are combined robustly — coordinate-wise median
+(:class:`MedianOfMeans`) or geometric median (:class:`GeometricMedianOfMeans`,
+after Chen, Su & Xu 2017).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.median import weiszfeld
+from repro.exceptions import InvalidParameterError
+
+
+def _group_means(gradients: np.ndarray, num_groups: int) -> np.ndarray:
+    n = gradients.shape[0]
+    if num_groups > n:
+        raise InvalidParameterError(
+            f"cannot split {n} gradients into {num_groups} groups"
+        )
+    boundaries = np.linspace(0, n, num_groups + 1, dtype=int)
+    return np.stack(
+        [gradients[boundaries[i] : boundaries[i + 1]].mean(axis=0) for i in range(num_groups)]
+    )
+
+
+class MedianOfMeans(GradientFilter):
+    """Coordinate-wise median over ``num_groups`` group means.
+
+    Parameters
+    ----------
+    f:
+        Fault bound; robustness requires ``num_groups > 2 f`` (a Byzantine
+        agent corrupts at most its own group), validated at call time.
+    num_groups:
+        Number of groups; defaults to ``2 f + 1``.
+    """
+
+    name = "mom"
+
+    def __init__(self, f: int, num_groups: int = None):
+        super().__init__(f)
+        if num_groups is not None and num_groups <= 0:
+            raise InvalidParameterError(f"num_groups must be positive, got {num_groups}")
+        self._num_groups = num_groups
+
+    def _groups(self, n: int) -> int:
+        groups = self._num_groups if self._num_groups is not None else 2 * self._f + 1
+        if groups <= 2 * self._f:
+            raise InvalidParameterError(
+                f"median-of-means needs more than 2f = {2 * self._f} groups, got {groups}"
+            )
+        return min(groups, n)
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        means = _group_means(gradients, self._groups(gradients.shape[0]))
+        return np.median(means, axis=0)
+
+
+class GeometricMedianOfMeans(MedianOfMeans):
+    """Geometric median over group means (GMoM)."""
+
+    name = "gmom"
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        means = _group_means(gradients, self._groups(gradients.shape[0]))
+        return weiszfeld(means)

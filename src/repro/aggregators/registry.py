@@ -1,0 +1,65 @@
+"""Name-based construction of gradient filters.
+
+The experiment harness and benches refer to filters by short names so that
+sweep configurations are plain data; this registry is the single place that
+maps those names to classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.bulyan import Bulyan
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.clipping import CenteredClipping
+from repro.aggregators.krum import Krum, MultiKrum
+from repro.aggregators.mean import Average, TrimmedSum
+from repro.aggregators.median import CoordinateWiseMedian, GeometricMedian
+from repro.aggregators.mom import GeometricMedianOfMeans, MedianOfMeans
+from repro.aggregators.signsgd import SignSGDMajorityVote
+from repro.aggregators.trimmed_mean import CoordinateWiseTrimmedMean
+from repro.exceptions import InvalidParameterError
+
+_FACTORIES: Dict[str, Callable[..., GradientFilter]] = {
+    Average.name: Average,
+    TrimmedSum.name: TrimmedSum,
+    ComparativeGradientElimination.name: ComparativeGradientElimination,
+    CoordinateWiseTrimmedMean.name: CoordinateWiseTrimmedMean,
+    CoordinateWiseMedian.name: CoordinateWiseMedian,
+    GeometricMedian.name: GeometricMedian,
+    Krum.name: Krum,
+    MultiKrum.name: MultiKrum,
+    Bulyan.name: Bulyan,
+    MedianOfMeans.name: MedianOfMeans,
+    GeometricMedianOfMeans.name: GeometricMedianOfMeans,
+    CenteredClipping.name: CenteredClipping,
+    SignSGDMajorityVote.name: SignSGDMajorityVote,
+}
+
+
+def available_filters() -> List[str]:
+    """Sorted list of registered filter names."""
+    return sorted(_FACTORIES)
+
+
+def make_filter(name: str, f: int = 0, **kwargs) -> GradientFilter:
+    """Instantiate a gradient filter by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_filters`.
+    f:
+        Fault bound passed to the filter.
+    kwargs:
+        Filter-specific options (e.g. ``mode`` for CGE, ``radius`` for
+        centered clipping).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown filter {name!r}; available: {', '.join(available_filters())}"
+        ) from None
+    return factory(f=f, **kwargs)

@@ -1,0 +1,48 @@
+"""SignSGD with majority vote (Bernstein et al., 2019).
+
+Each agent's gradient is reduced to its coordinate-wise sign; the server
+outputs the sign of the per-coordinate vote. A Byzantine agent controls
+exactly one vote per coordinate, so a strict honest majority bounds its
+influence — a communication-efficient robust baseline cited by the paper.
+
+Because the output carries no magnitude information, the method converges
+to a step-size-sized neighbourhood rather than the exact minimizer: it
+trades exactness for one-bit-per-coordinate communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.exceptions import InvalidParameterError
+
+
+class SignSGDMajorityVote(GradientFilter):
+    """Coordinate-wise majority vote over gradient signs.
+
+    Parameters
+    ----------
+    f:
+        Declared tolerance; robustness holds when the honest agents hold a
+        strict per-coordinate majority.
+    scale:
+        Magnitude of the output vector's entries (the server's step size
+        multiplies this).
+    """
+
+    name = "signsgd"
+
+    def __init__(self, f: int = 0, scale: float = 1.0):
+        super().__init__(f)
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    def minimum_inputs(self) -> int:
+        return max(2 * self._f + 1, 1)
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        votes = np.sign(gradients)
+        tally = votes.sum(axis=0)
+        return self._scale * np.sign(tally)

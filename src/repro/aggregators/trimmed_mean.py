@@ -1,0 +1,30 @@
+"""Coordinate-Wise Trimmed Mean (CWTM) gradient filter.
+
+For each coordinate ``k``, discard the ``f`` largest and ``f`` smallest
+values among the received gradients' ``k``-th entries, and average the
+remaining ``n − 2f``. A standard robust-aggregation baseline (Su & Vaidya;
+Yin et al.) that the paper's experiments compare CGE against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+
+
+class CoordinateWiseTrimmedMean(GradientFilter):
+    """CWTM: per-coordinate trimmed mean with symmetric trim count ``f``."""
+
+    name = "cwtm"
+
+    def minimum_inputs(self) -> int:
+        # Need at least one value to survive per coordinate.
+        return 2 * self._f + 1
+
+    def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        if self._f == 0:
+            return gradients.mean(axis=0)
+        ordered = np.sort(gradients, axis=0)
+        kept = ordered[self._f : gradients.shape[0] - self._f]
+        return kept.mean(axis=0)

@@ -1,0 +1,48 @@
+"""Post-hoc analysis of executions: metrics, theory validation, reporting."""
+
+from repro.analysis.metrics import (
+    area_under_error,
+    convergence_iteration,
+    distance_series,
+    final_error,
+    loss_series,
+)
+from repro.analysis.rates import RateFit, best_rate_model, fit_geometric, fit_power_law
+from repro.analysis.reporting import (
+    ExperimentResult,
+    format_markdown_table,
+    format_series,
+    format_table,
+)
+from repro.analysis.serialization import (
+    experiment_to_csv,
+    load_experiment,
+    load_trace,
+    save_experiment,
+    save_trace,
+)
+from repro.analysis.theory import TheoreticalGuarantee, guarantee_for_cge, validate_guarantee
+
+__all__ = [
+    "distance_series",
+    "loss_series",
+    "final_error",
+    "convergence_iteration",
+    "area_under_error",
+    "format_table",
+    "format_markdown_table",
+    "RateFit",
+    "fit_power_law",
+    "fit_geometric",
+    "best_rate_model",
+    "format_series",
+    "ExperimentResult",
+    "save_trace",
+    "load_trace",
+    "save_experiment",
+    "load_experiment",
+    "experiment_to_csv",
+    "TheoreticalGuarantee",
+    "guarantee_for_cge",
+    "validate_guarantee",
+]

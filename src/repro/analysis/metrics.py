@@ -1,0 +1,74 @@
+"""Metrics computed from execution traces.
+
+The paper's plots report two series per execution: the honest aggregate
+*loss* ``Σ_{i ∈ H} Q_i(x^t)`` and the *distance* ``||x^t − x_H||`` to the
+honest minimizer. These helpers compute both, plus scalar summaries used in
+the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.system.runner import Trace
+from repro.utils.validation import check_vector
+
+
+def distance_series(trace: Trace, target) -> np.ndarray:
+    """``||x^t − target||`` for every recorded round of a trace."""
+    return trace.distances_to(target)
+
+
+def loss_series(
+    trace: Trace, costs: Sequence[CostFunction], ids: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Aggregate loss per round over ``ids`` (the trace's honest set by default)."""
+    return trace.losses(costs, ids)
+
+
+def final_error(trace: Trace, target) -> float:
+    """``||x^T − target||`` — the tables' headline number."""
+    target = check_vector(target, dimension=trace.dimension, name="target")
+    return float(np.linalg.norm(trace.final_estimate - target))
+
+
+def convergence_iteration(series: np.ndarray, threshold: float) -> Optional[int]:
+    """First round from which the series stays below ``threshold`` forever.
+
+    Returns ``None`` when the series never settles below the threshold.
+    This "stays below" (rather than "first dips below") definition is
+    robust to transient dips during oscillation.
+    """
+    series = np.asarray(series, dtype=float)
+    if threshold <= 0:
+        raise InvalidParameterError(f"threshold must be positive, got {threshold}")
+    below = series < threshold
+    if not below[-1]:
+        return None
+    # Last index where the series was NOT below; settle point is the next.
+    above_indices = np.nonzero(~below)[0]
+    if above_indices.size == 0:
+        return 0
+    settle = int(above_indices[-1]) + 1
+    return settle if settle < series.shape[0] else None
+
+
+def area_under_error(series: np.ndarray) -> float:
+    """Trapezoidal area under an error curve — a convergence-speed summary."""
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1 or series.shape[0] < 2:
+        raise InvalidParameterError("series must be a 1-D array with at least 2 points")
+    return float(np.trapezoid(series))
+
+
+def relative_regret(trace: Trace, costs: Sequence[CostFunction], target) -> float:
+    """``(L(x^T) − L(x_H)) / max(L(x_H), eps)`` on the honest aggregate loss."""
+    target = check_vector(target, dimension=trace.dimension, name="target")
+    honest = trace.honest_ids
+    final_loss = float(sum(costs[i].value(trace.final_estimate) for i in honest))
+    optimal_loss = float(sum(costs[i].value(target) for i in honest))
+    return (final_loss - optimal_loss) / max(abs(optimal_loss), 1e-12)

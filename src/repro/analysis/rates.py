@@ -1,0 +1,118 @@
+"""Empirical convergence-rate estimation from traces.
+
+The theory promises qualitative rates — e.g. ``O(1/t)`` squared-error decay
+for strongly convex SGD with a Robbins–Monro schedule, geometric decay for
+deterministic gradient descent with constant steps. This module fits the
+observed decay of an error series so experiments can *check* those shapes
+instead of eyeballing curves:
+
+- :func:`fit_power_law` — fit ``error(t) ≈ C · t^(−p)`` by least squares in
+  log–log space, returning the exponent ``p`` and the fit quality;
+- :func:`fit_geometric` — fit ``error(t) ≈ C · ρ^t`` in semi-log space,
+  returning the contraction factor ``ρ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class RateFit:
+    """Result of a rate fit.
+
+    Attributes
+    ----------
+    parameter:
+        The fitted rate — the power-law exponent ``p`` or the geometric
+        factor ``ρ``, by fit type.
+    constant:
+        The fitted multiplicative constant ``C``.
+    r_squared:
+        Coefficient of determination of the (log-space) linear fit; near 1
+        means the model shape matches the data.
+    kind:
+        ``"power"`` or ``"geometric"``.
+    """
+
+    parameter: float
+    constant: float
+    r_squared: float
+    kind: str
+
+    def describe(self) -> str:
+        if self.kind == "power":
+            return (
+                f"error(t) ≈ {self.constant:.3g} · t^(-{self.parameter:.3f}) "
+                f"(R² = {self.r_squared:.3f})"
+            )
+        return (
+            f"error(t) ≈ {self.constant:.3g} · {self.parameter:.5f}^t "
+            f"(R² = {self.r_squared:.3f})"
+        )
+
+
+def _prepare(series, burn_in: int, floor: float):
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < burn_in + 4:
+        raise InvalidParameterError(
+            "series must be 1-D with at least burn_in + 4 points"
+        )
+    t = np.arange(values.size)[burn_in:]
+    y = values[burn_in:]
+    mask = y > floor
+    if mask.sum() < 4:
+        raise InvalidParameterError(
+            "series is at the numerical floor; nothing to fit"
+        )
+    return t[mask], y[mask]
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray):
+    slope, intercept = np.polyfit(x, y, deg=1)
+    predicted = slope * x + intercept
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return slope, intercept, r_squared
+
+
+def fit_power_law(series, burn_in: int = 10, floor: float = 1e-14) -> RateFit:
+    """Fit ``error(t) ≈ C t^(−p)`` over ``t >= burn_in``.
+
+    Parameters
+    ----------
+    series:
+        Error values per iteration (``series[t]`` at round ``t``).
+    burn_in:
+        Initial rounds excluded (transient phase).
+    floor:
+        Values at/below this are treated as numerical zero and excluded.
+    """
+    t, y = _prepare(series, burn_in, floor)
+    slope, intercept, r_squared = _linear_fit(np.log(t + 1.0), np.log(y))
+    return RateFit(
+        parameter=-slope, constant=float(np.exp(intercept)),
+        r_squared=r_squared, kind="power",
+    )
+
+
+def fit_geometric(series, burn_in: int = 5, floor: float = 1e-14) -> RateFit:
+    """Fit ``error(t) ≈ C ρ^t`` over ``t >= burn_in`` (``ρ < 1`` = contraction)."""
+    t, y = _prepare(series, burn_in, floor)
+    slope, intercept, r_squared = _linear_fit(t.astype(float), np.log(y))
+    return RateFit(
+        parameter=float(np.exp(slope)), constant=float(np.exp(intercept)),
+        r_squared=r_squared, kind="geometric",
+    )
+
+
+def best_rate_model(series, burn_in: int = 10, floor: float = 1e-14) -> RateFit:
+    """Fit both models and return the one with the higher R²."""
+    power = fit_power_law(series, burn_in=burn_in, floor=floor)
+    geometric = fit_geometric(series, burn_in=burn_in, floor=floor)
+    return power if power.r_squared >= geometric.r_squared else geometric

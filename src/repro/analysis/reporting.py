@@ -1,0 +1,150 @@
+"""Plain-text reporting for tables and series.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers render them as aligned ASCII so bench output is
+readable in a terminal and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    if isinstance(value, np.ndarray):
+        return np.array2string(value, precision=4, separator=", ")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values (stringified with sensible float formatting).
+    title:
+        Optional title line above the table.
+    """
+    headers = [str(h) for h in headers]
+    if any(len(row) != len(headers) for row in rows):
+        raise InvalidParameterError("every row must match the header length")
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_series(
+    name: str, series, width: int = 60, logarithmic: bool = True
+) -> str:
+    """Render a numeric series as a one-line unicode sparkline with endpoints.
+
+    Used by the figure benches to give a quick visual of each trajectory
+    without a plotting dependency.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise InvalidParameterError("series must be a non-empty 1-D array")
+    if values.size > width:
+        # Downsample by striding so the sparkline fits the width.
+        indices = np.linspace(0, values.size - 1, width).astype(int)
+        sampled = values[indices]
+    else:
+        sampled = values
+    display = sampled.copy()
+    if logarithmic:
+        floor = max(np.min(display[display > 0], initial=1e-12), 1e-12)
+        display = np.log10(np.maximum(display, floor))
+    low, high = float(np.min(display)), float(np.max(display))
+    if high - low < 1e-15:
+        bars = _SPARK_LEVELS[0] * sampled.size
+    else:
+        scaled = (display - low) / (high - low)
+        bars = "".join(
+            _SPARK_LEVELS[min(int(v * len(_SPARK_LEVELS)), len(_SPARK_LEVELS) - 1)]
+            for v in scaled
+        )
+    return f"{name:<28} {bars}  start={values[0]:.4g} end={values[-1]:.4g}"
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment (one paper table or figure).
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md id (e.g. ``"E1"``).
+    title:
+        Human-readable description.
+    headers / rows:
+        Tabular payload (tables).
+    series:
+        Named numeric series (figures).
+    notes:
+        Free-form annotations (measured constants, qualitative claims).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, series_width: int = 60) -> str:
+        """Full plain-text rendering (table, then sparklines, then notes)."""
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        for name in self.series:
+            parts.append(format_series(name, self.series[name], width=series_width))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: Optional[str] = None
+) -> str:
+    """Render a GitHub-flavoured markdown table (for docs and reports)."""
+    headers = [str(h) for h in headers]
+    if any(len(row) != len(headers) for row in rows):
+        raise InvalidParameterError("every row must match the header length")
+    lines: List[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(value) for value in row) + " |")
+    return "\n".join(lines)

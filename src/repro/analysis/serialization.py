@@ -1,0 +1,139 @@
+"""Persistence of traces and experiment results.
+
+Two formats, chosen by what dominates the payload:
+
+- :func:`save_trace` / :func:`load_trace` — NPZ (arrays dominate; metadata
+  rides along as a JSON string inside the archive);
+- :func:`save_experiment` / :func:`load_experiment` — JSON (tables and
+  notes dominate; series are stored as lists), plus :func:`experiment_to_csv`
+  for spreadsheet-friendly table export.
+
+Round-trips are exact for the numeric payloads (float64 preserved by NPZ;
+JSON floats survive to within repr precision, which the tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.exceptions import InvalidParameterError
+from repro.system.runner import Trace
+
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: Trace, path: PathLike) -> Path:
+    """Write a :class:`Trace` to an ``.npz`` archive. Returns the path."""
+    path = Path(path)
+    metadata = {
+        "honest_ids": list(trace.honest_ids),
+        "faulty_ids": list(trace.faulty_ids),
+        "eliminated": list(trace.eliminated),
+        "crash_ids": list(trace.crash_ids),
+        "wall_time": trace.wall_time,
+        "messages_delivered": trace.messages_delivered,
+        "bytes_delivered": trace.bytes_delivered,
+        "filter_name": trace.filter_name,
+    }
+    np.savez_compressed(
+        path,
+        estimates=trace.estimates,
+        directions=trace.directions,
+        metadata=np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8),
+    )
+    # numpy appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a :class:`Trace` previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode())
+        estimates = archive["estimates"]
+        directions = archive["directions"]
+    return Trace(
+        estimates=estimates,
+        directions=directions,
+        honest_ids=list(metadata["honest_ids"]),
+        faulty_ids=list(metadata["faulty_ids"]),
+        eliminated=list(metadata["eliminated"]),
+        crash_ids=list(metadata.get("crash_ids", [])),
+        wall_time=float(metadata["wall_time"]),
+        messages_delivered=int(metadata["messages_delivered"]),
+        bytes_delivered=int(metadata["bytes_delivered"]),
+        filter_name=str(metadata["filter_name"]),
+    )
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist()}
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """Plain-dict form of an :class:`ExperimentResult` (JSON-safe)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(cell) for cell in row] for row in result.rows],
+        "series": {name: np.asarray(values).tolist() for name, values in result.series.items()},
+        "notes": list(result.notes),
+    }
+
+
+def experiment_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_to_dict`."""
+    def revive(cell):
+        if isinstance(cell, dict) and "__ndarray__" in cell:
+            return np.asarray(cell["__ndarray__"])
+        return cell
+
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        rows=[[revive(cell) for cell in row] for row in payload["rows"]],
+        series={name: np.asarray(values) for name, values in payload["series"].items()},
+        notes=list(payload["notes"]),
+    )
+
+
+def save_experiment(result: ExperimentResult, path: PathLike) -> Path:
+    """Write an :class:`ExperimentResult` as JSON. Returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(experiment_to_dict(result), indent=2))
+    return path
+
+
+def load_experiment(path: PathLike) -> ExperimentResult:
+    """Read an :class:`ExperimentResult` written by :func:`save_experiment`."""
+    return experiment_from_dict(json.loads(Path(path).read_text()))
+
+
+def experiment_to_csv(result: ExperimentResult) -> str:
+    """Render an experiment's table rows as CSV (header line first)."""
+    if not result.headers:
+        raise InvalidParameterError("experiment has no tabular payload")
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(
+            [
+                np.array2string(cell, separator=" ") if isinstance(cell, np.ndarray) else cell
+                for cell in row
+            ]
+        )
+    return buffer.getvalue()

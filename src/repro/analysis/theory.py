@@ -1,0 +1,217 @@
+"""Connecting executions back to the paper's guarantees.
+
+Builds the theoretical convergence guarantee for a configured system
+(constants, the ``α > 0`` condition, the asymptotic error radius) and
+validates a finished execution against it — the bridge the EXPERIMENTS.md
+claims rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Optional, Sequence
+
+from repro.core.conditions import (
+    RegularityConstants,
+    cge_alpha,
+    cge_error_radius,
+    regularity_of_quadratics,
+)
+from repro.core.redundancy import measure_redundancy_margin
+from repro.optimization.cost_functions import CostFunction
+from repro.system.runner import Trace
+from repro.analysis.metrics import final_error
+
+
+@dataclass(frozen=True)
+class TheoreticalGuarantee:
+    """The paper's guarantee instantiated for one configured system.
+
+    Attributes
+    ----------
+    applicable:
+        Whether the preconditions (``α > 0``; positive ``γ``) hold.
+    alpha:
+        The CGE margin ``1 − (f/n)(1 + 2 μ/γ)``.
+    error_radius:
+        Guaranteed asymptotic radius around the honest minimizer; ``0``
+        under exact 2f-redundancy.
+    redundancy_margin:
+        The measured ``ε`` the radius was computed from.
+    constants:
+        The regularity constants used.
+    """
+
+    applicable: bool
+    alpha: float
+    error_radius: float
+    redundancy_margin: float
+    constants: RegularityConstants
+    n: int
+    f: int
+
+    def describe(self) -> str:
+        if not self.applicable:
+            return (
+                f"guarantee NOT applicable (alpha={self.alpha:.4f} <= 0 for "
+                f"n={self.n}, f={self.f}, mu={self.constants.mu:.4g}, "
+                f"gamma={self.constants.gamma:.4g})"
+            )
+        return (
+            f"CGE guarantee: alpha={self.alpha:.4f}, redundancy margin "
+            f"eps={self.redundancy_margin:.4g} -> asymptotic error radius "
+            f"{self.error_radius:.4g}"
+        )
+
+
+def guarantee_for_cge(
+    costs: Sequence[CostFunction],
+    f: int,
+    honest: Optional[Sequence[int]] = None,
+    redundancy_margin: Optional[float] = None,
+) -> TheoreticalGuarantee:
+    """Instantiate the CGE convergence guarantee for quadratic costs.
+
+    Parameters
+    ----------
+    costs:
+        All agents' costs (quadratic family required for exact constants).
+    f:
+        Fault bound.
+    honest:
+        Honest subset used for the constants; defaults to all agents.
+    redundancy_margin:
+        Pre-measured ``ε``; measured here when omitted.
+    """
+    costs = list(costs)
+    n = len(costs)
+    constants = regularity_of_quadratics(costs, f, honest=honest)
+    constants.validate()
+    if redundancy_margin is None:
+        redundancy_margin = measure_redundancy_margin(costs, f).margin
+    alpha = cge_alpha(n, f, constants.mu, constants.gamma)
+    radius = (
+        cge_error_radius(n, f, constants.mu, constants.gamma, redundancy_margin)
+        if alpha > 0
+        else inf
+    )
+    return TheoreticalGuarantee(
+        applicable=alpha > 0,
+        alpha=alpha,
+        error_radius=radius,
+        redundancy_margin=float(redundancy_margin),
+        constants=constants,
+        n=n,
+        f=f,
+    )
+
+
+def validate_guarantee(
+    trace: Trace,
+    guarantee: TheoreticalGuarantee,
+    target,
+    slack: float = 1.5,
+    absolute_floor: float = 1e-3,
+) -> bool:
+    """Check a finished execution against its guarantee.
+
+    The theorem is asymptotic, so a finite execution is held to
+    ``slack · radius`` with a small absolute floor for the exact
+    (``radius = 0``) case. Returns ``False`` when the guarantee was not
+    applicable to begin with (nothing to validate).
+    """
+    if not guarantee.applicable:
+        return False
+    bound = max(slack * guarantee.error_radius, absolute_floor)
+    return final_error(trace, target) <= bound
+
+
+@dataclass(frozen=True)
+class CwtmGuarantee:
+    """The trimmed-mean guarantee instantiated for one configured system.
+
+    Valid when the gradient-skew constant satisfies ``λ < γ / (μ √d)``; the
+    asymptotic error radius is then ``D'(λ) · ε`` with the measured
+    redundancy margin ``ε``. The condition tightens with the dimension —
+    the dependence quantified by experiment E12.
+    """
+
+    applicable: bool
+    skew: float
+    skew_threshold: float
+    error_radius: float
+    redundancy_margin: float
+    constants: RegularityConstants
+    n: int
+    f: int
+
+    def describe(self) -> str:
+        if not self.applicable:
+            return (
+                f"CWTM guarantee NOT applicable (skew {self.skew:.4f} >= "
+                f"threshold {self.skew_threshold:.4f})"
+            )
+        return (
+            f"CWTM guarantee: skew {self.skew:.4f} < threshold "
+            f"{self.skew_threshold:.4f} -> asymptotic error radius "
+            f"{self.error_radius:.4g}"
+        )
+
+
+def guarantee_for_cwtm(
+    costs: Sequence[CostFunction],
+    f: int,
+    region,
+    honest: Optional[Sequence[int]] = None,
+    redundancy_margin: Optional[float] = None,
+    skew: Optional[float] = None,
+    num_samples: int = 256,
+    seed: int = 0,
+) -> CwtmGuarantee:
+    """Instantiate the trimmed-mean (CWTM) convergence guarantee.
+
+    Parameters
+    ----------
+    costs:
+        All agents' costs (quadratic family for exact constants).
+    f:
+        Fault bound.
+    region:
+        The convex region over which the gradient-skew constant ``λ`` is
+        estimated (typically the constraint set ``W`` or a ball around the
+        minimizer).
+    skew:
+        Pre-measured ``λ``; estimated by sampling when omitted.
+    """
+    from math import sqrt
+
+    from repro.core.conditions import cwtm_error_radius, estimate_gradient_skew
+
+    costs = list(costs)
+    n = len(costs)
+    constants = regularity_of_quadratics(costs, f, honest=honest)
+    constants.validate()
+    if skew is None:
+        honest_list = list(range(n)) if honest is None else list(honest)
+        skew = estimate_gradient_skew(
+            [costs[i] for i in honest_list], region,
+            num_samples=num_samples, seed=seed,
+        )
+    if redundancy_margin is None:
+        redundancy_margin = measure_redundancy_margin(costs, f).margin
+    threshold = constants.gamma / (constants.mu * sqrt(constants.dimension))
+    radius = cwtm_error_radius(
+        n, f, constants.mu, constants.gamma, skew, constants.dimension,
+        epsilon=redundancy_margin,
+    )
+    return CwtmGuarantee(
+        applicable=skew < threshold,
+        skew=float(skew),
+        skew_threshold=float(threshold),
+        error_radius=radius,
+        redundancy_margin=float(redundancy_margin),
+        constants=constants,
+        n=n,
+        f=f,
+    )

@@ -1,0 +1,46 @@
+"""Byzantine adversary behaviours.
+
+The simulator models a *rushing, omniscient* adversary: each round it
+observes the server's broadcast estimate **and** every honest agent's
+gradient before choosing the faulty agents' messages — the strongest
+adversary consistent with the paper's synchronous model, and the one
+against which the filters must therefore be evaluated.
+"""
+
+from repro.attacks.base import AttackContext, ByzantineBehavior
+from repro.attacks.best_response import PhiMinimizingAttack
+from repro.attacks.adaptive import (
+    ALittleIsEnough,
+    IntermittentAttack,
+    InnerProductManipulation,
+    Mimic,
+    OptimalDirectionAttack,
+)
+from repro.attacks.simple import (
+    ConstantBias,
+    GradientReverse,
+    CostSubstitution,
+    RandomGaussian,
+    SignFlip,
+    ZeroGradient,
+)
+from repro.attacks.registry import available_attacks, make_attack
+
+__all__ = [
+    "ByzantineBehavior",
+    "AttackContext",
+    "GradientReverse",
+    "RandomGaussian",
+    "SignFlip",
+    "ZeroGradient",
+    "ConstantBias",
+    "CostSubstitution",
+    "ALittleIsEnough",
+    "InnerProductManipulation",
+    "Mimic",
+    "OptimalDirectionAttack",
+    "PhiMinimizingAttack",
+    "IntermittentAttack",
+    "make_attack",
+    "available_attacks",
+]

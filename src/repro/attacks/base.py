@@ -1,0 +1,110 @@
+"""Adversary interface shared by all Byzantine behaviours."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+
+
+@dataclass(frozen=True)
+class AttackContext:
+    """Everything a rushing omniscient adversary sees in one round.
+
+    Attributes
+    ----------
+    round_index:
+        The server's iteration counter ``t``.
+    estimate:
+        The broadcast estimate ``x^t``.
+    honest_gradients:
+        ``(n_h, d)`` matrix of the honest agents' gradients this round, in
+        the order of ``honest_ids`` (the rushing adversary sees these
+        before speaking).
+    honest_ids:
+        Agent indices corresponding to the rows of ``honest_gradients``.
+    faulty_ids:
+        Indices of the agents the adversary controls.
+    faulty_costs:
+        The faulty agents' *true* cost functions (entries may be ``None``
+        when a faulty agent has no meaningful local cost). Behaviours like
+        gradient-reverse use these to compute the gradients they corrupt.
+    rng:
+        Dedicated adversary randomness stream.
+    """
+
+    round_index: int
+    estimate: np.ndarray
+    honest_gradients: np.ndarray
+    honest_ids: Sequence[int]
+    faulty_ids: Sequence[int]
+    faulty_costs: Sequence[Optional[CostFunction]]
+    rng: np.random.Generator
+
+    @property
+    def dimension(self) -> int:
+        return int(self.estimate.shape[0])
+
+    @property
+    def num_faulty(self) -> int:
+        return len(self.faulty_ids)
+
+    def true_faulty_gradients(self) -> np.ndarray:
+        """The gradients the faulty agents *would* send if honest.
+
+        Requires every faulty agent to hold a cost function; behaviours
+        needing this raise a clear error otherwise.
+        """
+        rows: List[np.ndarray] = []
+        for agent_id, cost in zip(self.faulty_ids, self.faulty_costs):
+            if cost is None:
+                raise InvalidParameterError(
+                    f"faulty agent {agent_id} has no cost function; this behaviour "
+                    "requires the faulty agents' true gradients"
+                )
+            rows.append(cost.gradient(self.estimate))
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return np.stack(rows)
+
+    def honest_mean(self) -> np.ndarray:
+        """Mean of the honest gradients (the direction most attacks target)."""
+        if self.honest_gradients.shape[0] == 0:
+            return np.zeros(self.dimension)
+        return self.honest_gradients.mean(axis=0)
+
+    def honest_std(self) -> np.ndarray:
+        """Per-coordinate standard deviation of the honest gradients."""
+        if self.honest_gradients.shape[0] == 0:
+            return np.zeros(self.dimension)
+        return self.honest_gradients.std(axis=0)
+
+
+class ByzantineBehavior(abc.ABC):
+    """A strategy producing the faulty agents' messages each round."""
+
+    #: Registry name used by the experiment harness.
+    name: str = "behavior"
+
+    def __call__(self, context: AttackContext) -> np.ndarray:
+        """Produce the ``(num_faulty, d)`` matrix of forged gradients."""
+        forged = self.forge(context)
+        forged = np.asarray(forged, dtype=float)
+        expected = (context.num_faulty, context.dimension)
+        if forged.shape != expected:
+            raise InvalidParameterError(
+                f"{type(self).__name__} produced shape {forged.shape}, expected {expected}"
+            )
+        return forged
+
+    @abc.abstractmethod
+    def forge(self, context: AttackContext) -> np.ndarray:
+        """Strategy body; must return ``(num_faulty, d)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,53 @@
+"""Name-based construction of Byzantine behaviours for sweep configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.attacks.adaptive import (
+    ALittleIsEnough,
+    IntermittentAttack,
+    InnerProductManipulation,
+    Mimic,
+    OptimalDirectionAttack,
+)
+from repro.attacks.base import ByzantineBehavior
+from repro.attacks.simple import (
+    ConstantBias,
+    GradientReverse,
+    CostSubstitution,
+    RandomGaussian,
+    SignFlip,
+    ZeroGradient,
+)
+from repro.exceptions import InvalidParameterError
+
+_FACTORIES: Dict[str, Callable[..., ByzantineBehavior]] = {
+    GradientReverse.name: GradientReverse,
+    RandomGaussian.name: RandomGaussian,
+    SignFlip.name: SignFlip,
+    ZeroGradient.name: ZeroGradient,
+    ConstantBias.name: ConstantBias,
+    CostSubstitution.name: CostSubstitution,
+    ALittleIsEnough.name: ALittleIsEnough,
+    InnerProductManipulation.name: InnerProductManipulation,
+    Mimic.name: Mimic,
+    OptimalDirectionAttack.name: OptimalDirectionAttack,
+    IntermittentAttack.name: IntermittentAttack,
+}
+
+
+def available_attacks() -> List[str]:
+    """Sorted list of registered behaviour names."""
+    return sorted(_FACTORIES)
+
+
+def make_attack(name: str, **kwargs) -> ByzantineBehavior:
+    """Instantiate a Byzantine behaviour by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown attack {name!r}; available: {', '.join(available_attacks())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,132 @@
+"""Non-adaptive Byzantine behaviours.
+
+Includes the two fault models of the paper's evaluation — *gradient-reverse*
+and *random* (isotropic Gaussian with large standard deviation) — plus
+standard simple baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ByzantineBehavior
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_vector
+
+
+class GradientReverse(ByzantineBehavior):
+    """Send the negation of the agent's true gradient, scaled by ``strength``.
+
+    The paper's first fault model: with ``strength = 1`` a faulty agent
+    sends exactly ``−∇Q_i(x^t)``.
+    """
+
+    name = "gradient-reverse"
+
+    def __init__(self, strength: float = 1.0):
+        if strength <= 0:
+            raise InvalidParameterError(f"strength must be positive, got {strength}")
+        self._strength = float(strength)
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        return -self._strength * context.true_faulty_gradients()
+
+
+class RandomGaussian(ByzantineBehavior):
+    """Send an i.i.d. Gaussian vector with isotropic covariance.
+
+    The paper's second fault model; the evaluation uses standard deviation
+    200, which is this class's default.
+    """
+
+    name = "random"
+
+    def __init__(self, scale: float = 200.0):
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        return context.rng.normal(
+            loc=0.0, scale=self._scale, size=(context.num_faulty, context.dimension)
+        )
+
+
+class SignFlip(ByzantineBehavior):
+    """Send the negated honest mean, amplified by ``strength``.
+
+    Unlike :class:`GradientReverse` this does not require the faulty agents
+    to hold cost functions — it pushes directly against the honest descent
+    direction.
+    """
+
+    name = "sign-flip"
+
+    def __init__(self, strength: float = 1.0):
+        if strength <= 0:
+            raise InvalidParameterError(f"strength must be positive, got {strength}")
+        self._strength = float(strength)
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        direction = -self._strength * context.honest_mean()
+        return np.tile(direction, (context.num_faulty, 1))
+
+
+class ZeroGradient(ByzantineBehavior):
+    """Send the zero vector — a "lazy" fault that biases sums toward stalling."""
+
+    name = "zero"
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        return np.zeros((context.num_faulty, context.dimension))
+
+
+class ConstantBias(ByzantineBehavior):
+    """Send a fixed vector every round, dragging the estimate toward it."""
+
+    name = "constant-bias"
+
+    def __init__(self, bias):
+        self._bias = check_vector(bias, name="bias")
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        if self._bias.shape[0] != context.dimension:
+            raise InvalidParameterError(
+                f"bias dimension {self._bias.shape[0]} does not match problem "
+                f"dimension {context.dimension}"
+            )
+        return np.tile(self._bias, (context.num_faulty, 1))
+
+
+class CostSubstitution(ByzantineBehavior):
+    """Faulty agents follow the protocol — for *substituted* cost functions.
+
+    The general data-poisoning fault model: each controlled agent honestly
+    reports gradients, but of a replacement cost (e.g. its local dataset
+    with every label flipped — see
+    :func:`repro.problems.learning.label_flip_attack`, which builds this
+    behaviour from a learning instance). Because the forged gradients are
+    genuine gradients of plausible costs, this fault is *undetectable* from
+    any single round, making it the canonical stress test for the
+    redundancy theory rather than for outlier filtering.
+    """
+
+    name = "cost-substitution"
+
+    def __init__(self, substituted_costs):
+        self._substituted = dict(substituted_costs)
+        if not self._substituted:
+            raise InvalidParameterError("substituted_costs must be non-empty")
+
+    def forge(self, context: AttackContext) -> np.ndarray:
+        rows = []
+        for agent_id in context.faulty_ids:
+            cost = self._substituted.get(agent_id)
+            if cost is None:
+                raise InvalidParameterError(
+                    f"no substituted cost configured for faulty agent {agent_id}"
+                )
+            rows.append(cost.gradient(context.estimate))
+        if not rows:
+            return np.zeros((0, context.dimension))
+        return np.stack(rows)

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <id>``
+    Run one of the reconstructed experiments (E1..E15, A1..A4) and print
+    the rendered table/series; optionally save the structured result as
+    JSON or its table as CSV.
+``run``
+    One filtered-DGD execution on a generated regression instance, with
+    the filter, attack, and system parameters as flags.
+``redundancy``
+    Measure the 2f-redundancy margin of a generated instance across a
+    noise sweep.
+``list``
+    Show the registered gradient filters, attacks, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.aggregators.registry import available_filters
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import format_table
+from repro.analysis.serialization import experiment_to_csv, save_experiment
+from repro.attacks.registry import available_attacks, make_attack
+from repro.core.redundancy import measure_redundancy_margin
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+from repro import experiments as experiment_module
+
+#: Experiment id → zero-argument runner.
+EXPERIMENTS: Dict[str, Callable] = {
+    "E1": experiment_module.run_table1,
+    "E2": experiment_module.run_trajectories,
+    "E3": lambda: experiment_module.run_trajectories(early_window=80),
+    "E4": experiment_module.run_exact_algorithm_table,
+    "E5": experiment_module.run_noise_sweep,
+    "E6": experiment_module.run_fault_sweep,
+    "E7": experiment_module.run_learning_eval,
+    "E8": experiment_module.run_peer_vs_server,
+    "E9": experiment_module.run_aggregator_scaling,
+    "E10": experiment_module.run_robustness_matrix,
+    "E11": experiment_module.run_replication_design,
+    "E12": experiment_module.run_cwtm_dimension_sweep,
+    "E13": experiment_module.run_worst_case_certification,
+    "E14": experiment_module.run_heterogeneity_sweep,
+    "E15": experiment_module.run_communication_costs,
+    "A1": experiment_module.run_cge_sum_vs_mean,
+    "A2": experiment_module.run_step_size_ablation,
+    "A3": experiment_module.run_projection_ablation,
+    "A4": experiment_module.run_stochastic_step_sizes,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-Tolerance in Distributed Optimization: The Case of "
+        "Redundancy (PODC 2020) — reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a reconstructed table/figure experiment"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    experiment.add_argument("--json", metavar="PATH", help="save the structured result")
+    experiment.add_argument("--csv", metavar="PATH", help="save the table rows as CSV")
+
+    run = commands.add_parser("run", help="one filtered-DGD execution")
+    run.add_argument("--n", type=int, default=6, help="number of agents")
+    run.add_argument("--d", type=int, default=2, help="problem dimension")
+    run.add_argument("--f", type=int, default=1, help="fault bound")
+    run.add_argument("--noise", type=float, default=0.02, help="observation noise std")
+    run.add_argument(
+        "--filter", default="cge", choices=available_filters(), dest="filter_name"
+    )
+    run.add_argument(
+        "--attack", default="gradient-reverse",
+        choices=[a for a in available_attacks() if a not in ("constant-bias", "cost-substitution", "optimal-direction", "intermittent")],
+    )
+    run.add_argument("--iterations", type=int, default=500)
+    run.add_argument("--seed", type=int, default=0)
+
+    redundancy = commands.add_parser(
+        "redundancy", help="measure the redundancy margin over a noise sweep"
+    )
+    redundancy.add_argument("--n", type=int, default=6)
+    redundancy.add_argument("--d", type=int, default=2)
+    redundancy.add_argument("--f", type=int, default=1)
+    redundancy.add_argument(
+        "--noise", type=float, nargs="+", default=[0.0, 0.01, 0.05, 0.1]
+    )
+    redundancy.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("list", help="show registered filters, attacks, experiments")
+    return parser
+
+
+def _command_experiment(args) -> int:
+    result = EXPERIMENTS[args.id]()
+    print(result.render())
+    if args.json:
+        path = save_experiment(result, args.json)
+        print(f"saved JSON to {path}")
+    if args.csv:
+        from pathlib import Path
+
+        Path(args.csv).write_text(experiment_to_csv(result))
+        print(f"saved CSV to {args.csv}")
+    return 0
+
+
+def _command_run(args) -> int:
+    instance = make_redundant_regression(
+        n=args.n, d=args.d, f=args.f, noise_std=args.noise, seed=args.seed
+    )
+    faulty = tuple(range(args.f))
+    honest = [i for i in range(args.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    behavior = make_attack(args.attack) if faulty else None
+    trace = run_dgd(
+        instance.costs,
+        behavior,
+        gradient_filter=args.filter_name,
+        faulty_ids=faulty,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    margin = measure_redundancy_margin(instance.costs, args.f).margin
+    rows = [
+        ["filter", args.filter_name],
+        ["attack", args.attack if faulty else "(none)"],
+        ["honest minimizer x_H", np.round(x_H, 4)],
+        ["output x_out", np.round(trace.final_estimate, 4)],
+        ["dist(x_H, x_out)", final_error(trace, x_H)],
+        ["redundancy margin eps", margin],
+        ["messages delivered", trace.messages_delivered],
+        ["wall time (s)", round(trace.wall_time, 3)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"filtered DGD on n={args.n}, f={args.f}, d={args.d}"))
+    return 0
+
+
+def _command_redundancy(args) -> int:
+    rows = []
+    for sigma in args.noise:
+        instance = make_redundant_regression(
+            n=args.n, d=args.d, f=args.f, noise_std=sigma, seed=args.seed
+        )
+        report = measure_redundancy_margin(instance.costs, args.f)
+        rows.append([sigma, report.margin, "yes" if report.holds else "no"])
+    print(format_table(
+        ["noise std", "margin eps*", "2f-redundant"], rows,
+        title=f"redundancy margin (n={args.n}, f={args.f}, d={args.d})",
+    ))
+    return 0
+
+
+def _command_list(_args) -> int:
+    print("gradient filters:", ", ".join(available_filters()))
+    print("attacks:         ", ", ".join(available_attacks()))
+    print("experiments:     ", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _command_experiment,
+        "run": _command_run,
+        "redundancy": _command_redundancy,
+        "list": _command_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Core theory of the paper: redundancy, resilience, and the exact algorithm.
+
+This package holds the machinery that corresponds one-to-one with the
+definitions and theorems of *Fault-Tolerance in Distributed Optimization:
+The Case of Redundancy* (Gupta & Vaidya, PODC 2020):
+
+- :mod:`repro.core.geometry` — set distances used by the definitions;
+- :mod:`repro.core.redundancy` — the 2f-redundancy property (Definition 1)
+  and its quantitative margin;
+- :mod:`repro.core.resilience` — evaluating whether an algorithm output
+  achieves exact fault-tolerance;
+- :mod:`repro.core.exact_algorithm` — the constructive subset-enumeration
+  algorithm from the achievability proof;
+- :mod:`repro.core.conditions` — regularity constants and the convergence
+  condition of the CGE-filtered gradient-descent method.
+
+Exports are resolved lazily (PEP 562): the geometry primitives here are a
+dependency of :mod:`repro.optimization`, whose cost functions the redundancy
+and condition modules consume in turn — eager imports would make that cycle
+unresolvable.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    # geometry
+    "ArgminSet": "repro.core.geometry",
+    "Singleton": "repro.core.geometry",
+    "FinitePointSet": "repro.core.geometry",
+    "AffineSubspace": "repro.core.geometry",
+    "AxisAlignedBox": "repro.core.geometry",
+    "distance_point_to_set": "repro.core.geometry",
+    "hausdorff_distance": "repro.core.geometry",
+    "pairwise_max_distance": "repro.core.geometry",
+    # redundancy
+    "RedundancyReport": "repro.core.redundancy",
+    "check_2f_redundancy": "repro.core.redundancy",
+    "measure_redundancy_margin": "repro.core.redundancy",
+    "minimal_subset_rank_condition": "repro.core.redundancy",
+    # resilience
+    "ResilienceReport": "repro.core.resilience",
+    "evaluate_resilience": "repro.core.resilience",
+    "is_exactly_fault_tolerant": "repro.core.resilience",
+    "distance_to_honest_minimizer": "repro.core.resilience",
+    # exact algorithm
+    "SubsetEnumerationAlgorithm": "repro.core.exact_algorithm",
+    "SubsetScore": "repro.core.exact_algorithm",
+    "ExactAlgorithmResult": "repro.core.exact_algorithm",
+    # conditions
+    "RegularityConstants": "repro.core.conditions",
+    "regularity_of_quadratics": "repro.core.conditions",
+    "estimate_lipschitz_smoothness": "repro.core.conditions",
+    "estimate_strong_convexity": "repro.core.conditions",
+    "estimate_gradient_skew": "repro.core.conditions",
+    "cge_alpha": "repro.core.conditions",
+    "cge_error_radius": "repro.core.conditions",
+    "cge_max_tolerable_faults": "repro.core.conditions",
+    "cwtm_error_radius": "repro.core.conditions",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}") from None
+    module = import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.core.conditions import (
+        RegularityConstants,
+        cge_alpha,
+        cge_error_radius,
+        cge_max_tolerable_faults,
+        cwtm_error_radius,
+        estimate_gradient_skew,
+        estimate_lipschitz_smoothness,
+        estimate_strong_convexity,
+        regularity_of_quadratics,
+    )
+    from repro.core.exact_algorithm import (
+        ExactAlgorithmResult,
+        SubsetEnumerationAlgorithm,
+        SubsetScore,
+    )
+    from repro.core.geometry import (
+        AffineSubspace,
+        ArgminSet,
+        AxisAlignedBox,
+        FinitePointSet,
+        Singleton,
+        distance_point_to_set,
+        hausdorff_distance,
+        pairwise_max_distance,
+    )
+    from repro.core.redundancy import (
+        RedundancyReport,
+        check_2f_redundancy,
+        measure_redundancy_margin,
+        minimal_subset_rank_condition,
+    )
+    from repro.core.resilience import (
+        ResilienceReport,
+        distance_to_honest_minimizer,
+        evaluate_resilience,
+        is_exactly_fault_tolerant,
+    )

@@ -1,0 +1,195 @@
+"""The constructive subset-enumeration algorithm from the achievability proof.
+
+The paper's sufficiency argument exhibits an (expensive) algorithm achieving
+exact fault-tolerance under 2f-redundancy:
+
+- **Step 1.** Every agent sends its cost function to the server (Byzantine
+  agents may send arbitrary functions).
+- **Step 2.** For each candidate set ``T`` of ``n − f`` received functions,
+  the server computes a minimizer ``x_T`` of ``Σ_{i ∈ T} Q_i`` and the score
+
+  ``r_T = max over Ŝ ⊂ T, |Ŝ| = n − 2f of dist(x_T, argmin Σ_{i ∈ Ŝ} Q_i)``.
+
+- **Step 3.** The server outputs ``x_S`` for ``S`` minimizing ``r_T``.
+
+Under exact 2f-redundancy every honest ``T`` scores ``r_T = 0``, so the
+selected subset's minimizer coincides with every honest subset's minimizer —
+exact fault-tolerance. The implementation keeps the score machinery fully
+quantitative so the same class also demonstrates graceful degradation when
+redundancy is only approximate.
+
+The algorithm is combinatorial — ``C(n, f) · C(n − f, f)`` subset solves —
+so a complexity guard refuses configurations beyond an explicit budget
+instead of silently hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import ArgminSet
+from repro.core.redundancy import ArgminSolver, default_solver
+from repro.exceptions import InfeasibleConfigurationError, InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.utils.subsets import iter_fixed_size_subsets
+from repro.utils.validation import check_fault_bound
+
+Subset = Tuple[int, ...]
+
+
+@dataclass
+class SubsetScore:
+    """Score record for one candidate subset ``T``.
+
+    Attributes
+    ----------
+    subset:
+        The candidate agent set ``T`` with ``|T| = n − f``.
+    minimizer:
+        The computed ``x_T``.
+    score:
+        ``r_T`` — worst distance from ``x_T`` to any inner-subset argmin.
+    worst_inner:
+        The inner subset realizing the score.
+    """
+
+    subset: Subset
+    minimizer: np.ndarray
+    score: float
+    worst_inner: Optional[Subset]
+
+
+@dataclass
+class ExactAlgorithmResult:
+    """Output of a :class:`SubsetEnumerationAlgorithm` run."""
+
+    output: np.ndarray
+    selected_subset: Subset
+    selected_score: float
+    scores: List[SubsetScore] = field(repr=False, default_factory=list)
+
+    @property
+    def score_by_subset(self) -> Dict[Subset, float]:
+        return {record.subset: record.score for record in self.scores}
+
+
+class SubsetEnumerationAlgorithm:
+    """Server-side implementation of the achievability-proof algorithm.
+
+    Parameters
+    ----------
+    n, f:
+        System size and fault bound; requires ``2 f < n``.
+    solver:
+        Subset-aggregate argmin solver (closed form for quadratics by
+        default).
+    max_subset_solves:
+        Complexity budget: upper bound on the number of distinct aggregate
+        argmin problems the run may solve. Configurations exceeding it raise
+        :class:`InfeasibleConfigurationError` — this algorithm is a
+        feasibility witness, not a practical method, and the guard makes
+        that explicit.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        solver: Optional[ArgminSolver] = None,
+        max_subset_solves: int = 200_000,
+    ):
+        check_fault_bound(n, f)
+        self._n = int(n)
+        self._f = int(f)
+        self._solver = solver if solver is not None else default_solver
+        self._max_subset_solves = int(max_subset_solves)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def f(self) -> int:
+        return self._f
+
+    def estimated_subset_solves(self) -> int:
+        """Number of distinct argmin problems a run will solve."""
+        n, f = self._n, self._f
+        outer = comb(n, n - f)
+        inner = comb(n, n - 2 * f)  # inner subsets are shared across outers
+        return outer + inner
+
+    def run(self, costs: Sequence[CostFunction], keep_scores: bool = False) -> ExactAlgorithmResult:
+        """Execute Steps 2-3 on the received cost functions.
+
+        Parameters
+        ----------
+        costs:
+            The ``n`` received cost functions, indexed by agent. Byzantine
+            agents may have sent arbitrary (but well-formed) costs.
+        keep_scores:
+            Retain every candidate subset's :class:`SubsetScore` for
+            inspection (used by the E4 experiment).
+        """
+        costs = list(costs)
+        if len(costs) != self._n:
+            raise InvalidParameterError(
+                f"expected {self._n} cost functions, got {len(costs)}"
+            )
+        if self.estimated_subset_solves() > self._max_subset_solves:
+            raise InfeasibleConfigurationError(
+                f"subset enumeration needs ~{self.estimated_subset_solves()} argmin "
+                f"solves, beyond the budget of {self._max_subset_solves}; this "
+                "algorithm is exponential by design — reduce n or raise the budget"
+            )
+        n, f = self._n, self._f
+        if f == 0:
+            full = tuple(range(n))
+            argmin_set = self._solver(costs, full)
+            point = argmin_set.project(np.zeros(costs[0].dimension))
+            record = SubsetScore(subset=full, minimizer=point, score=0.0, worst_inner=None)
+            return ExactAlgorithmResult(
+                output=point,
+                selected_subset=full,
+                selected_score=0.0,
+                scores=[record] if keep_scores else [],
+            )
+
+        inner_cache: Dict[Subset, ArgminSet] = {}
+
+        def inner_argmin(subset: Subset) -> ArgminSet:
+            if subset not in inner_cache:
+                inner_cache[subset] = self._solver(costs, subset)
+            return inner_cache[subset]
+
+        best: Optional[SubsetScore] = None
+        records: List[SubsetScore] = []
+        for outer in iter_fixed_size_subsets(range(n), n - f):
+            outer_set = self._solver(costs, outer)
+            x_outer = outer_set.project(np.zeros(costs[0].dimension))
+            score = 0.0
+            worst_inner: Optional[Subset] = None
+            for inner in iter_fixed_size_subsets(outer, n - 2 * f):
+                distance = inner_argmin(inner).distance_to(x_outer)
+                if distance > score or worst_inner is None:
+                    score = max(score, distance)
+                    if distance >= score:
+                        worst_inner = inner
+            record = SubsetScore(
+                subset=outer, minimizer=x_outer, score=score, worst_inner=worst_inner
+            )
+            if keep_scores:
+                records.append(record)
+            if best is None or record.score < best.score:
+                best = record
+        assert best is not None  # n >= 1 guarantees at least one subset
+        return ExactAlgorithmResult(
+            output=best.minimizer.copy(),
+            selected_subset=best.subset,
+            selected_score=best.score,
+            scores=records,
+        )

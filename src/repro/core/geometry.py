@@ -1,0 +1,306 @@
+"""Set-valued geometry underlying the paper's definitions.
+
+The 2f-redundancy property compares *sets* of minimum points, and the
+resilience definitions measure the Euclidean distance from a point to such a
+set. For the cost families in this library, argmin sets take one of three
+concrete shapes, each represented by a small class:
+
+- :class:`Singleton` — the unique minimizer of a strongly convex aggregate;
+- :class:`FinitePointSet` — a finite collection of candidate minimizers
+  (e.g. produced by multi-start numerical minimization of a non-convex cost);
+- :class:`AffineSubspace` — the solution set of a rank-deficient
+  least-squares problem, ``{p + V t : t ∈ R^k}`` with orthonormal ``V``.
+
+All classes implement ``distance_to(x)`` (the metric projection distance)
+and ``support_points()`` (a finite witness sample used for Hausdorff
+estimation between sets that have no closed-form pairwise distance).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.utils.validation import check_matrix, check_vector
+
+
+class ArgminSet(abc.ABC):
+    """A non-empty closed subset of ``R^d`` arising as a set of minimizers."""
+
+    def __init__(self, dimension: int):
+        if dimension <= 0:
+            raise InvalidParameterError(f"dimension must be positive, got {dimension}")
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``d``."""
+        return self._dimension
+
+    @abc.abstractmethod
+    def distance_to(self, x) -> float:
+        """Euclidean distance ``dist(x, X) = inf_{y ∈ X} ||x - y||``."""
+
+    @abc.abstractmethod
+    def project(self, x) -> np.ndarray:
+        """A nearest point of the set to ``x`` (ties broken arbitrarily)."""
+
+    @abc.abstractmethod
+    def support_points(self) -> np.ndarray:
+        """A finite ``(m, d)`` sample of points witnessing the set's extent."""
+
+    def contains(self, x, tol: float = 1e-9) -> bool:
+        """Whether ``x`` lies within ``tol`` of the set."""
+        return self.distance_to(x) <= tol
+
+    def _check_dimension(self, x) -> np.ndarray:
+        return check_vector(x, dimension=self._dimension, name="x")
+
+
+class Singleton(ArgminSet):
+    """The argmin set of a cost with a unique minimizer."""
+
+    def __init__(self, point):
+        point = check_vector(point, name="point")
+        super().__init__(point.shape[0])
+        self._point = point
+
+    @property
+    def point(self) -> np.ndarray:
+        """The unique element of the set."""
+        return self._point.copy()
+
+    def distance_to(self, x) -> float:
+        x = self._check_dimension(x)
+        return float(np.linalg.norm(x - self._point))
+
+    def project(self, x) -> np.ndarray:
+        self._check_dimension(x)
+        return self._point.copy()
+
+    def support_points(self) -> np.ndarray:
+        return self._point.reshape(1, -1).copy()
+
+    def __repr__(self) -> str:
+        return f"Singleton({np.array2string(self._point, precision=4)})"
+
+
+class FinitePointSet(ArgminSet):
+    """A finite set of candidate minimizers."""
+
+    def __init__(self, points):
+        points = check_matrix(points, name="points")
+        if points.shape[0] == 0:
+            raise InvalidParameterError("FinitePointSet requires at least one point")
+        super().__init__(points.shape[1])
+        self._points = points
+
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(m, d)`` array of member points."""
+        return self._points.copy()
+
+    def distance_to(self, x) -> float:
+        x = self._check_dimension(x)
+        return float(np.min(np.linalg.norm(self._points - x, axis=1)))
+
+    def project(self, x) -> np.ndarray:
+        x = self._check_dimension(x)
+        index = int(np.argmin(np.linalg.norm(self._points - x, axis=1)))
+        return self._points[index].copy()
+
+    def support_points(self) -> np.ndarray:
+        return self._points.copy()
+
+    def __repr__(self) -> str:
+        return f"FinitePointSet(m={self._points.shape[0]}, d={self.dimension})"
+
+
+class AffineSubspace(ArgminSet):
+    """An affine solution set ``{p + V t}`` with orthonormal direction basis ``V``.
+
+    ``V`` has shape ``(d, k)`` with ``0 <= k <= d``; ``k = 0`` degenerates to
+    a singleton. The orthonormality of ``V`` is validated on construction.
+    """
+
+    _SUPPORT_SCALE = 1.0
+
+    def __init__(self, point, directions=None):
+        point = check_vector(point, name="point")
+        super().__init__(point.shape[0])
+        self._point = point
+        if directions is None:
+            directions = np.zeros((point.shape[0], 0))
+        directions = np.asarray(directions, dtype=float)
+        if directions.ndim != 2 or directions.shape[0] != point.shape[0]:
+            raise DimensionMismatchError(
+                f"directions must have shape (d, k) with d={point.shape[0]}, "
+                f"got {directions.shape}"
+            )
+        if directions.shape[1] > 0:
+            gram = directions.T @ directions
+            if not np.allclose(gram, np.eye(directions.shape[1]), atol=1e-8):
+                raise InvalidParameterError("directions must be orthonormal columns")
+        self._directions = directions
+
+    @property
+    def point(self) -> np.ndarray:
+        """A particular point of the subspace."""
+        return self._point.copy()
+
+    @property
+    def directions(self) -> np.ndarray:
+        """Orthonormal basis ``(d, k)`` of the subspace's direction space."""
+        return self._directions.copy()
+
+    @property
+    def codimension(self) -> int:
+        return self.dimension - self._directions.shape[1]
+
+    def distance_to(self, x) -> float:
+        x = self._check_dimension(x)
+        return float(np.linalg.norm(x - self.project(x)))
+
+    def project(self, x) -> np.ndarray:
+        x = self._check_dimension(x)
+        delta = x - self._point
+        if self._directions.shape[1] == 0:
+            return self._point.copy()
+        coeffs = self._directions.T @ delta
+        return self._point + self._directions @ coeffs
+
+    def support_points(self) -> np.ndarray:
+        if self._directions.shape[1] == 0:
+            return self._point.reshape(1, -1).copy()
+        offsets = np.concatenate(
+            [
+                np.zeros((1, self._directions.shape[1])),
+                self._SUPPORT_SCALE * np.eye(self._directions.shape[1]),
+                -self._SUPPORT_SCALE * np.eye(self._directions.shape[1]),
+            ]
+        )
+        return self._point + offsets @ self._directions.T
+
+    def is_parallel_to(self, other: "AffineSubspace", tol: float = 1e-8) -> bool:
+        """Whether two subspaces share the same direction space."""
+        if self._directions.shape[1] != other._directions.shape[1]:
+            return False
+        if self._directions.shape[1] == 0:
+            return True
+        # Same span iff projecting one basis onto the other loses nothing.
+        projected = other._directions @ (other._directions.T @ self._directions)
+        return bool(np.allclose(projected, self._directions, atol=tol))
+
+    def __repr__(self) -> str:
+        return f"AffineSubspace(d={self.dimension}, k={self._directions.shape[1]})"
+
+
+def distance_point_to_set(x, target: ArgminSet) -> float:
+    """Euclidean distance from point ``x`` to the set ``target`` (eq. (3))."""
+    return target.distance_to(x)
+
+
+def hausdorff_distance(first: ArgminSet, second: ArgminSet) -> float:
+    """Euclidean Hausdorff distance between two argmin sets (eq. (4)).
+
+    Exact for every pairing of :class:`Singleton`, :class:`FinitePointSet`
+    and *parallel* :class:`AffineSubspace` instances. Non-parallel affine
+    subspaces have unbounded one-sided deviation; ``inf`` is returned, which
+    is the mathematically correct value of the supremum.
+    """
+    if first.dimension != second.dimension:
+        raise DimensionMismatchError(
+            f"sets live in different dimensions: {first.dimension} vs {second.dimension}"
+        )
+    if isinstance(first, AffineSubspace) and isinstance(second, AffineSubspace):
+        if first.directions.shape[1] or second.directions.shape[1]:
+            if not first.is_parallel_to(second):
+                return float("inf")
+            return first.distance_to(second.point)
+    one_sided_forward = _one_sided_deviation(first, second)
+    one_sided_backward = _one_sided_deviation(second, first)
+    return max(one_sided_forward, one_sided_backward)
+
+
+def _one_sided_deviation(source: ArgminSet, target: ArgminSet) -> float:
+    """``sup_{x ∈ source} dist(x, target)`` via the source's support points.
+
+    Exact when ``source`` is finite (singleton / finite set); for affine
+    subspaces the callers above handle the parallel case exactly before
+    reaching here.
+    """
+    points = source.support_points()
+    return float(max(target.distance_to(p) for p in points))
+
+
+def pairwise_max_distance(points: Sequence[np.ndarray]) -> float:
+    """Largest pairwise Euclidean distance among ``points`` (set diameter)."""
+    stacked = np.asarray(list(points), dtype=float)
+    if stacked.ndim != 2:
+        raise DimensionMismatchError("points must stack into an (m, d) array")
+    if stacked.shape[0] < 2:
+        return 0.0
+    diffs = stacked[:, None, :] - stacked[None, :, :]
+    return float(np.max(np.linalg.norm(diffs, axis=2)))
+
+
+class AxisAlignedBox(ArgminSet):
+    """A compact axis-aligned box ``[lower, upper]`` of minimizers.
+
+    This is the argmin-set shape of *separable piecewise-linear* aggregates
+    (e.g. sums of weighted absolute deviations, whose per-coordinate argmin
+    is a weighted-median interval). Distance and projection are exact;
+    Hausdorff distances against other sets use the corner points, which is
+    exact because ``dist(·, S)`` is convex and therefore maximized over a
+    box at one of its extreme points.
+    """
+
+    _MAX_SUPPORT_DIMENSION = 16
+
+    def __init__(self, lower, upper):
+        lower = check_vector(lower, name="lower")
+        upper = check_vector(upper, dimension=lower.shape[0], name="upper")
+        if np.any(lower > upper + 1e-12):
+            raise InvalidParameterError("lower bound exceeds upper bound")
+        super().__init__(lower.shape[0])
+        self._lower = lower
+        self._upper = np.maximum(upper, lower)
+
+    @property
+    def lower(self) -> np.ndarray:
+        return self._lower.copy()
+
+    @property
+    def upper(self) -> np.ndarray:
+        return self._upper.copy()
+
+    def is_degenerate(self, tol: float = 1e-12) -> bool:
+        """Whether the box collapses to a single point."""
+        return bool(np.all(self._upper - self._lower <= tol))
+
+    def distance_to(self, x) -> float:
+        x = self._check_dimension(x)
+        clipped = np.clip(x, self._lower, self._upper)
+        return float(np.linalg.norm(x - clipped))
+
+    def project(self, x) -> np.ndarray:
+        x = self._check_dimension(x)
+        return np.clip(x, self._lower, self._upper)
+
+    def support_points(self) -> np.ndarray:
+        if self.dimension > self._MAX_SUPPORT_DIMENSION:
+            raise InvalidParameterError(
+                f"corner enumeration limited to dimension "
+                f"{self._MAX_SUPPORT_DIMENSION}; got {self.dimension}"
+            )
+        corners = np.array(
+            np.meshgrid(*[[lo, hi] for lo, hi in zip(self._lower, self._upper)],
+                        indexing="ij")
+        ).reshape(self.dimension, -1).T
+        return np.unique(corners, axis=0)
+
+    def __repr__(self) -> str:
+        return f"AxisAlignedBox(d={self.dimension})"

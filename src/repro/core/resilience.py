@@ -1,0 +1,150 @@
+"""Evaluating exact fault-tolerance of an algorithm's output.
+
+An execution's output ``x̂`` achieves *exact fault-tolerance* when it is a
+minimum point of the honest aggregate ``Σ_{i ∈ H} Q_i``. Because the
+adversary's identity is unknown to the algorithm, the operational criterion
+quantifies over every ``(n − f)``-sized subset ``S`` of honest agents:
+``x̂`` must be (within tolerance) a minimizer of each subset aggregate.
+
+This module evaluates the criterion against a concrete output, reporting the
+worst-case distance over all quantified subsets — which is also the ``ε``
+for which the output would count as ``(f, ε)``-resilient, connecting the
+exact theory to its approximate generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import ArgminSet
+from repro.core.redundancy import ArgminSolver, default_solver
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.utils.subsets import iter_fixed_size_subsets
+from repro.utils.validation import check_vector
+
+Subset = Tuple[int, ...]
+
+
+@dataclass
+class ResilienceReport:
+    """How close an output is to minimizing every honest-subset aggregate.
+
+    Attributes
+    ----------
+    epsilon:
+        ``max_S dist(x̂, argmin Σ_{i ∈ S} Q_i)`` over all quantified honest
+        subsets ``S`` — the tightest ``ε`` for which the output is
+        ``(f, ε)``-resilient on this execution.
+    exact:
+        Whether ``epsilon <= tolerance`` (exact fault-tolerance achieved).
+    worst_subset:
+        The subset realizing ``epsilon``.
+    per_subset:
+        Distance for every quantified subset.
+    """
+
+    epsilon: float
+    exact: bool
+    tolerance: float
+    worst_subset: Optional[Subset]
+    per_subset: Dict[Subset, float] = field(default_factory=dict, repr=False)
+
+    def summary(self) -> str:
+        verdict = "exact" if self.exact else f"approximate (ε={self.epsilon:.6g})"
+        return f"fault-tolerance: {verdict} over {len(self.per_subset)} honest subsets"
+
+
+def evaluate_resilience(
+    output,
+    costs: Sequence[CostFunction],
+    honest: Sequence[int],
+    f: int,
+    solver: Optional[ArgminSolver] = None,
+    tolerance: float = 1e-5,
+) -> ResilienceReport:
+    """Evaluate an algorithm output against the fault-tolerance criterion.
+
+    Parameters
+    ----------
+    output:
+        The point ``x̂`` produced by the algorithm.
+    costs:
+        All ``n`` agents' cost functions (Byzantine entries are ignored —
+        only indices in ``honest`` are consulted).
+    honest:
+        Indices of the non-faulty agents; must number at least ``n − f``.
+    f:
+        Fault bound of the execution.
+    solver:
+        Subset-aggregate argmin solver; defaults to the closed-form/GD
+        hybrid.
+    tolerance:
+        Distance below which the output counts as an exact minimizer.
+    """
+    costs = list(costs)
+    n = len(costs)
+    honest = sorted(set(int(i) for i in honest))
+    if any(i < 0 or i >= n for i in honest):
+        raise InvalidParameterError("honest indices out of range")
+    if len(honest) < n - f:
+        raise InvalidParameterError(
+            f"at least n - f = {n - f} honest agents required, got {len(honest)}"
+        )
+    if solver is None:
+        solver = default_solver
+    dimension = costs[honest[0]].dimension
+    x_hat = check_vector(output, dimension=dimension, name="output")
+    per_subset: Dict[Subset, float] = {}
+    worst: Optional[Subset] = None
+    epsilon = 0.0
+    for subset in iter_fixed_size_subsets(honest, n - f):
+        argmin_set: ArgminSet = solver(costs, subset)
+        distance = argmin_set.distance_to(x_hat)
+        per_subset[subset] = distance
+        if distance > epsilon or worst is None:
+            epsilon = max(epsilon, distance)
+            if distance >= epsilon:
+                worst = subset
+    return ResilienceReport(
+        epsilon=epsilon,
+        exact=epsilon <= tolerance,
+        tolerance=tolerance,
+        worst_subset=worst,
+        per_subset=per_subset,
+    )
+
+
+def is_exactly_fault_tolerant(
+    output,
+    costs: Sequence[CostFunction],
+    honest: Sequence[int],
+    f: int,
+    tolerance: float = 1e-5,
+    solver: Optional[ArgminSolver] = None,
+) -> bool:
+    """Boolean form: is ``output`` an exact honest minimizer (within tolerance)?"""
+    report = evaluate_resilience(
+        output, costs, honest, f, solver=solver, tolerance=tolerance
+    )
+    return report.exact
+
+
+def distance_to_honest_minimizer(
+    output,
+    costs: Sequence[CostFunction],
+    honest: Sequence[int],
+    solver: Optional[ArgminSolver] = None,
+) -> float:
+    """Distance from ``output`` to ``argmin Σ_{i ∈ honest} Q_i`` (all honest agents)."""
+    if solver is None:
+        solver = default_solver
+    costs = list(costs)
+    subset = tuple(sorted(int(i) for i in honest))
+    argmin_set = solver(costs, subset)
+    dimension = costs[subset[0]].dimension
+    x_hat = check_vector(output, dimension=dimension, name="output")
+    return argmin_set.distance_to(x_hat)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter value is outside its documented domain.
+
+    Raised, for example, when a fault bound ``f`` is negative, a step-size
+    constant is non-positive, or a trim count exceeds what the filter can
+    tolerate.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two arrays that must share a dimension do not.
+
+    Raised when, e.g., a gradient matrix has a different column count than
+    the current estimate, or cost functions of different dimensions are
+    aggregated.
+    """
+
+
+class InfeasibleConfigurationError(ReproError):
+    """The requested system configuration violates a feasibility bound.
+
+    Examples: ``f >= n / 2`` for exact fault-tolerance, ``f >= n / 3`` for
+    the peer-to-peer architecture, or ``n < 4 f + 3`` for the Bulyan filter.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge.
+
+    Carries the best iterate found so far in :attr:`best` when available so
+    callers can decide whether the partial answer is usable.
+    """
+
+    def __init__(self, message: str, best=None):
+        super().__init__(message)
+        self.best = best
+
+
+class ProtocolViolationError(ReproError, RuntimeError):
+    """A simulated distributed protocol reached a state its specification forbids.
+
+    This indicates a bug in the simulator (or a deliberately injected fault
+    exceeding the tolerated bound), never expected behaviour under the
+    documented preconditions.
+    """

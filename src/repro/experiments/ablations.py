@@ -1,0 +1,162 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+- **CGE sum vs mean** (A1): the paper defines CGE as the *sum* of the
+  ``n − f`` smallest-norm gradients; averaging them changes only the
+  direction's scale. With a curvature-matched schedule both converge; with
+  a fixed schedule the scale mismatch shows up as a speed difference.
+- **Step-size schedules** (A2): the convergence theorem assumes
+  Robbins–Monro schedules; this ablation compares them with constant steps
+  in the deterministic-gradient setting (where CGE's norm cap on surviving
+  Byzantine inputs removes the stochastic noise floor that usually
+  penalizes constant steps).
+- **Projection radius** (A3): the convergence theorem requires a compact
+  ``W``; this ablation shrinks ``W`` until it excludes the honest
+  minimizer, showing the projected method then converges to the boundary
+  (distance = dist(x_H, W)) rather than diverging.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.experiments.common import PAPER_X0, paper_setup
+from repro.optimization.projections import BoxSet
+from repro.optimization.step_sizes import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    PolynomialStepSize,
+    suggest_diminishing,
+)
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_cge_sum_vs_mean(
+    iterations: int = 500, seed: SeedLike = 20200803
+) -> ExperimentResult:
+    """A1: the paper's sum-form CGE vs the mean-form variant."""
+    instance = paper_setup(seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="CGE ablation: sum (paper) vs mean of kept gradients",
+        headers=["variant", "schedule", "final error"],
+    )
+    for mode in ("sum", "mean"):
+        for schedule_name, schedule in (
+            ("matched", suggest_diminishing(instance.costs, aggregation=mode)),
+            ("fixed c=0.5", DiminishingStepSize(c=0.5, t0=3.0)),
+        ):
+            trace = run_dgd(
+                instance.costs,
+                make_attack("gradient-reverse"),
+                gradient_filter=ComparativeGradientElimination(f=1, mode=mode),
+                faulty_ids=faulty,
+                iterations=iterations,
+                step_sizes=schedule,
+                seed=seed,
+                x0=np.asarray(PAPER_X0),
+            )
+            result.rows.append([mode, schedule_name, final_error(trace, x_H)])
+    result.notes.append(
+        "expected shape: with matched schedules the variants coincide (same "
+        "direction, rescaled step); with one fixed schedule the scale mismatch "
+        "appears as a convergence-speed gap"
+    )
+    return result
+
+
+def run_step_size_ablation(
+    iterations: int = 500, seed: SeedLike = 20200803
+) -> ExperimentResult:
+    """A2: Robbins–Monro vs constant schedules."""
+    instance = paper_setup(seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    schedules = (
+        ("diminishing 1/t (RM)", suggest_diminishing(instance.costs, aggregation="sum")),
+        ("polynomial t^-0.7 (RM)", PolynomialStepSize(c=0.3, power=0.7, t0=3.0)),
+        ("constant 0.05 (not RM)", ConstantStepSize(0.05)),
+        ("constant 0.005 (not RM)", ConstantStepSize(0.005)),
+    )
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="Step-size ablation (CGE, gradient-reverse attack)",
+        headers=["schedule", "robbins-monro", "final error"],
+    )
+    import warnings
+
+    for name, schedule in schedules:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            trace = run_dgd(
+                instance.costs,
+                make_attack("gradient-reverse"),
+                gradient_filter="cge",
+                faulty_ids=faulty,
+                iterations=iterations,
+                step_sizes=schedule,
+                seed=seed,
+                x0=np.asarray(PAPER_X0),
+            )
+        result.rows.append(
+            [name, "yes" if schedule.satisfies_robbins_monro else "no",
+             final_error(trace, x_H)]
+        )
+    result.notes.append(
+        "expected shape: every schedule converges — with deterministic "
+        "gradients and CGE's norm cap on surviving Byzantine inputs there is "
+        "no stochastic noise floor for constant steps to stall at; the "
+        "Robbins-Monro conditions buy the theorem's worst-case generality, "
+        "not raw speed, and the conservative 1/t schedule is visibly the "
+        "slowest at a fixed horizon"
+    )
+    return result
+
+
+def run_projection_ablation(
+    half_widths: Sequence[float] = (1000.0, 10.0, 1.5, 0.5),
+    iterations: int = 500,
+    seed: SeedLike = 20200803,
+) -> ExperimentResult:
+    """A3: effect of the compact set ``W``'s size."""
+    instance = paper_setup(seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    result = ExperimentResult(
+        experiment_id="A3",
+        title="Projection-set ablation (CGE, gradient-reverse attack)",
+        headers=["box half-width", "x_H inside W", "final error", "dist(x_H, W)"],
+    )
+    for half_width in half_widths:
+        box = BoxSet.centered(instance.dimension, half_width)
+        inside = box.contains(x_H)
+        boundary_gap = float(np.linalg.norm(box.project(x_H) - x_H))
+        trace = run_dgd(
+            instance.costs,
+            make_attack("gradient-reverse"),
+            gradient_filter="cge",
+            faulty_ids=faulty,
+            iterations=iterations,
+            projection=box,
+            seed=seed,
+            x0=np.zeros(instance.dimension),
+        )
+        result.rows.append(
+            [half_width, "yes" if inside else "no", final_error(trace, x_H), boundary_gap]
+        )
+    result.notes.append(
+        "expected shape: any W containing x_H gives the same answer; a W "
+        "excluding x_H converges to the boundary, with error ~ dist(x_H, W)"
+    )
+    return result

@@ -1,0 +1,66 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.registry import make_attack
+from repro.problems.linear_regression import RegressionInstance, paper_instance
+from repro.system.runner import Trace, run_dgd
+from repro.utils.rng import SeedLike
+
+#: The initial estimate the paper's executions all share.
+PAPER_X0 = (-0.0085, -0.5643)
+
+#: The attack names exercised by the regression experiments.
+REGRESSION_ATTACKS = ("gradient-reverse", "random", "sign-flip", "zero")
+
+
+def paper_setup(noise_std: float = 0.02, seed: SeedLike = 20200803) -> RegressionInstance:
+    """The shared n=6, f=1, d=2 regression instance of E1-E3/E10."""
+    return paper_instance(noise_std=noise_std, seed=seed)
+
+
+def run_attacked(
+    instance: RegressionInstance,
+    filter_name: str,
+    attack_name: str,
+    faulty_ids: Sequence[int] = (0,),
+    iterations: int = 500,
+    seed: SeedLike = 1,
+    attack_kwargs: Optional[Dict] = None,
+    x0=PAPER_X0,
+) -> Trace:
+    """One attacked execution on a regression instance."""
+    behavior = make_attack(attack_name, **(attack_kwargs or {}))
+    return run_dgd(
+        instance.costs,
+        behavior,
+        gradient_filter=filter_name,
+        faulty_ids=tuple(faulty_ids),
+        iterations=iterations,
+        seed=seed,
+        x0=np.asarray(x0, dtype=float),
+    )
+
+
+def run_fault_free(
+    instance: RegressionInstance,
+    honest_ids: Sequence[int],
+    iterations: int = 500,
+    seed: SeedLike = 1,
+    x0=PAPER_X0,
+) -> Trace:
+    """The fault-free DGD baseline: faulty agents removed, plain summation."""
+    honest_costs = [instance.costs[i] for i in honest_ids]
+    return run_dgd(
+        honest_costs,
+        None,
+        gradient_filter="sum",
+        faulty_ids=(),
+        iterations=iterations,
+        seed=seed,
+        x0=np.asarray(x0, dtype=float),
+    )

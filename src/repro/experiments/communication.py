@@ -1,0 +1,92 @@
+"""E15 — Table 9: communication cost of the three algorithm families.
+
+The paper's three algorithmic options differ drastically in what they move
+over the network:
+
+- **server-based filtered DGD** — per round, ``n`` estimate broadcasts down
+  and ``n`` gradient messages up: ``Θ(T · n)`` messages, ``Θ(T · n · d)``
+  values;
+- **peer-to-peer filtered DGD** — every gradient crosses a full Byzantine
+  broadcast, inflating each round to ``Θ(n² · f)`` point-to-point messages
+  (the price of removing the trusted server);
+- **subset enumeration** — one shot (each agent ships its whole *cost
+  function* once), but the server-side computation is exponential; its
+  "communication" is minimal and its cost lives elsewhere, which this table
+  makes explicit by also reporting argmin-solve counts.
+
+Measured from the simulator's own accounting, per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregators.registry import make_filter
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.core.exact_algorithm import SubsetEnumerationAlgorithm
+from repro.optimization.step_sizes import suggest_diminishing
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.peer_to_peer import run_peer_to_peer_dgd
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_communication_costs(
+    configurations: Sequence[Tuple[int, int]] = ((4, 1), (7, 2), (10, 3)),
+    d: int = 2,
+    iterations: int = 100,
+    seed: SeedLike = 5,
+) -> ExperimentResult:
+    """Regenerate Table 9 (messages moved per algorithm family)."""
+    result = ExperimentResult(
+        experiment_id="E15",
+        title=f"Communication cost per algorithm family (T={iterations} rounds, d={d})",
+        headers=[
+            "n", "f", "server msgs", "server KiB", "p2p msgs",
+            "p2p/server ratio", "subset-alg argmin solves",
+        ],
+    )
+    for n, f in configurations:
+        instance = make_redundant_regression(n=n, d=d, f=f, noise_std=0.0, seed=seed)
+        schedule = suggest_diminishing(instance.costs, aggregation="sum")
+        server = run_dgd(
+            instance.costs,
+            make_attack("gradient-reverse"),
+            gradient_filter=make_filter("cge", f=f),
+            faulty_ids=tuple(range(f)),
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+        )
+        peer = run_peer_to_peer_dgd(
+            instance.costs,
+            make_filter("cge", f=f),
+            faulty_ids=tuple(range(f)),
+            behavior=make_attack("gradient-reverse"),
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+            equivocate=False,
+        )
+        solves = SubsetEnumerationAlgorithm(n, f).estimated_subset_solves()
+        ratio = peer.broadcast_messages / max(server.messages_delivered, 1)
+        result.rows.append(
+            [
+                n, f,
+                server.messages_delivered,
+                round(server.bytes_delivered / 1024.0, 1),
+                peer.broadcast_messages,
+                round(ratio, 1),
+                solves,
+            ]
+        )
+    result.notes.append(
+        "expected shape: server messages grow as T·2n; the peer-to-peer "
+        "overhead ratio grows with n·f (each gradient pays a Dolev-Strong "
+        "broadcast); the subset algorithm moves almost nothing but its "
+        "argmin-solve count explodes combinatorially"
+    )
+    return result

@@ -1,0 +1,98 @@
+"""E12 — Table 7: the CWTM condition's dimension dependence.
+
+The trimmed-mean filter's guarantee requires the gradient-skew constant to
+satisfy ``λ < γ / (μ √d)`` — a threshold that *shrinks* with the problem
+dimension while the skew of a fixed cost family stays flat. The sweep uses
+the family where the skew is exactly controllable: quadratics
+``Q_i(x) = w_i ||x − c||²`` with a **common** target ``c`` and per-agent
+weights ``w_i ∈ [1 − δ, 1 + δ]``. Then
+
+- ``∇Q_i(x) = 2 w_i (x − c)`` are parallel, so the skew is the weight
+  spread ``λ = (w_max − w_min) / w_max`` — independent of ``d`` and of
+  where it is measured;
+- ``μ = 2 w_max``, ``γ`` is the smallest honest-average weight (×2); and
+- the common minimizer makes the family exactly 2f-redundant (margin 0),
+  so the guaranteed radius is 0 wherever the condition holds.
+
+Reported per dimension: threshold, measured λ, the condition's verdict,
+the guaranteed radius, and the empirical CWTM error under attack — which
+stays small even after the verdict flips (the condition is sufficient, not
+necessary).
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.analysis.theory import guarantee_for_cwtm
+from repro.attacks.registry import make_attack
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.optimization.projections import BallSet
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def _weighted_family(n: int, d: int, weight_spread: float):
+    """``n`` quadratics with a common target and weights in ``[1−δ, 1+δ]``."""
+    target = np.ones(d)
+    weights = 1.0 + weight_spread * np.linspace(-1.0, 1.0, n)
+    costs = [TranslatedQuadratic(target, weight=float(w)) for w in weights]
+    return costs, target
+
+
+def run_cwtm_dimension_sweep(
+    dimensions: Sequence[int] = (2, 4, 9, 16, 36),
+    n: int = 8,
+    f: int = 1,
+    weight_spread: float = 0.12,
+    iterations: int = 800,
+    seed: SeedLike = 23,
+) -> ExperimentResult:
+    """Regenerate Table 7 (CWTM guarantee vs dimension)."""
+    result = ExperimentResult(
+        experiment_id="E12",
+        title=(
+            f"CWTM condition vs dimension (n={n}, f={f}, "
+            f"weight spread {weight_spread})"
+        ),
+        headers=[
+            "d", "skew lambda", "threshold g/(m sqrt(d))", "condition",
+            "guaranteed radius", "measured error",
+        ],
+    )
+    for d in dimensions:
+        costs, target = _weighted_family(n, d, weight_spread)
+        honest = list(range(f, n))
+        region = BallSet(np.zeros(d), 5.0)
+        guarantee = guarantee_for_cwtm(costs, f, region, honest=honest, seed=seed)
+        trace = run_dgd(
+            costs,
+            make_attack("gradient-reverse"),
+            gradient_filter="cwtm",
+            faulty_ids=tuple(range(f)),
+            iterations=iterations,
+            seed=seed,
+        )
+        error = final_error(trace, target)
+        result.rows.append(
+            [
+                d,
+                guarantee.skew,
+                guarantee.skew_threshold,
+                "holds" if guarantee.applicable else "fails",
+                guarantee.error_radius if guarantee.error_radius != inf else "inf",
+                error,
+            ]
+        )
+    result.notes.append(
+        "expected shape: the threshold decays as 1/sqrt(d) while the measured "
+        "skew stays flat, so the condition's verdict flips as d grows; the "
+        "empirical CWTM error stays near zero throughout — the condition is "
+        "sufficient, not necessary"
+    )
+    return result

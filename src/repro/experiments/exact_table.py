@@ -1,0 +1,108 @@
+"""E4 — Table 2: exact fault-tolerance of the subset-enumeration algorithm.
+
+The achievability half of the paper's characterization: under exact
+2f-redundancy (zero observation noise), the subset-enumeration algorithm
+must output *exactly* the honest minimizer no matter what cost functions the
+Byzantine agents submit. This experiment runs the algorithm on small
+instances against a battery of adversarial cost submissions and reports the
+worst resulting error over the battery, together with the resilience
+verdict from :func:`repro.core.resilience.evaluate_resilience`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.core.exact_algorithm import SubsetEnumerationAlgorithm
+from repro.core.resilience import evaluate_resilience
+from repro.optimization.cost_functions import CostFunction, LeastSquaresCost, TranslatedQuadratic
+from repro.problems.linear_regression import make_redundant_regression
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _adversarial_submissions(
+    instance, faulty_ids: Sequence[int], rng
+) -> List[Tuple[str, List[CostFunction]]]:
+    """A battery of Byzantine cost-function submissions for the algorithm.
+
+    Each entry replaces the faulty agents' true costs with an adversarial
+    alternative: a cost pulling toward a far-away point, a rescaled copy of
+    an honest cost, a cost agreeing with a *strict subset* of honest agents
+    (the hardest case in the necessity proof), and a random quadratic.
+    """
+    batteries: List[Tuple[str, List[CostFunction]]] = []
+    d = instance.dimension
+    honest = [i for i in range(instance.n) if i not in faulty_ids]
+
+    def with_replacement(name: str, replacement_for) -> None:
+        submitted = list(instance.costs)
+        for agent_id in faulty_ids:
+            submitted[agent_id] = replacement_for(agent_id)
+        batteries.append((name, submitted))
+
+    far_point = 50.0 * np.ones(d)
+    with_replacement("pull-to-far-point", lambda i: TranslatedQuadratic(far_point))
+    with_replacement(
+        "amplified-honest-copy",
+        lambda i: LeastSquaresCost(10.0 * instance.A[honest[0]][None, :], 10.0 * instance.b[honest[0]][None]),
+    )
+    # Consistent-with-a-minority: fabricate an observation row consistent
+    # with a shifted parameter, mimicking the necessity proof's scenario.
+    shifted = instance.x_star + 5.0
+    with_replacement(
+        "consistent-with-shifted-parameter",
+        lambda i: LeastSquaresCost(instance.A[i][None, :], (instance.A[i] @ shifted)[None]),
+    )
+    with_replacement(
+        "random-quadratic",
+        lambda i: TranslatedQuadratic(rng.normal(scale=20.0, size=d), weight=rng.uniform(0.5, 3.0)),
+    )
+    return batteries
+
+
+def run_exact_algorithm_table(
+    configurations: Sequence[Tuple[int, int, int]] = ((4, 1, 2), (6, 1, 2), (6, 2, 2), (8, 2, 3)),
+    tolerance: float = 1e-6,
+    seed: SeedLike = 7,
+) -> ExperimentResult:
+    """Regenerate Table 2 (exact fault-tolerance under 2f-redundancy).
+
+    Parameters
+    ----------
+    configurations:
+        ``(n, f, d)`` triples; each must satisfy ``n − 2f >= d``.
+    tolerance:
+        Numerical tolerance for the "exact" verdict.
+    """
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Subset-enumeration algorithm under exact 2f-redundancy",
+        headers=["n", "f", "d", "worst attack", "worst error", "exact"],
+    )
+    for n, f, d in configurations:
+        instance = make_redundant_regression(n=n, d=d, f=f, noise_std=0.0, seed=seed)
+        faulty_ids = tuple(range(f))
+        honest = [i for i in range(n) if i not in faulty_ids]
+        algorithm = SubsetEnumerationAlgorithm(n, f)
+        worst_error = 0.0
+        worst_name = "(none)"
+        for name, submitted in _adversarial_submissions(instance, faulty_ids, rng):
+            output = algorithm.run(submitted).output
+            report = evaluate_resilience(
+                output, instance.costs, honest, f, tolerance=tolerance
+            )
+            if report.epsilon > worst_error:
+                worst_error = report.epsilon
+                worst_name = name
+        result.rows.append(
+            [n, f, d, worst_name, worst_error, "yes" if worst_error <= tolerance else "NO"]
+        )
+    result.notes.append(
+        "expected shape: every row exact — the algorithm recovers the honest "
+        "minimizer for every adversarial submission when 2f-redundancy holds"
+    )
+    return result

@@ -1,0 +1,94 @@
+"""E14 — Figure 7: accuracy vs inter-agent data correlation.
+
+The paper's stated observation for its learning experiments: *"the accuracy
+of the learning process depends upon the correlation between the data
+points of non-faulty agents"* — i.e. redundancy is the currency that buys
+fault-tolerance in learning. This sweep raises the heterogeneity of the
+agents' local data distributions (from i.i.d./redundant to strongly
+skewed) and tracks, at each level:
+
+- the fault-free reference accuracy (heterogeneity costs a little even
+  without faults),
+- the robust filters' accuracy under the amplified sign-flip attack, and
+- the *robustness gap* — fault-free minus attacked accuracy — which is the
+  price of Byzantine faults at that redundancy level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.optimization.step_sizes import DiminishingStepSize
+from repro.problems.learning import make_learning_instance
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_heterogeneity_sweep(
+    heterogeneity_levels: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0),
+    n: int = 10,
+    d: int = 5,
+    f: int = 3,
+    samples_per_agent: int = 30,
+    filters: Sequence[str] = ("cge", "cwtm"),
+    iterations: int = 250,
+    regularization: float = 0.05,
+    seed: SeedLike = 3,
+) -> ExperimentResult:
+    """Regenerate Figure 7 (accuracy vs heterogeneity, attacked and not)."""
+    schedule = DiminishingStepSize(c=2.0, t0=5.0)
+    faulty_ids = tuple(range(f))
+    result = ExperimentResult(
+        experiment_id="E14",
+        title=f"Accuracy vs data heterogeneity (n={n}, f={f}, sign-flip x5)",
+        headers=["heterogeneity", "fault-free acc"]
+        + [f"{name} acc (attacked)" for name in filters]
+        + [f"{name} robustness gap" for name in filters],
+    )
+    reference_series = []
+    attacked_series = {name: [] for name in filters}
+    for heterogeneity in heterogeneity_levels:
+        instance = make_learning_instance(
+            n=n, d=d, samples_per_agent=samples_per_agent,
+            heterogeneity=heterogeneity, regularization=regularization, seed=seed,
+        )
+        honest = [i for i in range(n) if i not in faulty_ids]
+        reference = run_dgd(
+            [instance.costs[i] for i in honest], None,
+            gradient_filter="average", iterations=iterations,
+            step_sizes=schedule, seed=seed,
+        )
+        reference_accuracy = instance.accuracy(reference.final_estimate)
+        reference_series.append(reference_accuracy)
+        row = [heterogeneity, reference_accuracy]
+        gaps = []
+        for filter_name in filters:
+            trace = run_dgd(
+                instance.costs,
+                make_attack("sign-flip", strength=5.0),
+                gradient_filter=filter_name,
+                faulty_ids=faulty_ids,
+                iterations=iterations,
+                step_sizes=schedule,
+                seed=seed,
+            )
+            accuracy = instance.accuracy(trace.final_estimate)
+            attacked_series[filter_name].append(accuracy)
+            row.append(accuracy)
+            gaps.append(reference_accuracy - accuracy)
+        row.extend(gaps)
+        result.rows.append(row)
+    result.series["fault-free accuracy"] = np.asarray(reference_series)
+    for name, series in attacked_series.items():
+        result.series[f"{name} attacked accuracy"] = np.asarray(series)
+    result.notes.append(
+        "expected shape: at low heterogeneity (high redundancy) the attacked "
+        "robust filters match the fault-free reference; the robustness gap "
+        "widens as heterogeneity erodes redundancy — accuracy under attack "
+        "tracks inter-agent data correlation, the paper's stated observation"
+    )
+    return result

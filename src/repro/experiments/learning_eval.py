@@ -1,0 +1,116 @@
+"""E7 — Table 3: distributed learning under attack.
+
+Synthetic two-class distributed learning (the paper's second application
+domain): ``n`` agents hold local datasets, ``f`` are Byzantine. Runs the
+filtered DGD on the local loss gradients under data- and gradient-level
+attacks, in both the i.i.d. (redundant) and heterogeneous regimes, and
+reports final honest loss and test accuracy against the fault-free
+baseline. The redundancy theory predicts the i.i.d. regime recovers
+near-fault-free accuracy; heterogeneity (weakened redundancy) costs
+accuracy in proportion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.optimization.step_sizes import DiminishingStepSize
+from repro.problems.learning import label_flip_attack, make_learning_instance
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_learning_eval(
+    n: int = 10,
+    d: int = 5,
+    f: int = 3,
+    samples_per_agent: int = 30,
+    heterogeneity_levels: Sequence[float] = (0.0, 0.5),
+    filters: Sequence[str] = ("cge", "cwtm", "average"),
+    attacks: Sequence[str] = ("label-flip", "sign-flip", "alie"),
+    iterations: int = 300,
+    regularization: float = 0.05,
+    loss: str = "logistic",
+    seed: SeedLike = 3,
+) -> ExperimentResult:
+    """Regenerate Table 3 (learning accuracy under attack).
+
+    ``loss="hinge"`` runs the SVM variant the paper's full version reports
+    (smoothed hinge keeps the costs differentiable).
+    """
+    result = ExperimentResult(
+        experiment_id="E7",
+        title=f"Distributed learning under attack (n={n}, f={f}, d={d}, loss={loss})",
+        headers=["heterogeneity", "filter", "attack", "honest loss", "accuracy"],
+    )
+    schedule = DiminishingStepSize(c=2.0, t0=5.0)
+    for heterogeneity in heterogeneity_levels:
+        instance = make_learning_instance(
+            n=n,
+            d=d,
+            samples_per_agent=samples_per_agent,
+            heterogeneity=heterogeneity,
+            regularization=regularization,
+            loss=loss,
+            seed=seed,
+        )
+        faulty_ids = tuple(range(f))
+        honest = [i for i in range(n) if i not in faulty_ids]
+
+        # Fault-free reference: faulty agents removed entirely.
+        reference = run_dgd(
+            [instance.costs[i] for i in honest],
+            None,
+            gradient_filter="average",
+            faulty_ids=(),
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+        )
+        reference_accuracy = instance.accuracy(reference.final_estimate)
+        result.rows.append(
+            [heterogeneity, "fault-free", "(none)",
+             float(sum(instance.costs[i].value(reference.final_estimate) for i in honest)),
+             reference_accuracy]
+        )
+
+        for filter_name in filters:
+            for attack_name in attacks:
+                if attack_name == "label-flip":
+                    # Data-level poisoning: faulty agents report true
+                    # gradients of label-flipped local datasets.
+                    behavior = label_flip_attack(instance, faulty_ids)
+                elif attack_name == "sign-flip":
+                    # Amplified sign-flip: the strength a rushing adversary
+                    # would actually use (a unit-strength flip is mostly
+                    # absorbed by the honest majority's average).
+                    behavior = make_attack(attack_name, strength=5.0)
+                else:
+                    behavior = make_attack(attack_name)
+                trace = run_dgd(
+                    instance.costs,
+                    behavior,
+                    gradient_filter=filter_name,
+                    faulty_ids=faulty_ids,
+                    iterations=iterations,
+                    step_sizes=schedule,
+                    seed=seed,
+                )
+                honest_loss = float(
+                    sum(instance.costs[i].value(trace.final_estimate) for i in honest)
+                )
+                accuracy = instance.accuracy(trace.final_estimate)
+                result.rows.append(
+                    [heterogeneity, filter_name, attack_name, honest_loss, accuracy]
+                )
+    result.notes.append(
+        "expected shape: robust filters reach accuracy comparable to the "
+        "fault-free reference in the iid (redundant) regime; plain averaging "
+        "collapses under amplified sign-flip (and shows elevated honest loss "
+        "under label-flip); heterogeneity reduces every filter's headroom"
+    )
+    return result

@@ -1,0 +1,87 @@
+"""Multi-seed aggregation of experiments.
+
+Every experiment in this repository is deterministic given its seed; this
+module runs an experiment across several seeds and aggregates the numeric
+cells into ``mean ± std`` entries, turning single-draw tables into
+statistically honest ones. Non-numeric cells (labels, verdicts) must agree
+across seeds — a disagreement means the quantity is seed-sensitive and is
+reported as such rather than silently averaged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.exceptions import InvalidParameterError
+
+
+def summarize_over_seeds(
+    make_result: Callable[[int], ExperimentResult],
+    seeds: Sequence[int],
+    precision: int = 4,
+) -> ExperimentResult:
+    """Run ``make_result(seed)`` per seed and aggregate numeric cells.
+
+    Parameters
+    ----------
+    make_result:
+        Maps a seed to an :class:`ExperimentResult`. All runs must produce
+        the same shape (headers, row count, series names/lengths).
+    seeds:
+        At least two seeds.
+    precision:
+        Decimal places in the ``mean ± std`` rendering.
+
+    Returns
+    -------
+    ExperimentResult
+        Same id/title (annotated), with numeric cells replaced by
+        ``"mean ± std"`` strings, numeric series replaced by their
+        seed-wise mean, and a ``<name>/std`` companion series added.
+    """
+    seeds = [int(s) for s in seeds]
+    if len(seeds) < 2:
+        raise InvalidParameterError("multi-seed aggregation needs at least two seeds")
+    results: List[ExperimentResult] = [make_result(seed) for seed in seeds]
+    first = results[0]
+    for other in results[1:]:
+        if other.headers != first.headers or len(other.rows) != len(first.rows):
+            raise InvalidParameterError(
+                "experiment shape differs across seeds; cannot aggregate"
+            )
+        if set(other.series) != set(first.series):
+            raise InvalidParameterError("series names differ across seeds")
+
+    aggregated = ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=f"{first.title} [mean ± std over {len(seeds)} seeds]",
+        headers=list(first.headers),
+        notes=[f"seeds: {seeds}"],
+    )
+    for row_index in range(len(first.rows)):
+        row = []
+        for col_index in range(len(first.headers)):
+            cells = [r.rows[row_index][col_index] for r in results]
+            if all(isinstance(c, (int, float, np.floating, np.integer))
+                   and not isinstance(c, bool) for c in cells):
+                values = np.asarray(cells, dtype=float)
+                row.append(f"{values.mean():.{precision}f} ± {values.std():.{precision}f}")
+            elif all(_cell_equal(c, cells[0]) for c in cells):
+                row.append(cells[0])
+            else:
+                row.append("(seed-sensitive)")
+        aggregated.rows.append(row)
+    for name in first.series:
+        stacked = np.stack([np.asarray(r.series[name], dtype=float) for r in results])
+        aggregated.series[name] = stacked.mean(axis=0)
+        aggregated.series[f"{name}/std"] = stacked.std(axis=0)
+    return aggregated
+
+
+def _cell_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    return a == b

@@ -1,0 +1,107 @@
+"""E8 — Table 4: peer-to-peer equivalence with the server-based protocol.
+
+The paper's architectural claim: for ``f < n/3`` the server-based algorithm
+can be simulated peer-to-peer with Byzantine broadcast. This experiment
+runs both architectures on the same instance, same filter, same schedule,
+and the same deterministic adversary, and reports (a) the distance between
+the two final estimates and (b) the broadcast message overhead the
+peer-to-peer simulation pays.
+
+With a deterministic attack (gradient-reverse), both executions see
+identical values each round, so the trajectories must match to numerical
+precision. Randomized attacks draw from different streams across the two
+architectures, so only qualitative agreement is expected there — the table
+reports the deterministic case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregators.registry import make_filter
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.optimization.step_sizes import suggest_diminishing
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.peer_to_peer import run_peer_to_peer_dgd
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_peer_vs_server(
+    configurations: Sequence[Tuple[int, int]] = ((4, 1), (7, 2)),
+    d: int = 2,
+    iterations: int = 200,
+    attack: str = "gradient-reverse",
+    seed: SeedLike = 5,
+) -> ExperimentResult:
+    """Regenerate Table 4 (architecture equivalence for ``f < n/3``)."""
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Server-based vs peer-to-peer filtered DGD",
+        headers=[
+            "n", "f", "server error", "p2p error",
+            "|x_server - x_p2p|", "p2p error (equivocating)", "p2p broadcast msgs",
+        ],
+    )
+    for n, f in configurations:
+        instance = make_redundant_regression(n=n, d=d, f=f, noise_std=0.0, seed=seed)
+        faulty_ids = tuple(range(f))
+        honest = [i for i in range(n) if i not in faulty_ids]
+        x_H = instance.honest_minimizer(honest)
+        gradient_filter = make_filter("cge", f=f)
+        schedule = suggest_diminishing(instance.costs, aggregation="sum")
+        behavior = make_attack(attack)
+
+        server_trace = run_dgd(
+            instance.costs,
+            behavior,
+            gradient_filter=make_filter("cge", f=f),
+            faulty_ids=faulty_ids,
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+        )
+        peer_result = run_peer_to_peer_dgd(
+            instance.costs,
+            gradient_filter,
+            faulty_ids=faulty_ids,
+            behavior=make_attack(attack),
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+            equivocate=False,
+        )
+        # With equivocation, broadcast resolves the faulty sender's value to
+        # ⊥ (delivered as the zero vector) — equivocating is never better
+        # for the adversary than consistently sending the forged gradient.
+        equivocating = run_peer_to_peer_dgd(
+            instance.costs,
+            make_filter("cge", f=f),
+            faulty_ids=faulty_ids,
+            behavior=make_attack(attack),
+            iterations=iterations,
+            step_sizes=schedule,
+            seed=seed,
+            equivocate=True,
+        )
+        server_error = float(np.linalg.norm(server_trace.final_estimate - x_H))
+        peer_error = float(np.linalg.norm(peer_result.final_estimate - x_H))
+        equivocating_error = float(
+            np.linalg.norm(equivocating.final_estimate - x_H)
+        )
+        gap = float(
+            np.linalg.norm(server_trace.final_estimate - peer_result.final_estimate)
+        )
+        result.rows.append(
+            [n, f, server_error, peer_error, gap, equivocating_error,
+             peer_result.broadcast_messages]
+        )
+    result.notes.append(
+        "expected shape: per-row gap ~ 0 (identical trajectories under a "
+        "deterministic, non-equivocating attack); broadcast message counts "
+        "grow as O(T·n²·f); equivocation degenerates to the zero attack"
+    )
+    return result

@@ -1,0 +1,109 @@
+"""E11 — Table 6: redundancy by design via data replication.
+
+The paper notes 2f-redundancy "can be realized by design". This experiment
+starts from a deliberately *non-redundant* base assignment (observation
+directions concentrated so some minimal subsets are rank-deficient),
+replicates each row at ``k`` cyclically-consecutive agents for increasing
+``k``, and reports:
+
+- whether 2f-redundancy holds at that degree,
+- the final error of DGD+CGE under the gradient-reverse attack, and
+- the per-agent storage factor (the price of the redundancy).
+
+Expected shape: redundancy is repaired exactly at ``k = 2f + 1`` (the
+proven threshold) and the attacked execution's error drops to the
+fault-free floor at the same point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.core.redundancy import check_2f_redundancy
+from repro.optimization.cost_functions import LeastSquaresCost
+from repro.problems.linear_regression import RegressionInstance
+from repro.problems.replication import ReplicatedInstance, minimum_replication_degree
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def _concentrated_base(n: int, d: int) -> RegressionInstance:
+    """A consistent instance whose one-row assignment is NOT 2f-redundant.
+
+    ``n − d + 1`` agents observe the same first coordinate direction; the
+    remaining ``d − 1`` agents observe the other coordinates — so minimal
+    subsets that miss one of the rare directions cannot pin down ``x*``.
+    """
+    rows = [np.eye(d)[0]] * (n - d + 1) + [np.eye(d)[k] for k in range(1, d)]
+    A = np.stack(rows)
+    x_star = np.ones(d)
+    b = A @ x_star
+    costs = [LeastSquaresCost(A[i : i + 1], b[i : i + 1]) for i in range(n)]
+    return RegressionInstance(A=A, b=b, x_star=x_star, noise_std=0.0, costs=costs)
+
+
+def _replicate_with_degree(instance: RegressionInstance, degree: int) -> ReplicatedInstance:
+    assignments = []
+    costs = []
+    n = instance.n
+    for i in range(n):
+        rows = [(i + k) % n for k in range(degree)]
+        assignments.append(rows)
+        costs.append(LeastSquaresCost(instance.A[rows], instance.b[rows]))
+    return ReplicatedInstance(
+        base=instance, replication_degree=degree, assignments=assignments, costs=costs
+    )
+
+
+def run_replication_design(
+    n: int = 6,
+    d: int = 2,
+    f: int = 1,
+    degrees: Sequence[int] = (1, 2, 3, 4),
+    iterations: int = 1500,
+    seed: SeedLike = 17,
+) -> ExperimentResult:
+    """Regenerate Table 6 (replication degree vs achieved fault-tolerance)."""
+    base = _concentrated_base(n, d)
+    threshold = minimum_replication_degree(n, f)
+    result = ExperimentResult(
+        experiment_id="E11",
+        title=f"Redundancy by design: cyclic replication (n={n}, d={d}, f={f})",
+        headers=[
+            "replication degree", "storage factor", "2f-redundant",
+            "cge error under attack",
+        ],
+    )
+    for degree in degrees:
+        replicated = _replicate_with_degree(base, degree)
+        redundant = check_2f_redundancy(replicated.costs, f)
+        trace = run_dgd(
+            replicated.costs,
+            make_attack("gradient-reverse"),
+            gradient_filter="cge",
+            faulty_ids=tuple(range(f)),
+            iterations=iterations,
+            seed=seed,
+        )
+        honest = [i for i in range(n) if i >= f]
+        try:
+            x_H = replicated.honest_minimizer(honest)
+            error = final_error(trace, x_H)
+        except Exception:
+            error = float("nan")
+        result.rows.append(
+            [degree, float(degree), "yes" if redundant else "no", error]
+        )
+    result.notes.append(
+        f"proven threshold: degree 2f+1 = {threshold} repairs redundancy exactly"
+    )
+    result.notes.append(
+        "expected shape: 2f-redundancy flips to 'yes' at the threshold and "
+        "the attacked error collapses to the optimization floor there"
+    )
+    return result

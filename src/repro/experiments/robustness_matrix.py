@@ -1,0 +1,80 @@
+"""E10 — Table 5: filter × attack robustness matrix.
+
+Every registered gradient filter against every registered attack on the
+paper's regression instance: a coverage grid that situates CGE among the
+broader robust-aggregation design space (the novelty band notes CGE/CWTM
+variants exist in FL libraries; this matrix is the apples-to-apples
+comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.experiments.common import paper_setup
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+_DEFAULT_FILTERS = ("cge", "cwtm", "median", "geomed", "krum", "multikrum", "mom", "gmom", "average")
+_DEFAULT_ATTACKS = (
+    "gradient-reverse", "random", "sign-flip", "zero", "alie", "ipm", "mimic",
+)
+
+
+def run_robustness_matrix(
+    filters: Sequence[str] = _DEFAULT_FILTERS,
+    attacks: Sequence[str] = _DEFAULT_ATTACKS,
+    iterations: int = 400,
+    noise_std: float = 0.02,
+    attack_kwargs: Optional[Dict[str, Dict]] = None,
+    seed: SeedLike = 20200803,
+) -> ExperimentResult:
+    """Regenerate Table 5 (final error for every filter × attack pair).
+
+    A filter that cannot run in the configuration (e.g. Bulyan's
+    ``n >= 4f + 3``) is reported as ``n/a`` rather than silently skipped.
+    """
+    instance = paper_setup(noise_std=noise_std, seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    attack_kwargs = attack_kwargs or {}
+
+    result = ExperimentResult(
+        experiment_id="E10",
+        title=f"Robustness matrix (n={instance.n}, f={len(faulty)})",
+        headers=["filter"] + list(attacks),
+    )
+    for filter_name in filters:
+        row: list = [filter_name]
+        for attack_name in attacks:
+            behavior = make_attack(attack_name, **attack_kwargs.get(attack_name, {}))
+            try:
+                trace = run_dgd(
+                    instance.costs,
+                    behavior,
+                    gradient_filter=filter_name,
+                    faulty_ids=faulty,
+                    iterations=iterations,
+                    seed=seed,
+                )
+            except (InvalidParameterError, ReproError):
+                row.append("n/a")
+                continue
+            row.append(final_error(trace, x_H))
+        result.rows.append(row)
+    result.notes.append(
+        "expected shape: robust filters keep errors bounded (graceful "
+        "degradation) across attacks, with the paper's fault models "
+        "(gradient-reverse, random) well inside the redundancy margin; "
+        "norm-camouflaged attacks (zero, sign-flip, mimic) expose CGE's "
+        "large guarantee constant; plain averaging is unbounded under "
+        "random/ipm"
+    )
+    return result

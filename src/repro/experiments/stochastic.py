@@ -1,0 +1,113 @@
+"""A4 — Ablation: step sizes under *stochastic* gradients (SGD extension).
+
+With exact gradients (A2) every schedule converges and Robbins–Monro buys
+nothing visible. This ablation switches the honest agents to noisy gradient
+oracles — the SGD setting of the authors' follow-up work — where the
+classical story re-emerges: gradient noise survives every aggregation rule,
+so a constant step stalls at an O(η·σ) noise ball while a diminishing
+schedule drives the error to zero.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.registry import make_attack
+from repro.experiments.common import PAPER_X0
+from repro.optimization.step_sizes import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    suggest_diminishing,
+)
+from repro.optimization.stochastic import with_gradient_noise
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+
+def run_stochastic_step_sizes(
+    gradient_noise: float = 0.5,
+    iterations: int = 6000,
+    tail_fraction: float = 0.1,
+    constant_steps: Sequence[float] = (0.05, 0.01),
+    seed: SeedLike = 20200803,
+) -> ExperimentResult:
+    """Regenerate the A4 table (noise floors under stochastic gradients).
+
+    Reports, per schedule, the *tail mean* of ``‖x^t − x_H‖`` over the last
+    ``tail_fraction`` of iterations (the final point of a stochastic run is
+    itself a random variable, so the tail mean is the honest summary).
+    """
+    instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=seed)
+    honest = list(range(1, 6))
+    x_H = instance.honest_minimizer(honest)
+    noisy_costs = with_gradient_noise(instance.costs, gradient_noise, seed=seed)
+
+    # The SGD prescription needs c·γ > 1 strictly (the curvature-matched
+    # default sits exactly at c·γ = 1, which is the boundary of the O(1/t)
+    # regime) — boost it by 4 while keeping η_0 stable via t0.
+    matched = suggest_diminishing(instance.costs, aggregation="sum")
+    schedules = [
+        (
+            "diminishing 1/t (RM)",
+            DiminishingStepSize(c=4.0 * matched.c, t0=4.0 * matched.t0),
+        ),
+    ]
+    for eta in constant_steps:
+        schedules.append((f"constant {eta} (not RM)", ConstantStepSize(eta)))
+
+    result = ExperimentResult(
+        experiment_id="A4",
+        title=(
+            f"Step sizes under stochastic gradients "
+            f"(gradient noise std {gradient_noise}, CGE, gradient-reverse attack)"
+        ),
+        headers=["schedule", "robbins-monro", "tail-mean error"],
+    )
+    tail = max(int(iterations * tail_fraction), 1)
+    for name, schedule in schedules:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            trace = run_dgd(
+                noisy_costs,
+                make_attack("gradient-reverse"),
+                gradient_filter="cge",
+                faulty_ids=(0,),
+                iterations=iterations,
+                step_sizes=schedule,
+                seed=seed,
+                x0=np.asarray(PAPER_X0),
+            )
+        distances = trace.distances_to(x_H)
+        tail_mean = float(distances[-tail:].mean())
+        result.rows.append(
+            [name, "yes" if schedule.satisfies_robbins_monro else "no", tail_mean]
+        )
+        result.series[f"{name} distance"] = distances
+    # Rate check: for strongly convex SGD with an RM schedule, the expected
+    # squared error decays as O(1/t), i.e. the distance as ~ t^(-1/2). A
+    # single trajectory's distance is noisy round-to-round, so the fit runs
+    # on a running-median smoothed series.
+    from repro.analysis.rates import fit_power_law
+
+    rm_series = result.series["diminishing 1/t (RM) distance"]
+    window = max(iterations // 50, 5)
+    smoothed = np.array([
+        np.median(rm_series[max(k - window, 0) : k + 1])
+        for k in range(len(rm_series))
+    ])
+    fit = fit_power_law(smoothed, burn_in=max(iterations // 10, 10))
+    result.notes.append(f"RM-schedule decay fit (smoothed): {fit.describe()}")
+    result.notes.append(
+        "expected shape: the diminishing (RM) schedule reaches the smallest "
+        "tail error with a distance decay between ~t^(-1/2) (the stochastic "
+        "O(1/t) squared-error rate) and ~t^(-1) (the deterministic bias "
+        "component); constant steps stall at noise floors that scale with "
+        "the step size — the behaviour the Robbins-Monro conditions exist "
+        "to rule out"
+    )
+    return result

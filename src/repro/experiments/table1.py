@@ -1,0 +1,95 @@
+"""E1 — Table 1: final estimation error per filter and attack.
+
+Reconstruction of the paper's headline table: on the ``n = 6, f = 1,
+d = 2`` regression instance (2f-redundant by design, small observation
+noise), run the filtered DGD for 500 iterations under each Byzantine fault
+model and report the output ``x_out = x^{500}`` and the approximation error
+``dist(x_H, x_out)``. Plain averaging and the fault-free execution bracket
+the robust filters.
+
+Expected shape (recorded in EXPERIMENTS.md): CGE's and CWTM's errors are
+small — below the instance's redundancy margin ``ε`` — while plain
+averaging's error is an order of magnitude larger under adversarial faults.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.core.redundancy import measure_redundancy_margin
+from repro.experiments.common import (
+    PAPER_X0,
+    paper_setup,
+    run_attacked,
+    run_fault_free,
+)
+from repro.utils.rng import SeedLike
+
+
+def run_table1(
+    iterations: int = 500,
+    noise_std: float = 0.02,
+    filters: Sequence[str] = ("cge", "cwtm", "average"),
+    attacks: Sequence[str] = ("gradient-reverse", "random"),
+    seed: SeedLike = 20200803,
+) -> ExperimentResult:
+    """Regenerate Table 1 (final errors under attack).
+
+    Returns an :class:`ExperimentResult` whose rows are
+    ``(filter, attack, x_out, dist(x_H, x_out))`` plus a fault-free
+    reference row, and whose notes record the instance's measured
+    redundancy margin ``ε``.
+    """
+    instance = paper_setup(noise_std=noise_std, seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    margin = measure_redundancy_margin(instance.costs, len(faulty)).margin
+
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Final error of filtered DGD under Byzantine attacks "
+        f"(n={instance.n}, f={len(faulty)}, d={instance.dimension})",
+        headers=["filter", "attack", "x_out", "dist(x_H, x_out)", "within eps"],
+    )
+    for filter_name in filters:
+        for attack_name in attacks:
+            trace = run_attacked(
+                instance,
+                filter_name,
+                attack_name,
+                faulty_ids=faulty,
+                iterations=iterations,
+                seed=seed,
+            )
+            error = final_error(trace, x_H)
+            result.rows.append(
+                [
+                    filter_name,
+                    attack_name,
+                    np.round(trace.final_estimate, 4),
+                    error,
+                    "yes" if error <= max(margin, 1e-6) else "no",
+                ]
+            )
+    fault_free = run_fault_free(instance, honest, iterations=iterations, seed=seed)
+    result.rows.append(
+        [
+            "fault-free",
+            "(none)",
+            np.round(fault_free.final_estimate, 4),
+            float(np.linalg.norm(fault_free.final_estimate - x_H)),
+            "yes",
+        ]
+    )
+    result.notes.append(f"x_H = {np.round(x_H, 4)}, x0 = {PAPER_X0}")
+    result.notes.append(f"measured (2f, eps)-redundancy margin eps = {margin:.4f}")
+    result.notes.append(
+        "expected shape: robust filters (cge, cwtm) stay within eps of x_H; "
+        "plain averaging does not under adversarial faults"
+    )
+    return result

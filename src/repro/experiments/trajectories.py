@@ -1,0 +1,82 @@
+"""E2/E3 — Figures 2-3: loss and distance trajectories.
+
+Reconstruction of the paper's convergence figures: for each fault model,
+plot (as series) the honest aggregate loss ``Σ_{i∈H} Q_i(x^t)`` and the
+approximation error ``||x^t − x_H||`` across iterations, for four
+executions — fault-free DGD, DGD+CGE, DGD+CWTM, and unfiltered DGD with the
+Byzantine agent present. E3 is the same data restricted to the first 80
+iterations (the paper's magnified view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import distance_series, loss_series
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments.common import paper_setup, run_attacked, run_fault_free
+from repro.utils.rng import SeedLike
+
+
+def run_trajectories(
+    iterations: int = 500,
+    attacks: Sequence[str] = ("gradient-reverse", "random"),
+    noise_std: float = 0.02,
+    seed: SeedLike = 20200803,
+    early_window: int = 0,
+) -> ExperimentResult:
+    """Regenerate Figure 2 (or Figure 3 with ``early_window=80``).
+
+    Parameters
+    ----------
+    early_window:
+        When positive, truncate every series to its first ``early_window``
+        iterations — the magnified early-phase view of Figure 3.
+    """
+    instance = paper_setup(noise_std=noise_std, seed=seed)
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+
+    figure = "E3" if early_window else "E2"
+    window = early_window if early_window else iterations + 1
+    result = ExperimentResult(
+        experiment_id=figure,
+        title=(
+            "Loss and distance vs iteration"
+            + (f" (first {early_window} iterations)" if early_window else "")
+        ),
+    )
+
+    def record(label: str, trace, costs, ids) -> None:
+        losses = loss_series(trace, costs, ids)[:window]
+        distances = distance_series(trace, x_H)[:window]
+        result.series[f"{label}/loss"] = losses
+        result.series[f"{label}/distance"] = distances
+
+    fault_free = run_fault_free(instance, honest, iterations=iterations, seed=seed)
+    honest_costs = [instance.costs[i] for i in honest]
+    record("fault-free", fault_free, honest_costs, list(range(len(honest_costs))))
+
+    for attack in attacks:
+        for filter_name in ("cge", "cwtm", "average"):
+            trace = run_attacked(
+                instance, filter_name, attack, faulty_ids=faulty,
+                iterations=iterations, seed=seed,
+            )
+            record(f"{filter_name}+{attack}", trace, instance.costs, honest)
+
+    final_distances: Dict[str, float] = {
+        name: float(series[-1])
+        for name, series in result.series.items()
+        if name.endswith("/distance")
+    }
+    for name in sorted(final_distances):
+        result.notes.append(f"final {name} = {final_distances[name]:.4g}")
+    result.notes.append(
+        "expected shape: cge/cwtm distance curves track the fault-free curve; "
+        "the unfiltered (average) curves plateau at a visibly larger error"
+    )
+    return result

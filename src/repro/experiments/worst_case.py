@@ -1,0 +1,110 @@
+"""E13 — Table 8: empirical worst-case certification of the filters.
+
+For each filter, run the φ-minimizing best-response adversary (which knows
+the filter, the honest gradients, and the honest minimizer, and plays the
+per-round forged gradient minimizing the convergence inner product
+``φ_t = ⟨x^t − x_H, GradFilter(·)⟩``) and compare the resulting error
+against the strongest *fixed* attack from the standard battery.
+
+Two regimes are certified:
+
+- the paper instance (``n = 6, f = 1``), where ``α = 1 − (f/n)(1 + 2μ/γ)``
+  is *negative* — the CGE sufficient condition is violated, and indeed the
+  best-response adversary finds errors far beyond any fixed attack against
+  CGE (while CWTM/median hold);
+- a large instance (``n = 15, f = 1``) with ``α > 0`` — the best-response
+  adversary cannot move CGE beyond its fault-free optimization floor,
+  an empirical validation that the condition is load-bearing.
+
+Plain averaging is driven toward the projection boundary in both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregators.registry import make_filter
+from repro.analysis.metrics import final_error
+from repro.analysis.reporting import ExperimentResult
+from repro.attacks.best_response import PhiMinimizingAttack
+from repro.attacks.registry import make_attack
+from repro.core.conditions import cge_alpha, regularity_of_quadratics
+from repro.core.redundancy import measure_redundancy_margin
+from repro.experiments.common import paper_setup
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+from repro.utils.rng import SeedLike
+
+_FIXED_ATTACKS = ("gradient-reverse", "random", "sign-flip", "zero", "alie", "ipm")
+
+
+def _certify(instance, filters, iterations, seed, rows, regime_label):
+    faulty = (0,)
+    honest = [i for i in range(instance.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    constants = regularity_of_quadratics(instance.costs, 1, honest=honest)
+    alpha = cge_alpha(instance.n, 1, constants.mu, constants.gamma)
+    for filter_name in filters:
+        worst_fixed = 0.0
+        worst_name = "(none)"
+        for attack_name in _FIXED_ATTACKS:
+            trace = run_dgd(
+                instance.costs,
+                make_attack(attack_name),
+                gradient_filter=filter_name,
+                faulty_ids=faulty,
+                iterations=iterations,
+                seed=seed,
+            )
+            error = final_error(trace, x_H)
+            if error > worst_fixed:
+                worst_fixed = error
+                worst_name = attack_name
+        adversary = PhiMinimizingAttack(make_filter(filter_name, f=1), x_H)
+        trace = run_dgd(
+            instance.costs,
+            adversary,
+            gradient_filter=filter_name,
+            faulty_ids=faulty,
+            iterations=iterations,
+            seed=seed,
+        )
+        best_response = final_error(trace, x_H)
+        rows.append(
+            [regime_label, round(alpha, 3), filter_name, worst_name,
+             worst_fixed, best_response]
+        )
+    return alpha
+
+
+def run_worst_case_certification(
+    filters: Sequence[str] = ("cge", "cwtm", "median", "average"),
+    iterations: int = 400,
+    noise_std: float = 0.02,
+    seed: SeedLike = 20200803,
+) -> ExperimentResult:
+    """Regenerate Table 8 (best-response vs fixed-attack errors per filter)."""
+    result = ExperimentResult(
+        experiment_id="E13",
+        title="Empirical worst-case certification (phi-minimizing best response)",
+        headers=[
+            "regime", "alpha", "filter", "worst fixed attack",
+            "worst fixed error", "best-response error",
+        ],
+    )
+    small = paper_setup(noise_std=noise_std, seed=seed)
+    _certify(small, filters, iterations, seed, result.rows, "n=6 (paper)")
+    large = make_redundant_regression(n=15, d=2, f=1, noise_std=0.0, seed=2)
+    _certify(large, filters, iterations, seed, result.rows, "n=15")
+    margin = measure_redundancy_margin(small.costs, 1).margin
+    result.notes.append(f"paper-instance redundancy margin eps = {margin:.4f}")
+    result.notes.append(
+        "expected shape: with alpha < 0 (n=6) the best-response adversary "
+        "finds CGE errors well beyond any fixed attack; with alpha > 0 "
+        "(n=15) it cannot move CGE beyond the optimization floor — the "
+        "paper's sufficient condition is empirically load-bearing; plain "
+        "averaging is driven toward the projection boundary in both regimes"
+    )
+    return result

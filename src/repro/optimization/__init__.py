@@ -1,0 +1,77 @@
+"""Optimization substrate: cost functions, schedules, projections, solvers."""
+
+from repro.optimization.cost_functions import (
+    CostFunction,
+    HuberCost,
+    LeastSquaresCost,
+    LogisticCost,
+    MeanCost,
+    QuadraticCost,
+    ScaledCost,
+    SmoothedHingeCost,
+    SoftmaxCost,
+    SumCost,
+    TranslatedQuadratic,
+    aggregate,
+)
+from repro.optimization.gd import GDResult, gradient_descent, solve_argmin
+from repro.optimization.nonsmooth import (
+    AbsoluteDeviationCost,
+    l1_aggregate_argmin,
+    l1_solver,
+    weighted_median_interval,
+)
+from repro.optimization.projections import (
+    BallSet,
+    BoxSet,
+    ConvexSet,
+    HalfSpace,
+    IntersectionSet,
+    UnconstrainedSet,
+)
+from repro.optimization.stochastic import (
+    MinibatchCost,
+    NoisyGradientCost,
+    with_gradient_noise,
+)
+from repro.optimization.step_sizes import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    PolynomialStepSize,
+    StepSizeSchedule,
+)
+
+__all__ = [
+    "CostFunction",
+    "QuadraticCost",
+    "LeastSquaresCost",
+    "LogisticCost",
+    "SmoothedHingeCost",
+    "SoftmaxCost",
+    "HuberCost",
+    "TranslatedQuadratic",
+    "SumCost",
+    "MeanCost",
+    "ScaledCost",
+    "aggregate",
+    "StepSizeSchedule",
+    "ConstantStepSize",
+    "DiminishingStepSize",
+    "PolynomialStepSize",
+    "ConvexSet",
+    "BoxSet",
+    "BallSet",
+    "HalfSpace",
+    "IntersectionSet",
+    "UnconstrainedSet",
+    "gradient_descent",
+    "NoisyGradientCost",
+    "MinibatchCost",
+    "with_gradient_noise",
+    "AbsoluteDeviationCost",
+    "weighted_median_interval",
+    "l1_aggregate_argmin",
+    "l1_solver",
+    "GDResult",
+    "solve_argmin",
+]

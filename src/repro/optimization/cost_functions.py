@@ -1,0 +1,570 @@
+"""Local cost functions held by agents.
+
+Every agent ``i`` in the paper's model holds a local cost
+``Q_i : R^d → R``. This module provides the concrete families used by the
+problem generators and experiments, plus combinators for forming the subset
+aggregates ``Σ_{i ∈ S} Q_i`` that the redundancy theory quantifies over.
+
+Quadratic costs (including least squares, the paper's evaluation workload)
+carry *exact* argmin sets: a :class:`repro.core.geometry.Singleton` when the
+aggregate Hessian is non-singular, otherwise an
+:class:`repro.core.geometry.AffineSubspace` of solutions. The redundancy
+checker exploits this to avoid numerical minimization entirely.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.geometry import AffineSubspace, ArgminSet, Singleton
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.utils.validation import check_matrix, check_vector
+
+
+class CostFunction(abc.ABC):
+    """A differentiable local cost ``Q : R^d → R``.
+
+    Subclasses must implement :meth:`value` and :meth:`gradient`;
+    :meth:`hessian` and :meth:`argmin_set` are optional capabilities that
+    unlock closed-form paths in the theory modules.
+    """
+
+    def __init__(self, dimension: int):
+        if dimension <= 0:
+            raise InvalidParameterError(f"dimension must be positive, got {dimension}")
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``d`` of the decision variable."""
+        return self._dimension
+
+    @abc.abstractmethod
+    def value(self, x) -> float:
+        """Evaluate ``Q(x)``."""
+
+    @abc.abstractmethod
+    def gradient(self, x) -> np.ndarray:
+        """Evaluate ``∇Q(x)``."""
+
+    def hessian(self, x) -> np.ndarray:
+        """Evaluate ``∇²Q(x)``; optional."""
+        raise NotImplementedError(f"{type(self).__name__} does not expose a Hessian")
+
+    def argmin_set(self) -> ArgminSet:
+        """The exact set of minimizers, when known in closed form."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form argmin")
+
+    @property
+    def has_closed_form_argmin(self) -> bool:
+        """Whether :meth:`argmin_set` is available without iteration."""
+        try:
+            self.argmin_set()
+        except NotImplementedError:
+            return False
+        return True
+
+    def _check(self, x) -> np.ndarray:
+        return check_vector(x, dimension=self._dimension, name="x")
+
+    def __add__(self, other: "CostFunction") -> "SumCost":
+        return SumCost([self, other])
+
+    def __mul__(self, scalar: float) -> "ScaledCost":
+        return ScaledCost(self, scalar)
+
+    __rmul__ = __mul__
+
+
+class QuadraticCost(CostFunction):
+    """Convex quadratic ``Q(x) = ½ xᵀ P x + qᵀ x + c`` with ``P ⪰ 0``.
+
+    Positive semi-definiteness of ``P`` is validated (symmetrized first) so
+    that the closed-form argmin logic is sound.
+    """
+
+    def __init__(self, P, q, c: float = 0.0):
+        P = check_matrix(P, name="P")
+        q = check_vector(q, name="q")
+        if P.shape[0] != P.shape[1]:
+            raise DimensionMismatchError(f"P must be square, got {P.shape}")
+        if P.shape[0] != q.shape[0]:
+            raise DimensionMismatchError(
+                f"P and q disagree on dimension: {P.shape[0]} vs {q.shape[0]}"
+            )
+        super().__init__(q.shape[0])
+        self._P = 0.5 * (P + P.T)
+        eigenvalues = np.linalg.eigvalsh(self._P)
+        if eigenvalues[0] < -1e-8 * max(1.0, abs(eigenvalues[-1])):
+            raise InvalidParameterError(
+                f"P must be positive semi-definite; smallest eigenvalue {eigenvalues[0]:.3e}"
+            )
+        self._q = q
+        self._c = float(c)
+        self._eigenvalues = eigenvalues
+
+    @property
+    def P(self) -> np.ndarray:
+        return self._P.copy()
+
+    @property
+    def q(self) -> np.ndarray:
+        return self._q.copy()
+
+    @property
+    def c(self) -> float:
+        return self._c
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        return float(0.5 * x @ self._P @ x + self._q @ x + self._c)
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        return self._P @ x + self._q
+
+    def hessian(self, x) -> np.ndarray:
+        self._check(x)
+        return self._P.copy()
+
+    def argmin_set(self) -> ArgminSet:
+        """Solve ``P x = -q`` exactly.
+
+        A singular ``P`` yields an affine subspace of minimizers provided
+        ``-q`` lies in the range of ``P`` (otherwise the cost is unbounded
+        below and :class:`InvalidParameterError` is raised, since such a
+        cost violates the paper's Assumption 1).
+        """
+        d = self.dimension
+        rhs = -self._q
+        solution, *_ = np.linalg.lstsq(self._P, rhs, rcond=None)
+        if not np.allclose(self._P @ solution, rhs, atol=1e-8 * max(1.0, np.linalg.norm(rhs))):
+            raise InvalidParameterError(
+                "quadratic cost is unbounded below (q not in range of P); "
+                "Assumption 1 of the paper is violated"
+            )
+        # Null space of P spans the flat directions of the argmin set.
+        eigenvalues, eigenvectors = np.linalg.eigh(self._P)
+        scale = max(abs(eigenvalues[-1]), 1.0)
+        null_mask = np.abs(eigenvalues) <= 1e-10 * scale
+        if not np.any(null_mask):
+            return Singleton(solution)
+        return AffineSubspace(solution, eigenvectors[:, null_mask])
+
+    def strong_convexity(self) -> float:
+        """Smallest eigenvalue of ``P`` (0 when merely convex)."""
+        return float(max(self._eigenvalues[0], 0.0))
+
+    def smoothness(self) -> float:
+        """Largest eigenvalue of ``P`` (the Lipschitz constant of ``∇Q``)."""
+        return float(max(self._eigenvalues[-1], 0.0))
+
+
+class LeastSquaresCost(QuadraticCost):
+    """Squared-error cost ``Q(x) = ||A x - b||²``.
+
+    This is the cost family of the paper's numerical evaluation: agent ``i``
+    holds one (or more) rows ``A_i`` and observations ``b_i`` and defines
+    ``Q_i(x) = (b_i − A_i x)²``.
+    """
+
+    def __init__(self, A, b):
+        A = check_matrix(A, name="A")
+        b = check_vector(b, name="b")
+        if A.shape[0] != b.shape[0]:
+            raise DimensionMismatchError(
+                f"A and b disagree on the number of observations: {A.shape[0]} vs {b.shape[0]}"
+            )
+        super().__init__(2.0 * A.T @ A, -2.0 * A.T @ b, float(b @ b))
+        self._A = A
+        self._b = b
+
+    @property
+    def A(self) -> np.ndarray:
+        return self._A.copy()
+
+    @property
+    def b(self) -> np.ndarray:
+        return self._b.copy()
+
+    def residual(self, x) -> np.ndarray:
+        """``A x − b`` at the point ``x``."""
+        x = self._check(x)
+        return self._A @ x - self._b
+
+
+class TranslatedQuadratic(QuadraticCost):
+    """The "meeting point" cost ``Q(x) = w ||x − target||²``."""
+
+    def __init__(self, target, weight: float = 1.0):
+        target = check_vector(target, name="target")
+        if weight <= 0:
+            raise InvalidParameterError(f"weight must be positive, got {weight}")
+        d = target.shape[0]
+        super().__init__(2.0 * weight * np.eye(d), -2.0 * weight * target, weight * float(target @ target))
+        self._target = target
+        self._weight = float(weight)
+
+    @property
+    def target(self) -> np.ndarray:
+        return self._target.copy()
+
+
+class LogisticCost(CostFunction):
+    """Regularized logistic loss over a local dataset.
+
+    ``Q(x) = (1/m) Σ_j log(1 + exp(−y_j ⟨x, z_j⟩)) + (reg/2) ||x||²`` with
+    labels ``y_j ∈ {−1, +1}``. With ``reg > 0`` the cost is strongly convex
+    and Lipschitz smooth, matching the paper's Assumptions 2-3.
+    """
+
+    def __init__(self, features, labels, regularization: float = 0.0):
+        features = check_matrix(features, name="features")
+        labels = check_vector(labels, name="labels")
+        if features.shape[0] != labels.shape[0]:
+            raise DimensionMismatchError(
+                f"features and labels disagree on sample count: "
+                f"{features.shape[0]} vs {labels.shape[0]}"
+            )
+        if features.shape[0] == 0:
+            raise InvalidParameterError("LogisticCost requires at least one sample")
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise InvalidParameterError("labels must be ±1")
+        if regularization < 0:
+            raise InvalidParameterError(f"regularization must be non-negative, got {regularization}")
+        super().__init__(features.shape[1])
+        self._Z = features
+        self._y = labels
+        self._reg = float(regularization)
+
+    @property
+    def regularization(self) -> float:
+        return self._reg
+
+    def _margins(self, x: np.ndarray) -> np.ndarray:
+        return self._y * (self._Z @ x)
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        margins = self._margins(x)
+        # log(1 + exp(-m)) computed stably for both signs of m.
+        losses = np.logaddexp(0.0, -margins)
+        return float(np.mean(losses) + 0.5 * self._reg * (x @ x))
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        margins = self._margins(x)
+        # σ(-m) = 1 / (1 + exp(m)), computed stably.
+        weights = 0.5 * (1.0 - np.tanh(0.5 * margins))
+        grad = -(self._Z * (weights * self._y)[:, None]).mean(axis=0)
+        return grad + self._reg * x
+
+    def hessian(self, x) -> np.ndarray:
+        x = self._check(x)
+        margins = self._margins(x)
+        sigma = 0.5 * (1.0 - np.tanh(0.5 * margins))
+        weights = sigma * (1.0 - sigma)
+        H = (self._Z.T * weights) @ self._Z / self._Z.shape[0]
+        return H + self._reg * np.eye(self.dimension)
+
+
+class SmoothedHingeCost(CostFunction):
+    """Quadratically smoothed hinge (SVM) loss, differentiable everywhere.
+
+    For margin ``m = y ⟨x, z⟩``::
+
+        loss(m) = 0              if m >= 1
+                = (1 - m)² / 2   if 0 < m < 1
+                = 1/2 - m        if m <= 0
+
+    plus ``(reg/2) ||x||²``. Smoothing keeps the cost inside the paper's
+    differentiable-cost setting while behaving like the standard SVM hinge.
+    """
+
+    def __init__(self, features, labels, regularization: float = 0.0):
+        features = check_matrix(features, name="features")
+        labels = check_vector(labels, name="labels")
+        if features.shape[0] != labels.shape[0]:
+            raise DimensionMismatchError("features and labels disagree on sample count")
+        if features.shape[0] == 0:
+            raise InvalidParameterError("SmoothedHingeCost requires at least one sample")
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise InvalidParameterError("labels must be ±1")
+        if regularization < 0:
+            raise InvalidParameterError(f"regularization must be non-negative, got {regularization}")
+        super().__init__(features.shape[1])
+        self._Z = features
+        self._y = labels
+        self._reg = float(regularization)
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        margins = self._y * (self._Z @ x)
+        losses = np.where(
+            margins >= 1.0,
+            0.0,
+            np.where(margins <= 0.0, 0.5 - margins, 0.5 * (1.0 - margins) ** 2),
+        )
+        return float(np.mean(losses) + 0.5 * self._reg * (x @ x))
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        margins = self._y * (self._Z @ x)
+        # d loss / d margin
+        slope = np.where(margins >= 1.0, 0.0, np.where(margins <= 0.0, -1.0, margins - 1.0))
+        grad = (self._Z * (slope * self._y)[:, None]).mean(axis=0)
+        return grad + self._reg * x
+
+
+class HuberCost(CostFunction):
+    """Huber-robustified distance to a target point.
+
+    ``Q(x) = Σ_k huber(x_k − target_k; delta)`` — smooth, convex, and only
+    *locally* strongly convex, exercising code paths where closed-form
+    argmins exist (the target) but global strong convexity fails.
+    """
+
+    def __init__(self, target, delta: float = 1.0):
+        target = check_vector(target, name="target")
+        if delta <= 0:
+            raise InvalidParameterError(f"delta must be positive, got {delta}")
+        super().__init__(target.shape[0])
+        self._target = target
+        self._delta = float(delta)
+
+    @property
+    def target(self) -> np.ndarray:
+        return self._target.copy()
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        r = x - self._target
+        absolute = np.abs(r)
+        quadratic = 0.5 * r**2
+        linear = self._delta * (absolute - 0.5 * self._delta)
+        return float(np.sum(np.where(absolute <= self._delta, quadratic, linear)))
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        r = x - self._target
+        return np.clip(r, -self._delta, self._delta)
+
+    def argmin_set(self) -> ArgminSet:
+        return Singleton(self._target)
+
+
+class ScaledCost(CostFunction):
+    """``(w · Q)(x)`` for a positive weight ``w``."""
+
+    def __init__(self, base: CostFunction, weight: float):
+        weight = float(weight)
+        if weight <= 0:
+            raise InvalidParameterError(f"weight must be positive, got {weight}")
+        super().__init__(base.dimension)
+        self._base = base
+        self._weight = weight
+
+    @property
+    def base(self) -> CostFunction:
+        return self._base
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    def value(self, x) -> float:
+        return self._weight * self._base.value(x)
+
+    def gradient(self, x) -> np.ndarray:
+        return self._weight * self._base.gradient(x)
+
+    def hessian(self, x) -> np.ndarray:
+        return self._weight * self._base.hessian(x)
+
+    def argmin_set(self) -> ArgminSet:
+        # Positive scaling preserves minimizers.
+        return self._base.argmin_set()
+
+
+class SumCost(CostFunction):
+    """Aggregate cost ``Σ_i Q_i`` of a non-empty collection of costs.
+
+    When every member is quadratic the sum is itself assembled into a
+    :class:`QuadraticCost` internally so the exact argmin remains available.
+    """
+
+    def __init__(self, costs: Sequence[CostFunction]):
+        costs = list(costs)
+        if not costs:
+            raise InvalidParameterError("SumCost requires at least one cost")
+        dimension = costs[0].dimension
+        for cost in costs:
+            if cost.dimension != dimension:
+                raise DimensionMismatchError(
+                    "all member costs must share one dimension; "
+                    f"got {cost.dimension} vs {dimension}"
+                )
+        super().__init__(dimension)
+        self._costs = costs
+        self._quadratic = self._assemble_quadratic()
+
+    def _assemble_quadratic(self) -> Optional[QuadraticCost]:
+        flattened: List[CostFunction] = []
+        for cost in self._costs:
+            weight = 1.0
+            inner = cost
+            while isinstance(inner, ScaledCost):
+                weight *= inner.weight
+                inner = inner.base
+            if not isinstance(inner, QuadraticCost):
+                return None
+            flattened.append(ScaledCost(inner, weight) if weight != 1.0 else inner)
+        P = np.zeros((self.dimension, self.dimension))
+        q = np.zeros(self.dimension)
+        c = 0.0
+        for cost in flattened:
+            if isinstance(cost, ScaledCost):
+                quad = cost.base
+                w = cost.weight
+            else:
+                quad, w = cost, 1.0
+            P += w * quad.P
+            q += w * quad.q
+            c += w * quad.c
+        return QuadraticCost(P, q, c)
+
+    @property
+    def members(self) -> List[CostFunction]:
+        return list(self._costs)
+
+    @property
+    def is_quadratic(self) -> bool:
+        return self._quadratic is not None
+
+    def value(self, x) -> float:
+        if self._quadratic is not None:
+            return self._quadratic.value(x)
+        return float(sum(cost.value(x) for cost in self._costs))
+
+    def gradient(self, x) -> np.ndarray:
+        if self._quadratic is not None:
+            return self._quadratic.gradient(x)
+        x = self._check(x)
+        total = np.zeros(self.dimension)
+        for cost in self._costs:
+            total += cost.gradient(x)
+        return total
+
+    def hessian(self, x) -> np.ndarray:
+        if self._quadratic is not None:
+            return self._quadratic.hessian(x)
+        x = self._check(x)
+        total = np.zeros((self.dimension, self.dimension))
+        for cost in self._costs:
+            total += cost.hessian(x)
+        return total
+
+    def argmin_set(self) -> ArgminSet:
+        if self._quadratic is not None:
+            return self._quadratic.argmin_set()
+        raise NotImplementedError("sum of non-quadratic costs has no closed-form argmin")
+
+
+class MeanCost(ScaledCost):
+    """Average cost ``(1/m) Σ_i Q_i`` — same minimizers as the sum."""
+
+    def __init__(self, costs: Sequence[CostFunction]):
+        costs = list(costs)
+        if not costs:
+            raise InvalidParameterError("MeanCost requires at least one cost")
+        super().__init__(SumCost(costs), 1.0 / len(costs))
+
+
+def aggregate(costs: Iterable[CostFunction], indices: Optional[Iterable[int]] = None) -> SumCost:
+    """Form the subset aggregate ``Σ_{i ∈ indices} Q_i``.
+
+    ``indices=None`` aggregates every cost. This is the primitive the
+    redundancy definitions quantify over.
+    """
+    costs = list(costs)
+    if indices is None:
+        selected = costs
+    else:
+        selected = [costs[i] for i in indices]
+    return SumCost(selected)
+
+
+class SoftmaxCost(CostFunction):
+    """Multi-class softmax (cross-entropy) loss over a local dataset.
+
+    The decision variable is a flattened ``(K, p)`` weight matrix
+    (``dimension = K * p``); sample ``j`` with features ``z_j ∈ R^p`` and
+    label ``y_j ∈ {0..K-1}`` contributes ``−log softmax(W z_j)[y_j]``, plus
+    ``(reg/2) ||W||²``. Convex in ``W``; strictly so with ``reg > 0``.
+    """
+
+    def __init__(self, features, labels, num_classes: int, regularization: float = 0.0):
+        features = check_matrix(features, name="features")
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise DimensionMismatchError("labels must be 1-D, one per sample")
+        if features.shape[0] == 0:
+            raise InvalidParameterError("SoftmaxCost requires at least one sample")
+        num_classes = int(num_classes)
+        if num_classes < 2:
+            raise InvalidParameterError(f"num_classes must be >= 2, got {num_classes}")
+        labels = labels.astype(int)
+        if labels.min() < 0 or labels.max() >= num_classes:
+            raise InvalidParameterError("labels must lie in {0..K-1}")
+        if regularization < 0:
+            raise InvalidParameterError(
+                f"regularization must be non-negative, got {regularization}"
+            )
+        super().__init__(num_classes * features.shape[1])
+        self._Z = features
+        self._y = labels
+        self._K = num_classes
+        self._p = features.shape[1]
+        self._reg = float(regularization)
+
+    @property
+    def num_classes(self) -> int:
+        return self._K
+
+    @property
+    def num_features(self) -> int:
+        return self._p
+
+    def _weights(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(self._K, self._p)
+
+    def _log_probabilities(self, W: np.ndarray) -> np.ndarray:
+        scores = self._Z @ W.T  # (m, K)
+        scores -= scores.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(scores).sum(axis=1, keepdims=True))
+        return scores - log_norm
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        W = self._weights(x)
+        log_probs = self._log_probabilities(W)
+        nll = -log_probs[np.arange(self._y.shape[0]), self._y].mean()
+        return float(nll + 0.5 * self._reg * (x @ x))
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        W = self._weights(x)
+        probs = np.exp(self._log_probabilities(W))  # (m, K)
+        indicator = np.zeros_like(probs)
+        indicator[np.arange(self._y.shape[0]), self._y] = 1.0
+        grad_W = (probs - indicator).T @ self._Z / self._Z.shape[0]  # (K, p)
+        return grad_W.reshape(-1) + self._reg * x
+
+    def predict(self, x, features) -> np.ndarray:
+        """Class predictions for a feature matrix under parameters ``x``."""
+        x = self._check(x)
+        W = self._weights(x)
+        return np.argmax(np.asarray(features, dtype=float) @ W.T, axis=1)

@@ -1,0 +1,142 @@
+"""Non-differentiable costs — the full generality of the characterization.
+
+The paper's necessity/achievability characterization of exact
+fault-tolerance does **not** require differentiable costs; only the
+gradient-descent machinery of the second half does. This module provides
+the canonical non-smooth family — weighted absolute deviations
+``Q(x) = w · Σ_k |x_k − t_k|`` — together with the exact argmin machinery
+for their aggregates (per-coordinate weighted-median *intervals*, i.e.
+:class:`repro.core.geometry.AxisAlignedBox` argmin sets), so the
+redundancy checker and the subset-enumeration algorithm run on them in
+closed form, with no differentiability anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import ArgminSet, AxisAlignedBox, Singleton
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.utils.validation import check_vector
+
+
+class AbsoluteDeviationCost(CostFunction):
+    """Weighted L1 distance to a target: ``Q(x) = w · Σ_k |x_k − t_k|``.
+
+    Convex but non-differentiable at every kink; :meth:`gradient` returns a
+    *subgradient* (the sign vector, with 0 on kinks), which is sufficient
+    for subgradient methods but deliberately outside the smooth theory —
+    this family exists to exercise the non-differentiable reach of the
+    exact-fault-tolerance characterization.
+    """
+
+    def __init__(self, target, weight: float = 1.0):
+        target = check_vector(target, name="target")
+        if weight <= 0:
+            raise InvalidParameterError(f"weight must be positive, got {weight}")
+        super().__init__(target.shape[0])
+        self._target = target
+        self._weight = float(weight)
+
+    @property
+    def target(self) -> np.ndarray:
+        return self._target.copy()
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    def value(self, x) -> float:
+        x = self._check(x)
+        return self._weight * float(np.sum(np.abs(x - self._target)))
+
+    def gradient(self, x) -> np.ndarray:
+        """A subgradient: ``w · sign(x − t)`` (0 at kinks)."""
+        x = self._check(x)
+        return self._weight * np.sign(x - self._target)
+
+    def argmin_set(self) -> ArgminSet:
+        return Singleton(self._target)
+
+
+def weighted_median_interval(
+    values: Sequence[float], weights: Sequence[float]
+) -> Tuple[float, float]:
+    """The closed interval of minimizers of ``x ↦ Σ_i w_i |x − v_i|``.
+
+    A point ``x`` minimizes iff neither side holds a strict weight
+    majority: ``Σ_{v_i < x} w_i <= W/2`` and ``Σ_{v_i > x} w_i <= W/2``.
+    Returns ``(lo, hi)``; ``lo == hi`` when one value holds a strict
+    majority position.
+    """
+    values = np.asarray(list(values), dtype=float)
+    weights = np.asarray(list(weights), dtype=float)
+    if values.shape != weights.shape or values.ndim != 1 or values.size == 0:
+        raise InvalidParameterError("values and weights must be equal-length non-empty 1-D")
+    if np.any(weights <= 0):
+        raise InvalidParameterError("weights must be positive")
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = weights[order]
+    total = w.sum()
+    prefix = np.concatenate([[0.0], np.cumsum(w)])  # prefix[i] = weight of v[:i]
+    half = total / 2.0
+    eps = 1e-12 * max(total, 1.0)
+    # Candidate minimizers are the data points themselves; the argmin set is
+    # the convex hull of the minimizing points.
+    minimizers = [
+        v[i]
+        for i in range(v.size)
+        if prefix[i] <= half + eps and (total - prefix[i + 1]) <= half + eps
+    ]
+    if not minimizers:  # numerically impossible, but fail loudly
+        raise InvalidParameterError("weighted median computation found no minimizer")
+    return float(min(minimizers)), float(max(minimizers))
+
+
+def l1_aggregate_argmin(
+    costs: Sequence[CostFunction], indices: Optional[Sequence[int]] = None
+) -> ArgminSet:
+    """Exact argmin set of ``Σ_{i ∈ indices} Q_i`` for L1 costs.
+
+    The aggregate is coordinate-separable, so the argmin set is the
+    Cartesian product of per-coordinate weighted-median intervals — an
+    :class:`AxisAlignedBox` (a :class:`Singleton` when every interval is a
+    point).
+    """
+    costs = list(costs)
+    selected: List[AbsoluteDeviationCost] = (
+        costs if indices is None else [costs[i] for i in indices]
+    )
+    if not selected:
+        raise InvalidParameterError("cannot aggregate an empty subset")
+    for cost in selected:
+        if not isinstance(cost, AbsoluteDeviationCost):
+            raise InvalidParameterError(
+                "l1_aggregate_argmin requires AbsoluteDeviationCost members"
+            )
+    dimension = selected[0].dimension
+    lower = np.empty(dimension)
+    upper = np.empty(dimension)
+    weights = [cost.weight for cost in selected]
+    for k in range(dimension):
+        values = [cost.target[k] for cost in selected]
+        lower[k], upper[k] = weighted_median_interval(values, weights)
+    box = AxisAlignedBox(lower, upper)
+    if box.is_degenerate():
+        return Singleton(lower)
+    return box
+
+
+def l1_solver(costs: Sequence[CostFunction], subset) -> ArgminSet:
+    """Solver adapter for the redundancy/resilience machinery.
+
+    Pass as ``solver=`` to :func:`repro.core.redundancy.measure_redundancy_margin`,
+    :func:`repro.core.resilience.evaluate_resilience`, or
+    :class:`repro.core.exact_algorithm.SubsetEnumerationAlgorithm` to run
+    the exact theory on non-differentiable L1 costs in closed form.
+    """
+    return l1_aggregate_argmin(costs, indices=subset)

@@ -1,0 +1,178 @@
+"""Step-size schedules for (distributed) gradient descent.
+
+The paper's convergence analysis requires a *diminishing* step-size sequence
+satisfying the Robbins–Monro conditions ``Σ η_t = ∞`` and ``Σ η_t² < ∞``.
+Each schedule knows whether it satisfies these conditions so that the
+simulation can warn when an experiment is configured outside the theory.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+class StepSizeSchedule(abc.ABC):
+    """A map from iteration index ``t ∈ {0, 1, ...}`` to a step size ``η_t > 0``."""
+
+    @abc.abstractmethod
+    def __call__(self, t: int) -> float:
+        """Step size for iteration ``t``."""
+
+    @property
+    @abc.abstractmethod
+    def satisfies_robbins_monro(self) -> bool:
+        """Whether ``Σ η_t = ∞`` and ``Σ η_t² < ∞`` both hold."""
+
+    def _check_iteration(self, t: int) -> int:
+        t = int(t)
+        if t < 0:
+            raise InvalidParameterError(f"iteration index must be non-negative, got {t}")
+        return t
+
+
+class ConstantStepSize(StepSizeSchedule):
+    """``η_t = η`` for all ``t``.
+
+    Violates Robbins–Monro (``Σ η_t² = ∞``); convergence is then only to a
+    neighbourhood of the minimizer. Provided for ablations.
+    """
+
+    def __init__(self, eta: float):
+        eta = float(eta)
+        if eta <= 0:
+            raise InvalidParameterError(f"step size must be positive, got {eta}")
+        self._eta = eta
+
+    def __call__(self, t: int) -> float:
+        self._check_iteration(t)
+        return self._eta
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"ConstantStepSize({self._eta})"
+
+
+class DiminishingStepSize(StepSizeSchedule):
+    """Harmonic schedule ``η_t = c / (t + t0)``.
+
+    Satisfies Robbins–Monro: the harmonic series diverges while its squares
+    converge. This is the schedule the paper's experiments use.
+    """
+
+    def __init__(self, c: float = 1.0, t0: float = 1.0):
+        c = float(c)
+        t0 = float(t0)
+        if c <= 0:
+            raise InvalidParameterError(f"c must be positive, got {c}")
+        if t0 <= 0:
+            raise InvalidParameterError(f"t0 must be positive, got {t0}")
+        self._c = c
+        self._t0 = t0
+
+    @property
+    def c(self) -> float:
+        return self._c
+
+    @property
+    def t0(self) -> float:
+        return self._t0
+
+    def __call__(self, t: int) -> float:
+        t = self._check_iteration(t)
+        return self._c / (t + self._t0)
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"DiminishingStepSize(c={self._c}, t0={self._t0})"
+
+
+class PolynomialStepSize(StepSizeSchedule):
+    """``η_t = c / (t + t0)^p`` for an exponent ``p ∈ (0.5, 1]``.
+
+    The exponent window is exactly the Robbins–Monro-compatible range:
+    ``p > 0.5`` makes ``Σ η_t²`` finite, ``p <= 1`` keeps ``Σ η_t`` infinite.
+    Exponents outside the window are rejected rather than silently accepted.
+    """
+
+    def __init__(self, c: float = 1.0, power: float = 1.0, t0: float = 1.0):
+        c = float(c)
+        power = float(power)
+        t0 = float(t0)
+        if c <= 0:
+            raise InvalidParameterError(f"c must be positive, got {c}")
+        if not 0.5 < power <= 1.0:
+            raise InvalidParameterError(
+                f"power must lie in (0.5, 1] for Robbins-Monro, got {power}"
+            )
+        if t0 <= 0:
+            raise InvalidParameterError(f"t0 must be positive, got {t0}")
+        self._c = c
+        self._power = power
+        self._t0 = t0
+
+    def __call__(self, t: int) -> float:
+        t = self._check_iteration(t)
+        return self._c / (t + self._t0) ** self._power
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"PolynomialStepSize(c={self._c}, power={self._power}, t0={self._t0})"
+
+
+def suggest_diminishing(costs: Sequence, aggregation: str = "sum") -> "DiminishingStepSize":
+    """Curvature-adapted diminishing schedule for a family of costs.
+
+    Uses the classical strongly convex prescription ``η_t = c / (t + t0)``
+    with ``c = 1/γ`` and ``t0 = L/γ`` (so ``η_0 = 1/L``), where ``γ`` and
+    ``L`` are the extreme eigenvalues of the aggregate Hessian — the sum of
+    the local Hessians when the filter direction is a *sum* of gradients
+    (CGE), or their mean when it is an *average* (CWTM, plain averaging).
+
+    Parameters
+    ----------
+    costs:
+        Cost functions exposing ``hessian``; a cost without a Hessian makes
+        the suggestion fall back to a conservative fixed schedule.
+    aggregation:
+        ``"sum"`` or ``"mean"`` — the scale of the filter's output.
+    """
+    if aggregation not in ("sum", "mean"):
+        raise InvalidParameterError(
+            f"aggregation must be 'sum' or 'mean', got {aggregation!r}"
+        )
+    costs = list(costs)
+    if not costs:
+        raise InvalidParameterError("costs must be non-empty")
+    dimension = costs[0].dimension
+    total = np.zeros((dimension, dimension))
+    probe = np.zeros(dimension)
+    try:
+        for cost in costs:
+            total += cost.hessian(probe)
+    except NotImplementedError:
+        return DiminishingStepSize(c=0.1, t0=1.0)
+    if aggregation == "mean":
+        total /= len(costs)
+    eigenvalues = np.linalg.eigvalsh(total)
+    gamma = float(max(eigenvalues[0], 0.0))
+    smoothness = float(max(eigenvalues[-1], 0.0))
+    if smoothness <= 0.0:
+        return DiminishingStepSize(c=0.1, t0=1.0)
+    if gamma <= 1e-12 * smoothness:
+        # Merely convex aggregate: no 1/γ prescription; step at 1/L.
+        return DiminishingStepSize(c=1.0 / smoothness, t0=1.0)
+    return DiminishingStepSize(c=1.0 / gamma, t0=max(smoothness / gamma, 1.0))

@@ -1,0 +1,149 @@
+"""Stochastic gradient oracles — the SGD extension of the paper's setting.
+
+The PODC 2020 paper analyses exact (full) local gradients; the authors'
+follow-up work extends CGE to *stochastic* gradients (local minibatches).
+This module provides the two standard stochastic oracles so the library
+covers that extension:
+
+- :class:`NoisyGradientCost` — adds i.i.d. Gaussian noise to an exact
+  gradient (the abstract bounded-variance oracle of SGD analyses);
+- :class:`MinibatchCost` — dataset-backed: each gradient call draws a
+  fresh uniform minibatch of a finite dataset of quadratic residuals
+  (``Q(x) = mean_j (b_j − a_j·x)²``), the concrete oracle of empirical
+  risk minimization.
+
+Both report exact values (``value``/``hessian`` of the underlying full
+cost) so loss curves and theory constants stay well defined; only
+``gradient`` is stochastic. Draws come from a dedicated per-cost generator,
+so executions remain reproducible given the construction seed.
+
+With stochastic oracles the Robbins–Monro step-size conditions become
+*load-bearing*: gradient noise survives any aggregation rule, so a constant
+step stalls at an ``O(η·σ)`` noise ball while a diminishing schedule drives
+the error to zero — quantified by the A4 ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction, LeastSquaresCost
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_matrix, check_vector
+
+
+class NoisyGradientCost(CostFunction):
+    """Wrap a cost with an additive-Gaussian-noise gradient oracle.
+
+    Parameters
+    ----------
+    base:
+        The underlying (exact) cost.
+    noise_std:
+        Standard deviation of the isotropic gradient noise.
+    seed:
+        Dedicated noise stream.
+    """
+
+    def __init__(self, base: CostFunction, noise_std: float, seed: SeedLike = None):
+        if noise_std < 0:
+            raise InvalidParameterError(f"noise_std must be non-negative, got {noise_std}")
+        super().__init__(base.dimension)
+        self._base = base
+        self._noise_std = float(noise_std)
+        self._rng = ensure_rng(seed)
+
+    @property
+    def base(self) -> CostFunction:
+        return self._base
+
+    @property
+    def noise_std(self) -> float:
+        return self._noise_std
+
+    def value(self, x) -> float:
+        return self._base.value(x)
+
+    def gradient(self, x) -> np.ndarray:
+        exact = self._base.gradient(x)
+        if self._noise_std == 0.0:
+            return exact
+        return exact + self._rng.normal(scale=self._noise_std, size=self.dimension)
+
+    def exact_gradient(self, x) -> np.ndarray:
+        """The underlying noise-free gradient (for analysis)."""
+        return self._base.gradient(x)
+
+    def hessian(self, x) -> np.ndarray:
+        return self._base.hessian(x)
+
+    def argmin_set(self):
+        return self._base.argmin_set()
+
+
+class MinibatchCost(CostFunction):
+    """Least-squares empirical risk with minibatch gradient draws.
+
+    ``Q(x) = (1/m) Σ_j (b_j − a_j·x)²`` over a local dataset of ``m``
+    samples; each :meth:`gradient` call evaluates the gradient on a fresh
+    uniform minibatch (with replacement), giving an unbiased estimator
+    whose variance shrinks with the batch size.
+    """
+
+    def __init__(self, A, b, batch_size: int, seed: SeedLike = None):
+        A = check_matrix(A, name="A")
+        b = check_vector(b, dimension=A.shape[0], name="b")
+        if A.shape[0] == 0:
+            raise InvalidParameterError("MinibatchCost requires at least one sample")
+        batch_size = int(batch_size)
+        if batch_size <= 0:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+        super().__init__(A.shape[1])
+        self._A = A
+        self._b = b
+        self._batch_size = min(batch_size, A.shape[0])
+        self._rng = ensure_rng(seed)
+        self._full = LeastSquaresCost(A, b)
+        # Mean-scaled: value/gradient are per-sample averages.
+        self._scale = 1.0 / A.shape[0]
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def num_samples(self) -> int:
+        return self._A.shape[0]
+
+    def value(self, x) -> float:
+        return self._scale * self._full.value(x)
+
+    def gradient(self, x) -> np.ndarray:
+        x = self._check(x)
+        indices = self._rng.integers(0, self._A.shape[0], size=self._batch_size)
+        A = self._A[indices]
+        residual = A @ x - self._b[indices]
+        return (2.0 / self._batch_size) * (A.T @ residual)
+
+    def exact_gradient(self, x) -> np.ndarray:
+        """The full-dataset (mean) gradient."""
+        return self._scale * self._full.gradient(x)
+
+    def hessian(self, x) -> np.ndarray:
+        return self._scale * self._full.hessian(x)
+
+    def argmin_set(self):
+        return self._full.argmin_set()
+
+
+def with_gradient_noise(costs, noise_std: float, seed: SeedLike = 0):
+    """Wrap every cost in a family with independent noisy-gradient oracles."""
+    from repro.utils.rng import spawn_rngs
+
+    costs = list(costs)
+    streams = spawn_rngs(seed, len(costs))
+    return [
+        NoisyGradientCost(cost, noise_std, seed=stream)
+        for cost, stream in zip(costs, streams)
+    ]

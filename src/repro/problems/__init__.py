@@ -1,0 +1,50 @@
+"""Problem generators: the workloads the experiments run on.
+
+- :mod:`repro.problems.linear_regression` — the paper's evaluation workload:
+  distributed linear regression with 2f-redundancy *by design*;
+- :mod:`repro.problems.sensing` — distributed (linear) state estimation,
+  where 2f-redundancy coincides with 2f-sparse observability;
+- :mod:`repro.problems.learning` — synthetic distributed learning
+  (logistic / SVM) with controllable inter-agent data redundancy;
+- :mod:`repro.problems.meeting` — the introduction's quadratic
+  "meeting point" toy problem.
+"""
+
+from repro.problems.learning import (
+    LearningInstance,
+    label_flip_attack,
+    label_flipped_cost,
+    make_learning_instance,
+)
+from repro.problems.linear_regression import (
+    RegressionInstance,
+    make_redundant_regression,
+    paper_instance,
+)
+from repro.problems.meeting import MeetingInstance, make_meeting_instance
+from repro.problems.multiclass import MulticlassInstance, make_multiclass_instance
+from repro.problems.replication import (
+    ReplicatedInstance,
+    minimum_replication_degree,
+    replicate_cyclically,
+)
+from repro.problems.sensing import SensingInstance, make_sensing_instance
+
+__all__ = [
+    "RegressionInstance",
+    "make_redundant_regression",
+    "paper_instance",
+    "SensingInstance",
+    "make_sensing_instance",
+    "LearningInstance",
+    "make_learning_instance",
+    "label_flipped_cost",
+    "label_flip_attack",
+    "MeetingInstance",
+    "MulticlassInstance",
+    "make_multiclass_instance",
+    "ReplicatedInstance",
+    "replicate_cyclically",
+    "minimum_replication_degree",
+    "make_meeting_instance",
+]

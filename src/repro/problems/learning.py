@@ -1,0 +1,198 @@
+"""Synthetic distributed learning with controllable data redundancy.
+
+Two-class classification on Gaussian blobs. Each agent holds a local
+dataset; ``heterogeneity = 0`` gives every agent i.i.d. samples from the
+same distribution (the redundant regime where the paper's theory is
+strongest), while larger values skew each agent's class balance and shift
+its class means apart (breaking redundancy in a controlled way, mirroring
+the regression noise sweep at the learning level).
+
+Both logistic and smoothed-hinge (SVM) local costs are supported, plus the
+data-level *label-flip* poisoning used by the learning experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import (
+    CostFunction,
+    LogisticCost,
+    SmoothedHingeCost,
+)
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class LearningInstance:
+    """A generated distributed learning problem.
+
+    Attributes
+    ----------
+    features / labels:
+        Per-agent local datasets (``labels`` in ``{−1, +1}``).
+    costs:
+        Per-agent regularized loss functions.
+    test_features / test_labels:
+        A held-out i.i.d. test set from the *global* mixture used to score
+        accuracy.
+    """
+
+    features: List[np.ndarray]
+    labels: List[np.ndarray]
+    costs: List[CostFunction] = field(repr=False)
+    test_features: np.ndarray = field(repr=False, default=None)
+    test_labels: np.ndarray = field(repr=False, default=None)
+    loss: str = "logistic"
+    regularization: float = 0.01
+    heterogeneity: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self.features)
+
+    @property
+    def dimension(self) -> int:
+        return self.features[0].shape[1]
+
+    def accuracy(self, x) -> float:
+        """Test-set accuracy of the linear classifier ``sign(⟨x, z⟩)``."""
+        x = np.asarray(x, dtype=float)
+        scores = self.test_features @ x
+        predictions = np.where(scores >= 0.0, 1.0, -1.0)
+        return float(np.mean(predictions == self.test_labels))
+
+
+def _make_cost(features, labels, loss: str, regularization: float) -> CostFunction:
+    if loss == "logistic":
+        return LogisticCost(features, labels, regularization)
+    if loss == "hinge":
+        return SmoothedHingeCost(features, labels, regularization)
+    raise InvalidParameterError(f"loss must be 'logistic' or 'hinge', got {loss!r}")
+
+
+def make_learning_instance(
+    n: int,
+    d: int,
+    samples_per_agent: int = 50,
+    heterogeneity: float = 0.0,
+    margin: float = 2.0,
+    loss: str = "logistic",
+    regularization: float = 0.01,
+    test_samples: int = 1000,
+    seed: SeedLike = 0,
+) -> LearningInstance:
+    """Generate a distributed two-class learning problem.
+
+    Parameters
+    ----------
+    n, d:
+        Agents and feature dimension.
+    samples_per_agent:
+        Local dataset size.
+    heterogeneity:
+        ``0`` — all agents sample the same two-blob mixture (i.i.d. /
+        redundant). Positive values skew agent ``i``'s class prior toward
+        one class and displace its class means by an agent-specific offset
+        of that magnitude.
+    margin:
+        Separation between the two class means (along the first axis).
+    loss:
+        ``"logistic"`` or ``"hinge"``.
+    """
+    if n <= 0 or d <= 0:
+        raise InvalidParameterError(f"n and d must be positive, got n={n}, d={d}")
+    if samples_per_agent <= 1:
+        raise InvalidParameterError(
+            f"samples_per_agent must exceed 1, got {samples_per_agent}"
+        )
+    if heterogeneity < 0:
+        raise InvalidParameterError(f"heterogeneity must be non-negative, got {heterogeneity}")
+    rng = ensure_rng(seed)
+    agent_rngs = spawn_rngs(rng, n + 1)
+    test_rng = agent_rngs[-1]
+
+    base_positive = np.zeros(d)
+    base_positive[0] = margin / 2.0
+    base_negative = -base_positive
+
+    features: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    costs: List[CostFunction] = []
+    for i in range(n):
+        local_rng = agent_rngs[i]
+        offset = (
+            heterogeneity * local_rng.normal(size=d) if heterogeneity > 0 else np.zeros(d)
+        )
+        positive_prior = 0.5
+        if heterogeneity > 0:
+            positive_prior = float(np.clip(0.5 + 0.4 * np.tanh(heterogeneity) * (
+                1.0 if i % 2 == 0 else -1.0
+            ), 0.1, 0.9))
+        count_positive = int(round(samples_per_agent * positive_prior))
+        count_negative = samples_per_agent - count_positive
+        # Guarantee both classes appear so local costs stay informative.
+        count_positive = max(min(count_positive, samples_per_agent - 1), 1)
+        count_negative = samples_per_agent - count_positive
+        z_positive = local_rng.normal(size=(count_positive, d)) + base_positive + offset
+        z_negative = local_rng.normal(size=(count_negative, d)) + base_negative + offset
+        Z = np.vstack([z_positive, z_negative])
+        y = np.concatenate([np.ones(count_positive), -np.ones(count_negative)])
+        order = local_rng.permutation(samples_per_agent)
+        Z, y = Z[order], y[order]
+        features.append(Z)
+        labels.append(y)
+        costs.append(_make_cost(Z, y, loss, regularization))
+
+    half = test_samples // 2
+    test_positive = test_rng.normal(size=(half, d)) + base_positive
+    test_negative = test_rng.normal(size=(test_samples - half, d)) + base_negative
+    test_features = np.vstack([test_positive, test_negative])
+    test_labels = np.concatenate([np.ones(half), -np.ones(test_samples - half)])
+
+    return LearningInstance(
+        features=features,
+        labels=labels,
+        costs=costs,
+        test_features=test_features,
+        test_labels=test_labels,
+        loss=loss,
+        regularization=regularization,
+        heterogeneity=float(heterogeneity),
+    )
+
+
+def label_flipped_cost(instance: LearningInstance, agent: int) -> CostFunction:
+    """The cost agent ``agent`` would hold after label-flip poisoning.
+
+    Rebuilds the agent's local cost with every label negated — the
+    dataset-level poisoning that :func:`label_flip_attack` wires into a
+    :class:`repro.attacks.simple.CostSubstitution` behaviour.
+    """
+    if not 0 <= agent < instance.n:
+        raise InvalidParameterError(f"agent {agent} out of range")
+    return _make_cost(
+        instance.features[agent],
+        -instance.labels[agent],
+        instance.loss,
+        instance.regularization,
+    )
+
+
+def label_flip_attack(instance: LearningInstance, faulty_ids):
+    """The data-level label-flip attack for a learning instance.
+
+    Returns a :class:`repro.attacks.simple.CostSubstitution` behaviour under
+    which each faulty agent honestly reports gradients of its local cost
+    with every label flipped — poisoned *data*, correct *protocol*, the
+    fault model the redundancy theory (rather than outlier filtering) must
+    handle.
+    """
+    from repro.attacks.simple import CostSubstitution
+
+    substituted = {int(i): label_flipped_cost(instance, int(i)) for i in faulty_ids}
+    return CostSubstitution(substituted)

@@ -1,0 +1,87 @@
+"""The introduction's "meeting point" toy problem.
+
+Each agent sits at a location ``c_i`` and the cost of meeting at ``x`` is
+``Q_i(x) = w_i ||x − c_i||²``; the fault-free optimum is the weighted
+centroid. With identical locations the problem is maximally redundant
+(2f-redundant for every feasible ``f``); spread-out locations break
+redundancy, making this the simplest instructive example of the
+redundancy/fault-tolerance trade-off — it appears in the quickstart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_matrix
+
+
+@dataclass
+class MeetingInstance:
+    """A generated meeting-point problem."""
+
+    locations: np.ndarray
+    weights: np.ndarray
+    costs: List[TranslatedQuadratic] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return self.locations.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.locations.shape[1]
+
+    def honest_meeting_point(self, honest: Sequence[int]) -> np.ndarray:
+        """Weighted centroid of the honest agents' locations."""
+        honest = sorted(set(int(i) for i in honest))
+        if not honest:
+            raise InvalidParameterError("honest set must be non-empty")
+        w = self.weights[honest]
+        return (self.locations[honest] * w[:, None]).sum(axis=0) / w.sum()
+
+
+def make_meeting_instance(
+    n: int,
+    d: int = 2,
+    spread: float = 1.0,
+    weights: Optional[Sequence[float]] = None,
+    common_location=None,
+    seed: SeedLike = 0,
+) -> MeetingInstance:
+    """Generate a meeting-point instance.
+
+    Parameters
+    ----------
+    spread:
+        Standard deviation of agent locations around the common point;
+        ``0`` puts every agent at the same spot (exact redundancy).
+    common_location:
+        Center of the location cloud; defaults to the origin.
+    """
+    if n <= 0 or d <= 0:
+        raise InvalidParameterError(f"n and d must be positive, got n={n}, d={d}")
+    if spread < 0:
+        raise InvalidParameterError(f"spread must be non-negative, got {spread}")
+    rng = ensure_rng(seed)
+    center = np.zeros(d) if common_location is None else np.asarray(common_location, dtype=float)
+    if spread > 0:
+        locations = center + rng.normal(scale=spread, size=(n, d))
+    else:
+        locations = np.tile(center, (n, 1))
+    locations = check_matrix(locations, rows=n, cols=d, name="locations")
+    if weights is None:
+        weight_array = np.ones(n)
+    else:
+        weight_array = np.asarray(list(weights), dtype=float)
+        if weight_array.shape != (n,) or np.any(weight_array <= 0):
+            raise InvalidParameterError("weights must be n positive numbers")
+    costs = [
+        TranslatedQuadratic(locations[i], weight=float(weight_array[i])) for i in range(n)
+    ]
+    return MeetingInstance(locations=locations, weights=weight_array, costs=costs)

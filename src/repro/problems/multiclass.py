@@ -1,0 +1,131 @@
+"""Multi-class distributed learning (softmax regression on Gaussian blobs).
+
+Extends the binary learning generator to ``K`` classes: each agent holds a
+local dataset drawn from a common ``K``-blob mixture (i.i.d./redundant
+regime) or from an agent-skewed mixture (heterogeneous regime, where some
+classes are rare or absent locally — the severest practical redundancy
+violation, since an agent that never sees a class cannot vouch for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import SoftmaxCost
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class MulticlassInstance:
+    """A generated multi-class distributed learning problem."""
+
+    features: List[np.ndarray]
+    labels: List[np.ndarray]
+    costs: List[SoftmaxCost] = field(repr=False)
+    test_features: np.ndarray = field(repr=False, default=None)
+    test_labels: np.ndarray = field(repr=False, default=None)
+    num_classes: int = 3
+    regularization: float = 0.01
+    heterogeneity: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self.features)
+
+    @property
+    def num_features(self) -> int:
+        return self.features[0].shape[1]
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the flattened weight matrix ``(K · p)``."""
+        return self.num_classes * self.num_features
+
+    def accuracy(self, x) -> float:
+        """Test accuracy of the softmax classifier with parameters ``x``."""
+        predictions = self.costs[0].predict(x, self.test_features)
+        return float(np.mean(predictions == self.test_labels))
+
+
+def _class_means(num_classes: int, num_features: int, separation: float) -> np.ndarray:
+    """Well-separated class means on (a subspace of) a simplex-like layout."""
+    means = np.zeros((num_classes, num_features))
+    for k in range(num_classes):
+        means[k, k % num_features] = separation
+        if num_features > 1:
+            means[k, (k + 1) % num_features] = -0.5 * separation * ((-1) ** k)
+    return means
+
+
+def make_multiclass_instance(
+    n: int,
+    num_classes: int = 3,
+    num_features: int = 4,
+    samples_per_agent: int = 60,
+    heterogeneity: float = 0.0,
+    separation: float = 2.5,
+    regularization: float = 0.05,
+    test_samples: int = 1500,
+    seed: SeedLike = 0,
+) -> MulticlassInstance:
+    """Generate a ``K``-class distributed learning problem.
+
+    Parameters
+    ----------
+    heterogeneity:
+        ``0`` — every agent samples classes uniformly (redundant regime).
+        Positive — agent ``i``'s class distribution is tilted toward class
+        ``i mod K`` with Dirichlet-style concentration; at large values
+        most agents see one dominant class.
+    """
+    if n <= 0:
+        raise InvalidParameterError(f"n must be positive, got {n}")
+    if num_classes < 2:
+        raise InvalidParameterError(f"num_classes must be >= 2, got {num_classes}")
+    if samples_per_agent < num_classes:
+        raise InvalidParameterError(
+            "samples_per_agent must be at least num_classes so every local "
+            "dataset can be non-degenerate"
+        )
+    if heterogeneity < 0:
+        raise InvalidParameterError(f"heterogeneity must be non-negative, got {heterogeneity}")
+    rng = ensure_rng(seed)
+    streams = spawn_rngs(rng, n + 1)
+    test_rng = streams[-1]
+    means = _class_means(num_classes, num_features, separation)
+
+    features: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    costs: List[SoftmaxCost] = []
+    for i in range(n):
+        local = streams[i]
+        if heterogeneity > 0:
+            weights = np.ones(num_classes)
+            weights[i % num_classes] += heterogeneity * num_classes
+            probabilities = weights / weights.sum()
+        else:
+            probabilities = np.full(num_classes, 1.0 / num_classes)
+        y = local.choice(num_classes, size=samples_per_agent, p=probabilities)
+        Z = means[y] + local.normal(size=(samples_per_agent, num_features))
+        features.append(Z)
+        labels.append(y)
+        costs.append(SoftmaxCost(Z, y, num_classes, regularization))
+
+    test_labels = test_rng.integers(0, num_classes, size=test_samples)
+    test_features = means[test_labels] + test_rng.normal(
+        size=(test_samples, num_features)
+    )
+    return MulticlassInstance(
+        features=features,
+        labels=labels,
+        costs=costs,
+        test_features=test_features,
+        test_labels=test_labels,
+        num_classes=num_classes,
+        regularization=regularization,
+        heterogeneity=float(heterogeneity),
+    )

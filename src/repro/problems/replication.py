@@ -1,0 +1,141 @@
+"""Redundancy by design: achieving 2f-redundancy through data replication.
+
+The paper observes that 2f-redundancy "can be realized by design" in many
+applications. This module implements the canonical mechanism for the
+regression/sensing family: **cyclic replication**. Each observation row is
+stored at ``2f + 1`` consecutive agents (cyclically), and each agent's
+local cost becomes the least-squares cost over its stored rows.
+
+Why it works (noiseless case): an inner subset of the redundancy quantifier
+excludes at most ``2f`` agents, and each row has ``2f + 1`` holders, so at
+least one holder of *every* row survives into every quantified subset. The
+surviving aggregate therefore contains every row (with varying positive
+multiplicities) and — since the full system is consistent (``b = A x*``)
+and ``A`` has full column rank — minimizes uniquely at ``x*``. Hence every
+quantified subset has argmin ``{x*}``: exact 2f-redundancy, *regardless*
+of whether the original one-row-per-agent assignment satisfied the
+per-subset rank condition.
+
+The price is storage and gradient-computation cost: factor ``2f + 1`` per
+agent — the redundancy/resources trade-off quantified by experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import LeastSquaresCost
+from repro.problems.linear_regression import RegressionInstance
+from repro.utils.validation import check_fault_bound
+
+
+@dataclass
+class ReplicatedInstance:
+    """A regression instance after cyclic data replication.
+
+    Attributes
+    ----------
+    base:
+        The original one-row-per-agent instance.
+    replication_degree:
+        Number of agents holding each row (``2 f + 1``).
+    assignments:
+        ``assignments[i]`` — the row indices stored at agent ``i``.
+    costs:
+        Per-agent replicated least-squares costs.
+    """
+
+    base: RegressionInstance
+    replication_degree: int
+    assignments: List[List[int]]
+    costs: List[LeastSquaresCost] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return self.base.n
+
+    @property
+    def dimension(self) -> int:
+        return self.base.dimension
+
+    def storage_factor(self) -> float:
+        """Rows stored per agent relative to the unreplicated assignment."""
+        return float(self.replication_degree)
+
+    def honest_minimizer(self, honest) -> np.ndarray:
+        """Least-squares solution over the honest agents' *stored* rows.
+
+        Rows held by several honest agents are counted with their
+        multiplicity, matching the aggregate cost ``Σ_{i∈H} Q_i``.
+        """
+        honest = sorted(set(int(i) for i in honest))
+        if not honest:
+            raise InvalidParameterError("honest set must be non-empty")
+        rows = [r for i in honest for r in self.assignments[i]]
+        A = self.base.A[rows]
+        b = self.base.b[rows]
+        if np.linalg.matrix_rank(A) < self.dimension:
+            raise InvalidParameterError("honest stored rows are rank-deficient")
+        solution, *_ = np.linalg.lstsq(A, b, rcond=None)
+        return solution
+
+
+def replicate_cyclically(instance: RegressionInstance, f: int) -> ReplicatedInstance:
+    """Replicate each observation row at ``2f + 1`` cyclically-consecutive agents.
+
+    Parameters
+    ----------
+    instance:
+        A one-row-per-agent regression instance (``A`` is ``(n, d)``). The
+        stacked matrix must have full column rank (otherwise no assignment
+        can determine ``x``).
+    f:
+        The fault bound the replication must defend; requires
+        ``2 f + 1 <= n``.
+
+    Returns
+    -------
+    ReplicatedInstance
+        Agent ``i`` stores rows ``{i, i+1, ..., i+2f} mod n`` and its local
+        cost is the least-squares cost over those rows.
+    """
+    n = instance.n
+    check_fault_bound(n, f)
+    degree = 2 * f + 1
+    if degree > n:
+        raise InvalidParameterError(
+            f"replication degree 2f+1 = {degree} exceeds the number of agents {n}"
+        )
+    if np.linalg.matrix_rank(instance.A) < instance.dimension:
+        raise InvalidParameterError(
+            "the stacked observation matrix is rank-deficient; replication "
+            "cannot create information that is not there"
+        )
+    assignments: List[List[int]] = []
+    costs: List[LeastSquaresCost] = []
+    for i in range(n):
+        rows = [(i + k) % n for k in range(degree)]
+        assignments.append(rows)
+        costs.append(LeastSquaresCost(instance.A[rows], instance.b[rows]))
+    return ReplicatedInstance(
+        base=instance,
+        replication_degree=degree,
+        assignments=assignments,
+        costs=costs,
+    )
+
+
+def minimum_replication_degree(n: int, f: int) -> int:
+    """Smallest per-row replication degree guaranteeing 2f-redundancy.
+
+    A row missing from some quantified subset must have all its holders
+    among the ``2f`` excluded agents, so ``2f + 1`` holders suffice; with
+    only ``2f`` holders the adversarial exclusion exists whenever the
+    remaining rows do not already span (tight in general).
+    """
+    check_fault_bound(n, f)
+    return 2 * f + 1

@@ -1,0 +1,143 @@
+"""Distributed sensing / linear state estimation.
+
+A system state ``x* ∈ R^d`` is observed by ``n`` sensors; sensor ``i``
+measures ``y_i = H_i x* + noise`` through its own observation matrix ``H_i``
+(possibly multiple rows). Estimating ``x*`` despite ``f`` faulty sensors is
+the state-estimation application the paper cites: there, resilient
+estimation is possible iff the system is *2f-sparse observable* — the state
+is determined by every ``n − 2f`` sensors — which is exactly 2f-redundancy
+of the local costs ``Q_i(x) = ||y_i − H_i x||²``.
+
+The generator assigns each sensor a bundle of observation directions such
+that every ``(n − 2f)``-sensor union is full rank (built on the same Vandermonde
+construction as the regression generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import LeastSquaresCost
+from repro.problems.linear_regression import design_rows
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.subsets import iter_fixed_size_subsets
+from repro.utils.validation import check_fault_bound, check_vector
+
+
+@dataclass
+class SensingInstance:
+    """A generated distributed sensing problem.
+
+    Attributes
+    ----------
+    observation_matrices:
+        Per-sensor ``(rows_i, d)`` observation matrices ``H_i``.
+    observations:
+        Per-sensor measurement vectors ``y_i``.
+    x_star:
+        True system state.
+    costs:
+        Per-sensor least-squares costs.
+    """
+
+    observation_matrices: List[np.ndarray]
+    observations: List[np.ndarray]
+    x_star: np.ndarray
+    noise_std: float
+    costs: List[LeastSquaresCost] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.observation_matrices)
+
+    @property
+    def dimension(self) -> int:
+        return self.x_star.shape[0]
+
+    def is_sparse_observable(self, f: int) -> bool:
+        """Whether the system is 2f-sparse observable.
+
+        True iff the stacked observation matrix of every ``(n − 2f)``-sensor
+        subset has full column rank — the classical condition for resilient
+        state estimation, equivalent to 2f-redundancy of the sensing costs.
+        """
+        check_fault_bound(self.n, f)
+        size = self.n - 2 * f
+        for subset in iter_fixed_size_subsets(range(self.n), size):
+            stacked = np.vstack([self.observation_matrices[i] for i in subset])
+            if np.linalg.matrix_rank(stacked) < self.dimension:
+                return False
+        return True
+
+    def honest_state_estimate(self, honest: Sequence[int]) -> np.ndarray:
+        """Least-squares state estimate from the honest sensors' data."""
+        honest = sorted(set(int(i) for i in honest))
+        if not honest:
+            raise InvalidParameterError("honest set must be non-empty")
+        H = np.vstack([self.observation_matrices[i] for i in honest])
+        y = np.concatenate([self.observations[i] for i in honest])
+        estimate, *_ = np.linalg.lstsq(H, y, rcond=None)
+        return estimate
+
+
+def make_sensing_instance(
+    n: int,
+    d: int,
+    f: int,
+    rows_per_sensor: int = 1,
+    x_star=None,
+    noise_std: float = 0.0,
+    seed: SeedLike = 0,
+) -> SensingInstance:
+    """Generate a 2f-sparse-observable sensing instance.
+
+    Parameters
+    ----------
+    n, d, f:
+        Sensors, state dimension, fault bound; requires
+        ``(n − 2f) · rows_per_sensor >= d``.
+    rows_per_sensor:
+        Observation rows per sensor (partial observations when ``< d``).
+    noise_std:
+        Measurement-noise σ (``0`` keeps redundancy exact).
+    """
+    check_fault_bound(n, f)
+    if rows_per_sensor <= 0:
+        raise InvalidParameterError(
+            f"rows_per_sensor must be positive, got {rows_per_sensor}"
+        )
+    if (n - 2 * f) * rows_per_sensor < d:
+        raise InvalidParameterError(
+            "2f-sparse observability needs (n - 2f) * rows_per_sensor >= d; "
+            f"got n={n}, f={f}, rows={rows_per_sensor}, d={d}"
+        )
+    if noise_std < 0:
+        raise InvalidParameterError(f"noise_std must be non-negative, got {noise_std}")
+    x_star = (
+        np.ones(d) if x_star is None else check_vector(x_star, dimension=d, name="x_star")
+    )
+    # One global design matrix sliced into per-sensor bundles keeps the
+    # any-d-rows-independent property across sensor boundaries.
+    all_rows = design_rows(n * rows_per_sensor, d)
+    rng = ensure_rng(seed)
+    matrices: List[np.ndarray] = []
+    observations: List[np.ndarray] = []
+    costs: List[LeastSquaresCost] = []
+    for i in range(n):
+        H = all_rows[i * rows_per_sensor : (i + 1) * rows_per_sensor]
+        noise = rng.normal(scale=noise_std, size=rows_per_sensor) if noise_std > 0 else 0.0
+        y = H @ x_star + noise
+        matrices.append(H)
+        observations.append(np.atleast_1d(y))
+        costs.append(LeastSquaresCost(H, np.atleast_1d(y)))
+    return SensingInstance(
+        observation_matrices=matrices,
+        observations=observations,
+        x_star=x_star,
+        noise_std=float(noise_std),
+        costs=costs,
+    )

@@ -1,0 +1,37 @@
+"""Synchronous distributed-system substrate.
+
+Implements the paper's system model from scratch: a synchronous, round-based
+message-passing system in either the **server-based** architecture (trusted
+server, up to ``f`` Byzantine agents) or the **peer-to-peer** architecture
+(agents simulate the server via Byzantine broadcast, requiring ``f < n/3``).
+"""
+
+from repro.system.adversary import Adversary
+from repro.system.agents import Agent, CrashAgent, HonestAgent
+from repro.system.broadcast import BroadcastResult, EquivocatingSender, byzantine_broadcast
+from repro.system.messages import EstimateBroadcast, GradientMessage, Message
+from repro.system.network import DeliveryRecord, SynchronousNetwork
+from repro.system.peer_to_peer import PeerExecutionResult, run_peer_to_peer_dgd
+from repro.system.runner import DGDConfig, Trace, run_dgd
+from repro.system.server import DGDServer
+
+__all__ = [
+    "Message",
+    "EstimateBroadcast",
+    "GradientMessage",
+    "SynchronousNetwork",
+    "DeliveryRecord",
+    "Agent",
+    "HonestAgent",
+    "CrashAgent",
+    "Adversary",
+    "DGDServer",
+    "DGDConfig",
+    "Trace",
+    "run_dgd",
+    "byzantine_broadcast",
+    "BroadcastResult",
+    "EquivocatingSender",
+    "run_peer_to_peer_dgd",
+    "PeerExecutionResult",
+]

@@ -1,0 +1,117 @@
+"""The rushing omniscient adversary coordinating all Byzantine agents."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ByzantineBehavior
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.system.messages import EstimateBroadcast, GradientMessage
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class Adversary:
+    """Controls the faulty agents and forges their round messages.
+
+    The adversary is *rushing*: :meth:`forge_messages` receives the honest
+    agents' gradient messages of the current round before producing the
+    faulty ones, which is the strongest adversary the synchronous model
+    admits and therefore the right one to evaluate filters against.
+
+    Parameters
+    ----------
+    behavior:
+        The attack strategy.
+    faulty_ids:
+        Agent ids under adversarial control.
+    costs:
+        Optional map from faulty id to that agent's true cost function
+        (needed by behaviours such as gradient-reverse).
+    seed:
+        Adversary randomness.
+    silent_ids:
+        Subset of ``faulty_ids`` that stay silent instead of sending forged
+        gradients (exercises the server's elimination rule).
+    """
+
+    def __init__(
+        self,
+        behavior: ByzantineBehavior,
+        faulty_ids: Sequence[int],
+        costs: Optional[Dict[int, CostFunction]] = None,
+        seed: SeedLike = None,
+        silent_ids: Sequence[int] = (),
+    ):
+        self._behavior = behavior
+        self._faulty_ids = sorted(set(int(i) for i in faulty_ids))
+        if not self._faulty_ids and silent_ids:
+            raise InvalidParameterError("silent_ids must be a subset of faulty_ids")
+        self._costs = dict(costs or {})
+        self._rng = ensure_rng(seed)
+        self._silent_ids = set(int(i) for i in silent_ids)
+        if not self._silent_ids.issubset(self._faulty_ids):
+            raise InvalidParameterError("silent_ids must be a subset of faulty_ids")
+
+    @property
+    def faulty_ids(self) -> List[int]:
+        return list(self._faulty_ids)
+
+    @property
+    def behavior(self) -> ByzantineBehavior:
+        return self._behavior
+
+    def forge_messages(
+        self,
+        broadcast: EstimateBroadcast,
+        honest_messages: Sequence[GradientMessage],
+        active_faulty: Optional[Sequence[int]] = None,
+    ) -> List[GradientMessage]:
+        """Produce the faulty agents' messages for this round.
+
+        Parameters
+        ----------
+        broadcast:
+            The server's estimate broadcast (the adversary receives it like
+            everyone else).
+        honest_messages:
+            The honest gradient messages of this round, observed before
+            speaking (rushing).
+        active_faulty:
+            Faulty ids still in the system (the server may have eliminated
+            some); defaults to all controlled ids.
+        """
+        active = (
+            self._faulty_ids
+            if active_faulty is None
+            else sorted(set(int(i) for i in active_faulty) & set(self._faulty_ids))
+        )
+        speaking = [i for i in active if i not in self._silent_ids]
+        if not speaking:
+            return []
+        honest_ids = [message.sender for message in honest_messages]
+        honest_gradients = (
+            np.stack([message.gradient for message in honest_messages])
+            if honest_messages
+            else np.zeros((0, broadcast.estimate.shape[0]))
+        )
+        context = AttackContext(
+            round_index=broadcast.round_index,
+            estimate=broadcast.estimate,
+            honest_gradients=honest_gradients,
+            honest_ids=honest_ids,
+            faulty_ids=speaking,
+            faulty_costs=[self._costs.get(i) for i in speaking],
+            rng=self._rng,
+        )
+        forged = self._behavior(context)
+        return [
+            GradientMessage(
+                sender=agent_id,
+                round_index=broadcast.round_index,
+                gradient=forged[row],
+            )
+            for row, agent_id in enumerate(speaking)
+        ]

@@ -1,0 +1,103 @@
+"""Agent processes of the server-based protocol."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.system.messages import EstimateBroadcast, GradientMessage
+from repro.utils.validation import check_probability
+
+
+class Agent(abc.ABC):
+    """A protocol participant identified by an integer id."""
+
+    def __init__(self, agent_id: int):
+        agent_id = int(agent_id)
+        if agent_id < 0:
+            raise InvalidParameterError(f"agent_id must be non-negative, got {agent_id}")
+        self._agent_id = agent_id
+
+    @property
+    def agent_id(self) -> int:
+        return self._agent_id
+
+    @abc.abstractmethod
+    def on_estimate(self, broadcast: EstimateBroadcast) -> Optional[GradientMessage]:
+        """React to the server's estimate; ``None`` models silence."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self._agent_id})"
+
+
+class HonestAgent(Agent):
+    """Follows the protocol: replies with its true local gradient."""
+
+    def __init__(self, agent_id: int, cost: CostFunction):
+        super().__init__(agent_id)
+        self._cost = cost
+
+    @property
+    def cost(self) -> CostFunction:
+        return self._cost
+
+    def on_estimate(self, broadcast: EstimateBroadcast) -> GradientMessage:
+        gradient = self._cost.gradient(broadcast.estimate)
+        return GradientMessage(
+            sender=self._agent_id,
+            round_index=broadcast.round_index,
+            gradient=gradient,
+        )
+
+
+class CrashAgent(Agent):
+    """An agent that permanently crashes at (or probabilistically after) a round.
+
+    Crash faults are a strict subset of Byzantine faults, so a crashed agent
+    counts against the fault budget ``f``; the synchronous server detects
+    the silence and eliminates the agent, as prescribed by the protocol.
+    """
+
+    def __init__(
+        self,
+        agent_id: int,
+        cost: CostFunction,
+        crash_round: Optional[int] = None,
+        crash_probability: float = 0.0,
+        rng=None,
+    ):
+        super().__init__(agent_id)
+        if crash_round is not None and crash_round < 0:
+            raise InvalidParameterError(f"crash_round must be non-negative, got {crash_round}")
+        check_probability(crash_probability, name="crash_probability")
+        if crash_probability > 0 and rng is None:
+            raise InvalidParameterError("crash_probability > 0 requires an rng")
+        self._cost = cost
+        self._crash_round = crash_round
+        self._crash_probability = float(crash_probability)
+        self._rng = rng
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def on_estimate(self, broadcast: EstimateBroadcast) -> Optional[GradientMessage]:
+        if self._crashed:
+            return None
+        if self._crash_round is not None and broadcast.round_index >= self._crash_round:
+            self._crashed = True
+            return None
+        if self._crash_probability > 0 and self._rng.random() < self._crash_probability:
+            self._crashed = True
+            return None
+        gradient = self._cost.gradient(broadcast.estimate)
+        return GradientMessage(
+            sender=self._agent_id,
+            round_index=broadcast.round_index,
+            gradient=gradient,
+        )

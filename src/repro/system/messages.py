@@ -1,0 +1,90 @@
+"""Typed messages exchanged in the synchronous protocol.
+
+Keeping messages as explicit immutable objects (rather than passing raw
+arrays between functions) gives the simulator a faithful message-passing
+shape: every value that crosses the network is logged, counted, and can be
+inspected by tests and by the rushing adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+#: Conventional node id of the trusted server in the server-based architecture.
+SERVER_ID = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the origin (``SERVER_ID`` for the server).
+    round_index:
+        Synchronous round the message belongs to.
+    """
+
+    sender: int
+    round_index: int
+
+    def __post_init__(self):
+        if self.round_index < 0:
+            raise InvalidParameterError(
+                f"round_index must be non-negative, got {self.round_index}"
+            )
+
+    def size_bytes(self) -> int:
+        """Approximate wire size, used by the network's traffic accounting."""
+        return 16  # headers only; payload classes add their own.
+
+
+@dataclass(frozen=True)
+class EstimateBroadcast(Message):
+    """Server → agents: the current estimate ``x^t``."""
+
+    estimate: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        super().__post_init__()
+        estimate = np.asarray(self.estimate, dtype=float)
+        if estimate.ndim != 1:
+            raise InvalidParameterError(
+                f"estimate must be a 1-D vector, got shape {estimate.shape}"
+            )
+        if not np.all(np.isfinite(estimate)):
+            raise InvalidParameterError("estimate contains non-finite entries")
+        object.__setattr__(self, "estimate", estimate)
+
+    def size_bytes(self) -> int:
+        return 16 + 8 * self.estimate.shape[0]
+
+
+@dataclass(frozen=True)
+class GradientMessage(Message):
+    """Agent → server: the (claimed) local gradient at the broadcast estimate.
+
+    A Byzantine sender controls the payload bytes entirely, so — unlike
+    :class:`EstimateBroadcast`, which only the trusted server emits — the
+    gradient payload is *not* required to be finite here; the server-side
+    filter sanitizes it (see ``GradientFilter.sanitize``).
+    """
+
+    gradient: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        super().__post_init__()
+        gradient = np.asarray(self.gradient, dtype=float)
+        if gradient.ndim != 1:
+            raise InvalidParameterError(
+                f"gradient must be a 1-D vector, got shape {gradient.shape}"
+            )
+        object.__setattr__(self, "gradient", gradient)
+
+    def size_bytes(self) -> int:
+        return 16 + 8 * self.gradient.shape[0]

@@ -1,0 +1,317 @@
+"""End-to-end execution of the server-based filtered DGD protocol.
+
+:func:`run_dgd` wires together cost functions, honest agents, the rushing
+adversary, the synchronous network, and the server, and records a full
+:class:`Trace` of the execution for the analysis and experiment layers.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.registry import make_filter
+from repro.attacks.base import ByzantineBehavior
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import CostFunction
+from repro.optimization.projections import BoxSet, ConvexSet
+from repro.optimization.step_sizes import (
+    DiminishingStepSize,
+    StepSizeSchedule,
+    suggest_diminishing,
+)
+from repro.system.adversary import Adversary
+from repro.system.agents import Agent, CrashAgent, HonestAgent
+from repro.system.messages import SERVER_ID, GradientMessage
+from repro.system.network import SynchronousNetwork
+from repro.system.server import DGDServer
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_vector
+
+
+@dataclass(frozen=True)
+class DGDConfig:
+    """Declarative configuration of one DGD execution.
+
+    Attributes
+    ----------
+    iterations:
+        Number of synchronous rounds ``T``.
+    gradient_filter:
+        A :class:`GradientFilter` instance or a registry name.
+    faulty_ids:
+        Agents under adversarial control (must number at most ``f``).
+    f:
+        Fault bound announced to the server; defaults to ``len(faulty_ids)``.
+    x0:
+        Initial estimate; defaults to the origin.
+    step_sizes:
+        Schedule; defaults to ``DiminishingStepSize(c=0.02)`` matching the
+        regression experiments' scale.
+    projection:
+        The compact set ``W``; defaults to a large centered box.
+    seed:
+        Master seed from which agent/adversary/network streams derive.
+    record_messages:
+        Keep the network's delivery log (memory-heavy for long runs).
+    crash_rounds:
+        Optional map ``agent_id → round`` of *crash faults*: the agent
+        follows the protocol until that round, then goes permanently
+        silent. Crash faults are (benign) Byzantine faults, so each crashed
+        agent counts against ``f``; the server detects the silence and
+        eliminates the agent.
+    """
+
+    iterations: int = 500
+    gradient_filter: Union[GradientFilter, str] = "cge"
+    faulty_ids: Sequence[int] = ()
+    f: Optional[int] = None
+    x0: Optional[Sequence[float]] = None
+    step_sizes: Optional[StepSizeSchedule] = None
+    projection: Optional[ConvexSet] = None
+    seed: SeedLike = 0
+    record_messages: bool = False
+    box_half_width: float = 1000.0
+    crash_rounds: Optional[Dict[int, int]] = None
+
+    def resolved_f(self) -> int:
+        crash_count = len(self.crash_rounds or {})
+        if self.f is not None:
+            return int(self.f)
+        return len(tuple(self.faulty_ids)) + crash_count
+
+
+@dataclass
+class Trace:
+    """Recorded execution of one DGD run.
+
+    Attributes
+    ----------
+    estimates:
+        ``(T + 1, d)`` array: ``estimates[t]`` is ``x^t`` (row 0 is the
+        initial estimate).
+    directions:
+        ``(T, d)`` array of post-filter directions.
+    honest_ids:
+        The honest agents of the execution.
+    faulty_ids:
+        The Byzantine agents of the execution.
+    eliminated:
+        Agents the server eliminated for silence (subset of faulty).
+    wall_time:
+        Execution wall-clock seconds.
+    messages_delivered / bytes_delivered:
+        Network accounting totals.
+    """
+
+    estimates: np.ndarray
+    directions: np.ndarray
+    honest_ids: List[int]
+    faulty_ids: List[int]
+    eliminated: List[int]
+    wall_time: float
+    messages_delivered: int
+    bytes_delivered: int
+    filter_name: str
+    crash_ids: List[int] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        return self.estimates.shape[0] - 1
+
+    @property
+    def dimension(self) -> int:
+        return self.estimates.shape[1]
+
+    @property
+    def final_estimate(self) -> np.ndarray:
+        return self.estimates[-1].copy()
+
+    def distances_to(self, point) -> np.ndarray:
+        """``||x^t − point||`` for every recorded round."""
+        point = check_vector(point, dimension=self.dimension, name="point")
+        return np.linalg.norm(self.estimates - point, axis=1)
+
+    def losses(self, costs: Sequence[CostFunction], ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Aggregate loss ``Σ_{i ∈ ids} Q_i(x^t)`` per round (honest loss by default)."""
+        selected = self.honest_ids if ids is None else list(ids)
+        values = np.zeros(self.estimates.shape[0])
+        for index in selected:
+            cost = costs[index]
+            values += np.array([cost.value(x) for x in self.estimates])
+        return values
+
+
+def _default_schedule(
+    costs: Sequence[CostFunction], gradient_filter: GradientFilter
+) -> StepSizeSchedule:
+    """Curvature-adapted schedule matched to the filter's output scale.
+
+    CGE (in its paper form) and plain summation output a *sum* of
+    gradients; everything else in the registry outputs a mean-scale vector.
+    """
+    from repro.aggregators.cge import ComparativeGradientElimination
+    from repro.aggregators.mean import TrimmedSum
+
+    sum_scaled = isinstance(gradient_filter, TrimmedSum) or (
+        isinstance(gradient_filter, ComparativeGradientElimination)
+        and gradient_filter.mode == "sum"
+    )
+    return suggest_diminishing(costs, aggregation="sum" if sum_scaled else "mean")
+
+
+def run_dgd(
+    costs: Sequence[CostFunction],
+    behavior: Optional[ByzantineBehavior] = None,
+    config: Optional[DGDConfig] = None,
+    **config_overrides,
+) -> Trace:
+    """Execute the server-based filtered DGD protocol.
+
+    Parameters
+    ----------
+    costs:
+        All ``n`` agents' cost functions. Faulty agents' entries are their
+        *true* costs, which behaviours like gradient-reverse corrupt.
+    behavior:
+        Byzantine strategy; required when ``config.faulty_ids`` is
+        non-empty.
+    config:
+        Execution configuration; keyword overrides are applied on top
+        (e.g. ``run_dgd(costs, atk, iterations=100)``).
+
+    Returns
+    -------
+    Trace
+        The recorded execution.
+    """
+    if config is None:
+        config = DGDConfig()
+    if config_overrides:
+        config = DGDConfig(**{**config.__dict__, **config_overrides})
+
+    costs = list(costs)
+    n = len(costs)
+    if n == 0:
+        raise InvalidParameterError("at least one agent required")
+    dimension = costs[0].dimension
+    for index, cost in enumerate(costs):
+        if cost.dimension != dimension:
+            raise InvalidParameterError(
+                f"cost {index} has dimension {cost.dimension}, expected {dimension}"
+            )
+    faulty_ids = sorted(set(int(i) for i in config.faulty_ids))
+    if any(i < 0 or i >= n for i in faulty_ids):
+        raise InvalidParameterError("faulty_ids out of range")
+    crash_rounds = {int(k): int(v) for k, v in (config.crash_rounds or {}).items()}
+    if any(i < 0 or i >= n for i in crash_rounds):
+        raise InvalidParameterError("crash_rounds agent ids out of range")
+    if set(crash_rounds) & set(faulty_ids):
+        raise InvalidParameterError(
+            "an agent cannot be both adversarial (faulty_ids) and crash-faulty"
+        )
+    f = config.resolved_f()
+    if len(faulty_ids) + len(crash_rounds) > f:
+        raise InvalidParameterError(
+            f"{len(faulty_ids) + len(crash_rounds)} faulty agents exceed the "
+            f"announced bound f={f}"
+        )
+    if faulty_ids and behavior is None:
+        raise InvalidParameterError("faulty agents configured but no behavior given")
+
+    master = ensure_rng(config.seed)
+    adversary_rng, network_rng = spawn_rngs(master, 2)
+
+    gradient_filter = config.gradient_filter
+    if isinstance(gradient_filter, str):
+        gradient_filter = make_filter(gradient_filter, f=f)
+
+    step_sizes = config.step_sizes or _default_schedule(costs, gradient_filter)
+    if not step_sizes.satisfies_robbins_monro:
+        warnings.warn(
+            "step-size schedule violates the Robbins-Monro conditions; the "
+            "convergence theorem does not apply",
+            stacklevel=2,
+        )
+    projection = config.projection or BoxSet.centered(dimension, config.box_half_width)
+    if not projection.is_compact:
+        warnings.warn(
+            "projection set is not compact; the convergence theorem requires "
+            "a compact convex W",
+            stacklevel=2,
+        )
+    x0 = (
+        np.zeros(dimension)
+        if config.x0 is None
+        else check_vector(config.x0, dimension=dimension, name="x0")
+    )
+
+    # "honest" here means neither adversarial nor crash-faulty; crash agents
+    # follow the protocol until their crash round but count against f.
+    honest_ids = [i for i in range(n) if i not in faulty_ids and i not in crash_rounds]
+    agents: Dict[int, Agent] = {i: HonestAgent(i, costs[i]) for i in honest_ids}
+    for i, crash_round in crash_rounds.items():
+        agents[i] = CrashAgent(i, costs[i], crash_round=crash_round)
+    adversary = (
+        Adversary(
+            behavior,
+            faulty_ids,
+            costs={i: costs[i] for i in faulty_ids},
+            seed=adversary_rng,
+        )
+        if faulty_ids
+        else None
+    )
+    network = SynchronousNetwork(rng=network_rng)
+    server = DGDServer.with_fixed_filter(
+        gradient_filter, step_sizes, projection, x0, n=n, f=f
+    )
+
+    estimates = np.empty((config.iterations + 1, dimension))
+    directions = np.empty((config.iterations, dimension))
+    estimates[0] = server.estimate
+
+    start = time.perf_counter()
+    for t in range(config.iterations):
+        broadcast = server.make_broadcast()
+        active = set(server.active_agents)
+        delivered = network.broadcast(broadcast, sorted(active))
+        honest_replies: List[GradientMessage] = []
+        for agent_id in sorted(active & set(agents)):
+            if agent_id not in delivered:
+                continue
+            reply = agents[agent_id].on_estimate(delivered[agent_id])
+            if reply is not None:
+                honest_replies.append(reply)
+        forged: List[GradientMessage] = []
+        if adversary is not None:
+            active_faulty = sorted(active & set(faulty_ids))
+            if active_faulty:
+                forged = adversary.forge_messages(
+                    broadcast, honest_replies, active_faulty=active_faulty
+                )
+        inbound = network.gather(honest_replies + forged, SERVER_ID)
+        server.step(inbound)
+        estimates[t + 1] = server.estimate
+        directions[t] = server.last_direction
+    elapsed = time.perf_counter() - start
+
+    return Trace(
+        estimates=estimates,
+        directions=directions,
+        honest_ids=honest_ids,
+        faulty_ids=faulty_ids,
+        eliminated=server.eliminated_agents,
+        wall_time=elapsed,
+        messages_delivered=network.messages_delivered,
+        bytes_delivered=network.bytes_delivered,
+        filter_name=getattr(gradient_filter, "name", type(gradient_filter).__name__),
+        crash_ids=sorted(crash_rounds),
+        extra={"network_log": network.log} if config.record_messages else {},
+    )

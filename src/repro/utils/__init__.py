@@ -1,0 +1,30 @@
+"""Shared low-level helpers: RNG handling, validation, subset enumeration."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.subsets import (
+    count_redundancy_pairs,
+    iter_fixed_size_subsets,
+    iter_redundancy_pairs,
+    sample_fixed_size_subsets,
+)
+from repro.utils.validation import (
+    check_fault_bound,
+    check_matrix,
+    check_probability,
+    check_vector,
+    require,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "iter_fixed_size_subsets",
+    "sample_fixed_size_subsets",
+    "iter_redundancy_pairs",
+    "count_redundancy_pairs",
+    "require",
+    "check_vector",
+    "check_matrix",
+    "check_probability",
+    "check_fault_bound",
+]

@@ -1,0 +1,62 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or an
+existing :class:`numpy.random.Generator`. Centralizing the coercion here
+keeps experiment scripts reproducible: a single integer seed at the top of a
+script deterministically derives every stream used below it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, a ``SeedSequence``,
+        or an existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Used to give every simulated agent its own stream so that adding or
+    removing one agent does not perturb the randomness seen by the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # A Generator cannot be split reproducibly; derive children from its
+        # own bit stream instead.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from ``rng`` (for logging / replay)."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def default_seed() -> Optional[int]:
+    """The library-wide default seed used by examples and benches."""
+    return 20200803  # PODC 2020 took place August 3-7, 2020.

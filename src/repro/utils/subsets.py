@@ -1,0 +1,122 @@
+"""Subset enumeration used by the redundancy and resilience machinery.
+
+The 2f-redundancy property (Definition 1 of the paper) quantifies over pairs
+of agent subsets ``(S, Ŝ)`` with ``|S| = n - f``, ``Ŝ ⊆ S`` and
+``|Ŝ| >= n - 2f``. This module provides exhaustive iteration over these
+pairs for small systems and reproducible random sampling for larger ones.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+Subset = Tuple[int, ...]
+
+
+def iter_fixed_size_subsets(items: Sequence[int], size: int) -> Iterator[Subset]:
+    """Yield all subsets of ``items`` with exactly ``size`` elements.
+
+    Subsets are emitted in lexicographic order of their (sorted) index
+    tuples, which makes downstream reports deterministic.
+    """
+    if size < 0:
+        raise InvalidParameterError(f"subset size must be non-negative, got {size}")
+    if size > len(items):
+        return iter(())
+    return combinations(sorted(items), size)
+
+
+def sample_fixed_size_subsets(
+    items: Sequence[int], size: int, count: int, seed: SeedLike = None
+) -> List[Subset]:
+    """Draw ``count`` distinct random subsets of the given ``size``.
+
+    Falls back to exhaustive enumeration when the population of subsets is
+    no larger than ``count``.
+    """
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+    total = comb(len(items), size) if size <= len(items) else 0
+    if total <= count:
+        return list(iter_fixed_size_subsets(items, size))
+    rng = ensure_rng(seed)
+    chosen = set()
+    ordered: List[Subset] = []
+    items = sorted(items)
+    # Rejection sampling; collision probability is negligible until count
+    # approaches total, which the branch above already excludes.
+    while len(ordered) < count:
+        subset = tuple(sorted(rng.choice(len(items), size=size, replace=False)))
+        subset = tuple(items[i] for i in subset)
+        if subset not in chosen:
+            chosen.add(subset)
+            ordered.append(subset)
+    return ordered
+
+
+def iter_redundancy_pairs(
+    n: int, f: int, minimum_inner: int = None
+) -> Iterator[Tuple[Subset, Subset]]:
+    """Yield every pair ``(S, Ŝ)`` quantified by the 2f-redundancy property.
+
+    Parameters
+    ----------
+    n:
+        Total number of agents, indexed ``0 .. n-1``.
+    f:
+        Fault bound.
+    minimum_inner:
+        Minimum size of the inner subset ``Ŝ``; defaults to ``n - 2f`` as in
+        Definition 1. Pairs are produced for every ``|Ŝ|`` from this minimum
+        up to ``n - f - 1`` (the proper-subset sizes) plus the trivial
+        ``Ŝ = S`` pair is skipped since it is vacuous.
+
+    Yields
+    ------
+    (S, Ŝ):
+        Tuples of agent indices with ``Ŝ ⊂ S``.
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be non-negative, got {f}")
+    if n <= 0:
+        raise InvalidParameterError(f"n must be positive, got {n}")
+    outer_size = n - f
+    inner_min = n - 2 * f if minimum_inner is None else minimum_inner
+    inner_min = max(inner_min, 1)
+    agents = range(n)
+    for outer in iter_fixed_size_subsets(agents, outer_size):
+        for inner_size in range(inner_min, outer_size):
+            for inner in iter_fixed_size_subsets(outer, inner_size):
+                yield outer, inner
+
+
+def count_redundancy_pairs(n: int, f: int) -> int:
+    """Number of pairs :func:`iter_redundancy_pairs` will yield.
+
+    Useful to decide between exhaustive checking and sampling before
+    starting an expensive enumeration.
+    """
+    outer_size = n - f
+    inner_min = max(n - 2 * f, 1)
+    per_outer = sum(comb(outer_size, k) for k in range(inner_min, outer_size))
+    return comb(n, outer_size) * per_outer
+
+
+def restrict_pairs_to_minimal(
+    pairs: Iterable[Tuple[Subset, Subset]], n: int, f: int
+) -> Iterator[Tuple[Subset, Subset]]:
+    """Keep only pairs whose inner subset has the minimal size ``n - 2f``.
+
+    Checking the minimal-size subsets is sufficient for cost families whose
+    argmin is monotone under aggregation (e.g. consistent least squares),
+    and reduces the pair count substantially.
+    """
+    minimal = n - 2 * f
+    for outer, inner in pairs:
+        if len(inner) == minimal:
+            yield outer, inner

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.linear_regression import make_redundant_regression, paper_instance
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """The n=6, f=1, d=2 regression instance with small noise."""
+    return paper_instance()
+
+
+@pytest.fixture(scope="session")
+def noiseless():
+    """A noiseless (exactly 2f-redundant) n=6, f=1, d=2 instance."""
+    return make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def paper_honest_minimizer(paper):
+    return paper.honest_minimizer([1, 2, 3, 4, 5])

@@ -1,0 +1,94 @@
+"""Tests for the CGE gradient filter — the paper's aggregation rule."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.mean import TrimmedSum
+from repro.exceptions import InvalidParameterError
+
+
+class TestDefinition:
+    def test_sums_smallest_norm_gradients(self):
+        gradients = np.array(
+            [[10.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, -2.0]]
+        )
+        cge = ComparativeGradientElimination(f=1)
+        # The (10, 0) row has the largest norm and is eliminated.
+        assert np.allclose(cge(gradients), [1.0, -1.0])
+
+    def test_eliminates_exactly_f(self):
+        gradients = np.array([[5.0], [4.0], [3.0], [2.0], [1.0]])
+        cge = ComparativeGradientElimination(f=2)
+        assert cge(gradients)[0] == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_f_zero_is_plain_sum(self):
+        rng = np.random.default_rng(0)
+        gradients = rng.normal(size=(6, 3))
+        cge = ComparativeGradientElimination(f=0)
+        assert np.allclose(cge(gradients), TrimmedSum(0)(gradients))
+
+    def test_mean_mode_rescales(self):
+        rng = np.random.default_rng(1)
+        gradients = rng.normal(size=(5, 2))
+        total = ComparativeGradientElimination(f=1, mode="sum")(gradients)
+        mean = ComparativeGradientElimination(f=1, mode="mean")(gradients)
+        assert np.allclose(mean, total / 4.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ComparativeGradientElimination(f=1, mode="max")
+
+
+class TestTieBreaking:
+    def test_ties_broken_by_agent_index(self):
+        # Equal norms: the lower-indexed agents are kept.
+        gradients = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        cge = ComparativeGradientElimination(f=1)
+        kept = cge.kept_indices(gradients)
+        assert list(kept) == [0, 1]
+
+    def test_deterministic_output_under_ties(self):
+        gradients = np.ones((4, 2))
+        cge = ComparativeGradientElimination(f=2)
+        assert np.allclose(cge(gradients), cge(gradients))
+
+
+class TestRobustnessProperties:
+    def test_large_byzantine_gradient_always_eliminated(self):
+        rng = np.random.default_rng(2)
+        honest = rng.normal(size=(5, 3))
+        attack = 1e6 * np.ones((1, 3))
+        gradients = np.vstack([attack, honest])
+        cge = ComparativeGradientElimination(f=1)
+        assert 0 not in cge.kept_indices(gradients)
+
+    def test_output_norm_bounded_by_kept_norms(self):
+        # ||CGE(...)|| <= (n - f) * max kept norm <= (n - f) * (n-f)-th norm.
+        rng = np.random.default_rng(3)
+        gradients = rng.normal(size=(7, 4))
+        cge = ComparativeGradientElimination(f=2)
+        norms = np.sort(np.linalg.norm(gradients, axis=1))
+        assert np.linalg.norm(cge(gradients)) <= 5 * norms[4] + 1e-12
+
+    def test_nan_payload_does_not_crash_and_is_eliminated(self):
+        honest = np.ones((4, 2))
+        gradients = np.vstack([[[np.nan, np.inf]], honest])
+        cge = ComparativeGradientElimination(f=1)
+        out = cge(gradients)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, [4.0, 4.0])
+
+
+class TestValidation:
+    def test_too_few_inputs_rejected(self):
+        cge = ComparativeGradientElimination(f=3)
+        with pytest.raises(InvalidParameterError):
+            cge(np.ones((3, 2)))
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ComparativeGradientElimination(f=-1)
+
+    def test_repr_mentions_mode(self):
+        assert "sum" in repr(ComparativeGradientElimination(f=1))

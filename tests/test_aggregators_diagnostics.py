@@ -1,0 +1,95 @@
+"""Tests for the recording/diagnostics filter wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.diagnostics import RecordingFilter
+from repro.aggregators.mean import Average
+from repro.attacks.simple import GradientReverse, RandomGaussian, ZeroGradient
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+
+
+class TestTransparency:
+    def test_output_matches_inner_filter(self):
+        rng = np.random.default_rng(0)
+        gradients = rng.normal(size=(6, 3))
+        inner = ComparativeGradientElimination(f=1)
+        recording = RecordingFilter(ComparativeGradientElimination(f=1))
+        assert np.allclose(recording(gradients), inner(gradients))
+
+    def test_f_and_minimum_inputs_delegate(self):
+        recording = RecordingFilter(ComparativeGradientElimination(f=2))
+        assert recording.f == 2
+        assert recording.minimum_inputs() == 3
+
+
+class TestRecording:
+    def test_records_one_entry_per_call(self):
+        recording = RecordingFilter(Average())
+        for _ in range(4):
+            recording(np.ones((3, 2)))
+        assert len(recording.records) == 4
+        assert recording.records[2].round_index == 2
+        assert recording.records[0].num_inputs == 3
+
+    def test_cge_kept_rows_recorded(self):
+        recording = RecordingFilter(ComparativeGradientElimination(f=1))
+        gradients = np.vstack([np.ones((4, 2)), [[100.0, 100.0]]])
+        recording(gradients)
+        kept = recording.records[0].kept_rows
+        assert kept is not None
+        assert 4 not in kept  # the big row was cut
+
+    def test_non_cge_has_no_kept_rows(self):
+        recording = RecordingFilter(Average())
+        recording(np.ones((3, 2)))
+        assert recording.records[0].kept_rows is None
+        assert np.isnan(recording.survival_fraction(0))
+
+    def test_reset_clears(self):
+        recording = RecordingFilter(Average())
+        recording(np.ones((3, 2)))
+        recording.reset()
+        assert recording.records == []
+
+    def test_output_norm_series(self):
+        recording = RecordingFilter(Average())
+        recording(np.ones((3, 2)))
+        recording(2 * np.ones((3, 2)))
+        series = recording.output_norm_series()
+        assert series.shape == (2,)
+        assert series[1] == pytest.approx(2 * series[0])
+
+
+class TestSurvivalAnalysis:
+    def test_large_random_attack_never_survives_cge(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        recording = RecordingFilter(ComparativeGradientElimination(f=1))
+        run_dgd(
+            instance.costs, RandomGaussian(scale=200.0), faulty_ids=[0],
+            gradient_filter=recording, iterations=150, seed=0,
+        )
+        # Sorted sender ids put the faulty agent 0 in row 0.
+        assert recording.survival_fraction(0) < 0.05
+
+    def test_zero_attack_always_survives_cge(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        recording = RecordingFilter(ComparativeGradientElimination(f=1))
+        run_dgd(
+            instance.costs, ZeroGradient(), faulty_ids=[0],
+            gradient_filter=recording, iterations=150, seed=0,
+        )
+        assert recording.survival_fraction(0) == pytest.approx(1.0)
+
+    def test_gradient_reverse_survival_is_partial(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.02, seed=0)
+        recording = RecordingFilter(ComparativeGradientElimination(f=1))
+        run_dgd(
+            instance.costs, GradientReverse(), faulty_ids=[0],
+            gradient_filter=recording, iterations=300, seed=0,
+        )
+        fraction = recording.survival_fraction(0)
+        # The reversed gradient has an honest-scale norm: sometimes kept.
+        assert 0.0 < fraction < 1.0

@@ -1,0 +1,122 @@
+"""Tests for Krum, Multi-Krum, Bulyan, median-of-means, centered clipping."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.bulyan import Bulyan
+from repro.aggregators.clipping import CenteredClipping
+from repro.aggregators.krum import Krum, MultiKrum
+from repro.aggregators.mom import GeometricMedianOfMeans, MedianOfMeans
+from repro.exceptions import InvalidParameterError
+
+
+class TestKrum:
+    def test_selects_a_received_gradient(self):
+        rng = np.random.default_rng(0)
+        gradients = rng.normal(size=(6, 3))
+        out = Krum(f=1)(gradients)
+        assert any(np.allclose(out, g) for g in gradients)
+
+    def test_far_outlier_never_selected(self):
+        cluster = np.random.default_rng(1).normal(scale=0.1, size=(5, 2))
+        gradients = np.vstack([cluster, [[1e6, 0.0]]])
+        out = Krum(f=1)(gradients)
+        assert np.linalg.norm(out) < 10.0
+
+    def test_requires_f_plus_three(self):
+        with pytest.raises(InvalidParameterError):
+            Krum(f=2)(np.ones((4, 2)))
+
+
+class TestMultiKrum:
+    def test_averages_m_best(self):
+        cluster = np.zeros((5, 2))
+        gradients = np.vstack([cluster, [[100.0, 100.0]]])
+        out = MultiKrum(f=1, m=3)(gradients)
+        assert np.allclose(out, 0.0)
+
+    def test_default_m_is_n_minus_f(self):
+        rng = np.random.default_rng(2)
+        gradients = rng.normal(size=(6, 2))
+        explicit = MultiKrum(f=1, m=5)(gradients)
+        default = MultiKrum(f=1)(gradients)
+        assert np.allclose(explicit, default)
+
+    def test_invalid_m(self):
+        with pytest.raises(InvalidParameterError):
+            MultiKrum(f=1, m=0)
+
+
+class TestBulyan:
+    def test_requires_4f_plus_3(self):
+        with pytest.raises(InvalidParameterError):
+            Bulyan(f=1)(np.ones((6, 2)))
+
+    def test_output_in_input_coordinate_range(self):
+        rng = np.random.default_rng(3)
+        gradients = rng.normal(size=(8, 3))
+        out = Bulyan(f=1)(gradients)
+        assert np.all(out >= gradients.min(axis=0) - 1e-9)
+        assert np.all(out <= gradients.max(axis=0) + 1e-9)
+
+    def test_resists_outlier(self):
+        honest = np.random.default_rng(4).normal(scale=0.1, size=(7, 2))
+        gradients = np.vstack([honest, [[1e5, -1e5]]])
+        out = Bulyan(f=1)(gradients)
+        assert np.linalg.norm(out) < 5.0
+
+
+class TestMedianOfMeans:
+    def test_matches_median_of_group_means(self):
+        gradients = np.arange(12, dtype=float).reshape(6, 2)
+        out = MedianOfMeans(f=1, num_groups=3)(gradients)
+        group_means = gradients.reshape(3, 2, 2).mean(axis=1)
+        assert np.allclose(out, np.median(group_means, axis=0))
+
+    def test_outlier_confined_to_its_group(self):
+        honest = np.zeros((8, 2))
+        gradients = np.vstack([[[1e6, 1e6]], honest])
+        out = MedianOfMeans(f=1, num_groups=3)(gradients)
+        assert np.allclose(out, 0.0)
+
+    def test_too_few_groups_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MedianOfMeans(f=2, num_groups=3)(np.ones((8, 2)))
+
+    def test_gmom_variant(self):
+        rng = np.random.default_rng(5)
+        gradients = rng.normal(size=(9, 2))
+        out = GeometricMedianOfMeans(f=1, num_groups=3)(gradients)
+        assert out.shape == (2,)
+        assert np.all(np.isfinite(out))
+
+
+class TestCenteredClipping:
+    def test_bounded_drift_from_reference(self):
+        honest = np.zeros((5, 2))
+        gradients = np.vstack([honest, [[1e6, 0.0]]])
+        clip = CenteredClipping(radius=1.0)
+        out = clip(gradients)
+        # One clipped deviation of norm <= 1 averaged over 6 inputs, iterated.
+        assert np.linalg.norm(out) <= 1.0
+
+    def test_stateful_reference_carries_over(self):
+        clip = CenteredClipping(radius=10.0, inner_iterations=1)
+        first = clip(np.ones((4, 2)))
+        assert np.allclose(first, 1.0, atol=1e-9)
+        # Second round: reference starts from previous output.
+        second = clip(3.0 * np.ones((4, 2)))
+        assert np.all(second > 1.0)
+
+    def test_reset_clears_state(self):
+        clip = CenteredClipping(radius=0.5, inner_iterations=1)
+        clip(np.ones((3, 2)))
+        clip.reset()
+        out = clip(5.0 * np.ones((3, 2)))
+        assert np.allclose(out, 5.0, atol=1e-9)  # median re-init, no drift cap hit
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            CenteredClipping(radius=0.0)
+        with pytest.raises(InvalidParameterError):
+            CenteredClipping(inner_iterations=0)

@@ -1,0 +1,63 @@
+"""Tests for the aggregator registry and shared base behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import available_filters, make_filter
+from repro.aggregators.base import GradientFilter
+from repro.aggregators.mean import Average
+from repro.exceptions import InvalidParameterError
+
+
+def test_all_registered_names_instantiate():
+    for name in available_filters():
+        gradient_filter = make_filter(name, f=1)
+        assert isinstance(gradient_filter, GradientFilter)
+        assert gradient_filter.f == 1
+
+
+def test_every_filter_returns_d_vector():
+    rng = np.random.default_rng(0)
+    gradients = rng.normal(size=(8, 3))
+    for name in available_filters():
+        out = make_filter(name, f=1)(gradients)
+        assert out.shape == (3,), name
+        assert np.all(np.isfinite(out)), name
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(InvalidParameterError, match="available"):
+        make_filter("does-not-exist")
+
+
+def test_kwargs_forwarded():
+    cge = make_filter("cge", f=2, mode="mean")
+    assert cge.mode == "mean"
+
+
+def test_average_ignores_f_in_minimum_inputs():
+    avg = Average(f=3)
+    assert avg.minimum_inputs() == 1
+    assert np.allclose(avg(np.ones((2, 2))), 1.0)
+
+
+def test_sanitize_replaces_non_finite():
+    matrix = np.array([[np.nan, np.inf, -np.inf, 1.0]])
+    cleaned = GradientFilter.sanitize(matrix)
+    assert np.all(np.isfinite(cleaned))
+    assert cleaned[0, 3] == 1.0
+
+
+def test_sanitize_no_copy_when_finite():
+    matrix = np.ones((2, 2))
+    assert GradientFilter.sanitize(matrix) is matrix
+
+
+def test_gradients_must_be_matrix():
+    avg = Average()
+    with pytest.raises(Exception):
+        avg(np.ones(3))
+
+
+def test_filter_repr_contains_f():
+    assert "f=2" in repr(make_filter("cwtm", f=2))

@@ -1,0 +1,61 @@
+"""Tests for the signSGD majority-vote filter."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.signsgd import SignSGDMajorityVote
+from repro.exceptions import InvalidParameterError
+
+
+class TestMajorityVote:
+    def test_unanimous_vote(self):
+        gradients = np.array([[1.0, -2.0], [3.0, -0.5], [0.2, -9.0]])
+        out = SignSGDMajorityVote()(gradients)
+        assert np.allclose(out, [1.0, -1.0])
+
+    def test_majority_beats_minority(self):
+        gradients = np.array([[1.0], [1.0], [-100.0]])
+        assert SignSGDMajorityVote(f=1)(gradients)[0] == 1.0
+
+    def test_tie_gives_zero(self):
+        gradients = np.array([[1.0], [-1.0]])
+        assert SignSGDMajorityVote()(gradients)[0] == 0.0
+
+    def test_scale(self):
+        gradients = np.ones((3, 2))
+        out = SignSGDMajorityVote(scale=0.25)(gradients)
+        assert np.allclose(out, 0.25)
+
+    def test_magnitude_independent_of_gradients(self):
+        small = 1e-9 * np.ones((3, 2))
+        large = 1e9 * np.ones((3, 2))
+        vote = SignSGDMajorityVote()
+        assert np.allclose(vote(small), vote(large))
+
+    def test_byzantine_minority_cannot_flip_vote(self):
+        honest = np.ones((5, 3))
+        forged = -1e12 * np.ones((2, 3))
+        out = SignSGDMajorityVote(f=2)(np.vstack([honest, forged]))
+        assert np.allclose(out, 1.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            SignSGDMajorityVote(scale=0.0)
+
+
+class TestConvergenceCharacter:
+    def test_converges_to_step_scale_neighbourhood(self):
+        """No magnitude info: the iterate oscillates inside an O(η) band."""
+        from repro.attacks.simple import GradientReverse
+        from repro.optimization.step_sizes import DiminishingStepSize
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        trace = run_dgd(
+            instance.costs, GradientReverse(), faulty_ids=[0],
+            gradient_filter="signsgd", iterations=2000,
+            step_sizes=DiminishingStepSize(c=1.0, t0=2.0), seed=0,
+        )
+        x_H = instance.honest_minimizer(range(1, 6))
+        assert np.linalg.norm(trace.final_estimate - x_H) < 0.1

@@ -1,0 +1,125 @@
+"""Tests for analysis metrics and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    area_under_error,
+    convergence_iteration,
+    distance_series,
+    final_error,
+    loss_series,
+    relative_regret,
+)
+from repro.analysis.reporting import ExperimentResult, format_series, format_table
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.system.runner import run_dgd
+
+
+@pytest.fixture(scope="module")
+def simple_trace():
+    costs = [TranslatedQuadratic([1.0, 1.0]) for _ in range(4)]
+    return costs, run_dgd(costs, None, gradient_filter="average", iterations=100, seed=0)
+
+
+class TestTraceMetrics:
+    def test_distance_series_monotone_for_convex_descent(self, simple_trace):
+        costs, trace = simple_trace
+        distances = distance_series(trace, [1.0, 1.0])
+        assert distances.shape == (101,)
+        assert distances[-1] < 0.01
+        # Distances non-increasing (convex, exact gradients).
+        assert np.all(np.diff(distances) <= 1e-9)
+
+    def test_loss_series_decreases(self, simple_trace):
+        costs, trace = simple_trace
+        losses = loss_series(trace, costs)
+        assert losses[-1] < losses[0]
+
+    def test_loss_series_subset_selection(self, simple_trace):
+        costs, trace = simple_trace
+        all_losses = loss_series(trace, costs, ids=[0, 1, 2, 3])
+        half_losses = loss_series(trace, costs, ids=[0, 1])
+        assert np.allclose(all_losses, 2 * half_losses)
+
+    def test_final_error(self, simple_trace):
+        _, trace = simple_trace
+        assert final_error(trace, [1.0, 1.0]) < 0.01
+        assert final_error(trace, [100.0, 100.0]) > 100.0
+
+    def test_relative_regret_near_zero_at_optimum(self, simple_trace):
+        costs, trace = simple_trace
+        assert relative_regret(trace, costs, [1.0, 1.0]) < 1e-3
+
+
+class TestConvergenceIteration:
+    def test_settling_semantics(self):
+        series = np.array([1.0, 0.05, 1.0, 0.05, 0.05, 0.05])
+        assert convergence_iteration(series, 0.1) == 3
+
+    def test_never_converges(self):
+        assert convergence_iteration(np.ones(10), 0.1) is None
+
+    def test_immediately_below(self):
+        assert convergence_iteration(np.zeros(5), 0.1) == 0
+
+    def test_positive_threshold_required(self):
+        with pytest.raises(InvalidParameterError):
+            convergence_iteration(np.ones(3), 0.0)
+
+
+class TestAreaUnderError:
+    def test_matches_trapezoid(self):
+        series = np.array([1.0, 0.5, 0.0])
+        assert area_under_error(series) == pytest.approx(1.0)
+
+    def test_requires_at_least_two_points(self):
+        with pytest.raises(InvalidParameterError):
+            area_under_error(np.array([1.0]))
+
+
+class TestFormatting:
+    def test_table_alignment_and_content(self):
+        table = format_table(["name", "value"], [["cge", 0.5], ["avg", 12345.678]])
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "cge" in table and "0.5" in table
+
+    def test_table_title(self):
+        table = format_table(["a"], [[1]], title="Table 1")
+        assert table.startswith("Table 1")
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_table_scientific_notation_for_extremes(self):
+        table = format_table(["x"], [[1.5e-7]])
+        assert "e-07" in table
+
+    def test_series_sparkline(self):
+        line = format_series("loss", np.geomspace(100.0, 0.01, 200), width=40)
+        assert "loss" in line
+        assert "start=100" in line
+
+    def test_series_constant(self):
+        line = format_series("flat", np.ones(10))
+        assert "start=1" in line
+
+    def test_series_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            format_series("x", np.array([]))
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult(
+            experiment_id="E0",
+            title="demo",
+            headers=["a"],
+            rows=[[1.0]],
+            series={"s": np.linspace(1, 0, 10)},
+            notes=["hello"],
+        )
+        rendered = result.render()
+        assert "E0" in rendered and "demo" in rendered
+        assert "note: hello" in rendered

@@ -1,0 +1,97 @@
+"""Tests for empirical convergence-rate fitting and markdown export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rates import best_rate_model, fit_geometric, fit_power_law
+from repro.analysis.reporting import format_markdown_table
+from repro.exceptions import InvalidParameterError
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        t = np.arange(500)
+        series = 3.0 * (t + 1.0) ** -0.5
+        fit = fit_power_law(series, burn_in=5)
+        assert fit.kind == "power"
+        assert fit.parameter == pytest.approx(0.5, abs=0.02)
+        assert fit.constant == pytest.approx(3.0, rel=0.1)
+        assert fit.r_squared > 0.999
+
+    def test_noisy_series_still_close(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(2000)
+        series = (t + 1.0) ** -1.0 * np.exp(rng.normal(scale=0.1, size=2000))
+        fit = fit_power_law(series, burn_in=20)
+        assert fit.parameter == pytest.approx(1.0, abs=0.05)
+
+    def test_describe_mentions_exponent(self):
+        series = (np.arange(100) + 1.0) ** -1.0
+        assert "t^(-" in fit_power_law(series).describe()
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law(np.ones(5), burn_in=10)
+
+    def test_floored_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law(np.zeros(100))
+
+
+class TestGeometricFit:
+    def test_recovers_known_factor(self):
+        t = np.arange(200)
+        series = 2.0 * 0.95**t
+        fit = fit_geometric(series, burn_in=2)
+        assert fit.kind == "geometric"
+        assert fit.parameter == pytest.approx(0.95, abs=0.002)
+        assert fit.r_squared > 0.999
+
+    def test_describe_mentions_factor(self):
+        series = 0.9 ** np.arange(100)
+        assert "^t" in fit_geometric(series).describe()
+
+
+class TestModelSelection:
+    def test_prefers_power_for_power_data(self):
+        series = (np.arange(300) + 1.0) ** -1.0
+        assert best_rate_model(series).kind == "power"
+
+    def test_prefers_geometric_for_geometric_data(self):
+        series = 0.9 ** np.arange(300.0)
+        assert best_rate_model(series).kind == "geometric"
+
+    def test_on_real_gd_trace(self):
+        """Deterministic GD with constant steps contracts geometrically."""
+        from repro.optimization.cost_functions import TranslatedQuadratic
+        from repro.optimization.gd import gradient_descent
+        from repro.optimization.step_sizes import ConstantStepSize
+
+        cost = TranslatedQuadratic([1.0, 1.0])
+        result = gradient_descent(
+            cost, [0.0, 0.0], step_sizes=ConstantStepSize(0.1),
+            max_iterations=200, gradient_tolerance=0.0, record_trajectory=True,
+        )
+        errors = np.linalg.norm(result.trajectory - np.array([1.0, 1.0]), axis=1)
+        fit = best_rate_model(errors, burn_in=5)
+        assert fit.kind == "geometric"
+        # Contraction factor 1 - eta * L with L = 2 (unit-weight quadratic):
+        # 1 - 0.1 * 2 = 0.8.
+        assert fit.parameter == pytest.approx(0.8, abs=0.02)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = format_markdown_table(["a", "b"], [[1, 2.5], ["x", 0.0001]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "1.000e-04" in lines[3]
+
+    def test_title(self):
+        table = format_markdown_table(["a"], [[1]], title="Table X")
+        assert table.startswith("**Table X**")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_markdown_table(["a", "b"], [[1]])

@@ -1,0 +1,57 @@
+"""Tests for the theory-validation bridge."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import guarantee_for_cge, validate_guarantee
+from repro.attacks.simple import GradientReverse
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+
+
+@pytest.fixture(scope="module")
+def large_redundant_instance():
+    # Large n keeps f/n small so that alpha > 0 and the guarantee applies.
+    return make_redundant_regression(n=30, d=2, f=1, noise_std=0.0, seed=2)
+
+
+class TestGuaranteeConstruction:
+    def test_applicable_for_small_fault_fraction(self, large_redundant_instance):
+        guarantee = guarantee_for_cge(large_redundant_instance.costs, f=1)
+        assert guarantee.applicable
+        assert guarantee.alpha > 0
+        # Exact redundancy -> zero error radius.
+        assert guarantee.error_radius == pytest.approx(0.0, abs=1e-9)
+        assert "alpha" in guarantee.describe()
+
+    def test_not_applicable_for_paper_instance(self, paper):
+        # n=6, f=1 with mu/gamma ~ 4 violates alpha > 0 — matching the
+        # paper's own experimental regime (works empirically, no guarantee).
+        guarantee = guarantee_for_cge(paper.costs, f=1)
+        assert not guarantee.applicable
+        assert "NOT applicable" in guarantee.describe()
+
+    def test_precomputed_margin_respected(self, large_redundant_instance):
+        guarantee = guarantee_for_cge(
+            large_redundant_instance.costs, f=1, redundancy_margin=0.5
+        )
+        assert guarantee.redundancy_margin == 0.5
+        assert guarantee.error_radius > 0
+
+
+class TestGuaranteeValidation:
+    def test_execution_satisfies_guarantee(self, large_redundant_instance):
+        instance = large_redundant_instance
+        guarantee = guarantee_for_cge(instance.costs, f=1)
+        trace = run_dgd(
+            instance.costs, GradientReverse(), faulty_ids=[0],
+            gradient_filter="cge", iterations=600, seed=0,
+        )
+        x_H = instance.honest_minimizer(range(1, 30))
+        assert validate_guarantee(trace, guarantee, x_H, absolute_floor=5e-3)
+
+    def test_validation_false_when_not_applicable(self, paper):
+        guarantee = guarantee_for_cge(paper.costs, f=1)
+        trace = run_dgd(paper.costs, GradientReverse(), faulty_ids=[0],
+                        gradient_filter="cge", iterations=50, seed=0)
+        assert not validate_guarantee(trace, guarantee, paper.x_star)

@@ -1,0 +1,112 @@
+"""Tests for the φ-minimizing best-response adversary."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.mean import Average
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.attacks.base import AttackContext
+from repro.attacks.best_response import PhiMinimizingAttack
+from repro.exceptions import InvalidParameterError
+
+
+def make_context(estimate, honest, num_faulty=1, seed=0):
+    honest = np.asarray(honest, dtype=float)
+    return AttackContext(
+        round_index=0,
+        estimate=np.asarray(estimate, dtype=float),
+        honest_gradients=honest,
+        honest_ids=list(range(num_faulty, num_faulty + honest.shape[0])),
+        faulty_ids=list(range(num_faulty)),
+        faulty_costs=[None] * num_faulty,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestCandidateSearch:
+    def test_never_increases_phi_over_zero_candidate(self):
+        """The chosen forged vector's φ is at most the zero candidate's φ
+        (zero is always in the candidate set)."""
+        target = np.zeros(2)
+        estimate = np.array([2.0, 1.0])
+        honest = np.array([[1.0, 0.5], [0.8, 0.4], [1.2, 0.7]])
+        gradient_filter = ComparativeGradientElimination(f=1)
+        attack = PhiMinimizingAttack(gradient_filter, target, num_random_probes=4)
+        forged = attack(make_context(estimate, honest))
+        gap = estimate - target
+        phi_chosen = float(gap @ gradient_filter(np.vstack([honest, forged])))
+        zero = np.zeros((1, 2))
+        phi_zero = float(gap @ gradient_filter(np.vstack([honest, zero])))
+        assert phi_chosen <= phi_zero + 1e-9
+
+    def test_against_average_picks_large_push(self):
+        """Unfiltered averaging: the adversary exploits unbounded influence
+        with its largest candidate magnitude along −(x − x_H)... which makes
+        φ strongly negative."""
+        target = np.zeros(2)
+        estimate = np.array([1.0, 0.0])
+        honest = np.ones((3, 2))
+        attack = PhiMinimizingAttack(Average(), target, num_random_probes=0)
+        forged = attack(make_context(estimate, honest))
+        gap = estimate - target
+        phi = float(gap @ Average()(np.vstack([honest, forged])))
+        assert phi < 0  # averaging can always be pushed into ascent
+
+    def test_shape_matches_faulty_count(self):
+        attack = PhiMinimizingAttack(Average(), np.zeros(3))
+        honest = np.ones((4, 3))
+        out = attack(make_context(np.ones(3), honest, num_faulty=2))
+        assert out.shape == (2, 3)
+        assert np.allclose(out[0], out[1])
+
+    def test_at_target_with_zero_honest_gradients(self):
+        # Degenerate round: estimate == target, honest gradients ~ 0.
+        attack = PhiMinimizingAttack(Average(), np.zeros(2), num_random_probes=2)
+        out = attack(make_context(np.zeros(2), np.zeros((3, 2))))
+        assert out.shape == (1, 2)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            PhiMinimizingAttack(Average(), np.zeros(2), num_random_probes=-1)
+        with pytest.raises(InvalidParameterError):
+            PhiMinimizingAttack(Average(), np.zeros(2), magnitudes=())
+        with pytest.raises(InvalidParameterError):
+            PhiMinimizingAttack(Average(), np.zeros(2), magnitudes=(-1.0,))
+
+
+class TestEndToEnd:
+    def test_dominates_fixed_attacks_against_average(self):
+        from repro.analysis.metrics import final_error
+        from repro.attacks.simple import GradientReverse
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        x_H = instance.honest_minimizer(range(1, 6))
+        fixed = run_dgd(instance.costs, GradientReverse(), faulty_ids=[0],
+                        gradient_filter="average", iterations=200, seed=0)
+        best = run_dgd(
+            instance.costs,
+            PhiMinimizingAttack(Average(), x_H),
+            faulty_ids=[0], gradient_filter="average", iterations=200, seed=0,
+        )
+        assert final_error(best, x_H) > final_error(fixed, x_H)
+
+    def test_cannot_break_cge_when_alpha_positive(self):
+        from repro.analysis.metrics import final_error
+        from repro.core.conditions import cge_alpha, regularity_of_quadratics
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        instance = make_redundant_regression(n=15, d=2, f=1, noise_std=0.0, seed=2)
+        honest = list(range(1, 15))
+        constants = regularity_of_quadratics(instance.costs, 1, honest=honest)
+        assert cge_alpha(15, 1, constants.mu, constants.gamma) > 0
+        x_H = instance.honest_minimizer(honest)
+        trace = run_dgd(
+            instance.costs,
+            PhiMinimizingAttack(ComparativeGradientElimination(f=1), x_H),
+            faulty_ids=[0], gradient_filter="cge", iterations=400, seed=2,
+        )
+        assert final_error(trace, x_H) < 0.1

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_ids_cover_design_index(self):
+        for expected in ("E1", "E4", "E5", "E8", "E10", "E11", "A1", "A4"):
+            assert expected in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cge" in out
+        assert "gradient-reverse" in out
+        assert "E11" in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--n", "6", "--f", "1", "--iterations", "50", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dist(x_H, x_out)" in out
+        assert "redundancy margin" in out
+
+    def test_run_fault_free(self, capsys):
+        assert main(["run", "--f", "0", "--iterations", "20"]) == 0
+        assert "(none)" in capsys.readouterr().out
+
+    def test_redundancy_sweep(self, capsys):
+        assert main(["redundancy", "--noise", "0", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "margin" in out
+        assert "yes" in out and "no" in out
+
+    def test_experiment_with_exports(self, tmp_path, capsys, monkeypatch):
+        # Patch in a fast experiment to keep the CLI test cheap.
+        from repro.analysis.reporting import ExperimentResult
+
+        def fake():
+            return ExperimentResult(
+                experiment_id="E4", title="fast", headers=["a"], rows=[[1.0]]
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "E4", fake)
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "experiment", "E4", "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment_id"] == "E4"
+        assert csv_path.read_text().startswith("a")
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,141 @@
+"""Tests for regularity constants and convergence conditions."""
+
+from math import inf
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import (
+    RegularityConstants,
+    cge_alpha,
+    cge_error_radius,
+    cge_max_tolerable_faults,
+    cwtm_error_radius,
+    estimate_gradient_skew,
+    estimate_lipschitz_smoothness,
+    estimate_strong_convexity,
+    regularity_of_quadratics,
+)
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import QuadraticCost, TranslatedQuadratic
+from repro.optimization.projections import BoxSet
+
+
+class TestRegularityOfQuadratics:
+    def test_identical_isotropic_costs(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(5)]
+        constants = regularity_of_quadratics(costs, f=1)
+        # TranslatedQuadratic has Hessian 2 I.
+        assert constants.mu == pytest.approx(2.0)
+        assert constants.gamma == pytest.approx(2.0)
+        assert constants.exact
+
+    def test_gamma_at_most_mu(self, paper):
+        constants = regularity_of_quadratics(paper.costs, f=1)
+        assert 0 < constants.gamma <= constants.mu
+        constants.validate()
+
+    def test_rank_one_costs_have_positive_gamma_in_aggregate(self, paper):
+        constants = regularity_of_quadratics(paper.costs, f=1)
+        # Individually rank-1 (gamma would be 0), but the (n-f)-averages mix
+        # directions, so gamma > 0.
+        assert constants.gamma > 0.1
+
+    def test_non_quadratic_rejected(self):
+        from repro.optimization.cost_functions import HuberCost
+
+        with pytest.raises(InvalidParameterError):
+            regularity_of_quadratics([HuberCost([0.0])] * 3, f=1)
+
+    def test_validate_rejects_gamma_above_mu(self):
+        with pytest.raises(InvalidParameterError):
+            RegularityConstants(mu=1.0, gamma=2.0, dimension=2, exact=True).validate()
+
+    def test_condition_number(self):
+        constants = RegularityConstants(mu=4.0, gamma=2.0, dimension=2, exact=True)
+        assert constants.condition_number == pytest.approx(2.0)
+        degenerate = RegularityConstants(mu=4.0, gamma=0.0, dimension=2, exact=True)
+        assert degenerate.condition_number == inf
+
+
+class TestSampledEstimators:
+    def test_smoothness_estimate_matches_quadratic(self):
+        costs = [QuadraticCost(np.diag([2.0, 6.0]), np.zeros(2))]
+        region = BoxSet.centered(2, 5.0)
+        estimate = estimate_lipschitz_smoothness(costs, region, num_samples=300, seed=0)
+        assert estimate == pytest.approx(6.0, rel=0.05)
+
+    def test_strong_convexity_estimate_matches_quadratic(self):
+        costs = [QuadraticCost(np.diag([2.0, 6.0]), np.zeros(2)) for _ in range(3)]
+        region = BoxSet.centered(2, 5.0)
+        estimate = estimate_strong_convexity(costs, f=1, region=region, num_samples=200, seed=0)
+        assert estimate == pytest.approx(2.0, rel=0.1)
+
+    def test_skew_zero_for_identical_costs(self):
+        costs = [TranslatedQuadratic([1.0, 1.0]) for _ in range(3)]
+        region = BoxSet.centered(2, 3.0)
+        assert estimate_gradient_skew(costs, region, num_samples=50, seed=0) == pytest.approx(0.0)
+
+    def test_skew_bounded_by_two(self, paper):
+        region = BoxSet.centered(2, 3.0)
+        skew = estimate_gradient_skew(paper.costs, region, num_samples=50, seed=0)
+        assert 0.0 < skew <= 2.0
+
+
+class TestCgeCondition:
+    def test_alpha_formula(self):
+        # alpha = 1 - (f/n)(1 + 2 mu/gamma)
+        assert cge_alpha(10, 1, mu=1.0, gamma=1.0) == pytest.approx(1 - 0.3)
+
+    def test_alpha_decreases_with_f(self):
+        alphas = [cge_alpha(12, f, 2.0, 1.0) for f in range(1, 5)]
+        assert all(a > b for a, b in zip(alphas, alphas[1:]))
+
+    def test_max_tolerable_faults_consistent_with_alpha(self):
+        n, mu, gamma = 20, 2.0, 1.0
+        f_max = cge_max_tolerable_faults(n, mu, gamma)
+        assert cge_alpha(n, f_max, mu, gamma) > 0 or f_max == 0
+        if f_max + 1 <= (n - 1) // 2:
+            assert cge_alpha(n, f_max + 1, mu, gamma) <= 0
+
+    def test_max_tolerable_faults_below_third(self):
+        # gamma <= mu forces f < n/3.
+        assert cge_max_tolerable_faults(30, 1.0, 1.0) < 10
+
+    def test_error_radius_zero_under_exact_redundancy(self):
+        assert cge_error_radius(10, 1, 1.0, 1.0, epsilon=0.0) == 0.0
+
+    def test_error_radius_zero_when_no_faults(self):
+        assert cge_error_radius(10, 0, 1.0, 1.0, epsilon=5.0) == 0.0
+
+    def test_error_radius_infinite_when_alpha_nonpositive(self):
+        assert cge_error_radius(6, 2, 2.0, 0.5, epsilon=0.1) == inf
+
+    def test_error_radius_scales_linearly_in_epsilon(self):
+        r1 = cge_error_radius(10, 1, 1.0, 1.0, epsilon=0.1)
+        r2 = cge_error_radius(10, 1, 1.0, 1.0, epsilon=0.2)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            cge_alpha(10, 1, mu=-1.0, gamma=1.0)
+        with pytest.raises(InvalidParameterError):
+            cge_error_radius(10, 1, 1.0, 1.0, epsilon=-0.5)
+
+
+class TestCwtmCondition:
+    def test_radius_zero_under_exact_redundancy(self):
+        assert cwtm_error_radius(10, 1, 1.0, 1.0, skew=0.1, dimension=4, epsilon=0.0) == 0.0
+
+    def test_radius_infinite_beyond_skew_threshold(self):
+        # Condition: skew < gamma / (mu sqrt(d)).
+        assert cwtm_error_radius(10, 1, 1.0, 1.0, skew=1.0, dimension=4, epsilon=0.1) == inf
+
+    def test_radius_finite_and_positive_inside_threshold(self):
+        radius = cwtm_error_radius(10, 1, 1.0, 1.0, skew=0.1, dimension=4, epsilon=0.1)
+        assert 0 < radius < inf
+
+    def test_dimension_tightens_condition(self):
+        small_d = cwtm_error_radius(10, 1, 1.0, 1.0, skew=0.2, dimension=2, epsilon=0.1)
+        large_d = cwtm_error_radius(10, 1, 1.0, 1.0, skew=0.2, dimension=50, epsilon=0.1)
+        assert large_d == inf and small_d < inf

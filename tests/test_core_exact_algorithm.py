@@ -1,0 +1,92 @@
+"""Tests for the subset-enumeration algorithm (achievability proof)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_algorithm import SubsetEnumerationAlgorithm
+from repro.exceptions import InfeasibleConfigurationError, InvalidParameterError
+from repro.optimization.cost_functions import LeastSquaresCost, TranslatedQuadratic
+from repro.problems.linear_regression import make_redundant_regression
+
+
+class TestExactRecovery:
+    """Under exact 2f-redundancy the output equals the honest minimizer."""
+
+    def test_recovers_under_adversarial_cost(self, noiseless):
+        costs = list(noiseless.costs)
+        costs[0] = TranslatedQuadratic([100.0, -100.0])  # Byzantine submission
+        algorithm = SubsetEnumerationAlgorithm(n=6, f=1)
+        result = algorithm.run(costs)
+        x_H = noiseless.honest_minimizer([1, 2, 3, 4, 5])
+        assert np.allclose(result.output, x_H, atol=1e-6)
+        assert result.selected_score == pytest.approx(0.0, abs=1e-7)
+
+    def test_recovers_with_two_faults(self):
+        instance = make_redundant_regression(n=8, d=2, f=2, noise_std=0.0, seed=1)
+        costs = list(instance.costs)
+        costs[0] = TranslatedQuadratic([50.0, 50.0])
+        costs[1] = TranslatedQuadratic([-50.0, 10.0])
+        result = SubsetEnumerationAlgorithm(n=8, f=2).run(costs)
+        x_H = instance.honest_minimizer(range(2, 8))
+        assert np.allclose(result.output, x_H, atol=1e-6)
+
+    def test_fault_free_case(self, noiseless):
+        result = SubsetEnumerationAlgorithm(n=6, f=0).run(noiseless.costs)
+        assert np.allclose(result.output, noiseless.x_star, atol=1e-8)
+        assert result.selected_subset == tuple(range(6))
+
+    def test_byzantine_costs_mimicking_honest_structure(self, noiseless):
+        # The adversary submits a cost consistent with a shifted parameter;
+        # a minority cannot outvote the redundancy structure.
+        costs = list(noiseless.costs)
+        shifted = noiseless.x_star + 10.0
+        costs[0] = LeastSquaresCost(
+            noiseless.A[0][None, :], (noiseless.A[0] @ shifted)[None]
+        )
+        result = SubsetEnumerationAlgorithm(n=6, f=1).run(costs)
+        assert np.allclose(result.output, noiseless.x_star, atol=1e-6)
+
+
+class TestApproximateBehaviour:
+    def test_noisy_instance_output_near_honest_minimizer(self, paper):
+        # With approximate redundancy the score machinery still picks a
+        # subset whose minimizer is within ~2 margins of every honest one.
+        from repro.core.redundancy import measure_redundancy_margin
+
+        margin = measure_redundancy_margin(paper.costs, 1).margin
+        costs = list(paper.costs)
+        costs[0] = TranslatedQuadratic([30.0, -30.0])
+        result = SubsetEnumerationAlgorithm(n=6, f=1).run(costs)
+        x_H = paper.honest_minimizer([1, 2, 3, 4, 5])
+        assert np.linalg.norm(result.output - x_H) <= 2.0 * margin + 1e-9
+
+
+class TestScoresAndGuards:
+    def test_keep_scores_records_every_candidate(self, noiseless):
+        from math import comb
+
+        result = SubsetEnumerationAlgorithm(n=6, f=1).run(
+            noiseless.costs, keep_scores=True
+        )
+        assert len(result.scores) == comb(6, 5)
+        assert min(s.score for s in result.scores) == pytest.approx(
+            result.selected_score
+        )
+        assert set(result.score_by_subset) == {s.subset for s in result.scores}
+
+    def test_wrong_cost_count_rejected(self, noiseless):
+        with pytest.raises(InvalidParameterError):
+            SubsetEnumerationAlgorithm(n=7, f=1).run(noiseless.costs)
+
+    def test_complexity_guard(self):
+        algorithm = SubsetEnumerationAlgorithm(n=30, f=10, max_subset_solves=100)
+        costs = [TranslatedQuadratic([0.0]) for _ in range(30)]
+        with pytest.raises(InfeasibleConfigurationError, match="budget"):
+            algorithm.run(costs)
+
+    def test_estimated_solves_positive(self):
+        assert SubsetEnumerationAlgorithm(6, 1).estimated_subset_solves() > 0
+
+    def test_infeasible_fault_bound(self):
+        with pytest.raises(InfeasibleConfigurationError):
+            SubsetEnumerationAlgorithm(n=4, f=2)

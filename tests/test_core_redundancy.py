@@ -1,0 +1,108 @@
+"""Tests for repro.core.redundancy — Definition 1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.redundancy import (
+    check_2f_redundancy,
+    measure_redundancy_margin,
+    minimal_subset_rank_condition,
+)
+from repro.exceptions import InfeasibleConfigurationError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.problems.linear_regression import design_rows, make_redundant_regression
+
+
+class TestIdenticalCosts:
+    """Identical costs are 2f-redundant for every feasible f."""
+
+    def test_identical_quadratics_are_redundant(self):
+        costs = [TranslatedQuadratic([1.0, -1.0]) for _ in range(5)]
+        assert check_2f_redundancy(costs, f=2)
+
+    def test_margin_is_zero(self):
+        costs = [TranslatedQuadratic([0.5, 0.5]) for _ in range(5)]
+        report = measure_redundancy_margin(costs, f=1)
+        assert report.margin == pytest.approx(0.0, abs=1e-9)
+        assert report.holds
+        assert report.exhaustive
+
+
+class TestSpreadCosts:
+    """Distinct minimizers break redundancy and the margin quantifies it."""
+
+    def test_spread_targets_violate_redundancy(self):
+        costs = [TranslatedQuadratic([float(i), 0.0]) for i in range(5)]
+        report = measure_redundancy_margin(costs, f=1)
+        assert not report.holds
+        assert report.margin > 0.1
+        assert report.worst_pair is not None
+
+    def test_margin_scales_with_spread(self):
+        small = [TranslatedQuadratic([0.01 * i, 0.0]) for i in range(5)]
+        large = [TranslatedQuadratic([1.0 * i, 0.0]) for i in range(5)]
+        assert (
+            measure_redundancy_margin(small, 1).margin
+            < measure_redundancy_margin(large, 1).margin
+        )
+
+
+class TestRegressionInstances:
+    def test_noiseless_instance_is_redundant(self, noiseless):
+        assert check_2f_redundancy(noiseless.costs, f=1)
+
+    def test_noisy_instance_margin_positive(self, paper):
+        report = measure_redundancy_margin(paper.costs, f=1)
+        assert not report.holds
+        assert 0.0 < report.margin < 0.2
+
+    def test_margin_grows_with_noise(self):
+        margins = []
+        for sigma in (0.01, 0.1):
+            instance = make_redundant_regression(6, 2, 1, noise_std=sigma, seed=0)
+            margins.append(measure_redundancy_margin(instance.costs, 1).margin)
+        assert margins[0] < margins[1]
+
+
+class TestEdgeCases:
+    def test_f_zero_is_vacuously_redundant(self):
+        costs = [TranslatedQuadratic([float(i)]) for i in range(3)]
+        report = measure_redundancy_margin(costs, f=0)
+        assert report.holds
+        assert report.pairs_total == 0
+
+    def test_infeasible_f_rejected(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(4)]
+        with pytest.raises(InfeasibleConfigurationError):
+            measure_redundancy_margin(costs, f=2)
+
+    def test_sampling_path(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(12)]
+        report = measure_redundancy_margin(costs, f=3, max_pairs=50, seed=1)
+        assert not report.exhaustive
+        assert report.pairs_checked == 50
+        assert report.holds
+
+    def test_keep_details_records_every_pair(self):
+        costs = [TranslatedQuadratic([float(i), 0.0]) for i in range(4)]
+        report = measure_redundancy_margin(costs, f=1, keep_details=True)
+        assert len(report.per_pair) == report.pairs_checked
+        assert max(report.per_pair.values()) == pytest.approx(report.margin)
+
+    def test_summary_mentions_verdict(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(3)]
+        assert "holds" in measure_redundancy_margin(costs, 1).summary()
+
+
+class TestRankCondition:
+    def test_design_matrix_passes(self):
+        assert minimal_subset_rank_condition(design_rows(6, 2), f=1)
+
+    def test_duplicated_direction_fails(self):
+        # Every row identical: no 2-subset has rank 2.
+        A = np.tile(np.array([[1.0, 0.0]]), (6, 1))
+        assert not minimal_subset_rank_condition(A, f=1)
+
+    def test_too_small_subsets_fail(self):
+        # n - 2f < d can never have full column rank.
+        assert not minimal_subset_rank_condition(np.eye(5)[:, :4], f=2)

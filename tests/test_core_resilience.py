@@ -1,0 +1,80 @@
+"""Tests for repro.core.resilience."""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    distance_to_honest_minimizer,
+    evaluate_resilience,
+    is_exactly_fault_tolerant,
+)
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+
+
+def identical_costs(n, target=(1.0, 2.0)):
+    return [TranslatedQuadratic(np.asarray(target)) for _ in range(n)]
+
+
+class TestExactVerdicts:
+    def test_true_minimizer_is_exact(self):
+        costs = identical_costs(5)
+        report = evaluate_resilience([1.0, 2.0], costs, honest=[0, 1, 2, 3], f=1)
+        assert report.exact
+        assert report.epsilon == pytest.approx(0.0, abs=1e-12)
+
+    def test_offset_point_is_not_exact(self):
+        costs = identical_costs(5)
+        report = evaluate_resilience([1.5, 2.0], costs, honest=[0, 1, 2, 3], f=1)
+        assert not report.exact
+        assert report.epsilon == pytest.approx(0.5)
+        assert report.worst_subset is not None
+
+    def test_boolean_wrapper(self):
+        costs = identical_costs(5)
+        assert is_exactly_fault_tolerant([1.0, 2.0], costs, [0, 1, 2, 3], 1)
+        assert not is_exactly_fault_tolerant([9.0, 9.0], costs, [0, 1, 2, 3], 1)
+
+
+class TestQuantification:
+    def test_epsilon_is_worst_over_subsets(self):
+        # Honest minimizers differ; epsilon is the max subset distance.
+        costs = [
+            TranslatedQuadratic([0.0, 0.0]),
+            TranslatedQuadratic([1.0, 0.0]),
+            TranslatedQuadratic([2.0, 0.0]),
+            TranslatedQuadratic([3.0, 0.0]),
+        ]
+        report = evaluate_resilience([1.5, 0.0], costs, honest=[0, 1, 2, 3], f=1)
+        # Subsets of size 3 have centroids 1.0, 4/3, 5/3, 2.0 -> worst 0.5.
+        assert report.epsilon == pytest.approx(0.5)
+        assert len(report.per_subset) == 4
+
+    def test_exactly_n_minus_f_honest_gives_one_subset(self):
+        costs = identical_costs(5)
+        report = evaluate_resilience([1.0, 2.0], costs, honest=[1, 2, 3, 4], f=1)
+        assert len(report.per_subset) == 1
+
+
+class TestValidation:
+    def test_too_few_honest_rejected(self):
+        costs = identical_costs(5)
+        with pytest.raises(InvalidParameterError):
+            evaluate_resilience([0.0, 0.0], costs, honest=[0, 1], f=1)
+
+    def test_out_of_range_honest_rejected(self):
+        costs = identical_costs(4)
+        with pytest.raises(InvalidParameterError):
+            evaluate_resilience([0.0, 0.0], costs, honest=[0, 1, 9], f=1)
+
+    def test_summary_strings(self):
+        costs = identical_costs(5)
+        exact = evaluate_resilience([1.0, 2.0], costs, [0, 1, 2, 3], 1)
+        assert "exact" in exact.summary()
+        rough = evaluate_resilience([5.0, 5.0], costs, [0, 1, 2, 3], 1)
+        assert "approximate" in rough.summary()
+
+
+def test_distance_to_honest_minimizer():
+    costs = identical_costs(4, target=(2.0, 0.0))
+    assert distance_to_honest_minimizer([0.0, 0.0], costs, [0, 1, 2]) == pytest.approx(2.0)

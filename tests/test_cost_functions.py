@@ -1,0 +1,239 @@
+"""Tests for repro.optimization.cost_functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import AffineSubspace, Singleton
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.optimization.cost_functions import (
+    HuberCost,
+    LeastSquaresCost,
+    LogisticCost,
+    MeanCost,
+    QuadraticCost,
+    ScaledCost,
+    SmoothedHingeCost,
+    SumCost,
+    TranslatedQuadratic,
+    aggregate,
+)
+
+
+def numerical_gradient(cost, x, h=1e-6):
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    for k in range(x.size):
+        e = np.zeros_like(x)
+        e[k] = h
+        grad[k] = (cost.value(x + e) - cost.value(x - e)) / (2 * h)
+    return grad
+
+
+class TestQuadraticCost:
+    def test_value_and_gradient(self):
+        cost = QuadraticCost(np.diag([2.0, 4.0]), np.array([1.0, -1.0]), c=3.0)
+        x = np.array([1.0, 2.0])
+        assert cost.value(x) == pytest.approx(0.5 * (2 + 16) + (1 - 2) + 3)
+        assert np.allclose(cost.gradient(x), [2 * 1 + 1, 4 * 2 - 1])
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        M = rng.normal(size=(3, 3))
+        cost = QuadraticCost(M @ M.T, rng.normal(size=3))
+        x = rng.normal(size=3)
+        assert np.allclose(cost.gradient(x), numerical_gradient(cost, x), atol=1e-4)
+
+    def test_argmin_unique(self):
+        cost = QuadraticCost(np.diag([2.0, 4.0]), np.array([-2.0, -4.0]))
+        argmin = cost.argmin_set()
+        assert isinstance(argmin, Singleton)
+        assert np.allclose(argmin.point, [1.0, 1.0])
+
+    def test_argmin_flat_direction(self):
+        # P singular with q in range: affine subspace of minimizers.
+        cost = QuadraticCost(np.diag([2.0, 0.0]), np.array([-2.0, 0.0]))
+        argmin = cost.argmin_set()
+        assert isinstance(argmin, AffineSubspace)
+        assert argmin.distance_to([1.0, 77.0]) == pytest.approx(0.0, abs=1e-8)
+
+    def test_unbounded_below_rejected(self):
+        cost = QuadraticCost(np.diag([2.0, 0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(InvalidParameterError, match="unbounded"):
+            cost.argmin_set()
+
+    def test_indefinite_p_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuadraticCost(np.diag([1.0, -1.0]), np.zeros(2))
+
+    def test_non_square_p_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            QuadraticCost(np.zeros((2, 3)), np.zeros(2))
+
+    def test_constants(self):
+        cost = QuadraticCost(np.diag([1.0, 5.0]), np.zeros(2))
+        assert cost.strong_convexity() == pytest.approx(1.0)
+        assert cost.smoothness() == pytest.approx(5.0)
+
+
+class TestLeastSquares:
+    def test_matches_residual_form(self):
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        b = np.array([1.0, 1.0])
+        cost = LeastSquaresCost(A, b)
+        x = np.array([0.5, -0.5])
+        assert cost.value(x) == pytest.approx(float(np.sum((A @ x - b) ** 2)))
+        assert np.allclose(cost.residual(x), A @ x - b)
+
+    def test_argmin_is_lstsq_solution(self):
+        A = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        b = np.array([1.0, 2.0, 3.0])
+        expected, *_ = np.linalg.lstsq(A, b, rcond=None)
+        argmin = LeastSquaresCost(A, b).argmin_set()
+        assert np.allclose(argmin.project(np.zeros(2)), expected, atol=1e-8)
+
+    def test_single_row_argmin_is_a_line(self):
+        cost = LeastSquaresCost(np.array([[1.0, 1.0]]), np.array([2.0]))
+        argmin = cost.argmin_set()
+        assert isinstance(argmin, AffineSubspace)
+        assert argmin.contains([1.0, 1.0])
+        assert argmin.contains([2.0, 0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            LeastSquaresCost(np.eye(2), np.zeros(3))
+
+
+class TestLogistic:
+    def _cost(self, reg=0.1):
+        Z = np.array([[1.0, 0.0], [-1.0, 0.5], [0.5, 1.0]])
+        y = np.array([1.0, -1.0, 1.0])
+        return LogisticCost(Z, y, regularization=reg)
+
+    def test_gradient_matches_finite_differences(self):
+        cost = self._cost()
+        x = np.array([0.3, -0.7])
+        assert np.allclose(cost.gradient(x), numerical_gradient(cost, x), atol=1e-5)
+
+    def test_hessian_positive_definite_with_regularization(self):
+        cost = self._cost(reg=0.1)
+        H = cost.hessian(np.array([0.1, 0.1]))
+        assert np.all(np.linalg.eigvalsh(H) >= 0.1 - 1e-9)
+
+    def test_value_stable_for_large_margins(self):
+        cost = self._cost(reg=0.0)
+        assert np.isfinite(cost.value(np.array([1000.0, 1000.0])))
+        assert np.isfinite(cost.value(np.array([-1000.0, -1000.0])))
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LogisticCost(np.ones((2, 2)), np.array([0.0, 1.0]))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LogisticCost(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestSmoothedHinge:
+    def test_gradient_matches_finite_differences(self):
+        Z = np.array([[1.0, -0.5], [0.5, 1.5], [-1.0, 0.3]])
+        y = np.array([1.0, -1.0, 1.0])
+        cost = SmoothedHingeCost(Z, y, regularization=0.05)
+        for x in (np.array([0.2, 0.4]), np.array([-2.0, 3.0])):
+            assert np.allclose(cost.gradient(x), numerical_gradient(cost, x), atol=1e-5)
+
+    def test_zero_loss_beyond_margin(self):
+        Z = np.array([[1.0, 0.0]])
+        y = np.array([1.0])
+        cost = SmoothedHingeCost(Z, y)
+        assert cost.value(np.array([2.0, 0.0])) == pytest.approx(0.0)
+        assert np.allclose(cost.gradient(np.array([2.0, 0.0])), 0.0)
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        cost = HuberCost([0.0, 0.0], delta=1.0)
+        assert cost.value([0.5, 0.0]) == pytest.approx(0.125)
+        assert np.allclose(cost.gradient([0.5, 0.0]), [0.5, 0.0])
+
+    def test_linear_region(self):
+        cost = HuberCost([0.0], delta=1.0)
+        assert cost.value([3.0]) == pytest.approx(1.0 * (3.0 - 0.5))
+        assert np.allclose(cost.gradient([3.0]), [1.0])
+
+    def test_argmin(self):
+        cost = HuberCost([2.0, -1.0])
+        assert np.allclose(cost.argmin_set().point, [2.0, -1.0])
+
+    def test_gradient_matches_finite_differences(self):
+        cost = HuberCost([1.0, -1.0], delta=0.7)
+        for x in ([1.2, -0.8], [5.0, -5.0]):
+            assert np.allclose(
+                cost.gradient(x), numerical_gradient(cost, np.asarray(x)), atol=1e-5
+            )
+
+
+class TestCombinators:
+    def test_sum_of_quadratics_is_quadratic(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]), TranslatedQuadratic([2.0, 2.0])]
+        total = SumCost(costs)
+        assert total.is_quadratic
+        assert np.allclose(total.argmin_set().point, [1.0, 1.0])
+
+    def test_sum_value_and_gradient_match_members(self):
+        costs = [TranslatedQuadratic([1.0]), TranslatedQuadratic([3.0])]
+        total = SumCost(costs)
+        x = np.array([0.0])
+        assert total.value(x) == pytest.approx(sum(c.value(x) for c in costs))
+        assert np.allclose(total.gradient(x), sum(c.gradient(x) for c in costs))
+
+    def test_scaled_cost_preserves_argmin(self):
+        base = TranslatedQuadratic([4.0, 4.0])
+        scaled = ScaledCost(base, 7.0)
+        assert np.allclose(scaled.argmin_set().point, [4.0, 4.0])
+        assert scaled.value([0.0, 0.0]) == pytest.approx(7.0 * base.value([0.0, 0.0]))
+
+    def test_mean_cost_matches_scaled_sum(self):
+        costs = [TranslatedQuadratic([0.0]), TranslatedQuadratic([2.0])]
+        mean = MeanCost(costs)
+        assert mean.value([1.0]) == pytest.approx(
+            0.5 * sum(c.value([1.0]) for c in costs)
+        )
+
+    def test_sum_mixed_with_non_quadratic(self):
+        total = SumCost([HuberCost([0.0]), TranslatedQuadratic([0.0])])
+        assert not total.is_quadratic
+        assert np.isfinite(total.value([1.0]))
+        with pytest.raises(NotImplementedError):
+            total.argmin_set()
+
+    def test_operator_overloads(self):
+        a, b = TranslatedQuadratic([0.0]), TranslatedQuadratic([2.0])
+        combined = a + b
+        assert isinstance(combined, SumCost)
+        doubled = 2.0 * a
+        assert isinstance(doubled, ScaledCost)
+        assert doubled.value([1.0]) == pytest.approx(2.0 * a.value([1.0]))
+
+    def test_aggregate_selects_indices(self):
+        costs = [TranslatedQuadratic([float(i)]) for i in range(4)]
+        total = aggregate(costs, [1, 3])
+        assert np.allclose(total.argmin_set().project(np.zeros(1)), [2.0])
+
+    def test_aggregate_all(self):
+        costs = [TranslatedQuadratic([0.0]), TranslatedQuadratic([4.0])]
+        assert np.allclose(aggregate(costs).argmin_set().point, [2.0])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SumCost([TranslatedQuadratic([0.0]), TranslatedQuadratic([0.0, 0.0])])
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SumCost([])
+
+
+class TestHasClosedForm:
+    def test_flags(self):
+        assert TranslatedQuadratic([0.0]).has_closed_form_argmin
+        assert HuberCost([0.0]).has_closed_form_argmin
+        assert not LogisticCost(np.ones((1, 1)), np.array([1.0])).has_closed_form_argmin

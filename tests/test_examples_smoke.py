@@ -1,0 +1,37 @@
+"""Smoke tests: the fast example scripts run end-to-end and say what they claim."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": ["honest meeting point", "cge", "average"],
+    "exact_algorithm_demo.py": ["Achievability", "Necessity", "EXACT"],
+    "nonsmooth_costs.py": ["2f-redundant", "interval"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(FAST_EXAMPLES.items()))
+def test_example_runs_and_prints_expected_markers(script, expected):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for marker in expected:
+        assert marker in completed.stdout, (script, marker)
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), script.name
+        assert '"""' in source, script.name

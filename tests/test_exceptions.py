@@ -1,0 +1,44 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DimensionMismatchError,
+    InfeasibleConfigurationError,
+    InvalidParameterError,
+    ProtocolViolationError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        InvalidParameterError,
+        DimensionMismatchError,
+        InfeasibleConfigurationError,
+        ConvergenceError,
+        ProtocolViolationError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_value_errors():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(DimensionMismatchError, ValueError)
+
+
+def test_runtime_errors_are_runtime_errors():
+    assert issubclass(ConvergenceError, RuntimeError)
+    assert issubclass(ProtocolViolationError, RuntimeError)
+
+
+def test_convergence_error_carries_best_iterate():
+    error = ConvergenceError("did not converge", best=[1.0, 2.0])
+    assert error.best == [1.0, 2.0]
+    assert "did not converge" in str(error)
+
+
+def test_catching_base_class_catches_everything():
+    with pytest.raises(ReproError):
+        raise InfeasibleConfigurationError("nope")

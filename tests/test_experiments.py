@@ -1,0 +1,169 @@
+"""Fast-configuration runs of every experiment module.
+
+Each experiment is executed with a reduced budget and its structural
+contract (headers, rows, series, qualitative shape claims) is asserted —
+the full-budget versions live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_aggregator_scaling,
+    run_cge_sum_vs_mean,
+    run_exact_algorithm_table,
+    run_fault_sweep,
+    run_learning_eval,
+    run_noise_sweep,
+    run_peer_vs_server,
+    run_projection_ablation,
+    run_robustness_matrix,
+    run_step_size_ablation,
+    run_table1,
+    run_trajectories,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(iterations=400)
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E1"
+        # 3 filters x 2 attacks + fault-free row.
+        assert len(result.rows) == 7
+
+    def test_cge_beats_average_under_each_attack(self, result):
+        errors = {(row[0], row[1]): row[3] for row in result.rows[:-1]}
+        for attack in ("gradient-reverse", "random"):
+            assert errors[("cge", attack)] < errors[("average", attack)]
+
+    def test_robust_filters_within_margin_scale(self, result):
+        margin = float(result.notes[1].split("=")[-1])
+        errors = {(row[0], row[1]): row[3] for row in result.rows[:-1]}
+        for attack in ("gradient-reverse", "random"):
+            # CGE converges inside ~2 margins at this horizon; CWTM's
+            # mean-scale steps are slower, so it gets a looser factor.
+            assert errors[("cge", attack)] <= 2.5 * margin
+            assert errors[("cwtm", attack)] <= 6.0 * margin
+
+
+class TestTrajectories:
+    def test_full_and_early_views(self):
+        full = run_trajectories(iterations=150)
+        early = run_trajectories(iterations=150, early_window=50)
+        assert full.experiment_id == "E2"
+        assert early.experiment_id == "E3"
+        assert len(full.series["fault-free/loss"]) == 151
+        assert len(early.series["fault-free/loss"]) == 50
+
+    def test_cge_distance_tracks_fault_free(self):
+        result = run_trajectories(iterations=300)
+        cge_final = result.series["cge+gradient-reverse/distance"][-1]
+        unfiltered_final = result.series["average+gradient-reverse/distance"][-1]
+        assert cge_final < unfiltered_final
+
+
+class TestExactAlgorithmTable:
+    def test_every_configuration_exact(self):
+        result = run_exact_algorithm_table(configurations=((4, 1, 2), (6, 2, 2)))
+        assert all(row[-1] == "yes" for row in result.rows)
+
+
+class TestNoiseSweep:
+    def test_margin_monotone_and_errors_bounded(self):
+        result = run_noise_sweep(
+            noise_levels=(0.0, 0.02, 0.1), iterations=300,
+            include_exact_algorithm=True,
+        )
+        margins = result.series["margin eps*(sigma)"]
+        assert margins[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.diff(margins) > 0)
+        # Exact algorithm error <= 2 margin everywhere.
+        for row in result.rows:
+            sigma, margin, _, exact_error, _ = row
+            assert exact_error <= 2 * margin + 1e-9
+
+
+class TestFaultSweep:
+    def test_alpha_decreases_and_average_degrades(self):
+        result = run_fault_sweep(
+            n=15, fault_counts=(0, 1, 3), iterations=250,
+            filters=("cge", "average"),
+        )
+        alphas = result.series["alpha vs f"]
+        assert np.all(np.diff(alphas) < 0)
+        cge = result.series["cge error vs f"]
+        avg = result.series["average error vs f"]
+        assert avg[-1] > cge[-1]
+
+
+class TestLearningEval:
+    def test_sign_flip_breaks_averaging_but_not_cge(self):
+        result = run_learning_eval(
+            heterogeneity_levels=(0.0,), iterations=150,
+            filters=("cge", "average"), attacks=("sign-flip",),
+        )
+        accuracy = {(row[1], row[2]): row[4] for row in result.rows}
+        reference = accuracy[("fault-free", "(none)")]
+        assert accuracy[("cge", "sign-flip")] > reference - 0.05
+        assert accuracy[("average", "sign-flip")] < reference - 0.2
+
+
+class TestPeerVsServer:
+    def test_architectures_coincide(self):
+        result = run_peer_vs_server(configurations=((4, 1),), iterations=60)
+        for row in result.rows:
+            assert row[4] == pytest.approx(0.0, abs=1e-10)  # gap column
+
+
+class TestRobustnessMatrix:
+    def test_grid_covers_all_pairs(self):
+        result = run_robustness_matrix(
+            filters=("cge", "average"), attacks=("gradient-reverse", "random"),
+            iterations=150,
+        )
+        assert len(result.rows) == 2
+        assert len(result.rows[0]) == 3  # filter + 2 attacks
+
+    def test_infeasible_filter_reported_as_na(self):
+        result = run_robustness_matrix(
+            filters=("bulyan",), attacks=("gradient-reverse",), iterations=10,
+        )
+        # Bulyan needs n >= 4f + 3 = 7 > 6.
+        assert result.rows[0][1] == "n/a"
+
+
+class TestScaling:
+    def test_rows_and_series_present(self):
+        result = run_aggregator_scaling(
+            filters=("cge", "cwtm"), agent_counts=(10, 20), dimensions=(2, 10),
+            repeats=2,
+        )
+        assert len(result.rows) == 2 * 2 * 2
+        assert all(row[3] >= 0 for row in result.rows)
+        assert "cge time vs n (d=10)" in result.series
+
+
+class TestAblations:
+    def test_cge_sum_vs_mean(self):
+        result = run_cge_sum_vs_mean(iterations=300)
+        errors = {(row[0], row[1]): row[2] for row in result.rows}
+        # With matched schedules both variants converge comparably.
+        assert errors[("sum", "matched")] < 0.2
+        assert errors[("mean", "matched")] < 0.2
+
+    def test_step_size_ablation_rm_flags(self):
+        result = run_step_size_ablation(iterations=150)
+        flags = {row[0]: row[1] for row in result.rows}
+        assert flags["constant 0.05 (not RM)"] == "no"
+        assert flags["diminishing 1/t (RM)"] == "yes"
+
+    def test_projection_ablation_boundary_behaviour(self):
+        result = run_projection_ablation(half_widths=(10.0, 0.5), iterations=300)
+        inside_row, outside_row = result.rows
+        assert inside_row[1] == "yes"
+        assert outside_row[1] == "no"
+        # Error when excluded ~ distance from x_H to the box.
+        assert outside_row[2] == pytest.approx(outside_row[3], rel=0.2)

@@ -1,0 +1,55 @@
+"""Tests for the experiment-harness shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    PAPER_X0,
+    paper_setup,
+    run_attacked,
+    run_fault_free,
+)
+
+
+class TestPaperSetup:
+    def test_configuration(self):
+        instance = paper_setup()
+        assert instance.n == 6
+        assert instance.dimension == 2
+        assert np.allclose(instance.x_star, [1.0, 1.0])
+
+    def test_seeded_reproducibility(self):
+        a = paper_setup(seed=5)
+        b = paper_setup(seed=5)
+        assert np.array_equal(a.b, b.b)
+
+
+class TestRunners:
+    def test_attacked_run_starts_at_paper_x0(self):
+        instance = paper_setup()
+        trace = run_attacked(instance, "cge", "gradient-reverse", iterations=3)
+        assert np.allclose(trace.estimates[0], PAPER_X0)
+        assert trace.faulty_ids == [0]
+
+    def test_attack_kwargs_forwarded(self):
+        instance = paper_setup()
+        weak = run_attacked(
+            instance, "average", "sign-flip", iterations=50,
+            attack_kwargs={"strength": 1.0},
+        )
+        strong = run_attacked(
+            instance, "average", "sign-flip", iterations=50,
+            attack_kwargs={"strength": 20.0},
+        )
+        # Stronger sign-flip pushes the unfiltered run further.
+        x_H = instance.honest_minimizer([1, 2, 3, 4, 5])
+        assert np.linalg.norm(strong.final_estimate - x_H) > np.linalg.norm(
+            weak.final_estimate - x_H
+        )
+
+    def test_fault_free_excludes_faulty_costs(self):
+        instance = paper_setup()
+        trace = run_fault_free(instance, honest_ids=[1, 2, 3, 4, 5], iterations=5)
+        # Only 5 agents participate: 5 broadcasts + 5 replies per round.
+        assert trace.messages_delivered == 5 * 10
+        assert trace.faulty_ids == []

@@ -1,0 +1,145 @@
+"""Tests for the extension experiments (E11, E12, A4) and CWTM guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import guarantee_for_cwtm
+from repro.experiments import (
+    run_cwtm_dimension_sweep,
+    run_replication_design,
+    run_stochastic_step_sizes,
+)
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.optimization.projections import BallSet
+
+
+class TestReplicationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_replication_design(iterations=800)
+
+    def test_redundancy_flips_at_threshold(self, result):
+        verdicts = {row[0]: row[2] for row in result.rows}
+        assert verdicts[1] == "no"
+        assert verdicts[2] == "no"
+        assert verdicts[3] == "yes"
+        assert verdicts[4] == "yes"
+
+    def test_error_collapses_with_redundancy(self, result):
+        errors = {row[0]: row[3] for row in result.rows}
+        assert errors[1] > 0.5  # missing direction: O(1) error
+        assert errors[3] < 0.1
+
+    def test_storage_factor_reported(self, result):
+        assert [row[1] for row in result.rows] == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestDimensionSweepExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_cwtm_dimension_sweep(dimensions=(2, 9, 36), iterations=300)
+
+    def test_skew_flat_threshold_decays(self, result):
+        skews = [row[1] for row in result.rows]
+        thresholds = [row[2] for row in result.rows]
+        assert max(skews) - min(skews) < 1e-9
+        assert thresholds[0] > thresholds[1] > thresholds[2]
+
+    def test_verdict_flips_but_error_stays_small(self, result):
+        verdicts = [row[3] for row in result.rows]
+        errors = [row[5] for row in result.rows]
+        assert verdicts[0] == "holds"
+        assert verdicts[-1] == "fails"
+        assert max(errors) < 0.05
+
+    def test_guaranteed_radius_zero_when_applicable(self, result):
+        for row in result.rows:
+            if row[3] == "holds":
+                assert row[4] == 0.0  # exact redundancy -> radius 0
+
+
+class TestStochasticAblation:
+    def test_rm_beats_constant_floors(self):
+        result = run_stochastic_step_sizes(iterations=3000)
+        tail = {row[0]: row[2] for row in result.rows}
+        rm = tail["diminishing 1/t (RM)"]
+        assert all(rm < value for name, value in tail.items() if "constant" in name)
+
+    def test_floor_scales_with_step(self):
+        result = run_stochastic_step_sizes(
+            iterations=2000, constant_steps=(0.05, 0.005)
+        )
+        tail = {row[0]: row[2] for row in result.rows}
+        assert tail["constant 0.05 (not RM)"] > tail["constant 0.005 (not RM)"]
+
+
+class TestCwtmGuarantee:
+    def _family(self, n=6, d=4, spread=0.1):
+        weights = 1.0 + spread * np.linspace(-1, 1, n)
+        return [TranslatedQuadratic(np.ones(d), weight=float(w)) for w in weights]
+
+    def test_applicable_for_small_skew(self):
+        costs = self._family(spread=0.05)
+        guarantee = guarantee_for_cwtm(costs, f=1, region=BallSet(np.zeros(4), 3.0))
+        assert guarantee.applicable
+        assert guarantee.error_radius == pytest.approx(0.0, abs=1e-9)
+        assert "CWTM guarantee:" in guarantee.describe()
+
+    def test_not_applicable_for_large_skew(self):
+        costs = self._family(spread=0.8)
+        guarantee = guarantee_for_cwtm(costs, f=1, region=BallSet(np.zeros(4), 3.0))
+        assert not guarantee.applicable
+        assert guarantee.error_radius == float("inf")
+        assert "NOT applicable" in guarantee.describe()
+
+    def test_pre_measured_skew_respected(self):
+        costs = self._family()
+        guarantee = guarantee_for_cwtm(
+            costs, f=1, region=BallSet(np.zeros(4), 3.0), skew=0.01
+        )
+        assert guarantee.skew == 0.01
+        assert guarantee.applicable
+
+    def test_threshold_formula(self):
+        costs = self._family(d=9, spread=0.05)
+        guarantee = guarantee_for_cwtm(costs, f=1, region=BallSet(np.zeros(9), 3.0))
+        expected = guarantee.constants.gamma / (guarantee.constants.mu * 3.0)
+        assert guarantee.skew_threshold == pytest.approx(expected)
+
+
+class TestHeterogeneitySweep:
+    def test_gap_widens_with_heterogeneity(self):
+        from repro.experiments import run_heterogeneity_sweep
+
+        result = run_heterogeneity_sweep(
+            heterogeneity_levels=(0.0, 2.0), iterations=150, filters=("cge",)
+        )
+        first_gap = result.rows[0][-1]
+        last_gap = result.rows[-1][-1]
+        assert first_gap < 0.05
+        assert last_gap > first_gap + 0.05
+
+    def test_series_shapes(self):
+        from repro.experiments import run_heterogeneity_sweep
+
+        result = run_heterogeneity_sweep(
+            heterogeneity_levels=(0.0, 0.5), iterations=100, filters=("cge", "cwtm")
+        )
+        assert len(result.series["fault-free accuracy"]) == 2
+        assert len(result.series["cge attacked accuracy"]) == 2
+        assert len(result.rows[0]) == 2 + 2 + 2  # level, ref, 2 acc, 2 gaps
+
+
+class TestLearningEvalSvmVariant:
+    def test_hinge_loss_runs_and_separates(self):
+        from repro.experiments import run_learning_eval
+
+        result = run_learning_eval(
+            heterogeneity_levels=(0.0,), iterations=150,
+            filters=("cge", "average"), attacks=("sign-flip",), loss="hinge",
+        )
+        assert "loss=hinge" in result.title
+        accuracy = {(row[1], row[2]): row[4] for row in result.rows}
+        reference = accuracy[("fault-free", "(none)")]
+        assert accuracy[("cge", "sign-flip")] > reference - 0.05
+        assert accuracy[("average", "sign-flip")] < reference - 0.2

@@ -1,0 +1,113 @@
+"""Tests for the centralized gradient-descent reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Singleton
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import (
+    HuberCost,
+    LogisticCost,
+    QuadraticCost,
+    TranslatedQuadratic,
+)
+from repro.optimization.gd import gradient_descent, solve_argmin
+from repro.optimization.projections import BallSet
+from repro.optimization.step_sizes import ConstantStepSize
+
+
+class TestGradientDescent:
+    def test_converges_on_quadratic(self):
+        cost = TranslatedQuadratic([3.0, -2.0])
+        result = gradient_descent(cost, [0.0, 0.0], max_iterations=5000)
+        assert result.converged
+        assert np.allclose(result.minimizer, [3.0, -2.0], atol=1e-4)
+
+    def test_respects_projection(self):
+        cost = TranslatedQuadratic([5.0, 0.0])
+        ball = BallSet([0.0, 0.0], 1.0)
+        result = gradient_descent(
+            cost, [0.0, 0.0], projection=ball, max_iterations=3000,
+            gradient_tolerance=0.0,
+        )
+        # Constrained optimum is the ball boundary toward the target.
+        assert np.allclose(result.minimizer, [1.0, 0.0], atol=1e-3)
+
+    def test_trajectory_recording(self):
+        cost = TranslatedQuadratic([1.0])
+        result = gradient_descent(
+            cost, [0.0], step_sizes=ConstantStepSize(0.1), max_iterations=10,
+            gradient_tolerance=0.0, record_trajectory=True,
+        )
+        assert result.trajectory.shape == (11, 1)
+        assert result.iterations == 10
+
+    def test_callback_invoked_each_step(self):
+        calls = []
+        cost = TranslatedQuadratic([1.0])
+        gradient_descent(
+            cost, [0.0], step_sizes=ConstantStepSize(0.1), max_iterations=5,
+            gradient_tolerance=0.0, callback=lambda t, x: calls.append(t),
+        )
+        assert calls == [1, 2, 3, 4, 5]
+
+    def test_already_optimal_stops_immediately(self):
+        cost = TranslatedQuadratic([1.0, 1.0])
+        result = gradient_descent(cost, [1.0, 1.0])
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_explicit_schedule(self):
+        cost = TranslatedQuadratic([2.0])
+        result = gradient_descent(
+            cost, [0.0], step_sizes=ConstantStepSize(0.25), max_iterations=200
+        )
+        assert result.converged
+
+    def test_invalid_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            gradient_descent(TranslatedQuadratic([0.0]), [1.0], max_iterations=0)
+
+    def test_works_without_hessian(self):
+        # Huber is 1-smooth, so a constant 0.5 step is stable.
+        cost = HuberCost([2.0, -1.0])
+        result = gradient_descent(
+            cost, [0.0, 0.0], step_sizes=ConstantStepSize(0.5),
+            max_iterations=20000, gradient_tolerance=1e-8,
+        )
+        assert np.allclose(result.minimizer, [2.0, -1.0], atol=1e-3)
+
+
+class TestSolveArgmin:
+    def test_quadratics_solved_exactly(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]), TranslatedQuadratic([4.0, 0.0])]
+        argmin = solve_argmin(costs)
+        assert isinstance(argmin, Singleton)
+        assert np.allclose(argmin.point, [2.0, 0.0], atol=1e-10)
+
+    def test_subset_selection(self):
+        costs = [TranslatedQuadratic([float(i), 0.0]) for i in range(5)]
+        argmin = solve_argmin(costs, indices=(0, 4))
+        assert np.allclose(argmin.project(np.zeros(2)), [2.0, 0.0], atol=1e-10)
+
+    def test_numerical_path_for_logistic(self):
+        rng = np.random.default_rng(0)
+        Z = rng.normal(size=(40, 2)) + np.array([1.0, 0.0])
+        y = np.ones(40)
+        Z2 = rng.normal(size=(40, 2)) - np.array([1.0, 0.0])
+        costs = [
+            LogisticCost(Z, y, regularization=0.5),
+            LogisticCost(Z2, -np.ones(40), regularization=0.5),
+        ]
+        argmin = solve_argmin(costs, gradient_tolerance=1e-8)
+        point = argmin.project(np.zeros(2))
+        total_grad = costs[0].gradient(point) + costs[1].gradient(point)
+        assert np.linalg.norm(total_grad) < 1e-6
+
+    def test_singular_quadratic_gives_subspace(self):
+        from repro.core.geometry import AffineSubspace
+        from repro.optimization.cost_functions import LeastSquaresCost
+
+        cost = LeastSquaresCost(np.array([[1.0, 0.0]]), np.array([1.0]))
+        argmin = solve_argmin([cost])
+        assert isinstance(argmin, AffineSubspace)

@@ -1,0 +1,130 @@
+"""Tests for SoftmaxCost and the multi-class learning generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.optimization.cost_functions import SoftmaxCost
+from repro.problems.multiclass import make_multiclass_instance
+
+
+def numerical_gradient(cost, x, h=1e-6):
+    grad = np.zeros_like(x)
+    for k in range(x.size):
+        e = np.zeros_like(x)
+        e[k] = h
+        grad[k] = (cost.value(x + e) - cost.value(x - e)) / (2 * h)
+    return grad
+
+
+class TestSoftmaxCost:
+    def _cost(self, reg=0.1, seed=0, m=25, p=3, K=4):
+        rng = np.random.default_rng(seed)
+        Z = rng.normal(size=(m, p))
+        y = rng.integers(0, K, size=m)
+        return SoftmaxCost(Z, y, num_classes=K, regularization=reg)
+
+    def test_gradient_matches_finite_differences(self):
+        cost = self._cost()
+        x = np.random.default_rng(1).normal(size=cost.dimension)
+        assert np.allclose(cost.gradient(x), numerical_gradient(cost, x), atol=1e-6)
+
+    def test_value_stable_for_large_scores(self):
+        cost = self._cost(reg=0.0)
+        huge = 1e4 * np.ones(cost.dimension)
+        assert np.isfinite(cost.value(huge))
+        assert np.all(np.isfinite(cost.gradient(huge)))
+
+    def test_uniform_weights_give_log_k_loss(self):
+        cost = self._cost(reg=0.0, K=4)
+        assert cost.value(np.zeros(cost.dimension)) == pytest.approx(np.log(4.0))
+
+    def test_predict_shape_and_range(self):
+        cost = self._cost(K=3, p=2)
+        rng = np.random.default_rng(2)
+        predictions = cost.predict(rng.normal(size=cost.dimension), rng.normal(size=(10, 2)))
+        assert predictions.shape == (10,)
+        assert set(predictions) <= {0, 1, 2}
+
+    def test_validation(self):
+        Z = np.ones((3, 2))
+        with pytest.raises(InvalidParameterError):
+            SoftmaxCost(Z, np.array([0, 1, 5]), num_classes=3)
+        with pytest.raises(InvalidParameterError):
+            SoftmaxCost(Z, np.array([0, 1, 2]), num_classes=1)
+        with pytest.raises(DimensionMismatchError):
+            SoftmaxCost(Z, np.array([0, 1]), num_classes=3)
+
+    def test_convexity_along_random_segments(self):
+        cost = self._cost(reg=0.0)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = rng.normal(size=cost.dimension)
+            b = rng.normal(size=cost.dimension)
+            mid = cost.value((a + b) / 2.0)
+            assert mid <= (cost.value(a) + cost.value(b)) / 2.0 + 1e-9
+
+
+class TestMulticlassGenerator:
+    def test_shapes(self):
+        instance = make_multiclass_instance(n=5, num_classes=3, num_features=4, seed=0)
+        assert instance.n == 5
+        assert instance.dimension == 12
+        assert instance.features[0].shape == (60, 4)
+        assert set(np.unique(np.concatenate(instance.labels))) <= {0, 1, 2}
+
+    def test_iid_instance_is_learnable_distributedly(self):
+        from repro.optimization.step_sizes import DiminishingStepSize
+        from repro.system.runner import run_dgd
+
+        instance = make_multiclass_instance(
+            n=6, num_classes=3, num_features=3, samples_per_agent=80, seed=1
+        )
+        trace = run_dgd(
+            instance.costs, None, gradient_filter="average",
+            iterations=300, step_sizes=DiminishingStepSize(c=4.0, t0=5.0), seed=1,
+        )
+        assert instance.accuracy(trace.final_estimate) > 0.8
+
+    def test_robust_filter_resists_sign_flip(self):
+        from repro.attacks.simple import SignFlip
+        from repro.optimization.step_sizes import DiminishingStepSize
+        from repro.system.runner import run_dgd
+
+        instance = make_multiclass_instance(
+            n=8, num_classes=3, num_features=3, samples_per_agent=60, seed=2
+        )
+        schedule = DiminishingStepSize(c=4.0, t0=5.0)
+        robust = run_dgd(
+            instance.costs, SignFlip(strength=5.0), faulty_ids=[0, 1],
+            gradient_filter="cge", iterations=300, step_sizes=schedule, seed=2,
+        )
+        broken = run_dgd(
+            instance.costs, SignFlip(strength=5.0), faulty_ids=[0, 1],
+            gradient_filter="average", iterations=300, step_sizes=schedule, seed=2,
+        )
+        assert instance.accuracy(robust.final_estimate) > 0.75
+        assert instance.accuracy(broken.final_estimate) < instance.accuracy(
+            robust.final_estimate
+        )
+
+    def test_heterogeneity_skews_local_class_distributions(self):
+        iid = make_multiclass_instance(n=6, num_classes=3, heterogeneity=0.0, seed=3)
+        skewed = make_multiclass_instance(n=6, num_classes=3, heterogeneity=5.0, seed=3)
+
+        def dominant_fraction(instance):
+            fractions = []
+            for y in instance.labels:
+                counts = np.bincount(y, minlength=3)
+                fractions.append(counts.max() / counts.sum())
+            return float(np.mean(fractions))
+
+        assert dominant_fraction(skewed) > dominant_fraction(iid) + 0.15
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_multiclass_instance(n=0)
+        with pytest.raises(InvalidParameterError):
+            make_multiclass_instance(n=2, num_classes=1)
+        with pytest.raises(InvalidParameterError):
+            make_multiclass_instance(n=2, num_classes=5, samples_per_agent=3)

@@ -1,0 +1,81 @@
+"""Tests for multi-seed experiment aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ExperimentResult
+from repro.exceptions import InvalidParameterError
+from repro.experiments.multiseed import summarize_over_seeds
+
+
+def make_fake(seed: int) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    return ExperimentResult(
+        experiment_id="EX",
+        title="fake",
+        headers=["label", "value", "verdict"],
+        rows=[["a", float(rng.normal(loc=1.0, scale=0.1)), "yes"]],
+        series={"curve": np.linspace(0, 1, 5) + rng.normal(scale=0.01, size=5)},
+    )
+
+
+class TestAggregation:
+    def test_numeric_cells_become_mean_pm_std(self):
+        aggregated = summarize_over_seeds(make_fake, seeds=(0, 1, 2, 3))
+        cell = aggregated.rows[0][1]
+        assert "±" in cell
+        mean = float(cell.split("±")[0])
+        assert mean == pytest.approx(1.0, abs=0.2)
+
+    def test_identical_labels_pass_through(self):
+        aggregated = summarize_over_seeds(make_fake, seeds=(0, 1))
+        assert aggregated.rows[0][0] == "a"
+        assert aggregated.rows[0][2] == "yes"
+
+    def test_series_mean_and_std_companions(self):
+        aggregated = summarize_over_seeds(make_fake, seeds=(0, 1, 2))
+        assert "curve" in aggregated.series
+        assert "curve/std" in aggregated.series
+        assert np.all(aggregated.series["curve/std"] >= 0)
+        assert np.allclose(aggregated.series["curve"], np.linspace(0, 1, 5), atol=0.05)
+
+    def test_title_annotated_and_seeds_noted(self):
+        aggregated = summarize_over_seeds(make_fake, seeds=(0, 1))
+        assert "mean ± std over 2 seeds" in aggregated.title
+        assert "seeds" in aggregated.notes[0]
+
+    def test_seed_sensitive_labels_flagged(self):
+        def flaky(seed):
+            result = make_fake(seed)
+            result.rows[0][2] = "yes" if seed % 2 == 0 else "no"
+            return result
+
+        aggregated = summarize_over_seeds(flaky, seeds=(0, 1))
+        assert aggregated.rows[0][2] == "(seed-sensitive)"
+
+    def test_requires_two_seeds(self):
+        with pytest.raises(InvalidParameterError):
+            summarize_over_seeds(make_fake, seeds=(0,))
+
+    def test_shape_mismatch_rejected(self):
+        def mutating(seed):
+            result = make_fake(seed)
+            if seed == 1:
+                result.rows.append(["extra", 0.0, "yes"])
+            return result
+
+        with pytest.raises(InvalidParameterError):
+            summarize_over_seeds(mutating, seeds=(0, 1))
+
+
+class TestOnRealExperiment:
+    def test_table1_across_seeds(self):
+        from repro.experiments import run_table1
+
+        aggregated = summarize_over_seeds(
+            lambda seed: run_table1(iterations=200, seed=seed), seeds=(1, 2, 3)
+        )
+        assert aggregated.experiment_id == "E1"
+        # Filter/attack labels preserved; errors aggregated.
+        assert aggregated.rows[0][0] == "cge"
+        assert "±" in aggregated.rows[0][3]

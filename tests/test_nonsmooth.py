@@ -1,0 +1,180 @@
+"""Tests for the non-differentiable (L1) cost support.
+
+These pin the claim that the exact-fault-tolerance characterization —
+redundancy checking, resilience evaluation, and the subset-enumeration
+algorithm — runs on non-differentiable costs, where the gradient-descent
+machinery does not apply.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_algorithm import SubsetEnumerationAlgorithm
+from repro.core.geometry import AxisAlignedBox, Singleton, hausdorff_distance
+from repro.core.redundancy import check_2f_redundancy, measure_redundancy_margin
+from repro.core.resilience import evaluate_resilience
+from repro.exceptions import InvalidParameterError
+from repro.optimization.nonsmooth import (
+    AbsoluteDeviationCost,
+    l1_aggregate_argmin,
+    l1_solver,
+    weighted_median_interval,
+)
+
+
+class TestWeightedMedian:
+    def test_odd_unweighted_is_median(self):
+        lo, hi = weighted_median_interval([3.0, 1.0, 2.0], [1.0, 1.0, 1.0])
+        assert lo == hi == 2.0
+
+    def test_even_unweighted_is_interval(self):
+        lo, hi = weighted_median_interval([1.0, 2.0, 3.0, 4.0], [1.0] * 4)
+        assert (lo, hi) == (2.0, 3.0)
+
+    def test_heavy_weight_dominates(self):
+        lo, hi = weighted_median_interval([0.0, 10.0], [10.0, 1.0])
+        assert lo == hi == 0.0
+
+    def test_balanced_two_points(self):
+        lo, hi = weighted_median_interval([0.0, 10.0], [1.0, 1.0])
+        assert (lo, hi) == (0.0, 10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            weighted_median_interval([], [])
+        with pytest.raises(InvalidParameterError):
+            weighted_median_interval([1.0], [0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=9),
+        seed=st.integers(0, 1000),
+    )
+    def test_interval_minimizes_objective(self, values, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 3.0, size=len(values))
+
+        def objective(x):
+            return float(np.sum(weights * np.abs(x - np.asarray(values))))
+
+        lo, hi = weighted_median_interval(values, weights)
+        base = objective((lo + hi) / 2.0)
+        assert objective(lo) == pytest.approx(base, abs=1e-9 * max(1.0, abs(base)))
+        # No probe point beats the interval's value.
+        for probe in rng.uniform(-150, 150, size=20):
+            assert objective(probe) >= base - 1e-9 * max(1.0, abs(base))
+
+
+class TestAbsoluteDeviationCost:
+    def test_value_and_subgradient(self):
+        cost = AbsoluteDeviationCost([1.0, -1.0], weight=2.0)
+        assert cost.value([2.0, 0.0]) == pytest.approx(2.0 * 2.0)
+        assert np.allclose(cost.gradient([2.0, 0.0]), [2.0, 2.0])
+        assert np.allclose(cost.gradient([1.0, -1.0]), [0.0, 0.0])
+
+    def test_argmin(self):
+        cost = AbsoluteDeviationCost([3.0, 4.0])
+        assert np.allclose(cost.argmin_set().point, [3.0, 4.0])
+
+    def test_invalid_weight(self):
+        with pytest.raises(InvalidParameterError):
+            AbsoluteDeviationCost([0.0], weight=0.0)
+
+
+class TestL1AggregateArgmin:
+    def test_unique_median_gives_singleton(self):
+        costs = [AbsoluteDeviationCost([float(v), 0.0]) for v in (0, 1, 2)]
+        argmin = l1_aggregate_argmin(costs)
+        assert isinstance(argmin, Singleton)
+        assert np.allclose(argmin.point, [1.0, 0.0])
+
+    def test_even_count_gives_box(self):
+        costs = [AbsoluteDeviationCost([float(v)]) for v in (0, 1, 2, 3)]
+        argmin = l1_aggregate_argmin(costs)
+        assert isinstance(argmin, AxisAlignedBox)
+        assert argmin.contains([1.0])
+        assert argmin.contains([2.0])
+        assert not argmin.contains([0.5])
+
+    def test_subset_selection(self):
+        costs = [AbsoluteDeviationCost([float(v)]) for v in (0, 5, 10)]
+        argmin = l1_aggregate_argmin(costs, indices=(0, 2))
+        assert argmin.contains([3.0])  # anywhere in [0, 10]
+
+    def test_argmin_actually_minimizes(self):
+        rng = np.random.default_rng(0)
+        costs = [
+            AbsoluteDeviationCost(rng.normal(size=3), weight=rng.uniform(0.5, 2.0))
+            for _ in range(5)
+        ]
+        argmin = l1_aggregate_argmin(costs)
+        point = argmin.project(np.zeros(3))
+        total = lambda x: sum(c.value(x) for c in costs)
+        base = total(point)
+        for _ in range(30):
+            assert total(rng.normal(scale=2.0, size=3)) >= base - 1e-9
+
+    def test_rejects_non_l1_members(self):
+        from repro.optimization.cost_functions import TranslatedQuadratic
+
+        with pytest.raises(InvalidParameterError):
+            l1_aggregate_argmin([TranslatedQuadratic([0.0])])
+
+
+class TestNonSmoothTheory:
+    def test_identical_l1_costs_are_redundant(self):
+        costs = [AbsoluteDeviationCost([1.0, -1.0]) for _ in range(5)]
+        assert check_2f_redundancy(costs, f=2, solver=l1_solver)
+
+    def test_spread_l1_costs_margin_positive(self):
+        costs = [AbsoluteDeviationCost([float(i), 0.0]) for i in range(5)]
+        report = measure_redundancy_margin(costs, f=1, solver=l1_solver)
+        assert report.margin > 0.5
+
+    def test_exact_algorithm_on_nonsmooth_costs(self):
+        # Identical honest L1 targets (exactly 2f-redundant); Byzantine
+        # agent submits a far-away target. The subset algorithm must output
+        # the honest target exactly — no gradients involved anywhere.
+        target = np.array([2.0, -3.0])
+        costs = [AbsoluteDeviationCost(target) for _ in range(6)]
+        costs[0] = AbsoluteDeviationCost([100.0, 100.0])
+        algorithm = SubsetEnumerationAlgorithm(n=6, f=1, solver=l1_solver)
+        result = algorithm.run(costs)
+        assert np.allclose(result.output, target, atol=1e-9)
+        report = evaluate_resilience(
+            result.output, costs, honest=[1, 2, 3, 4, 5], f=1, solver=l1_solver
+        )
+        assert report.exact
+
+    def test_hausdorff_between_box_and_singleton(self):
+        box = AxisAlignedBox([0.0, 0.0], [2.0, 0.0])
+        point = Singleton([1.0, 1.0])
+        # Farthest corner (0,0) or (2,0) is sqrt(2) away from (1,1).
+        assert hausdorff_distance(box, point) == pytest.approx(np.sqrt(2.0))
+
+
+class TestAxisAlignedBoxSet:
+    def test_projection_and_distance(self):
+        box = AxisAlignedBox([0.0, 0.0], [1.0, 1.0])
+        assert np.allclose(box.project([2.0, 0.5]), [1.0, 0.5])
+        assert box.distance_to([2.0, 0.5]) == pytest.approx(1.0)
+        assert box.distance_to([0.5, 0.5]) == 0.0
+
+    def test_degenerate_detection(self):
+        assert AxisAlignedBox([1.0], [1.0]).is_degenerate()
+        assert not AxisAlignedBox([0.0], [1.0]).is_degenerate()
+
+    def test_corner_support_points(self):
+        box = AxisAlignedBox([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        assert box.support_points().shape == (8, 3)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AxisAlignedBox([1.0], [0.0])
+
+    def test_dimension_guard_for_corners(self):
+        box = AxisAlignedBox(np.zeros(20), np.ones(20))
+        with pytest.raises(InvalidParameterError):
+            box.support_points()

@@ -1,0 +1,97 @@
+"""Tests for the regression problem generator (2f-redundancy by design)."""
+
+import numpy as np
+import pytest
+
+from repro.core.redundancy import check_2f_redundancy, minimal_subset_rank_condition
+from repro.exceptions import InvalidParameterError
+from repro.problems.linear_regression import (
+    design_rows,
+    make_redundant_regression,
+    paper_instance,
+)
+
+
+class TestDesignRows:
+    def test_rows_unit_norm(self):
+        A = design_rows(8, 3)
+        assert np.allclose(np.linalg.norm(A, axis=1), 1.0)
+
+    @pytest.mark.parametrize("n,d", [(6, 2), (8, 3), (10, 4)])
+    def test_every_d_rows_independent(self, n, d):
+        from itertools import combinations
+
+        A = design_rows(n, d)
+        for subset in combinations(range(n), d):
+            assert np.linalg.matrix_rank(A[list(subset)]) == d
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            design_rows(0, 2)
+        with pytest.raises(InvalidParameterError):
+            design_rows(2, 0)
+
+
+class TestGenerator:
+    def test_noiseless_instance_is_exactly_redundant(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        assert check_2f_redundancy(instance.costs, f=1)
+        assert np.allclose(instance.b, instance.A @ instance.x_star)
+
+    def test_rank_property_holds_for_larger_f(self):
+        instance = make_redundant_regression(n=10, d=2, f=3, noise_std=0.0)
+        assert minimal_subset_rank_condition(instance.A, f=3)
+
+    def test_honest_minimizer_is_x_star_when_noiseless(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0)
+        for honest in ([1, 2, 3, 4, 5], [0, 2, 3, 4, 5], [0, 1, 2, 3]):
+            assert np.allclose(instance.honest_minimizer(honest), instance.x_star)
+
+    def test_noise_is_reproducible(self):
+        a = make_redundant_regression(6, 2, 1, noise_std=0.1, seed=5)
+        b = make_redundant_regression(6, 2, 1, noise_std=0.1, seed=5)
+        assert np.array_equal(a.b, b.b)
+
+    def test_costs_match_rows(self):
+        instance = make_redundant_regression(6, 2, 1, noise_std=0.0)
+        x = np.array([0.3, -0.4])
+        for i, cost in enumerate(instance.costs):
+            expected = (instance.b[i] - instance.A[i] @ x) ** 2
+            assert cost.value(x) == pytest.approx(float(expected))
+
+    def test_custom_x_star(self):
+        target = np.array([2.0, -3.0])
+        instance = make_redundant_regression(6, 2, 1, x_star=target, noise_std=0.0)
+        assert np.allclose(instance.honest_minimizer(range(6)), target)
+
+    def test_infeasible_configuration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_redundant_regression(n=5, d=2, f=2)  # n - 2f = 1 < d
+        with pytest.raises(InvalidParameterError):
+            make_redundant_regression(n=6, d=2, f=1, noise_std=-0.1)
+
+    def test_rank_deficient_honest_set_rejected(self):
+        instance = make_redundant_regression(6, 2, 1)
+        with pytest.raises(InvalidParameterError):
+            instance.honest_minimizer([2])  # single row cannot pin down d=2
+
+    def test_properties(self):
+        instance = make_redundant_regression(7, 3, 1)
+        assert instance.n == 7
+        assert instance.dimension == 3
+        assert instance.honest_argmin_set(range(7)).dimension == 3
+
+
+class TestPaperInstance:
+    def test_matches_paper_configuration(self):
+        instance = paper_instance()
+        assert instance.n == 6
+        assert instance.dimension == 2
+        assert np.allclose(instance.x_star, [1.0, 1.0])
+        assert instance.noise_std == pytest.approx(0.02)
+
+    def test_redundancy_margin_small_but_positive(self):
+        from repro.core.redundancy import measure_redundancy_margin
+
+        margin = measure_redundancy_margin(paper_instance().costs, 1).margin
+        assert 0.0 < margin < 0.1

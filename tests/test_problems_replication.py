@@ -1,0 +1,124 @@
+"""Tests for redundancy-by-design via cyclic replication."""
+
+import numpy as np
+import pytest
+
+from repro.core.redundancy import check_2f_redundancy
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import LeastSquaresCost
+from repro.problems.linear_regression import RegressionInstance, make_redundant_regression
+from repro.problems.replication import (
+    minimum_replication_degree,
+    replicate_cyclically,
+)
+
+
+def concentrated_instance(n=6, d=2):
+    """A consistent instance whose one-row assignment is NOT 2f-redundant."""
+    rows = [np.eye(d)[0]] * (n - d + 1) + [np.eye(d)[k] for k in range(1, d)]
+    A = np.stack(rows)
+    x_star = np.ones(d)
+    b = A @ x_star
+    costs = [LeastSquaresCost(A[i : i + 1], b[i : i + 1]) for i in range(n)]
+    return RegressionInstance(A=A, b=b, x_star=x_star, noise_std=0.0, costs=costs)
+
+
+class TestReplicationRepairsRedundancy:
+    def test_base_is_not_redundant(self):
+        base = concentrated_instance()
+        assert not check_2f_redundancy(base.costs, f=1)
+
+    def test_replication_at_threshold_is_redundant(self):
+        base = concentrated_instance()
+        replicated = replicate_cyclically(base, f=1)
+        assert replicated.replication_degree == 3
+        assert check_2f_redundancy(replicated.costs, f=1)
+
+    @pytest.mark.parametrize("n,f", [(6, 1), (8, 2), (11, 3)])
+    def test_threshold_formula(self, n, f):
+        assert minimum_replication_degree(n, f) == 2 * f + 1
+
+    def test_replicated_costs_minimize_at_x_star(self):
+        base = concentrated_instance()
+        replicated = replicate_cyclically(base, f=1)
+        for cost in replicated.costs:
+            # Consistent data: every replicated aggregate contains x*.
+            assert cost.value(base.x_star) == pytest.approx(0.0, abs=1e-12)
+
+    def test_assignments_are_cyclic_windows(self):
+        base = concentrated_instance(n=5)
+        replicated = replicate_cyclically(base, f=1)
+        assert replicated.assignments[4] == [4, 0, 1]
+        assert all(len(rows) == 3 for rows in replicated.assignments)
+
+    def test_storage_factor(self):
+        base = concentrated_instance()
+        assert replicate_cyclically(base, f=1).storage_factor() == 3.0
+
+
+class TestHonestMinimizer:
+    def test_matches_x_star_when_consistent(self):
+        base = concentrated_instance()
+        replicated = replicate_cyclically(base, f=1)
+        for honest in ([1, 2, 3, 4, 5], [0, 2, 3, 4, 5]):
+            assert np.allclose(replicated.honest_minimizer(honest), base.x_star)
+
+    def test_empty_honest_rejected(self):
+        replicated = replicate_cyclically(concentrated_instance(), f=1)
+        with pytest.raises(InvalidParameterError):
+            replicated.honest_minimizer([])
+
+
+class TestValidation:
+    def test_degree_exceeding_n_rejected(self):
+        base = concentrated_instance(n=6)
+        # n=6 with f=2 gives a valid fault bound, but a degree-5 window fits;
+        # force the failure with the infeasible bound directly.
+        replicate_cyclically(base, f=2)  # degree 5 <= 6: fine
+        with pytest.raises(Exception):
+            replicate_cyclically(base, f=3)  # 2f >= n: fault bound fails
+
+    def test_rank_deficient_base_rejected(self):
+        A = np.tile(np.array([[1.0, 0.0]]), (5, 1))
+        b = A @ np.ones(2)
+        base = RegressionInstance(
+            A=A, b=b, x_star=np.ones(2), noise_std=0.0,
+            costs=[LeastSquaresCost(A[i : i + 1], b[i : i + 1]) for i in range(5)],
+        )
+        with pytest.raises(InvalidParameterError, match="rank-deficient"):
+            replicate_cyclically(base, f=1)
+
+
+class TestEndToEnd:
+    def test_dgd_on_replicated_instance_recovers_x_star(self):
+        from repro.attacks.simple import GradientReverse
+        from repro.system.runner import run_dgd
+
+        base = concentrated_instance()
+        replicated = replicate_cyclically(base, f=1)
+        trace = run_dgd(
+            replicated.costs, GradientReverse(), faulty_ids=[0],
+            gradient_filter="cge", iterations=2000, seed=0,
+        )
+        assert np.linalg.norm(trace.final_estimate - base.x_star) < 0.05
+
+    def test_dgd_on_unreplicated_base_fails(self):
+        from repro.attacks.simple import GradientReverse
+        from repro.system.runner import run_dgd
+
+        base = concentrated_instance()
+        # Adversary controls the only observer of the second coordinate.
+        trace = run_dgd(
+            base.costs, GradientReverse(), faulty_ids=[5],
+            gradient_filter="cge", iterations=2000, seed=0,
+        )
+        assert np.linalg.norm(trace.final_estimate - base.x_star) > 0.3
+
+    def test_noisy_replication_bounded_margin(self):
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.05, seed=0)
+        replicated = replicate_cyclically(instance, f=1)
+        from repro.core.redundancy import measure_redundancy_margin
+
+        margin = measure_redundancy_margin(replicated.costs, 1).margin
+        # Replication of noisy data keeps the margin at noise scale.
+        assert margin < 0.2

@@ -1,0 +1,149 @@
+"""Tests for the sensing and learning problem generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.problems.learning import label_flipped_cost, make_learning_instance
+from repro.problems.meeting import make_meeting_instance
+from repro.problems.sensing import make_sensing_instance
+
+
+class TestSensing:
+    def test_sparse_observability_by_design(self):
+        instance = make_sensing_instance(n=6, d=2, f=1, noise_std=0.0)
+        assert instance.is_sparse_observable(f=1)
+
+    def test_multi_row_sensors(self):
+        instance = make_sensing_instance(n=5, d=4, f=1, rows_per_sensor=2, noise_std=0.0)
+        assert instance.observation_matrices[0].shape == (2, 4)
+        assert instance.is_sparse_observable(f=1)
+
+    def test_noiseless_state_recovery(self):
+        instance = make_sensing_instance(n=6, d=2, f=1, noise_std=0.0)
+        for honest in ([0, 1, 2, 3], [2, 3, 4, 5]):
+            assert np.allclose(instance.honest_state_estimate(honest), instance.x_star)
+
+    def test_sensing_costs_equal_residual_norms(self):
+        instance = make_sensing_instance(n=5, d=2, f=1, noise_std=0.05, seed=1)
+        x = np.array([0.5, 0.5])
+        for i, cost in enumerate(instance.costs):
+            H, y = instance.observation_matrices[i], instance.observations[i]
+            assert cost.value(x) == pytest.approx(float(np.sum((H @ x - y) ** 2)))
+
+    def test_redundancy_equivalence_with_sparse_observability(self):
+        from repro.core.redundancy import check_2f_redundancy
+
+        instance = make_sensing_instance(n=6, d=2, f=1, noise_std=0.0)
+        assert check_2f_redundancy(instance.costs, f=1) == instance.is_sparse_observable(1)
+
+    def test_infeasible_configuration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_sensing_instance(n=5, d=4, f=2, rows_per_sensor=1)
+
+
+class TestLearning:
+    def test_shapes_and_labels(self):
+        instance = make_learning_instance(n=4, d=3, samples_per_agent=20, seed=0)
+        assert instance.n == 4
+        assert instance.dimension == 3
+        for Z, y in zip(instance.features, instance.labels):
+            assert Z.shape == (20, 3)
+            assert set(np.unique(y)) <= {-1.0, 1.0}
+            # Both classes present locally.
+            assert len(np.unique(y)) == 2
+
+    def test_iid_data_is_learnable(self):
+        instance = make_learning_instance(n=4, d=3, samples_per_agent=100, margin=3.0, seed=0)
+        # The Bayes-ish direction along the first axis separates well.
+        direction = np.zeros(3)
+        direction[0] = 1.0
+        assert instance.accuracy(direction) > 0.9
+
+    def test_heterogeneity_skews_class_balance(self):
+        iid = make_learning_instance(n=6, d=2, samples_per_agent=40, heterogeneity=0.0, seed=1)
+        skewed = make_learning_instance(n=6, d=2, samples_per_agent=40, heterogeneity=1.0, seed=1)
+
+        def balance_spread(instance):
+            fractions = [float(np.mean(y == 1.0)) for y in instance.labels]
+            return max(fractions) - min(fractions)
+
+        assert balance_spread(skewed) > balance_spread(iid)
+
+    def test_hinge_loss_variant(self):
+        instance = make_learning_instance(n=3, d=2, samples_per_agent=10, loss="hinge", seed=0)
+        x = np.zeros(2)
+        assert all(np.isfinite(c.value(x)) for c in instance.costs)
+
+    def test_label_flip_cost_flips_labels_only(self):
+        instance = make_learning_instance(
+            n=3, d=2, samples_per_agent=10, regularization=0.1, seed=0
+        )
+        flipped = label_flipped_cost(instance, agent=0)
+        # Flipped cost evaluated on the original data with negated labels.
+        x = np.array([0.4, -0.2])
+        from repro.optimization.cost_functions import LogisticCost
+
+        reference = LogisticCost(
+            instance.features[0], -instance.labels[0], regularization=0.1
+        )
+        assert flipped.value(x) == pytest.approx(reference.value(x))
+        assert np.allclose(flipped.gradient(x), reference.gradient(x))
+
+    def test_label_flip_attack_reports_flipped_gradients(self):
+        from repro.attacks.base import AttackContext
+        from repro.problems.learning import label_flip_attack
+
+        instance = make_learning_instance(
+            n=3, d=2, samples_per_agent=10, regularization=0.1, seed=0
+        )
+        x = np.array([0.4, -0.2])
+        behavior = label_flip_attack(instance, [0])
+        context = AttackContext(
+            round_index=0,
+            estimate=x,
+            honest_gradients=np.zeros((2, 2)),
+            honest_ids=[1, 2],
+            faulty_ids=[0],
+            faulty_costs=[instance.costs[0]],
+            rng=np.random.default_rng(0),
+        )
+        forged = behavior(context)[0]
+        truth = label_flipped_cost(instance, 0).gradient(x)
+        assert np.allclose(forged, truth, atol=1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            make_learning_instance(n=0, d=2)
+        with pytest.raises(InvalidParameterError):
+            make_learning_instance(n=2, d=2, samples_per_agent=1)
+        with pytest.raises(InvalidParameterError):
+            make_learning_instance(n=2, d=2, loss="squared")
+        with pytest.raises(InvalidParameterError):
+            label_flipped_cost(make_learning_instance(n=2, d=2, seed=0), agent=9)
+
+
+class TestMeeting:
+    def test_common_location_is_fully_redundant(self):
+        from repro.core.redundancy import check_2f_redundancy
+
+        instance = make_meeting_instance(n=5, d=2, spread=0.0, common_location=[1.0, 1.0])
+        assert check_2f_redundancy(instance.costs, f=2)
+        assert np.allclose(instance.honest_meeting_point(range(5)), [1.0, 1.0])
+
+    def test_weighted_centroid(self):
+        instance = make_meeting_instance(n=2, d=1, spread=0.0)
+        # Override locations directly for a hand-checkable centroid.
+        instance.locations[:] = [[0.0], [3.0]]
+        instance.weights[:] = [1.0, 2.0]
+        assert instance.honest_meeting_point([0, 1]) == pytest.approx(2.0)
+
+    def test_spread_breaks_redundancy(self):
+        from repro.core.redundancy import measure_redundancy_margin
+
+        instance = make_meeting_instance(n=5, d=2, spread=2.0, seed=0)
+        assert measure_redundancy_margin(instance.costs, 1).margin > 0.1
+
+    def test_invalid_weights(self):
+        with pytest.raises(InvalidParameterError):
+            make_meeting_instance(n=3, d=2, weights=[1.0, -1.0, 1.0])

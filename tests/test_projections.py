@@ -1,0 +1,152 @@
+"""Tests for convex sets and metric projections."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.optimization.projections import (
+    BallSet,
+    BoxSet,
+    HalfSpace,
+    IntersectionSet,
+    UnconstrainedSet,
+)
+
+
+class TestBox:
+    def test_interior_points_fixed(self):
+        box = BoxSet([-1.0, -1.0], [1.0, 1.0])
+        assert np.allclose(box.project([0.3, -0.7]), [0.3, -0.7])
+
+    def test_clipping(self):
+        box = BoxSet([-1.0, -1.0], [1.0, 1.0])
+        assert np.allclose(box.project([5.0, -9.0]), [1.0, -1.0])
+
+    def test_centered_constructor(self):
+        box = BoxSet.centered(3, 2.0)
+        assert box.contains([2.0, -2.0, 0.0])
+        assert not box.contains([2.1, 0.0, 0.0])
+
+    def test_diameter(self):
+        box = BoxSet.centered(2, 1.0)
+        assert box.diameter() == pytest.approx(np.sqrt(8.0))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoxSet([1.0], [0.0])
+
+    def test_is_compact(self):
+        assert BoxSet.centered(2, 1.0).is_compact
+
+
+class TestBall:
+    def test_interior_fixed(self):
+        ball = BallSet([0.0, 0.0], 2.0)
+        assert np.allclose(ball.project([1.0, 1.0]), [1.0, 1.0])
+
+    def test_exterior_radial_projection(self):
+        ball = BallSet([0.0, 0.0], 1.0)
+        assert np.allclose(ball.project([3.0, 4.0]), [0.6, 0.8])
+
+    def test_offcenter(self):
+        ball = BallSet([1.0, 0.0], 1.0)
+        assert np.allclose(ball.project([4.0, 0.0]), [2.0, 0.0])
+
+    def test_diameter(self):
+        assert BallSet([0.0], 3.0).diameter() == 6.0
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(InvalidParameterError):
+            BallSet([0.0], 0.0)
+
+
+class TestHalfSpace:
+    def test_satisfied_point_fixed(self):
+        hs = HalfSpace([1.0, 0.0], 1.0)  # x <= 1
+        assert np.allclose(hs.project([0.5, 3.0]), [0.5, 3.0])
+
+    def test_violating_point_projected_orthogonally(self):
+        hs = HalfSpace([1.0, 0.0], 1.0)
+        assert np.allclose(hs.project([3.0, 2.0]), [1.0, 2.0])
+
+    def test_normal_normalized(self):
+        hs = HalfSpace([2.0, 0.0], 4.0)  # same as x <= 2
+        assert hs.contains([2.0, 0.0])
+        assert not hs.contains([2.1, 0.0])
+
+    def test_not_compact(self):
+        assert not HalfSpace([1.0], 0.0).is_compact
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HalfSpace([0.0, 0.0], 1.0)
+
+
+class TestUnconstrained:
+    def test_identity(self):
+        space = UnconstrainedSet(3)
+        x = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(space.project(x), x)
+
+    def test_not_compact(self):
+        assert not UnconstrainedSet(2).is_compact
+
+
+class TestIntersection:
+    def test_box_ball_intersection(self):
+        box = BoxSet.centered(2, 1.0)
+        ball = BallSet([0.0, 0.0], 1.0)
+        lens = IntersectionSet([box, ball])
+        projected = lens.project([3.0, 3.0])
+        assert box.contains(projected, tol=1e-6)
+        assert ball.contains(projected, tol=1e-6)
+
+    def test_matches_metric_projection_on_known_case(self):
+        # Intersection of half-spaces x<=1 and y<=1: projection of (3, 2)
+        # is (1, 1)... actually metric projection is (1, 1) only if both
+        # violated; Dykstra must find exactly that.
+        a = HalfSpace([1.0, 0.0], 1.0)
+        b = HalfSpace([0.0, 1.0], 1.0)
+        lens = IntersectionSet([a, b])
+        assert np.allclose(lens.project([3.0, 2.0]), [1.0, 1.0], atol=1e-8)
+
+    def test_single_member_passthrough(self):
+        box = BoxSet.centered(2, 1.0)
+        lens = IntersectionSet([box])
+        assert np.allclose(lens.project([5.0, 0.0]), [1.0, 0.0])
+
+    def test_interior_point_unmoved(self):
+        lens = IntersectionSet([BoxSet.centered(2, 2.0), BallSet([0.0, 0.0], 2.0)])
+        assert np.allclose(lens.project([0.1, 0.1]), [0.1, 0.1])
+
+    def test_compactness_inherited(self):
+        compact = IntersectionSet([BoxSet.centered(2, 1.0), UnconstrainedSet(2)])
+        assert compact.is_compact
+        open_set = IntersectionSet([UnconstrainedSet(2)])
+        assert not open_set.is_compact
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            IntersectionSet([BoxSet.centered(2, 1.0), BoxSet.centered(3, 1.0)])
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IntersectionSet([])
+
+
+def test_projection_is_idempotent():
+    for convex in (BoxSet.centered(3, 1.0), BallSet([1.0, 1.0, 1.0], 2.0)):
+        x = np.array([9.0, -9.0, 9.0])
+        once = convex.project(x)
+        twice = convex.project(once)
+        assert np.allclose(once, twice)
+
+
+def test_projection_is_nonexpansive():
+    rng = np.random.default_rng(0)
+    ball = BallSet([0.0, 0.0], 1.0)
+    for _ in range(20):
+        x, y = rng.normal(size=2), rng.normal(size=2)
+        assert np.linalg.norm(ball.project(x) - ball.project(y)) <= np.linalg.norm(
+            x - y
+        ) + 1e-12

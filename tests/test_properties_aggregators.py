@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for gradient filters.
+
+These pin down the algebraic invariants every filter must satisfy:
+permutation invariance (agent ids carry no information), appropriate
+equivariances, and per-filter robustness bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import available_filters, make_filter
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.trimmed_mean import CoordinateWiseTrimmedMean
+
+#: Filters whose output is a deterministic function of the *multiset* of
+#: inputs. Excluded: clipping (stateful across calls), mom/gmom (grouping is
+#: positional by construction), bulyan (its sequential Krum selection
+#: tie-breaks by index, so duplicate rows can select differently after a
+#: permutation).
+#: Selection-based filters (CGE, Krum family) tie-break by row index —
+#: the paper itself says "ties broken arbitrarily" — so inputs with tied
+#: norms/scores may resolve differently after a permutation; they are
+#: checked separately on tie-free inputs.
+PERMUTATION_INVARIANT = [
+    name
+    for name in available_filters()
+    if name not in ("clipping", "mom", "gmom", "bulyan", "krum", "multikrum", "cge")
+]
+
+
+def gradient_matrices(min_rows=5, max_rows=9, dim=3):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_rows, max_rows), st.just(dim)
+        ),
+        elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(gradients=gradient_matrices())
+@pytest.mark.parametrize("name", PERMUTATION_INVARIANT)
+def test_permutation_invariance(name, gradients):
+    """Shuffling the rows never changes the aggregate."""
+    gradient_filter = make_filter(name, f=1)
+    rng = np.random.default_rng(0)
+    permuted = gradients[rng.permutation(gradients.shape[0])]
+    original = gradient_filter(gradients)
+    shuffled = gradient_filter(permuted)
+    assert np.allclose(original, shuffled, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+@pytest.mark.parametrize("name", ["krum", "multikrum", "cge"])
+def test_selection_filters_permutation_invariance_on_distinct_rows(name, seed):
+    """With tie-free inputs, selection-based filters are order-free."""
+    rng = np.random.default_rng(seed)
+    gradients = rng.normal(size=(7, 3))
+    gradient_filter = make_filter(name, f=1)
+    permuted = gradients[rng.permutation(7)]
+    assert np.allclose(
+        gradient_filter(gradients), gradient_filter(permuted), atol=1e-8
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(gradients=gradient_matrices())
+@pytest.mark.parametrize("name", ["average", "cwtm", "median"])
+def test_translation_equivariance(name, gradients):
+    """Mean-like filters commute with a common translation of all inputs.
+
+    (CGE/sum are deliberately absent: a shift of every input by ``v``
+    shifts a sum-scale output by ``(n − f) v`` and can change *which* rows
+    CGE keeps, so the property simply does not apply to them.)
+    """
+    gradient_filter = make_filter(name, f=1)
+    shift = np.array([3.0, -1.0, 0.5])
+    shifted = gradient_filter(gradients + shift)
+    assert np.allclose(shifted, gradient_filter(gradients) + shift, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gradients=gradient_matrices(), scale=st.floats(0.1, 10.0))
+@pytest.mark.parametrize("name", ["average", "cwtm", "median", "cge", "sum", "mom"])
+def test_positive_scale_equivariance(name, gradients, scale):
+    """Scaling every input by c > 0 scales the output by c."""
+    gradient_filter = make_filter(name, f=1)
+    assert np.allclose(
+        gradient_filter(scale * gradients),
+        scale * gradient_filter(gradients),
+        atol=1e-6 * max(1.0, scale),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(gradients=gradient_matrices())
+def test_cwtm_output_in_coordinate_envelope(gradients):
+    """Trimmed mean stays inside the per-coordinate input range."""
+    out = CoordinateWiseTrimmedMean(f=1)(gradients)
+    assert np.all(out >= gradients.min(axis=0) - 1e-9)
+    assert np.all(out <= gradients.max(axis=0) + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(gradients=gradient_matrices())
+def test_cge_keeps_exactly_n_minus_f(gradients):
+    cge = ComparativeGradientElimination(f=2)
+    kept = cge.kept_indices(gradients)
+    assert kept.shape[0] == gradients.shape[0] - 2
+    norms = np.linalg.norm(gradients, axis=1)
+    dropped = sorted(set(range(gradients.shape[0])) - set(kept.tolist()))
+    # Every dropped row's norm is >= every kept row's norm.
+    if dropped:
+        assert norms[dropped].min() >= norms[kept].max() - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(gradients=gradient_matrices())
+def test_cge_norm_bound(gradients):
+    """||CGE(g)|| <= Σ of the n−f smallest norms (triangle inequality)."""
+    cge = ComparativeGradientElimination(f=2)
+    out = cge(gradients)
+    norms = np.sort(np.linalg.norm(gradients, axis=1))
+    bound = norms[: gradients.shape[0] - 2].sum()
+    assert np.linalg.norm(out) <= bound + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    honest=arrays(
+        dtype=np.float64, shape=(5, 3),
+        elements=st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False),
+    ),
+    magnitude=st.floats(1e3, 1e9),
+)
+@pytest.mark.parametrize("name", ["cge", "cwtm", "median", "geomed", "krum", "mom"])
+def test_single_large_outlier_bounded_influence(name, honest, magnitude):
+    """A single arbitrarily-large Byzantine gradient cannot blow up the output.
+
+    The output under attack stays within a constant of the honest inputs'
+    scale — the defining robustness property plain averaging lacks.
+    """
+    gradient_filter = make_filter(name, f=1)
+    attacked = np.vstack([honest, magnitude * np.ones((1, 3))])
+    out = gradient_filter(attacked)
+    honest_scale = np.abs(honest).max() + 1.0
+    assert np.linalg.norm(out) <= 10.0 * honest_scale
+
+
+@settings(max_examples=20, deadline=None)
+@given(gradients=gradient_matrices(min_rows=6, max_rows=8))
+def test_identical_inputs_fixed_point(gradients):
+    """When every agent sends the same vector v, mean-scale filters return v."""
+    row = gradients[0]
+    identical = np.tile(row, (gradients.shape[0], 1))
+    for name in ("average", "cwtm", "median", "geomed", "krum", "multikrum", "mom", "gmom"):
+        out = make_filter(name, f=1)(identical)
+        assert np.allclose(out, row, atol=1e-6), name

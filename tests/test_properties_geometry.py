@@ -1,0 +1,136 @@
+"""Property-based tests for the geometry and redundancy primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.geometry import FinitePointSet, Singleton, hausdorff_distance
+from repro.core.redundancy import measure_redundancy_margin
+from repro.optimization.cost_functions import QuadraticCost, TranslatedQuadratic
+from repro.optimization.projections import BallSet, BoxSet
+
+finite_floats = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+def points(rows):
+    return arrays(dtype=np.float64, shape=(rows, 2), elements=finite_floats)
+
+
+class TestHausdorffMetricAxioms:
+    @settings(max_examples=30, deadline=None)
+    @given(a=points(3), b=points(4))
+    def test_symmetry(self, a, b):
+        A, B = FinitePointSet(a), FinitePointSet(b)
+        assert hausdorff_distance(A, B) == pytest.approx(hausdorff_distance(B, A))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=points(3))
+    def test_identity(self, a):
+        A = FinitePointSet(a)
+        assert hausdorff_distance(A, A) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=points(2), b=points(3), c=points(2))
+    def test_triangle_inequality(self, a, b, c):
+        A, B, C = FinitePointSet(a), FinitePointSet(b), FinitePointSet(c)
+        assert hausdorff_distance(A, C) <= (
+            hausdorff_distance(A, B) + hausdorff_distance(B, C) + 1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=points(4), x=arrays(np.float64, (2,), elements=finite_floats))
+    def test_point_distance_lower_bounds_hausdorff(self, a, x):
+        A = FinitePointSet(a)
+        X = Singleton(x)
+        assert A.distance_to(x) <= hausdorff_distance(A, X) + 1e-9
+
+
+class TestProjectionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(x=arrays(np.float64, (3,), elements=finite_floats))
+    def test_idempotence(self, x):
+        for convex in (BoxSet.centered(3, 2.0), BallSet(np.zeros(3), 1.5)):
+            once = convex.project(x)
+            assert np.allclose(convex.project(once), once, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=arrays(np.float64, (3,), elements=finite_floats),
+        y=arrays(np.float64, (3,), elements=finite_floats),
+    )
+    def test_nonexpansiveness(self, x, y):
+        for convex in (BoxSet.centered(3, 2.0), BallSet(np.zeros(3), 1.5)):
+            px, py = convex.project(x), convex.project(y)
+            assert np.linalg.norm(px - py) <= np.linalg.norm(x - y) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=arrays(np.float64, (3,), elements=finite_floats))
+    def test_projection_is_nearest_feasible_point(self, x):
+        ball = BallSet(np.zeros(3), 1.0)
+        projected = ball.project(x)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            candidate = ball.project(rng.normal(size=3) * 2.0)
+            assert np.linalg.norm(x - projected) <= np.linalg.norm(x - candidate) + 1e-9
+
+
+class TestRedundancyMarginProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        targets=arrays(np.float64, (5, 2), elements=st.floats(-5, 5, allow_nan=False)),
+    )
+    def test_margin_bounded_by_target_diameter(self, targets):
+        """Aggregate minimizers are convex combinations of the targets, so
+        the redundancy margin never exceeds the targets' diameter."""
+        costs = [TranslatedQuadratic(t) for t in targets]
+        margin = measure_redundancy_margin(costs, f=1).margin
+        diameter = np.max(
+            np.linalg.norm(targets[:, None, :] - targets[None, :, :], axis=2)
+        )
+        assert margin <= diameter + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        target=arrays(np.float64, (2,), elements=st.floats(-5, 5, allow_nan=False)),
+        n=st.integers(3, 6),
+    )
+    def test_identical_costs_always_exact(self, target, n):
+        costs = [TranslatedQuadratic(target) for _ in range(n)]
+        report = measure_redundancy_margin(costs, f=(n - 1) // 2)
+        assert report.margin == pytest.approx(0.0, abs=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(shift=st.floats(0.1, 3.0))
+    def test_margin_translation_invariant(self, shift):
+        base = [TranslatedQuadratic([float(i), 0.0]) for i in range(5)]
+        moved = [TranslatedQuadratic([float(i) + shift, 0.0]) for i in range(5)]
+        assert measure_redundancy_margin(base, 1).margin == pytest.approx(
+            measure_redundancy_margin(moved, 1).margin, rel=1e-6
+        )
+
+
+class TestQuadraticArgminProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        diag=arrays(np.float64, (3,), elements=st.floats(0.1, 10.0)),
+        target=arrays(np.float64, (3,), elements=finite_floats),
+    )
+    def test_argmin_gradient_is_zero(self, diag, target):
+        P = np.diag(diag)
+        cost = QuadraticCost(P, -P @ target)
+        point = cost.argmin_set().project(np.zeros(3))
+        assert np.linalg.norm(cost.gradient(point)) < 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        diag=arrays(np.float64, (3,), elements=st.floats(0.1, 10.0)),
+        target=arrays(np.float64, (3,), elements=finite_floats),
+        probe=arrays(np.float64, (3,), elements=finite_floats),
+    )
+    def test_argmin_value_is_minimal(self, diag, target, probe):
+        P = np.diag(diag)
+        cost = QuadraticCost(P, -P @ target)
+        point = cost.argmin_set().project(np.zeros(3))
+        assert cost.value(point) <= cost.value(probe) + 1e-6

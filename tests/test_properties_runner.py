@@ -1,0 +1,87 @@
+"""Property-based tests for the end-to-end runner.
+
+Invariants that must hold for *every* (filter, attack, seed) combination:
+determinism given the seed, iterates confined to the projection set,
+finite recorded directions, and fault accounting bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.registry import make_attack
+from repro.optimization.projections import BoxSet
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+
+FILTERS = ("cge", "cwtm", "median", "geomed", "krum", "average", "mom")
+ATTACKS = ("gradient-reverse", "random", "sign-flip", "zero", "alie", "ipm", "mimic")
+
+
+@st.composite
+def executions(draw):
+    filter_name = draw(st.sampled_from(FILTERS))
+    attack_name = draw(st.sampled_from(ATTACKS))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return filter_name, attack_name, seed
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_redundant_regression(n=7, d=2, f=1, noise_std=0.01, seed=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=executions())
+def test_determinism_given_seed(instance, config):
+    filter_name, attack_name, seed = config
+    kwargs = dict(
+        gradient_filter=filter_name, faulty_ids=(0,), iterations=15, seed=seed
+    )
+    first = run_dgd(instance.costs, make_attack(attack_name), **kwargs)
+    second = run_dgd(instance.costs, make_attack(attack_name), **kwargs)
+    assert np.array_equal(first.estimates, second.estimates)
+    assert np.array_equal(first.directions, second.directions)
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=executions())
+def test_iterates_stay_in_projection_set(instance, config):
+    filter_name, attack_name, seed = config
+    box = BoxSet.centered(2, 5.0)
+    trace = run_dgd(
+        instance.costs, make_attack(attack_name),
+        gradient_filter=filter_name, faulty_ids=(0,),
+        iterations=25, seed=seed, projection=box,
+    )
+    assert np.all(np.abs(trace.estimates) <= 5.0 + 1e-9)
+    assert np.all(np.isfinite(trace.directions))
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=executions())
+def test_trace_bookkeeping_invariants(instance, config):
+    filter_name, attack_name, seed = config
+    trace = run_dgd(
+        instance.costs, make_attack(attack_name),
+        gradient_filter=filter_name, faulty_ids=(0,),
+        iterations=10, seed=seed,
+    )
+    assert trace.honest_ids == list(range(1, 7))
+    assert trace.faulty_ids == [0]
+    assert set(trace.eliminated) <= set(trace.faulty_ids)
+    assert trace.iterations == 10
+    assert trace.estimates.shape == (11, 2)
+    assert trace.messages_delivered > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_random_attack_seeds_differ(instance, seed):
+    """Different seeds produce different adversary draws (random attack)."""
+    a = run_dgd(instance.costs, make_attack("random"), gradient_filter="average",
+                faulty_ids=(0,), iterations=5, seed=seed)
+    b = run_dgd(instance.costs, make_attack("random"), gradient_filter="average",
+                faulty_ids=(0,), iterations=5, seed=seed + 1)
+    assert not np.array_equal(a.estimates, b.estimates)

@@ -1,0 +1,88 @@
+"""Contracts on the public API surface.
+
+These tests are the package's compatibility net: every documented export
+resolves, registries and `__all__` agree, and the lazily-resolved
+`repro.core` exports behave like ordinary attributes.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    def test_every_dunder_all_name_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_registries_are_importable_classes(self):
+        for name in repro.available_filters():
+            instance = repro.make_filter(name, f=1)
+            assert instance.name == name
+
+    def test_subpackages_import_cleanly(self):
+        for module in (
+            "repro.core", "repro.optimization", "repro.aggregators",
+            "repro.attacks", "repro.system", "repro.problems",
+            "repro.analysis", "repro.experiments", "repro.utils", "repro.cli",
+        ):
+            importlib.import_module(module)
+
+
+class TestLazyCoreExports:
+    def test_getattr_resolves_and_caches(self):
+        import repro.core as core
+
+        first = core.hausdorff_distance
+        second = core.hausdorff_distance
+        assert first is second
+
+    def test_unknown_attribute_raises(self):
+        import repro.core as core
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            core.not_a_real_symbol
+
+    def test_dir_lists_exports(self):
+        import repro.core as core
+
+        listing = dir(core)
+        assert "check_2f_redundancy" in listing
+        assert "SubsetEnumerationAlgorithm" in listing
+
+
+class TestDocstrings:
+    def test_every_public_callable_is_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert undocumented == []
+
+    def test_experiment_runners_documented(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            runner = getattr(experiments, name)
+            assert (runner.__doc__ or "").strip(), name
+
+
+class TestCliExperimentMapMatchesDesign:
+    def test_all_experiment_modules_registered(self):
+        from repro.cli import EXPERIMENTS
+
+        expected = {f"E{k}" for k in range(1, 16)} | {f"A{k}" for k in range(1, 5)}
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,119 @@
+"""Tests for trace/experiment persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ExperimentResult
+from repro.analysis.serialization import (
+    experiment_from_dict,
+    experiment_to_csv,
+    experiment_to_dict,
+    load_experiment,
+    load_trace,
+    save_experiment,
+    save_trace,
+)
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.system.runner import run_dgd
+
+
+@pytest.fixture(scope="module")
+def trace():
+    costs = [TranslatedQuadratic([1.0, -1.0]) for _ in range(4)]
+    return run_dgd(costs, None, gradient_filter="average", iterations=25, seed=0)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="EX",
+        title="demo",
+        headers=["name", "value", "vector"],
+        rows=[["a", 1.5, np.array([1.0, 2.0])], ["b", 2, np.array([3.0, 4.0])]],
+        series={"curve": np.linspace(1.0, 0.0, 8)},
+        notes=["a note"],
+    )
+
+
+class TestTraceRoundTrip:
+    def test_exact_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.estimates, trace.estimates)
+        assert np.array_equal(loaded.directions, trace.directions)
+        assert loaded.honest_ids == trace.honest_ids
+        assert loaded.faulty_ids == trace.faulty_ids
+        assert loaded.filter_name == trace.filter_name
+        assert loaded.messages_delivered == trace.messages_delivered
+
+    def test_suffix_normalization(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "trace")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_trace_methods_work(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.distances_to([1.0, -1.0]).shape == (26,)
+
+
+class TestExperimentRoundTrip:
+    def test_dict_round_trip(self, result):
+        revived = experiment_from_dict(experiment_to_dict(result))
+        assert revived.experiment_id == result.experiment_id
+        assert revived.headers == result.headers
+        assert revived.rows[0][1] == 1.5
+        assert np.allclose(revived.rows[0][2], [1.0, 2.0])
+        assert np.allclose(revived.series["curve"], result.series["curve"])
+        assert revived.notes == result.notes
+
+    def test_json_file_round_trip(self, result, tmp_path):
+        path = save_experiment(result, tmp_path / "result.json")
+        loaded = load_experiment(path)
+        assert loaded.title == "demo"
+        assert np.allclose(loaded.series["curve"], result.series["curve"])
+
+    def test_render_after_round_trip(self, result, tmp_path):
+        path = save_experiment(result, tmp_path / "r.json")
+        assert "EX" in load_experiment(path).render()
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, result):
+        csv_text = experiment_to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value,vector"
+        assert lines[1].startswith("a,1.5")
+        assert len(lines) == 3
+
+    def test_requires_table(self):
+        empty = ExperimentResult(experiment_id="X", title="no table")
+        with pytest.raises(InvalidParameterError):
+            experiment_to_csv(empty)
+
+
+class TestCorruptedInputs:
+    def test_load_trace_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "missing.npz")
+
+    def test_load_trace_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        path.write_text("this is not an npz archive")
+        with pytest.raises(Exception):
+            load_trace(path)
+
+    def test_load_experiment_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(Exception):
+            load_experiment(path)
+
+    def test_load_experiment_missing_keys(self, tmp_path):
+        import json
+
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"experiment_id": "X"}))
+        with pytest.raises(KeyError):
+            load_experiment(path)

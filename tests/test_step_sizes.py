@@ -1,0 +1,104 @@
+"""Tests for step-size schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import HuberCost, TranslatedQuadratic
+from repro.optimization.step_sizes import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    PolynomialStepSize,
+    suggest_diminishing,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        schedule = ConstantStepSize(0.5)
+        assert schedule(0) == schedule(100) == 0.5
+
+    def test_not_robbins_monro(self):
+        assert not ConstantStepSize(0.1).satisfies_robbins_monro
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantStepSize(0.0)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantStepSize(0.1)(-1)
+
+
+class TestDiminishing:
+    def test_harmonic_values(self):
+        schedule = DiminishingStepSize(c=2.0, t0=1.0)
+        assert schedule(0) == pytest.approx(2.0)
+        assert schedule(3) == pytest.approx(0.5)
+
+    def test_robbins_monro(self):
+        assert DiminishingStepSize().satisfies_robbins_monro
+
+    def test_strictly_decreasing(self):
+        schedule = DiminishingStepSize(c=1.0)
+        values = [schedule(t) for t in range(50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DiminishingStepSize(c=0.0)
+        with pytest.raises(InvalidParameterError):
+            DiminishingStepSize(t0=0.0)
+
+
+class TestPolynomial:
+    def test_power_window_enforced(self):
+        PolynomialStepSize(power=0.6)
+        PolynomialStepSize(power=1.0)
+        with pytest.raises(InvalidParameterError):
+            PolynomialStepSize(power=0.5)
+        with pytest.raises(InvalidParameterError):
+            PolynomialStepSize(power=1.2)
+
+    def test_values(self):
+        schedule = PolynomialStepSize(c=1.0, power=0.75, t0=1.0)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(15) == pytest.approx(16.0**-0.75)
+
+    def test_robbins_monro(self):
+        assert PolynomialStepSize(power=0.7).satisfies_robbins_monro
+
+
+class TestSuggestDiminishing:
+    def test_isotropic_quadratics(self):
+        # TranslatedQuadratic: Hessian 2 I; sum of 4 -> gamma = L = 8.
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(4)]
+        schedule = suggest_diminishing(costs, aggregation="sum")
+        assert schedule(0) == pytest.approx(1.0 / 8.0 / 1.0)
+        assert schedule.satisfies_robbins_monro
+
+    def test_mean_aggregation_scales_up_steps(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(4)]
+        sum_schedule = suggest_diminishing(costs, aggregation="sum")
+        mean_schedule = suggest_diminishing(costs, aggregation="mean")
+        assert mean_schedule(0) > sum_schedule(0)
+
+    def test_fallback_without_hessian(self):
+        schedule = suggest_diminishing([HuberCost([0.0])], aggregation="sum")
+        assert schedule.satisfies_robbins_monro
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(InvalidParameterError):
+            suggest_diminishing([TranslatedQuadratic([0.0])], aggregation="median")
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            suggest_diminishing([], aggregation="sum")
+
+
+def test_robbins_monro_numerically():
+    """The harmonic schedule's partial sums diverge while squares converge."""
+    schedule = DiminishingStepSize(c=1.0, t0=1.0)
+    values = np.array([schedule(t) for t in range(100_000)])
+    assert values.sum() > 11.0  # ~ln(1e5) ≈ 11.5, unbounded in the limit
+    assert (values**2).sum() < np.pi**2 / 6 + 1e-6

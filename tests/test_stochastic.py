@@ -1,0 +1,139 @@
+"""Tests for the stochastic gradient oracles (SGD extension)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.optimization.stochastic import (
+    MinibatchCost,
+    NoisyGradientCost,
+    with_gradient_noise,
+)
+
+
+class TestNoisyGradientCost:
+    def test_value_is_exact(self):
+        base = TranslatedQuadratic([1.0, 1.0])
+        noisy = NoisyGradientCost(base, noise_std=0.5, seed=0)
+        x = np.array([0.2, -0.4])
+        assert noisy.value(x) == pytest.approx(base.value(x))
+
+    def test_gradient_unbiased(self):
+        base = TranslatedQuadratic([1.0, 1.0])
+        noisy = NoisyGradientCost(base, noise_std=0.5, seed=1)
+        x = np.array([0.0, 0.0])
+        draws = np.stack([noisy.gradient(x) for _ in range(4000)])
+        assert np.allclose(draws.mean(axis=0), base.gradient(x), atol=0.05)
+        assert np.allclose(draws.std(axis=0), 0.5, atol=0.05)
+
+    def test_zero_noise_is_exact(self):
+        base = TranslatedQuadratic([2.0])
+        noisy = NoisyGradientCost(base, noise_std=0.0, seed=0)
+        assert np.allclose(noisy.gradient([0.0]), base.gradient([0.0]))
+
+    def test_exact_gradient_accessor(self):
+        base = TranslatedQuadratic([2.0])
+        noisy = NoisyGradientCost(base, noise_std=1.0, seed=0)
+        assert np.allclose(noisy.exact_gradient([0.0]), base.gradient([0.0]))
+
+    def test_delegates_hessian_and_argmin(self):
+        base = TranslatedQuadratic([3.0, 0.0])
+        noisy = NoisyGradientCost(base, noise_std=0.1, seed=0)
+        assert np.allclose(noisy.hessian(np.zeros(2)), base.hessian(np.zeros(2)))
+        assert np.allclose(noisy.argmin_set().point, [3.0, 0.0])
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NoisyGradientCost(TranslatedQuadratic([0.0]), noise_std=-1.0)
+
+    def test_reproducible_given_seed(self):
+        base = TranslatedQuadratic([0.0, 0.0])
+        a = NoisyGradientCost(base, 1.0, seed=5).gradient(np.zeros(2))
+        b = NoisyGradientCost(base, 1.0, seed=5).gradient(np.zeros(2))
+        assert np.array_equal(a, b)
+
+
+class TestMinibatchCost:
+    def _data(self, m=50, d=3, seed=0):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(m, d))
+        x_star = np.arange(1.0, d + 1.0)
+        b = A @ x_star
+        return A, b, x_star
+
+    def test_value_is_full_empirical_risk(self):
+        A, b, _ = self._data()
+        cost = MinibatchCost(A, b, batch_size=5, seed=0)
+        x = np.ones(3)
+        expected = float(np.mean((A @ x - b) ** 2))
+        assert cost.value(x) == pytest.approx(expected)
+
+    def test_gradient_unbiased(self):
+        A, b, _ = self._data(m=20, d=2)
+        cost = MinibatchCost(A, b, batch_size=4, seed=1)
+        x = np.array([0.5, -0.5])
+        draws = np.stack([cost.gradient(x) for _ in range(6000)])
+        assert np.allclose(draws.mean(axis=0), cost.exact_gradient(x), atol=0.1)
+
+    def test_full_batch_is_exact(self):
+        A, b, _ = self._data(m=10, d=2)
+        cost = MinibatchCost(A, b, batch_size=10_000, seed=0)
+        assert cost.batch_size == 10
+        # Full batch with replacement is still stochastic; use exact_gradient
+        # for the deterministic reference.
+        x = np.zeros(2)
+        assert np.allclose(cost.exact_gradient(x), (2.0 / 10) * A.T @ (A @ x - b))
+
+    def test_argmin_is_least_squares_solution(self):
+        A, b, x_star = self._data()
+        cost = MinibatchCost(A, b, batch_size=5, seed=0)
+        assert np.allclose(cost.argmin_set().project(np.zeros(3)), x_star, atol=1e-8)
+
+    def test_invalid_parameters(self):
+        A, b, _ = self._data()
+        with pytest.raises(InvalidParameterError):
+            MinibatchCost(A, b, batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            MinibatchCost(np.zeros((0, 2)), np.zeros(0), batch_size=1)
+
+    def test_sgd_converges_with_diminishing_steps(self):
+        from repro.optimization.gd import gradient_descent
+        from repro.optimization.step_sizes import DiminishingStepSize
+
+        A, b, x_star = self._data(m=40, d=2, seed=3)
+        cost = MinibatchCost(A, b, batch_size=8, seed=3)
+        result = gradient_descent(
+            cost, np.zeros(2), step_sizes=DiminishingStepSize(c=1.0, t0=5.0),
+            max_iterations=4000, gradient_tolerance=0.0,
+        )
+        assert np.linalg.norm(result.minimizer - x_star) < 0.05
+
+
+class TestWithGradientNoise:
+    def test_wraps_every_cost_independently(self):
+        costs = [TranslatedQuadratic([float(i)]) for i in range(4)]
+        noisy = with_gradient_noise(costs, 0.3, seed=0)
+        assert len(noisy) == 4
+        draws = [c.gradient([0.0]) for c in noisy]
+        # Independent streams: not all equal.
+        assert len({float(d[0]) for d in draws}) > 1
+
+    def test_byzantine_run_with_noisy_gradients(self):
+        from repro.attacks.simple import GradientReverse
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        from repro.optimization.step_sizes import DiminishingStepSize, suggest_diminishing
+
+        instance = make_redundant_regression(n=6, d=2, f=1, noise_std=0.0, seed=0)
+        noisy = with_gradient_noise(instance.costs, 0.2, seed=0)
+        matched = suggest_diminishing(instance.costs, aggregation="sum")
+        # SGD needs c·γ > 1 strictly; boost the curvature-matched schedule.
+        schedule = DiminishingStepSize(c=4 * matched.c, t0=4 * matched.t0)
+        trace = run_dgd(
+            noisy, GradientReverse(), faulty_ids=[0],
+            gradient_filter="cge", iterations=3000, step_sizes=schedule, seed=0,
+        )
+        x_H = instance.honest_minimizer(range(1, 6))
+        assert np.linalg.norm(trace.final_estimate - x_H) < 0.15

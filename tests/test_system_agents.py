@@ -1,0 +1,96 @@
+"""Tests for agent processes and the adversary coordinator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.simple import GradientReverse, SignFlip
+from repro.exceptions import InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.system.adversary import Adversary
+from repro.system.agents import CrashAgent, HonestAgent
+from repro.system.messages import SERVER_ID, EstimateBroadcast
+
+
+def broadcast(t=0, x=(0.0, 0.0)):
+    return EstimateBroadcast(sender=SERVER_ID, round_index=t, estimate=np.asarray(x))
+
+
+class TestHonestAgent:
+    def test_replies_with_true_gradient(self):
+        cost = TranslatedQuadratic([1.0, 1.0])
+        agent = HonestAgent(3, cost)
+        reply = agent.on_estimate(broadcast())
+        assert reply.sender == 3
+        assert reply.round_index == 0
+        assert np.allclose(reply.gradient, cost.gradient(np.zeros(2)))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HonestAgent(-1, TranslatedQuadratic([0.0]))
+
+
+class TestCrashAgent:
+    def test_crashes_at_round(self):
+        agent = CrashAgent(0, TranslatedQuadratic([0.0, 0.0]), crash_round=2)
+        assert agent.on_estimate(broadcast(0)) is not None
+        assert agent.on_estimate(broadcast(1)) is not None
+        assert agent.on_estimate(broadcast(2)) is None
+        assert agent.crashed
+        # Crash is permanent.
+        assert agent.on_estimate(broadcast(3)) is None
+
+    def test_probabilistic_crash_requires_rng(self):
+        with pytest.raises(InvalidParameterError):
+            CrashAgent(0, TranslatedQuadratic([0.0]), crash_probability=0.5)
+
+    def test_probabilistic_crash_eventually_happens(self):
+        rng = np.random.default_rng(0)
+        agent = CrashAgent(0, TranslatedQuadratic([0.0]), crash_probability=0.9, rng=rng)
+        replies = [agent.on_estimate(broadcast(t, (0.0,))) for t in range(20)]
+        assert any(r is None for r in replies)
+
+
+class TestAdversary:
+    def _costs(self):
+        return {0: TranslatedQuadratic([1.0, 0.0]), 1: TranslatedQuadratic([0.0, 1.0])}
+
+    def _honest_messages(self, t=0):
+        agents = [HonestAgent(i, TranslatedQuadratic([0.5, 0.5])) for i in (2, 3, 4)]
+        return [a.on_estimate(broadcast(t)) for a in agents]
+
+    def test_forges_one_message_per_speaking_faulty(self):
+        adversary = Adversary(GradientReverse(), [0, 1], costs=self._costs(), seed=0)
+        forged = adversary.forge_messages(broadcast(), self._honest_messages())
+        assert [m.sender for m in forged] == [0, 1]
+        assert all(m.round_index == 0 for m in forged)
+
+    def test_gradient_reverse_uses_true_costs(self):
+        adversary = Adversary(GradientReverse(), [0], costs=self._costs(), seed=0)
+        forged = adversary.forge_messages(broadcast(), self._honest_messages())
+        true_gradient = self._costs()[0].gradient(np.zeros(2))
+        assert np.allclose(forged[0].gradient, -true_gradient)
+
+    def test_rushing_adversary_sees_honest_messages(self):
+        adversary = Adversary(SignFlip(), [0], costs=self._costs(), seed=0)
+        honest = self._honest_messages()
+        forged = adversary.forge_messages(broadcast(), honest)
+        mean = np.mean([m.gradient for m in honest], axis=0)
+        assert np.allclose(forged[0].gradient, -mean)
+
+    def test_silent_ids_stay_silent(self):
+        adversary = Adversary(
+            GradientReverse(), [0, 1], costs=self._costs(), silent_ids=[1], seed=0
+        )
+        forged = adversary.forge_messages(broadcast(), self._honest_messages())
+        assert [m.sender for m in forged] == [0]
+
+    def test_active_faulty_restriction(self):
+        adversary = Adversary(GradientReverse(), [0, 1], costs=self._costs(), seed=0)
+        forged = adversary.forge_messages(
+            broadcast(), self._honest_messages(), active_faulty=[1]
+        )
+        assert [m.sender for m in forged] == [1]
+
+    def test_silent_ids_must_be_faulty(self):
+        with pytest.raises(InvalidParameterError):
+            Adversary(GradientReverse(), [0], silent_ids=[5], seed=0)

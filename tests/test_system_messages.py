@@ -1,0 +1,92 @@
+"""Tests for protocol messages and the synchronous network."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.system.messages import SERVER_ID, EstimateBroadcast, GradientMessage
+from repro.system.network import SynchronousNetwork
+
+
+class TestMessages:
+    def test_estimate_broadcast_validates_payload(self):
+        msg = EstimateBroadcast(sender=SERVER_ID, round_index=3, estimate=[1.0, 2.0])
+        assert msg.round_index == 3
+        assert msg.estimate.shape == (2,)
+
+    def test_estimate_rejects_non_finite(self):
+        with pytest.raises(InvalidParameterError):
+            EstimateBroadcast(sender=SERVER_ID, round_index=0, estimate=[np.nan])
+
+    def test_estimate_rejects_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            EstimateBroadcast(sender=SERVER_ID, round_index=0, estimate=np.zeros((2, 2)))
+
+    def test_gradient_message_allows_non_finite_payload(self):
+        # A Byzantine sender controls its bytes; the filter sanitizes later.
+        msg = GradientMessage(sender=2, round_index=0, gradient=[np.inf, 1.0])
+        assert msg.gradient.shape == (2,)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GradientMessage(sender=0, round_index=-1, gradient=[0.0])
+
+    def test_size_accounting_scales_with_dimension(self):
+        small = GradientMessage(sender=0, round_index=0, gradient=np.zeros(2))
+        large = GradientMessage(sender=0, round_index=0, gradient=np.zeros(100))
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_messages_are_immutable(self):
+        msg = GradientMessage(sender=0, round_index=0, gradient=[1.0])
+        with pytest.raises(Exception):
+            msg.sender = 5
+
+
+class TestNetwork:
+    def _msg(self, sender=0, round_index=0):
+        return GradientMessage(sender=sender, round_index=round_index, gradient=[1.0])
+
+    def test_delivery_and_accounting(self):
+        net = SynchronousNetwork()
+        delivered = net.deliver(self._msg(), receiver=SERVER_ID)
+        assert delivered is not None
+        assert net.messages_delivered == 1
+        assert net.bytes_delivered > 0
+        assert len(net.log) == 1
+        assert not net.log[0].dropped
+
+    def test_broadcast_reaches_all(self):
+        net = SynchronousNetwork()
+        msg = EstimateBroadcast(sender=SERVER_ID, round_index=0, estimate=[0.0])
+        delivered = net.broadcast(msg, receivers=[0, 1, 2])
+        assert set(delivered) == {0, 1, 2}
+        assert net.messages_delivered == 3
+
+    def test_gather(self):
+        net = SynchronousNetwork()
+        received = net.gather([self._msg(0), self._msg(1)], receiver=SERVER_ID)
+        assert len(received) == 2
+
+    def test_drops_are_per_sender_and_logged(self):
+        rng = np.random.default_rng(0)
+        net = SynchronousNetwork(drop_probabilities={7: 1.0}, rng=rng)
+        assert net.deliver(self._msg(sender=7), SERVER_ID) is None
+        assert net.deliver(self._msg(sender=1), SERVER_ID) is not None
+        assert net.messages_dropped == 1
+        assert any(record.dropped for record in net.log)
+
+    def test_drop_probability_requires_rng(self):
+        net = SynchronousNetwork(drop_probabilities={0: 0.5})
+        with pytest.raises(InvalidParameterError):
+            net.deliver(self._msg(), SERVER_ID)
+
+    def test_log_capacity_bounds_memory(self):
+        net = SynchronousNetwork(log_capacity=5)
+        for _ in range(10):
+            net.deliver(self._msg(), SERVER_ID)
+        assert len(net.log) == 5
+        assert net.messages_delivered == 10
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SynchronousNetwork(drop_probabilities={0: 1.5})

@@ -1,0 +1,82 @@
+"""Tests for the peer-to-peer filtered DGD."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.mean import Average
+from repro.attacks.simple import GradientReverse
+from repro.exceptions import InfeasibleConfigurationError, InvalidParameterError
+from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.optimization.step_sizes import suggest_diminishing
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.peer_to_peer import run_peer_to_peer_dgd
+from repro.system.runner import run_dgd
+
+
+class TestFaultFree:
+    def test_converges_and_agrees(self):
+        costs = [TranslatedQuadratic([1.0, 2.0]) for _ in range(4)]
+        result = run_peer_to_peer_dgd(costs, Average(), iterations=150, seed=0)
+        assert np.allclose(result.final_estimate, [1.0, 2.0], atol=1e-2)
+        finals = list(result.per_agent_final.values())
+        for final in finals[1:]:
+            assert np.array_equal(final, finals[0])
+
+    def test_estimate_trajectory_shape(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(4)]
+        result = run_peer_to_peer_dgd(costs, Average(), iterations=10, seed=0)
+        assert result.estimates.shape == (11, 1)
+
+
+class TestByzantine:
+    def test_matches_server_run_without_equivocation(self):
+        instance = make_redundant_regression(n=4, d=2, f=1, noise_std=0.0, seed=0)
+        schedule = suggest_diminishing(instance.costs, aggregation="sum")
+        server = run_dgd(
+            instance.costs, GradientReverse(),
+            gradient_filter=ComparativeGradientElimination(f=1),
+            faulty_ids=[0], iterations=60, step_sizes=schedule, seed=0,
+        )
+        peer = run_peer_to_peer_dgd(
+            instance.costs, ComparativeGradientElimination(f=1),
+            faulty_ids=[0], behavior=GradientReverse(), iterations=60,
+            step_sizes=schedule, seed=0, equivocate=False,
+        )
+        assert np.allclose(server.final_estimate, peer.final_estimate, atol=1e-12)
+
+    def test_equivocation_resolved_consistently(self):
+        instance = make_redundant_regression(n=4, d=2, f=1, noise_std=0.0, seed=0)
+        result = run_peer_to_peer_dgd(
+            instance.costs, ComparativeGradientElimination(f=1),
+            faulty_ids=[0], behavior=GradientReverse(), iterations=30,
+            seed=0, equivocate=True,
+        )
+        # Agreement audit inside the runner passed; estimates are common.
+        assert result.agreement_verified
+        finals = list(result.per_agent_final.values())
+        for final in finals[1:]:
+            assert np.array_equal(final, finals[0])
+
+    def test_broadcast_message_accounting(self):
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(4)]
+        result = run_peer_to_peer_dgd(costs, Average(), iterations=5, seed=0)
+        assert result.broadcast_messages > 0
+
+
+class TestValidation:
+    def test_fault_bound_enforced(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(3)]
+        with pytest.raises(InfeasibleConfigurationError):
+            run_peer_to_peer_dgd(costs, Average(), faulty_ids=[0],
+                                 behavior=GradientReverse(), iterations=5)
+
+    def test_faulty_without_behavior_rejected(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(4)]
+        with pytest.raises(InvalidParameterError):
+            run_peer_to_peer_dgd(costs, Average(), faulty_ids=[0], iterations=5)
+
+    def test_non_positive_iterations_rejected(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(4)]
+        with pytest.raises(InvalidParameterError):
+            run_peer_to_peer_dgd(costs, Average(), iterations=0)

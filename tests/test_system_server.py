@@ -1,0 +1,121 @@
+"""Tests for the DGD server: update rule, elimination, protocol checks."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.mean import Average
+from repro.exceptions import InvalidParameterError, ProtocolViolationError
+from repro.optimization.projections import BallSet, BoxSet
+from repro.optimization.step_sizes import ConstantStepSize
+from repro.system.messages import GradientMessage
+from repro.system.server import DGDServer
+
+
+def make_server(n=4, f=1, x0=(0.0, 0.0), filter_=None, step=0.1, projection=None):
+    return DGDServer.with_fixed_filter(
+        filter_ or Average(),
+        ConstantStepSize(step),
+        projection or BoxSet.centered(2, 100.0),
+        np.asarray(x0, dtype=float),
+        n=n,
+        f=f,
+    )
+
+
+def msgs(server, gradients):
+    return [
+        GradientMessage(sender=i, round_index=server.round_index, gradient=g)
+        for i, g in enumerate(gradients)
+    ]
+
+
+class TestUpdateRule:
+    def test_single_step_matches_formula(self):
+        server = make_server()
+        gradients = [np.array([1.0, 0.0])] * 4
+        new = server.step(msgs(server, gradients))
+        # x1 = x0 - eta * mean = -0.1 * (1, 0)
+        assert np.allclose(new, [-0.1, 0.0])
+        assert server.round_index == 1
+
+    def test_projection_applied(self):
+        server = make_server(projection=BallSet([0.0, 0.0], 0.05))
+        gradients = [np.array([10.0, 0.0])] * 4
+        new = server.step(msgs(server, gradients))
+        assert np.linalg.norm(new) <= 0.05 + 1e-12
+
+    def test_initial_estimate_projected(self):
+        server = make_server(x0=(50.0, 0.0), projection=BallSet([0.0, 0.0], 1.0))
+        assert np.linalg.norm(server.estimate) <= 1.0 + 1e-12
+
+    def test_last_direction_recorded(self):
+        server = make_server()
+        server.step(msgs(server, [np.array([2.0, 0.0])] * 4))
+        assert np.allclose(server.last_direction, [2.0, 0.0])
+
+    def test_broadcast_message_carries_round_and_estimate(self):
+        server = make_server(x0=(1.0, 2.0))
+        broadcast = server.make_broadcast()
+        assert broadcast.round_index == 0
+        assert np.allclose(broadcast.estimate, [1.0, 2.0])
+
+
+class TestElimination:
+    def test_silent_agent_eliminated_and_budget_decremented(self):
+        server = make_server(n=4, f=1, filter_=ComparativeGradientElimination(f=1))
+        messages = msgs(server, [np.zeros(2)] * 4)[:3]  # agent 3 silent
+        server.step(messages)
+        assert server.eliminated_agents == [3]
+        assert server.n == 3
+        assert server.f == 0
+        # Filter rebuilt with the reduced budget.
+        assert server.gradient_filter.f == 0
+
+    def test_too_many_silent_violates_synchrony(self):
+        server = make_server(n=4, f=1)
+        messages = msgs(server, [np.zeros(2)] * 4)[:2]  # two silent, f = 1
+        with pytest.raises(ProtocolViolationError, match="synchrony"):
+            server.step(messages)
+
+    def test_eliminated_agent_cannot_speak_again(self):
+        server = make_server(n=4, f=1)
+        server.step(msgs(server, [np.zeros(2)] * 4)[:3])
+        stale = GradientMessage(sender=3, round_index=server.round_index, gradient=np.zeros(2))
+        with pytest.raises(ProtocolViolationError, match="inactive"):
+            server.step([stale])
+
+
+class TestProtocolChecks:
+    def test_wrong_round_rejected(self):
+        server = make_server()
+        bad = GradientMessage(sender=0, round_index=5, gradient=np.zeros(2))
+        with pytest.raises(ProtocolViolationError, match="round"):
+            server.step([bad] + msgs(server, [np.zeros(2)] * 4)[1:])
+
+    def test_duplicate_sender_rejected(self):
+        server = make_server()
+        duplicate = msgs(server, [np.zeros(2)] * 4) + [
+            GradientMessage(sender=0, round_index=0, gradient=np.ones(2))
+        ]
+        with pytest.raises(ProtocolViolationError, match="duplicate"):
+            server.step(duplicate)
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            make_server(n=0)
+        with pytest.raises(InvalidParameterError):
+            make_server(n=3, f=3)
+
+
+class TestConvergenceSmoke:
+    def test_fault_free_descent_reaches_minimizer(self):
+        from repro.optimization.cost_functions import TranslatedQuadratic
+
+        costs = [TranslatedQuadratic([1.0, -1.0]) for _ in range(4)]
+        server = make_server(step=0.1)
+        for _ in range(200):
+            x = server.estimate
+            gradients = [c.gradient(x) for c in costs]
+            server.step(msgs(server, gradients))
+        assert np.allclose(server.estimate, [1.0, -1.0], atol=1e-6)

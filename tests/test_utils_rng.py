@@ -1,0 +1,60 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_seed, derive_seed, ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(7).random(5)
+    b = ensure_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough_generator():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_accepts_seed_sequence():
+    seq = np.random.SeedSequence(42)
+    gen = ensure_rng(seq)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_are_independent_and_reproducible():
+    first = [g.random(3) for g in spawn_rngs(9, 3)]
+    second = [g.random(3) for g in spawn_rngs(9, 3)]
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    # Different children differ from one another.
+    assert not np.array_equal(first[0], first[1])
+
+
+def test_spawn_rngs_from_generator():
+    children = spawn_rngs(np.random.default_rng(1), 2)
+    assert len(children) == 2
+    assert not np.array_equal(children[0].random(4), children[1].random(4))
+
+
+def test_spawn_rngs_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_zero_count():
+    assert spawn_rngs(0, 0) == []
+
+
+def test_derive_seed_in_range():
+    seed = derive_seed(np.random.default_rng(3))
+    assert 0 <= seed < 2**63
+
+
+def test_default_seed_is_stable():
+    assert default_seed() == default_seed()

@@ -1,0 +1,80 @@
+"""Tests for repro.utils.subsets."""
+
+from math import comb
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.subsets import (
+    count_redundancy_pairs,
+    iter_fixed_size_subsets,
+    iter_redundancy_pairs,
+    restrict_pairs_to_minimal,
+    sample_fixed_size_subsets,
+)
+
+
+class TestFixedSizeSubsets:
+    def test_counts_match_binomial(self):
+        assert len(list(iter_fixed_size_subsets(range(6), 3))) == comb(6, 3)
+
+    def test_lexicographic_order(self):
+        subsets = list(iter_fixed_size_subsets([3, 1, 2], 2))
+        assert subsets == [(1, 2), (1, 3), (2, 3)]
+
+    def test_oversized_request_is_empty(self):
+        assert list(iter_fixed_size_subsets(range(3), 5)) == []
+
+    def test_size_zero_yields_empty_tuple(self):
+        assert list(iter_fixed_size_subsets(range(3), 0)) == [()]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            iter_fixed_size_subsets(range(3), -1)
+
+
+class TestSampling:
+    def test_small_population_is_exhaustive(self):
+        sampled = sample_fixed_size_subsets(range(4), 2, count=100, seed=0)
+        assert sorted(sampled) == sorted(iter_fixed_size_subsets(range(4), 2))
+
+    def test_sampled_subsets_are_distinct_and_sized(self):
+        sampled = sample_fixed_size_subsets(range(30), 5, count=50, seed=1)
+        assert len(sampled) == 50
+        assert len(set(sampled)) == 50
+        assert all(len(s) == 5 for s in sampled)
+
+    def test_reproducible(self):
+        a = sample_fixed_size_subsets(range(30), 5, count=20, seed=2)
+        b = sample_fixed_size_subsets(range(30), 5, count=20, seed=2)
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_fixed_size_subsets(range(5), 2, count=-1)
+
+
+class TestRedundancyPairs:
+    def test_inner_is_proper_subset_of_outer(self):
+        for outer, inner in iter_redundancy_pairs(6, 2):
+            assert set(inner) < set(outer)
+            assert len(outer) == 4
+            assert len(inner) >= 2
+
+    def test_count_matches_enumeration(self):
+        for n, f in [(5, 1), (6, 2), (7, 3)]:
+            assert len(list(iter_redundancy_pairs(n, f))) == count_redundancy_pairs(n, f)
+
+    def test_f_zero_yields_nothing(self):
+        assert list(iter_redundancy_pairs(5, 0)) == []
+
+    def test_minimal_restriction(self):
+        pairs = list(restrict_pairs_to_minimal(iter_redundancy_pairs(6, 2), 6, 2))
+        assert pairs
+        assert all(len(inner) == 2 for _, inner in pairs)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_redundancy_pairs(0, 1))
+        with pytest.raises(InvalidParameterError):
+            list(iter_redundancy_pairs(5, -1))

@@ -1,0 +1,115 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    InfeasibleConfigurationError,
+    InvalidParameterError,
+)
+from repro.utils.validation import (
+    check_fault_bound,
+    check_matrix,
+    check_probability,
+    check_vector,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_default_exception(self):
+        with pytest.raises(InvalidParameterError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(InfeasibleConfigurationError):
+            require(False, "boom", InfeasibleConfigurationError)
+
+
+class TestCheckVector:
+    def test_coerces_list(self):
+        out = check_vector([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_scalar_becomes_length_one(self):
+        assert check_vector(5.0).shape == (1,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionMismatchError):
+            check_vector(np.zeros((2, 2)))
+
+    def test_enforces_dimension(self):
+        with pytest.raises(DimensionMismatchError, match="dimension 4"):
+            check_vector([1, 2], dimension=4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError, match="non-finite"):
+            check_vector([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            check_vector([float("inf")])
+
+
+class TestCheckMatrix:
+    def test_coerces_nested_list(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionMismatchError):
+            check_matrix([1, 2, 3])
+
+    def test_enforces_shape(self):
+        with pytest.raises(DimensionMismatchError):
+            check_matrix(np.zeros((2, 3)), rows=3)
+        with pytest.raises(DimensionMismatchError):
+            check_matrix(np.zeros((2, 3)), cols=2)
+
+    def test_allow_non_finite_flag(self):
+        m = np.array([[np.inf, 1.0]])
+        assert check_matrix(m, allow_non_finite=True).shape == (1, 2)
+        with pytest.raises(InvalidParameterError):
+            check_matrix(m)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects_invalid(self, p):
+        with pytest.raises(InvalidParameterError):
+            check_probability(p)
+
+
+class TestCheckFaultBound:
+    def test_server_accepts_strict_minority(self):
+        check_fault_bound(5, 2)
+
+    def test_server_rejects_half(self):
+        with pytest.raises(InfeasibleConfigurationError):
+            check_fault_bound(4, 2)
+
+    def test_peer_requires_third(self):
+        check_fault_bound(4, 1)
+        with pytest.raises(InfeasibleConfigurationError):
+            check_fault_bound(3, 1, architecture="peer")
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(InvalidParameterError):
+            check_fault_bound(5, -1)
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(InvalidParameterError):
+            check_fault_bound(0, 0)
+
+    def test_rejects_unknown_architecture(self):
+        with pytest.raises(InvalidParameterError):
+            check_fault_bound(5, 1, architecture="mesh")
