@@ -13,7 +13,7 @@ from repro.experiments import run_noise_sweep
 
 
 def test_fig4_redundancy_violation(benchmark, reporter):
-    result = benchmark(run_noise_sweep)
+    result = benchmark(run_noise_sweep, backend="batch")
     reporter(result)
     margins = result.series["margin eps*(sigma)"]
     errors = result.series["cge final error(sigma)"]

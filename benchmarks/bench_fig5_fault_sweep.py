@@ -13,7 +13,7 @@ from repro.experiments import run_fault_sweep
 
 
 def test_fig5_fault_sweep(benchmark, reporter):
-    result = benchmark(run_fault_sweep)
+    result = benchmark(run_fault_sweep, backend="batch")
     reporter(result)
     alphas = result.series["alpha vs f"]
     assert np.all(np.diff(alphas) < 0)

@@ -12,7 +12,7 @@ from repro.experiments import run_robustness_matrix
 
 
 def test_table5_robustness_matrix(benchmark, reporter):
-    result = benchmark(run_robustness_matrix)
+    result = benchmark(run_robustness_matrix, backend="batch", parallel=True)
     reporter(result)
     by_filter = {row[0]: row[1:] for row in result.rows}
     attacks = result.headers[1:]

@@ -29,6 +29,12 @@ class GradientFilter(abc.ABC):
     #: Human-readable short name used by the registry and reports.
     name: str = "filter"
 
+    #: Whether the filter carries mutable per-execution state (e.g. a
+    #: running reference). Stateful filters cannot be shared across the
+    #: replicate runs of a batch, so the batch engine falls back to
+    #: sequential execution for them.
+    stateful: bool = False
+
     def __init__(self, f: int = 0):
         f = int(f)
         if f < 0:
@@ -71,6 +77,48 @@ class GradientFilter(abc.ABC):
                 f"{self.minimum_inputs()} gradients, got {n}"
             )
         return self._aggregate(matrix)
+
+    def aggregate_batch(self, gradients) -> np.ndarray:
+        """Aggregate ``K`` stacked gradient matrices in one call.
+
+        Parameters
+        ----------
+        gradients:
+            Array-like of shape ``(K, n, d)``: ``K`` independent ``(n, d)``
+            gradient matrices (one per replicate run). Non-finite entries
+            are sanitized exactly as in :meth:`__call__`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(K, d)`` array whose ``k``-th row equals
+            ``self(gradients[k])`` bit-for-bit. The base implementation
+            loops over the slices; filters with a vectorized kernel
+            override :meth:`_aggregate_batch`.
+        """
+        tensor = np.asarray(gradients, dtype=float)
+        if tensor.ndim != 3:
+            raise InvalidParameterError(
+                f"gradients must be a (K, n, d) tensor, got shape {tensor.shape}"
+            )
+        if tensor.shape[0] == 0:
+            raise InvalidParameterError("batch must contain at least one run")
+        tensor = self.sanitize(tensor)
+        n = tensor.shape[1]
+        if n < self.minimum_inputs():
+            raise InvalidParameterError(
+                f"{type(self).__name__} with f={self._f} requires at least "
+                f"{self.minimum_inputs()} gradients, got {n}"
+            )
+        return self._aggregate_batch(tensor)
+
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        """Aggregate a validated, finite ``(K, n, d)`` tensor to ``(K, d)``.
+
+        Default: per-slice loop over :meth:`_aggregate`. Overrides must be
+        bit-identical to the loop (the equivalence suite enforces this).
+        """
+        return np.stack([self._aggregate(matrix) for matrix in tensor])
 
     @staticmethod
     def sanitize(matrix: np.ndarray, cap: float = 1e12) -> np.ndarray:

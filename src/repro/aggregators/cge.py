@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.aggregators.base import GradientFilter
 from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_matrix
 
 
 class ComparativeGradientElimination(GradientFilter):
@@ -55,19 +56,55 @@ class ComparativeGradientElimination(GradientFilter):
 
         Exposed for diagnostics: the attack experiments use it to audit how
         often Byzantine gradients survive the cut. Sorting is stable on
-        (norm, index) so results are deterministic under ties.
+        (norm, index) so results are deterministic under ties. Validates and
+        sanitizes arbitrary input; internal callers that already hold a
+        validated matrix use :meth:`_kept_indices` to avoid re-copying the
+        matrix on the hot path.
         """
-        matrix = self.sanitize(np.asarray(gradients, dtype=float))
+        matrix = check_matrix(gradients, name="gradients", allow_non_finite=True)
+        return self._kept_indices(self.sanitize(matrix))
+
+    def _kept_indices(self, matrix: np.ndarray) -> np.ndarray:
+        """Kept indices of a pre-validated, sanitized ``(n, d)`` matrix."""
         norms = np.linalg.norm(matrix, axis=1)
         order = np.lexsort((np.arange(matrix.shape[0]), norms))
         keep = matrix.shape[0] - self._f
         return np.sort(order[:keep])
 
+    def _kept_indices_batch(self, tensor: np.ndarray) -> np.ndarray:
+        """Kept indices of every run slice: ``(K, n, d)`` → ``(K, n − f)``.
+
+        Fast path: batched norms + ``argpartition`` (O(n) per run instead of
+        a full sort). ``argpartition`` breaks norm ties arbitrarily, so any
+        run whose cut boundary has tied norms is redone with the stable
+        (norm, index) order to match :meth:`_kept_indices` exactly.
+        """
+        K, n, _ = tensor.shape
+        keep = n - self._f
+        norms = np.linalg.norm(tensor, axis=2)
+        if self._f == 0:
+            return np.broadcast_to(np.arange(n), (K, n)).copy()
+        part = np.argpartition(norms, keep - 1, axis=1)
+        kept = np.sort(part[:, :keep], axis=1)
+        boundary = np.take_along_axis(norms, part[:, keep - 1 : keep], axis=1)
+        cut = np.take_along_axis(norms, part[:, keep:], axis=1)
+        ambiguous = np.flatnonzero((cut <= boundary).any(axis=1))
+        for k in ambiguous:
+            kept[k] = self._kept_indices(tensor[k])
+        return kept
+
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        kept = self.kept_indices(gradients)
+        kept = self._kept_indices(gradients)
         total = gradients[kept].sum(axis=0)
         if self._mode == "mean":
             return total / kept.shape[0]
+        return total
+
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        kept = self._kept_indices_batch(tensor)
+        total = np.take_along_axis(tensor, kept[:, :, None], axis=1).sum(axis=1)
+        if self._mode == "mean":
+            return total / kept.shape[1]
         return total
 
     def __repr__(self) -> str:

@@ -32,6 +32,7 @@ class CenteredClipping(GradientFilter):
     """
 
     name = "clipping"
+    stateful = True  # remembers the previous round's aggregate
 
     def __init__(self, f: int = 0, radius: float = 1.0, inner_iterations: int = 3):
         super().__init__(f)

@@ -42,6 +42,7 @@ class RecordingFilter(GradientFilter):
     """
 
     name = "recording"
+    stateful = True  # accumulates per-round records
 
     def __init__(self, inner: GradientFilter):
         super().__init__(inner.f)
@@ -62,10 +63,14 @@ class RecordingFilter(GradientFilter):
             self._inner.reset()
 
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        output = self._inner(gradients)
+        # ``gradients`` is already validated and sanitized by the base
+        # ``__call__`` (which also enforced the inner filter's minimum-input
+        # requirement via the delegated ``minimum_inputs``), so go straight
+        # to the inner aggregation instead of re-running the full pipeline.
+        output = self._inner._aggregate(gradients)
         kept = None
         if isinstance(self._inner, ComparativeGradientElimination):
-            kept = self._inner.kept_indices(gradients)
+            kept = self._inner._kept_indices(gradients)
         self.records.append(
             FilterCallRecord(
                 round_index=len(self.records),

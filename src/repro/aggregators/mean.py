@@ -27,6 +27,9 @@ class Average(GradientFilter):
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
         return gradients.mean(axis=0)
 
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        return tensor.mean(axis=1)
+
 
 class TrimmedSum(GradientFilter):
     """Sum of all received gradients (the fault-free DGD direction).
@@ -43,3 +46,6 @@ class TrimmedSum(GradientFilter):
 
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
         return gradients.sum(axis=0)
+
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        return tensor.sum(axis=1)

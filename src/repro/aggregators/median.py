@@ -23,6 +23,9 @@ class CoordinateWiseMedian(GradientFilter):
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
         return np.median(gradients, axis=0)
 
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        return np.median(tensor, axis=1)
+
 
 class GeometricMedian(GradientFilter):
     """Geometric (spatial) median computed with Weiszfeld's algorithm.

@@ -28,3 +28,10 @@ class CoordinateWiseTrimmedMean(GradientFilter):
         ordered = np.sort(gradients, axis=0)
         kept = ordered[self._f : gradients.shape[0] - self._f]
         return kept.mean(axis=0)
+
+    def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
+        if self._f == 0:
+            return tensor.mean(axis=1)
+        ordered = np.sort(tensor, axis=1)
+        kept = ordered[:, self._f : tensor.shape[1] - self._f]
+        return kept.mean(axis=1)

@@ -28,6 +28,10 @@ class GradientReverse(ByzantineBehavior):
             raise InvalidParameterError(f"strength must be positive, got {strength}")
         self._strength = float(strength)
 
+    @property
+    def strength(self) -> float:
+        return self._strength
+
     def forge(self, context: AttackContext) -> np.ndarray:
         return -self._strength * context.true_faulty_gradients()
 
@@ -45,6 +49,10 @@ class RandomGaussian(ByzantineBehavior):
         if scale <= 0:
             raise InvalidParameterError(f"scale must be positive, got {scale}")
         self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        return self._scale
 
     def forge(self, context: AttackContext) -> np.ndarray:
         return context.rng.normal(
@@ -67,6 +75,10 @@ class SignFlip(ByzantineBehavior):
             raise InvalidParameterError(f"strength must be positive, got {strength}")
         self._strength = float(strength)
 
+    @property
+    def strength(self) -> float:
+        return self._strength
+
     def forge(self, context: AttackContext) -> np.ndarray:
         direction = -self._strength * context.honest_mean()
         return np.tile(direction, (context.num_faulty, 1))
@@ -88,6 +100,10 @@ class ConstantBias(ByzantineBehavior):
 
     def __init__(self, bias):
         self._bias = check_vector(bias, name="bias")
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self._bias.copy()
 
     def forge(self, context: AttackContext) -> np.ndarray:
         if self._bias.shape[0] != context.dimension:

@@ -12,6 +12,9 @@ Commands
 ``redundancy``
     Measure the 2f-redundancy margin of a generated instance across a
     noise sweep.
+``sweep``
+    Execute a (filter × attack × f × seed) grid through the batched,
+    process-pooled sweep engine and print the per-configuration summary.
 ``list``
     Show the registered gradient filters, attacks, and experiments.
 """
@@ -101,6 +104,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     redundancy.add_argument("--seed", type=int, default=0)
 
+    sweep = commands.add_parser(
+        "sweep", help="run a (filter x attack x f x seed) grid via the sweep engine"
+    )
+    sweep.add_argument(
+        "--filters", nargs="+", default=["cge", "cwtm", "median", "average"],
+        choices=available_filters(),
+    )
+    sweep.add_argument(
+        "--attacks", nargs="+",
+        default=["gradient-reverse", "random", "sign-flip", "zero"],
+        choices=available_attacks(),
+    )
+    sweep.add_argument("--fault-counts", type=int, nargs="+", default=[1])
+    sweep.add_argument("--num-seeds", type=int, default=10)
+    sweep.add_argument("--master-seed", type=int, default=20200803)
+    sweep.add_argument("--n", type=int, default=6)
+    sweep.add_argument("--d", type=int, default=2)
+    sweep.add_argument("--noise", type=float, default=0.0)
+    sweep.add_argument("--iterations", type=int, default=300)
+    sweep.add_argument(
+        "--sequential", action="store_true",
+        help="disable the process pool (single-process execution)",
+    )
+    sweep.add_argument("--workers", type=int, default=None, help="pool size")
+    sweep.add_argument(
+        "--backend", choices=["batch", "sequential"], default="batch",
+        help="per-cell execution engine (numerically identical)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk trace cache (off by default)",
+    )
+
     commands.add_parser("list", help="show registered filters, attacks, experiments")
     return parser
 
@@ -166,6 +202,33 @@ def _command_redundancy(args) -> int:
     return 0
 
 
+def _command_sweep(args) -> int:
+    from repro.experiments.sweep import RegressionGrid, SweepEngine, summarize_grid
+
+    grid = RegressionGrid(
+        filters=tuple(args.filters),
+        attacks=tuple(args.attacks),
+        fault_counts=tuple(args.fault_counts),
+        num_seeds=args.num_seeds,
+        master_seed=args.master_seed,
+        n=args.n,
+        d=args.d,
+        noise_std=args.noise,
+        iterations=args.iterations,
+    )
+    engine = SweepEngine(
+        parallel=not args.sequential,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+    )
+    cells = engine.run_regression_grid(grid)
+    print(summarize_grid(cells).render())
+    cached = sum(cell.cached for cell in cells)
+    print(f"{len(cells)} cells ({cached} from cache)")
+    return 0
+
+
 def _command_list(_args) -> int:
     print("gradient filters:", ", ".join(available_filters()))
     print("attacks:         ", ", ".join(available_attacks()))
@@ -180,6 +243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _command_experiment,
         "run": _command_run,
         "redundancy": _command_redundancy,
+        "sweep": _command_sweep,
         "list": _command_list,
     }
     return handlers[args.command](args)

@@ -171,14 +171,15 @@ class SubsetEnumerationAlgorithm:
         for outer in iter_fixed_size_subsets(range(n), n - f):
             outer_set = self._solver(costs, outer)
             x_outer = outer_set.project(np.zeros(costs[0].dimension))
-            score = 0.0
+            # Plain argmax with strict improvement: ties keep the first
+            # (lexicographically smallest) inner subset encountered.
+            score = -1.0
             worst_inner: Optional[Subset] = None
             for inner in iter_fixed_size_subsets(outer, n - 2 * f):
                 distance = inner_argmin(inner).distance_to(x_outer)
-                if distance > score or worst_inner is None:
-                    score = max(score, distance)
-                    if distance >= score:
-                        worst_inner = inner
+                if distance > score:
+                    score = distance
+                    worst_inner = inner
             record = SubsetScore(
                 subset=outer, minimizer=x_outer, score=score, worst_inner=worst_inner
             )

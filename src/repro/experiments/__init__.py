@@ -27,6 +27,14 @@ from repro.experiments.replication import run_replication_design
 from repro.experiments.robustness_matrix import run_robustness_matrix
 from repro.experiments.scaling import run_aggregator_scaling
 from repro.experiments.stochastic import run_stochastic_step_sizes
+from repro.experiments.sweep import (
+    RegressionGrid,
+    SweepCellResult,
+    SweepEngine,
+    derive_run_seeds,
+    parallel_map,
+    summarize_grid,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.trajectories import run_trajectories
 from repro.experiments.worst_case import run_worst_case_certification
@@ -51,4 +59,10 @@ __all__ = [
     "run_step_size_ablation",
     "run_projection_ablation",
     "run_stochastic_step_sizes",
+    "SweepEngine",
+    "RegressionGrid",
+    "SweepCellResult",
+    "derive_run_seeds",
+    "parallel_map",
+    "summarize_grid",
 ]

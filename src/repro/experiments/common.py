@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.attacks.registry import make_attack
+from repro.exceptions import InvalidParameterError
 from repro.problems.linear_regression import RegressionInstance, paper_instance
+from repro.system.batch import run_dgd_batch
 from repro.system.runner import Trace, run_dgd
 from repro.utils.rng import SeedLike
 
@@ -16,6 +18,17 @@ PAPER_X0 = (-0.0085, -0.5643)
 
 #: The attack names exercised by the regression experiments.
 REGRESSION_ATTACKS = ("gradient-reverse", "random", "sign-flip", "zero")
+
+#: Execution backends understood by the experiment entry points.
+BACKENDS = ("sequential", "batch")
+
+
+def check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+        )
+    return backend
 
 
 def paper_setup(noise_std: float = 0.02, seed: SeedLike = 20200803) -> RegressionInstance:
@@ -32,10 +45,19 @@ def run_attacked(
     seed: SeedLike = 1,
     attack_kwargs: Optional[Dict] = None,
     x0=PAPER_X0,
+    backend: str = "sequential",
 ) -> Trace:
-    """One attacked execution on a regression instance."""
+    """One attacked execution on a regression instance.
+
+    ``backend="batch"`` routes through the vectorized engine
+    (:func:`repro.system.batch.run_dgd_batch`), which is bit-identical to
+    the sequential runner; use :func:`run_attacked_multiseed` to amortize
+    its per-call overhead over many seeds.
+    """
+    check_backend(backend)
     behavior = make_attack(attack_name, **(attack_kwargs or {}))
-    return run_dgd(
+    runner = run_dgd if backend == "sequential" else _run_single_batched
+    return runner(
         instance.costs,
         behavior,
         gradient_filter=filter_name,
@@ -46,16 +68,62 @@ def run_attacked(
     )
 
 
+def run_attacked_multiseed(
+    instance: RegressionInstance,
+    filter_name: str,
+    attack_name: str,
+    seeds: Sequence[SeedLike],
+    faulty_ids: Sequence[int] = (0,),
+    iterations: int = 500,
+    attack_kwargs: Optional[Dict] = None,
+    x0=PAPER_X0,
+    backend: str = "batch",
+) -> List[Trace]:
+    """Replicate one attacked configuration across many seeds.
+
+    With the default ``backend="batch"`` all runs execute as one stacked
+    tensor computation; ``backend="sequential"`` loops :func:`run_dgd`
+    (same numbers, for verification and benchmarking).
+    """
+    check_backend(backend)
+    behavior = make_attack(attack_name, **(attack_kwargs or {}))
+    if backend == "sequential":
+        return [
+            run_dgd(
+                instance.costs,
+                behavior,
+                gradient_filter=filter_name,
+                faulty_ids=tuple(faulty_ids),
+                iterations=iterations,
+                seed=seed,
+                x0=np.asarray(x0, dtype=float),
+            )
+            for seed in seeds
+        ]
+    return run_dgd_batch(
+        instance.costs,
+        behavior,
+        seeds=list(seeds),
+        gradient_filter=filter_name,
+        faulty_ids=tuple(faulty_ids),
+        iterations=iterations,
+        x0=np.asarray(x0, dtype=float),
+    )
+
+
 def run_fault_free(
     instance: RegressionInstance,
     honest_ids: Sequence[int],
     iterations: int = 500,
     seed: SeedLike = 1,
     x0=PAPER_X0,
+    backend: str = "sequential",
 ) -> Trace:
     """The fault-free DGD baseline: faulty agents removed, plain summation."""
+    check_backend(backend)
     honest_costs = [instance.costs[i] for i in honest_ids]
-    return run_dgd(
+    runner = run_dgd if backend == "sequential" else _run_single_batched
+    return runner(
         honest_costs,
         None,
         gradient_filter="sum",
@@ -64,3 +132,8 @@ def run_fault_free(
         seed=seed,
         x0=np.asarray(x0, dtype=float),
     )
+
+
+def _run_single_batched(costs, behavior, seed=0, **config_overrides) -> Trace:
+    """Run one execution through the batch engine (a batch of size one)."""
+    return run_dgd_batch(costs, behavior, seeds=[seed], **config_overrides)[0]

@@ -31,8 +31,13 @@ def run_fault_sweep(
     iterations: int = 400,
     noise_std: float = 0.0,
     seed: SeedLike = 11,
+    backend: str = "sequential",
 ) -> ExperimentResult:
-    """Regenerate Figure 5 (final error vs number of faults, per filter)."""
+    """Regenerate Figure 5 (final error vs number of faults, per filter).
+
+    ``backend="batch"`` executes each run through the vectorized engine
+    (bit-identical results, faster for large grids).
+    """
     result = ExperimentResult(
         experiment_id="E6",
         title=f"Fault sweep (n={n}, d={d}, attack={attack})",
@@ -58,12 +63,12 @@ def run_fault_sweep(
             if f == 0:
                 trace = run_attacked(
                     instance, filter_name, "zero", faulty_ids=(),
-                    iterations=iterations, seed=seed,
+                    iterations=iterations, seed=seed, backend=backend,
                 )
             else:
                 trace = run_attacked(
                     instance, filter_name, attack, faulty_ids=faulty_ids,
-                    iterations=iterations, seed=seed,
+                    iterations=iterations, seed=seed, backend=backend,
                 )
             error = final_error(trace, x_H)
             row.append(error)

@@ -22,10 +22,42 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentResult
 from repro.attacks.registry import make_attack
+from repro.experiments.sweep import parallel_map
 from repro.optimization.step_sizes import DiminishingStepSize
 from repro.problems.learning import make_learning_instance
 from repro.system.runner import run_dgd
 from repro.utils.rng import SeedLike
+
+
+def _heterogeneity_level(task: dict) -> dict:
+    """One heterogeneity level's reference + attacked runs (pool worker)."""
+    schedule = DiminishingStepSize(c=2.0, t0=5.0)
+    faulty_ids = tuple(range(task["f"]))
+    instance = make_learning_instance(
+        n=task["n"], d=task["d"], samples_per_agent=task["samples_per_agent"],
+        heterogeneity=task["heterogeneity"], regularization=task["regularization"],
+        seed=task["seed"],
+    )
+    honest = [i for i in range(task["n"]) if i not in faulty_ids]
+    reference = run_dgd(
+        [instance.costs[i] for i in honest], None,
+        gradient_filter="average", iterations=task["iterations"],
+        step_sizes=schedule, seed=task["seed"],
+    )
+    reference_accuracy = instance.accuracy(reference.final_estimate)
+    attacked = {}
+    for filter_name in task["filters"]:
+        trace = run_dgd(
+            instance.costs,
+            make_attack("sign-flip", strength=5.0),
+            gradient_filter=filter_name,
+            faulty_ids=faulty_ids,
+            iterations=task["iterations"],
+            step_sizes=schedule,
+            seed=task["seed"],
+        )
+        attacked[filter_name] = instance.accuracy(trace.final_estimate)
+    return {"reference": reference_accuracy, "attacked": attacked}
 
 
 def run_heterogeneity_sweep(
@@ -38,10 +70,14 @@ def run_heterogeneity_sweep(
     iterations: int = 250,
     regularization: float = 0.05,
     seed: SeedLike = 3,
+    parallel: bool = False,
+    max_workers=None,
 ) -> ExperimentResult:
-    """Regenerate Figure 7 (accuracy vs heterogeneity, attacked and not)."""
-    schedule = DiminishingStepSize(c=2.0, t0=5.0)
-    faulty_ids = tuple(range(f))
+    """Regenerate Figure 7 (accuracy vs heterogeneity, attacked and not).
+
+    ``parallel=True`` fans the heterogeneity levels over a process pool
+    (each level's runs are independent); results are identical.
+    """
     result = ExperimentResult(
         experiment_id="E14",
         title=f"Accuracy vs data heterogeneity (n={n}, f={f}, sign-flip x5)",
@@ -51,32 +87,25 @@ def run_heterogeneity_sweep(
     )
     reference_series = []
     attacked_series = {name: [] for name in filters}
-    for heterogeneity in heterogeneity_levels:
-        instance = make_learning_instance(
-            n=n, d=d, samples_per_agent=samples_per_agent,
-            heterogeneity=heterogeneity, regularization=regularization, seed=seed,
-        )
-        honest = [i for i in range(n) if i not in faulty_ids]
-        reference = run_dgd(
-            [instance.costs[i] for i in honest], None,
-            gradient_filter="average", iterations=iterations,
-            step_sizes=schedule, seed=seed,
-        )
-        reference_accuracy = instance.accuracy(reference.final_estimate)
+    tasks = [
+        {
+            "heterogeneity": heterogeneity, "n": n, "d": d, "f": f,
+            "samples_per_agent": samples_per_agent, "filters": list(filters),
+            "iterations": iterations, "regularization": regularization,
+            "seed": seed,
+        }
+        for heterogeneity in heterogeneity_levels
+    ]
+    levels = parallel_map(
+        _heterogeneity_level, tasks, parallel=parallel, max_workers=max_workers
+    )
+    for heterogeneity, level in zip(heterogeneity_levels, levels):
+        reference_accuracy = level["reference"]
         reference_series.append(reference_accuracy)
         row = [heterogeneity, reference_accuracy]
         gaps = []
         for filter_name in filters:
-            trace = run_dgd(
-                instance.costs,
-                make_attack("sign-flip", strength=5.0),
-                gradient_filter=filter_name,
-                faulty_ids=faulty_ids,
-                iterations=iterations,
-                step_sizes=schedule,
-                seed=seed,
-            )
-            accuracy = instance.accuracy(trace.final_estimate)
+            accuracy = level["attacked"][filter_name]
             attacked_series[filter_name].append(accuracy)
             row.append(accuracy)
             gaps.append(reference_accuracy - accuracy)

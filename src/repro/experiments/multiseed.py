@@ -22,6 +22,8 @@ def summarize_over_seeds(
     make_result: Callable[[int], ExperimentResult],
     seeds: Sequence[int],
     precision: int = 4,
+    parallel: bool = False,
+    max_workers=None,
 ) -> ExperimentResult:
     """Run ``make_result(seed)`` per seed and aggregate numeric cells.
 
@@ -34,6 +36,13 @@ def summarize_over_seeds(
         At least two seeds.
     precision:
         Decimal places in the ``mean ± std`` rendering.
+    parallel:
+        Fan the seeds over a process pool. ``make_result`` must then be
+        picklable (a module-level function or ``functools.partial`` of
+        one); non-picklable callables fall back to sequential execution
+        with a warning.
+    max_workers:
+        Pool size when ``parallel`` is set.
 
     Returns
     -------
@@ -42,10 +51,14 @@ def summarize_over_seeds(
         ``"mean ± std"`` strings, numeric series replaced by their
         seed-wise mean, and a ``<name>/std`` companion series added.
     """
+    from repro.experiments.sweep import parallel_map
+
     seeds = [int(s) for s in seeds]
     if len(seeds) < 2:
         raise InvalidParameterError("multi-seed aggregation needs at least two seeds")
-    results: List[ExperimentResult] = [make_result(seed) for seed in seeds]
+    results: List[ExperimentResult] = parallel_map(
+        make_result, seeds, parallel=parallel, max_workers=max_workers
+    )
     first = results[0]
     for other in results[1:]:
         if other.headers != first.headers or len(other.rows) != len(first.rows):

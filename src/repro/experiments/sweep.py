@@ -1,0 +1,442 @@
+"""Parallel sweep executor for (filter × attack × f × seed) experiment grids.
+
+The experiment modules were written as straight-line loops: readable, but a
+robustness matrix over 9 filters × 7 attacks × 10 seeds is 630 independent
+DGD executions that a laptop runs one at a time. :class:`SweepEngine`
+provides the missing execution layer:
+
+- **Batched replication.** Cells that differ only in their seed are one
+  :func:`repro.system.batch.run_dgd_batch` call — the vectorized engine
+  executes all replicate runs as stacked tensors, bit-identical to the
+  sequential runner.
+- **Process-pool fan-out.** Independent cell groups are scheduled onto a
+  :class:`concurrent.futures.ProcessPoolExecutor` in contiguous chunks
+  (one task per chunk keeps IPC overhead off the hot path). Results come
+  back in submission order regardless of completion order.
+- **Deterministic seed derivation.** Per-run seeds derive from one master
+  seed through :func:`repro.utils.rng.spawn_rngs`, so a grid is a pure
+  function of its declaration — rerunning it, resuming it, or running it
+  with a different worker count yields the same numbers.
+- **On-disk trace cache.** Each cell's trace is stored under a SHA-256
+  hash of its full configuration; re-running a grid recomputes only the
+  cells whose configuration changed.
+
+Everything submitted to the pool must be picklable; the engine verifies
+this up front and transparently falls back to in-process execution (with a
+warning) when it is not, so ``parallel=True`` is always safe to request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentResult
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.utils.rng import derive_seed, spawn_rngs
+
+__all__ = [
+    "SweepEngine",
+    "RegressionGrid",
+    "SweepCellResult",
+    "derive_run_seeds",
+    "parallel_map",
+    "summarize_grid",
+]
+
+
+def derive_run_seeds(master_seed: int, count: int) -> List[int]:
+    """``count`` independent integer run seeds derived from one master seed.
+
+    Deterministic: the same master seed always yields the same sequence,
+    and seed ``k`` does not depend on ``count`` (prefix-stable), so growing
+    a sweep keeps every already-computed cell's seed — and therefore its
+    cache entry — valid.
+    """
+    return [derive_seed(rng) for rng in spawn_rngs(int(master_seed), int(count))]
+
+
+def _config_hash(payload: Dict) -> str:
+    """Stable SHA-256 key for a cell configuration."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def _run_chunk(worker: Callable, items: Sequence) -> List:
+    """Pool task body: apply ``worker`` to one contiguous chunk of items."""
+    return [worker(item) for item in items]
+
+
+@dataclass(frozen=True)
+class RegressionGrid:
+    """Declarative (filter × attack × f × seed) grid on redundant regression.
+
+    The instance parameters (``n``, ``d``, ``redundancy_f``, ``noise_std``,
+    ``instance_seed``) fix one
+    :func:`repro.problems.linear_regression.make_redundant_regression`
+    problem; the grid axes multiply out to
+    ``len(filters) · len(attacks) · len(fault_counts) · num_seeds`` cells.
+    Per-run seeds derive from ``master_seed`` via :func:`derive_run_seeds`.
+    """
+
+    filters: Tuple[str, ...] = ("cge", "cwtm", "median", "average")
+    attacks: Tuple[str, ...] = ("gradient-reverse", "random", "sign-flip", "zero")
+    fault_counts: Tuple[int, ...] = (1,)
+    num_seeds: int = 10
+    master_seed: int = 20200803
+    n: int = 6
+    d: int = 2
+    redundancy_f: Optional[int] = None
+    noise_std: float = 0.0
+    instance_seed: int = 20200803
+    iterations: int = 300
+    x0: Optional[Tuple[float, ...]] = None
+
+    def resolved_redundancy_f(self) -> int:
+        """The instance's redundancy degree (defaults to the largest f swept)."""
+        if self.redundancy_f is not None:
+            return int(self.redundancy_f)
+        return max(1, max(self.fault_counts))
+
+    def seeds(self) -> List[int]:
+        return derive_run_seeds(self.master_seed, self.num_seeds)
+
+
+@dataclass
+class SweepCellResult:
+    """One executed grid cell."""
+
+    filter_name: str
+    attack_name: str
+    f: int
+    seed: int
+    final_error: float = float("nan")
+    final_estimate: Optional[np.ndarray] = None
+    estimates: Optional[np.ndarray] = field(default=None, repr=False)
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+def _cell_cache_payload(grid_fields: Dict, filter_name: str, attack_name: str,
+                        f: int, seed: int) -> Dict:
+    """The exact configuration a cell's cache key is derived from.
+
+    Excludes execution details (backend, worker count, chunking) on
+    purpose: the batch engine is bit-identical to the sequential runner,
+    so they cannot change the result.
+    """
+    return {
+        "kind": "regression-dgd",
+        "version": 1,
+        **grid_fields,
+        "filter": filter_name,
+        "attack": attack_name,
+        "f": f,
+        "seed": seed,
+    }
+
+
+def _run_regression_group(task: Dict) -> List[Dict]:
+    """Execute one (filter, attack, f) group across its seeds.
+
+    Module-level (hence picklable) pool worker. Consults the cell cache
+    first, batches all missing seeds through :func:`run_dgd_batch`, and
+    writes fresh entries back. Returns one JSON-safe payload per seed, in
+    the group's seed order.
+    """
+    from repro.attacks.registry import make_attack
+    from repro.problems.linear_regression import make_redundant_regression
+    from repro.system.batch import run_dgd_batch
+    from repro.system.runner import DGDConfig, run_dgd
+
+    grid_fields = task["grid_fields"]
+    filter_name, attack_name, f = task["filter"], task["attack"], task["f"]
+    seeds, cache_dir = task["seeds"], task["cache_dir"]
+    backend = task["backend"]
+
+    payloads: List[Optional[Dict]] = [None] * len(seeds)
+    missing: List[int] = []
+    for index, seed in enumerate(seeds):
+        if cache_dir is not None:
+            key = _config_hash(
+                _cell_cache_payload(grid_fields, filter_name, attack_name, f, seed)
+            )
+            path = os.path.join(cache_dir, f"{key}.json")
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                payload["cached"] = True
+                payloads[index] = payload
+                continue
+        missing.append(index)
+
+    if missing:
+        instance = make_redundant_regression(
+            n=grid_fields["n"],
+            d=grid_fields["d"],
+            f=grid_fields["redundancy_f"],
+            noise_std=grid_fields["noise_std"],
+            seed=grid_fields["instance_seed"],
+        )
+        faulty_ids = tuple(range(f))
+        honest = [i for i in range(grid_fields["n"]) if i not in faulty_ids]
+        x_H = instance.honest_minimizer(honest)
+        behavior = make_attack(attack_name) if f > 0 else None
+        config = DGDConfig(
+            iterations=grid_fields["iterations"],
+            gradient_filter=filter_name,
+            faulty_ids=faulty_ids,
+            f=f if f > 0 else None,
+            x0=grid_fields["x0"],
+            seed=0,
+        )
+        missing_seeds = [seeds[i] for i in missing]
+        try:
+            if backend == "batch":
+                traces = run_dgd_batch(instance.costs, behavior, config, seeds=missing_seeds)
+            else:
+                traces = [
+                    run_dgd(instance.costs, behavior, config, seed=s)
+                    for s in missing_seeds
+                ]
+            fresh = []
+            for trace in traces:
+                final_estimate = trace.final_estimate
+                fresh.append(
+                    {
+                        "final_error": float(np.linalg.norm(final_estimate - x_H)),
+                        "final_estimate": final_estimate.tolist(),
+                        "estimates": trace.estimates.tolist(),
+                        "cached": False,
+                    }
+                )
+        except (InvalidParameterError, ReproError) as exc:
+            # Infeasible configuration (e.g. Bulyan's n >= 4f + 3): the
+            # whole group fails identically for every seed.
+            fresh = [
+                {"error": f"{type(exc).__name__}: {exc}", "cached": False}
+                for _ in missing_seeds
+            ]
+        for index, payload in zip(missing, fresh):
+            payloads[index] = payload
+            if cache_dir is not None:
+                key = _config_hash(
+                    _cell_cache_payload(
+                        grid_fields, filter_name, attack_name, f, seeds[index]
+                    )
+                )
+                path = os.path.join(cache_dir, f"{key}.json")
+                stored = dict(payload)
+                stored.pop("cached", None)
+                tmp_path = f"{path}.tmp.{os.getpid()}"
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    json.dump(stored, handle)
+                os.replace(tmp_path, path)
+
+    return payloads  # type: ignore[return-value]
+
+
+class SweepEngine:
+    """Chunked process-pool executor with per-cell caching for sweep grids.
+
+    Parameters
+    ----------
+    parallel:
+        Fan work out over a process pool; ``False`` executes in-process
+        (still batched, still cached).
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at the number of
+        scheduled chunks.
+    cache_dir:
+        Directory for the on-disk trace cache; ``None`` disables caching.
+    backend:
+        ``"batch"`` (vectorized multi-run engine, default) or
+        ``"sequential"`` — numerically identical, the switch exists for
+        benchmarking and for paranoia-mode verification.
+    """
+
+    def __init__(
+        self,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        backend: str = "batch",
+    ):
+        if backend not in ("batch", "sequential"):
+            raise InvalidParameterError(
+                f"backend must be 'batch' or 'sequential', got {backend!r}"
+            )
+        if max_workers is not None and max_workers <= 0:
+            raise InvalidParameterError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self._parallel = bool(parallel)
+        self._max_workers = max_workers
+        self._cache_dir = cache_dir
+        self._backend = backend
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self._cache_dir
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def map(
+        self,
+        worker: Callable,
+        items: Sequence,
+        chunk_size: Optional[int] = None,
+    ) -> List:
+        """Apply a picklable ``worker`` to every item, preserving order.
+
+        Items are scheduled in contiguous chunks (one pool task per chunk)
+        so that fine-grained grids do not pay one IPC round-trip per cell.
+        Falls back to in-process execution — with a warning — when the
+        worker or an item cannot be pickled or the pool cannot start.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self._parallel or len(items) == 1:
+            return [worker(item) for item in items]
+        try:
+            pickle.dumps((worker, items))
+        except Exception as exc:  # pragma: no cover - exercised via multiseed
+            warnings.warn(
+                f"sweep work is not picklable ({type(exc).__name__}: {exc}); "
+                "running sequentially in-process",
+                stacklevel=2,
+            )
+            return [worker(item) for item in items]
+        workers = self._max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(items)))
+        if chunk_size is None:
+            # Aim for a few chunks per worker so stragglers rebalance.
+            chunk_size = max(1, -(-len(items) // (4 * workers)))
+        chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_chunk, worker, chunk) for chunk in chunks]
+                results: List = []
+                for future in futures:
+                    results.extend(future.result())
+                return results
+        except (OSError, RuntimeError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "running sequentially in-process",
+                stacklevel=2,
+            )
+            return [worker(item) for item in items]
+
+    def run_regression_grid(self, grid: RegressionGrid) -> List[SweepCellResult]:
+        """Execute every cell of a :class:`RegressionGrid`.
+
+        Cells are grouped by (f, filter, attack); each group's seeds run as
+        one batched DGD execution, and groups fan out over the pool.
+        Results are ordered by (f, filter, attack, seed) — the grid's
+        declaration order — independent of scheduling.
+        """
+        seeds = grid.seeds()
+        grid_fields = {
+            "n": grid.n,
+            "d": grid.d,
+            "redundancy_f": grid.resolved_redundancy_f(),
+            "noise_std": grid.noise_std,
+            "instance_seed": grid.instance_seed,
+            "iterations": grid.iterations,
+            "x0": list(grid.x0) if grid.x0 is not None else None,
+        }
+        tasks = [
+            {
+                "grid_fields": grid_fields,
+                "filter": filter_name,
+                "attack": attack_name,
+                "f": f,
+                "seeds": seeds,
+                "cache_dir": self._cache_dir,
+                "backend": self._backend,
+            }
+            for f in grid.fault_counts
+            for filter_name in grid.filters
+            for attack_name in grid.attacks
+        ]
+        grouped_payloads = self.map(_run_regression_group, tasks)
+        results: List[SweepCellResult] = []
+        for task, payloads in zip(tasks, grouped_payloads):
+            for seed, payload in zip(seeds, payloads):
+                cell = SweepCellResult(
+                    filter_name=task["filter"],
+                    attack_name=task["attack"],
+                    f=task["f"],
+                    seed=seed,
+                    cached=bool(payload.get("cached", False)),
+                )
+                if "error" in payload:
+                    cell.error = payload["error"]
+                else:
+                    cell.final_error = float(payload["final_error"])
+                    cell.final_estimate = np.asarray(payload["final_estimate"])
+                    cell.estimates = np.asarray(payload["estimates"])
+                results.append(cell)
+        return results
+
+
+def parallel_map(
+    worker: Callable,
+    items: Sequence,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List:
+    """Order-preserving map with optional process-pool fan-out.
+
+    Convenience wrapper used by the sweep-style experiment modules: with
+    ``parallel=False`` (the default everywhere) this is a plain list
+    comprehension, byte-for-byte the old behaviour.
+    """
+    engine = SweepEngine(parallel=parallel, max_workers=max_workers)
+    return engine.map(worker, items, chunk_size=chunk_size)
+
+
+def summarize_grid(results: Sequence[SweepCellResult]) -> ExperimentResult:
+    """Aggregate grid cells into a per-(f, filter, attack) summary table."""
+    groups: Dict[Tuple[int, str, str], List[SweepCellResult]] = {}
+    for cell in results:
+        groups.setdefault((cell.f, cell.filter_name, cell.attack_name), []).append(cell)
+    summary = ExperimentResult(
+        experiment_id="SWEEP",
+        title="Sweep grid summary",
+        headers=["f", "filter", "attack", "seeds", "mean error", "std", "cached"],
+    )
+    for (f, filter_name, attack_name), cells in sorted(groups.items()):
+        failed = [c for c in cells if c.failed]
+        if failed:
+            summary.rows.append(
+                [f, filter_name, attack_name, len(cells), "n/a", "n/a",
+                 sum(c.cached for c in cells)]
+            )
+            continue
+        errors = np.asarray([c.final_error for c in cells])
+        summary.rows.append(
+            [f, filter_name, attack_name, len(cells),
+             float(errors.mean()), float(errors.std()),
+             sum(c.cached for c in cells)]
+        )
+    return summary

@@ -11,8 +11,9 @@ from repro.system.agents import Agent, CrashAgent, HonestAgent
 from repro.system.broadcast import BroadcastResult, EquivocatingSender, byzantine_broadcast
 from repro.system.messages import EstimateBroadcast, GradientMessage, Message
 from repro.system.network import DeliveryRecord, SynchronousNetwork
+from repro.system.batch import batch_unsupported_reason, run_dgd_batch
 from repro.system.peer_to_peer import PeerExecutionResult, run_peer_to_peer_dgd
-from repro.system.runner import DGDConfig, Trace, run_dgd
+from repro.system.runner import DGDConfig, Trace, apply_config_overrides, run_dgd
 from repro.system.server import DGDServer
 
 __all__ = [
@@ -29,6 +30,9 @@ __all__ = [
     "DGDConfig",
     "Trace",
     "run_dgd",
+    "run_dgd_batch",
+    "batch_unsupported_reason",
+    "apply_config_overrides",
     "byzantine_broadcast",
     "BroadcastResult",
     "EquivocatingSender",

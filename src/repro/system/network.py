@@ -8,6 +8,7 @@ logs every delivery for post-hoc inspection and accounts traffic volume.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional
@@ -64,6 +65,8 @@ class SynchronousNetwork:
         self._messages_delivered = 0
         self._messages_dropped = 0
         self._bytes_delivered = 0
+        self._records_seen = 0
+        self._eviction_warned = False
 
     @property
     def messages_delivered(self) -> int:
@@ -78,8 +81,31 @@ class SynchronousNetwork:
         return self._bytes_delivered
 
     @property
+    def log_capacity(self) -> int:
+        """Maximum number of retained delivery records."""
+        return self._log.maxlen
+
+    @property
+    def records_evicted(self) -> int:
+        """Delivery records dropped from the log because it was full."""
+        return self._records_seen - len(self._log)
+
+    @property
     def log(self) -> List[DeliveryRecord]:
-        """Retained delivery records, oldest first."""
+        """Retained delivery records, oldest first.
+
+        Warns (once per network) when the log has evicted records, so a
+        truncated delivery history is never mistaken for a complete one.
+        """
+        if self.records_evicted > 0 and not self._eviction_warned:
+            self._eviction_warned = True
+            warnings.warn(
+                f"network delivery log overflowed: {self.records_evicted} of "
+                f"{self._records_seen} records were evicted (capacity "
+                f"{self._log.maxlen}); raise log_capacity (e.g. via "
+                "DGDConfig.log_capacity) to retain the full history",
+                stacklevel=2,
+            )
         return list(self._log)
 
     def _should_drop(self, sender: int) -> bool:
@@ -104,6 +130,7 @@ class SynchronousNetwork:
             dropped=dropped,
         )
         self._log.append(record)
+        self._records_seen += 1
         if dropped:
             self._messages_dropped += 1
             return None

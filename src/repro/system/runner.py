@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -59,6 +59,10 @@ class DGDConfig:
         Master seed from which agent/adversary/network streams derive.
     record_messages:
         Keep the network's delivery log (memory-heavy for long runs).
+    log_capacity:
+        Maximum delivery records the network retains when
+        ``record_messages`` is set; requesting the log after eviction
+        warns rather than silently returning a truncated history.
     crash_rounds:
         Optional map ``agent_id → round`` of *crash faults*: the agent
         follows the protocol until that round, then goes permanently
@@ -76,6 +80,7 @@ class DGDConfig:
     projection: Optional[ConvexSet] = None
     seed: SeedLike = 0
     record_messages: bool = False
+    log_capacity: int = 10_000
     box_half_width: float = 1000.0
     crash_rounds: Optional[Dict[int, int]] = None
 
@@ -148,6 +153,25 @@ class Trace:
         return values
 
 
+def apply_config_overrides(config: DGDConfig, overrides: Dict) -> DGDConfig:
+    """Apply keyword overrides to a :class:`DGDConfig`.
+
+    Uses :func:`dataclasses.replace` (robust to ``slots=True`` and future
+    validation hooks, unlike rebuilding from ``__dict__``) and rejects
+    unknown keys with a clear error instead of a generic ``TypeError``.
+    """
+    if not overrides:
+        return config
+    known = {f.name for f in fields(DGDConfig)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown DGDConfig override(s) {', '.join(map(repr, unknown))}; "
+            f"valid fields: {', '.join(sorted(known))}"
+        )
+    return replace(config, **overrides)
+
+
 def _default_schedule(
     costs: Sequence[CostFunction], gradient_filter: GradientFilter
 ) -> StepSizeSchedule:
@@ -193,8 +217,7 @@ def run_dgd(
     """
     if config is None:
         config = DGDConfig()
-    if config_overrides:
-        config = DGDConfig(**{**config.__dict__, **config_overrides})
+    config = apply_config_overrides(config, config_overrides)
 
     costs = list(costs)
     n = len(costs)
@@ -268,7 +291,7 @@ def run_dgd(
         if faulty_ids
         else None
     )
-    network = SynchronousNetwork(rng=network_rng)
+    network = SynchronousNetwork(rng=network_rng, log_capacity=config.log_capacity)
     server = DGDServer.with_fixed_filter(
         gradient_filter, step_sizes, projection, x0, n=n, f=f
     )

@@ -90,3 +90,15 @@ class TestScoresAndGuards:
     def test_infeasible_fault_bound(self):
         with pytest.raises(InfeasibleConfigurationError):
             SubsetEnumerationAlgorithm(n=4, f=2)
+
+    def test_tied_inner_scores_keep_first_subset(self):
+        # Identical costs make every inner subset score exactly 0.0: the
+        # argmax over inner subsets is all ties, and the update rule must
+        # keep the lexicographically-first subset (enumeration order)
+        # rather than the last — pinning down deterministic tie-breaking.
+        costs = [TranslatedQuadratic([0.0, 0.0]) for _ in range(5)]
+        result = SubsetEnumerationAlgorithm(n=5, f=1).run(costs, keep_scores=True)
+        assert result.scores
+        for record in result.scores:
+            assert record.score == 0.0
+            assert record.worst_inner == record.subset[: len(record.subset) - 1]

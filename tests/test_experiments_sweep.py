@@ -1,0 +1,210 @@
+"""Tests for the parallel sweep executor and its experiment-layer wiring."""
+
+import functools
+import json
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import run_fault_sweep, run_robustness_matrix, summarize_over_seeds
+from repro.experiments.sweep import (
+    RegressionGrid,
+    SweepEngine,
+    derive_run_seeds,
+    parallel_map,
+    summarize_grid,
+)
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.runner import run_dgd
+
+
+def _square(x):
+    return x * x
+
+
+def _tiny_fault_sweep(seed):
+    return run_fault_sweep(
+        fault_counts=(0, 1), iterations=20, filters=("cge",), seed=seed
+    )
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_run_seeds(7, 4) == derive_run_seeds(7, 4)
+
+    def test_prefix_stable(self):
+        # Growing a sweep must not invalidate already-computed cells.
+        assert derive_run_seeds(7, 3) == derive_run_seeds(7, 6)[:3]
+
+    def test_master_seed_matters(self):
+        assert derive_run_seeds(7, 3) != derive_run_seeds(8, 3)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(-20, 20))
+        assert parallel_map(_square, items, parallel=True, max_workers=2) == [
+            _square(x) for x in items
+        ]
+
+    def test_sequential_default(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_unpicklable_worker_falls_back_with_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = parallel_map(lambda x: x + 1, [1, 2], parallel=True)
+        assert result == [2, 3]
+        assert any("picklable" in str(w.message) for w in caught)
+
+    def test_empty(self):
+        assert parallel_map(_square, [], parallel=True) == []
+
+
+class TestSweepEngine:
+    def test_rejects_bad_backend(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            SweepEngine(backend="gpu")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(InvalidParameterError, match="max_workers"):
+            SweepEngine(max_workers=0)
+
+    def test_grid_matches_direct_run_dgd(self, tmp_path):
+        grid = RegressionGrid(
+            filters=("cge",), attacks=("gradient-reverse",), fault_counts=(1,),
+            num_seeds=2, iterations=30,
+        )
+        engine = SweepEngine(parallel=False, cache_dir=str(tmp_path))
+        cells = engine.run_regression_grid(grid)
+        instance = make_redundant_regression(
+            n=grid.n, d=grid.d, f=1, noise_std=grid.noise_std, seed=grid.instance_seed
+        )
+        from repro.attacks.registry import make_attack
+
+        for cell in cells:
+            trace = run_dgd(
+                instance.costs,
+                make_attack("gradient-reverse"),
+                gradient_filter="cge",
+                faulty_ids=(0,),
+                f=1,
+                iterations=grid.iterations,
+                seed=cell.seed,
+            )
+            assert np.array_equal(cell.estimates, trace.estimates)
+
+    def test_cache_round_trip(self, tmp_path):
+        grid = RegressionGrid(
+            filters=("cge", "average"), attacks=("zero",), num_seeds=3, iterations=25
+        )
+        engine = SweepEngine(parallel=False, cache_dir=str(tmp_path))
+        first = engine.run_regression_grid(grid)
+        assert not any(cell.cached for cell in first)
+        assert len(os.listdir(tmp_path)) == len(first)
+        second = engine.run_regression_grid(grid)
+        assert all(cell.cached for cell in second)
+        for a, b in zip(first, second):
+            assert a.final_error == b.final_error
+            assert np.array_equal(a.estimates, b.estimates)
+
+    def test_cache_recomputes_only_changed_cells(self, tmp_path):
+        engine = SweepEngine(parallel=False, cache_dir=str(tmp_path))
+        base = RegressionGrid(filters=("cge",), attacks=("zero",), num_seeds=2,
+                              iterations=25)
+        engine.run_regression_grid(base)
+        files_before = set(os.listdir(tmp_path))
+        grown = RegressionGrid(filters=("cge", "average"), attacks=("zero",),
+                               num_seeds=2, iterations=25)
+        cells = engine.run_regression_grid(grown)
+        by_filter = {c.filter_name: c.cached for c in cells}
+        assert by_filter["cge"] is True  # reused
+        assert by_filter["average"] is False  # fresh
+        assert files_before < set(os.listdir(tmp_path))
+
+    def test_cache_entries_are_json(self, tmp_path):
+        engine = SweepEngine(parallel=False, cache_dir=str(tmp_path))
+        engine.run_regression_grid(
+            RegressionGrid(filters=("cge",), attacks=("zero",), num_seeds=1,
+                           iterations=10)
+        )
+        (entry,) = os.listdir(tmp_path)
+        with open(os.path.join(tmp_path, entry)) as handle:
+            payload = json.load(handle)
+        assert "final_error" in payload and "estimates" in payload
+
+    def test_infeasible_filter_reported_per_cell(self):
+        engine = SweepEngine(parallel=False)
+        cells = engine.run_regression_grid(
+            RegressionGrid(filters=("bulyan",), attacks=("zero",), num_seeds=2,
+                           iterations=10)
+        )
+        assert all(cell.failed for cell in cells)
+        assert "Bulyan" in cells[0].error
+
+    def test_parallel_equals_inprocess(self, tmp_path):
+        grid = RegressionGrid(
+            filters=("cge", "cwtm"), attacks=("gradient-reverse", "sign-flip"),
+            num_seeds=2, iterations=25,
+        )
+        inproc = SweepEngine(parallel=False).run_regression_grid(grid)
+        pooled = SweepEngine(parallel=True, max_workers=2).run_regression_grid(grid)
+        for a, b in zip(inproc, pooled):
+            assert (a.filter_name, a.attack_name, a.f, a.seed) == (
+                b.filter_name, b.attack_name, b.f, b.seed
+            )
+            assert np.array_equal(a.estimates, b.estimates)
+
+    def test_backend_parity(self):
+        grid = RegressionGrid(filters=("cge",), attacks=("random",), num_seeds=2,
+                              iterations=25)
+        batch = SweepEngine(parallel=False, backend="batch").run_regression_grid(grid)
+        sequential = SweepEngine(
+            parallel=False, backend="sequential"
+        ).run_regression_grid(grid)
+        for a, b in zip(batch, sequential):
+            assert np.array_equal(a.estimates, b.estimates)
+
+    def test_summarize_grid(self):
+        cells = SweepEngine(parallel=False).run_regression_grid(
+            RegressionGrid(filters=("cge", "bulyan"), attacks=("zero",), num_seeds=2,
+                           iterations=10)
+        )
+        summary = summarize_grid(cells)
+        rows = {(row[1], row[2]): row for row in summary.rows}
+        assert rows[("bulyan", "zero")][4] == "n/a"
+        assert isinstance(rows[("cge", "zero")][4], float)
+
+
+class TestExperimentWiring:
+    def test_robustness_matrix_parallel_matches(self):
+        kwargs = dict(filters=("cge", "average"), attacks=("zero",), iterations=20)
+        assert (
+            run_robustness_matrix(**kwargs).rows
+            == run_robustness_matrix(
+                **kwargs, parallel=True, backend="batch", max_workers=2
+            ).rows
+        )
+
+    def test_backend_validated(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            run_robustness_matrix(
+                filters=("cge",), attacks=("zero",), iterations=5, backend="magic"
+            )
+
+    def test_multiseed_parallel_matches(self):
+        sequential = summarize_over_seeds(_tiny_fault_sweep, [1, 2])
+        pooled = summarize_over_seeds(
+            _tiny_fault_sweep, [1, 2], parallel=True, max_workers=2
+        )
+        assert sequential.rows == pooled.rows
+
+    def test_multiseed_partial_is_picklable(self):
+        make = functools.partial(_tiny_fault_sweep)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            summarize_over_seeds(make, [1, 2], parallel=True, max_workers=2)
+        assert not any("picklable" in str(w.message) for w in caught)

@@ -167,3 +167,78 @@ class TestCrashFaults:
     def test_crash_id_out_of_range(self, paper):
         with pytest.raises(InvalidParameterError):
             run_dgd(paper.costs, None, crash_rounds={99: 3}, iterations=5)
+
+
+class TestConfigOverrides:
+    def test_unknown_override_rejected_with_field_list(self, paper):
+        with pytest.raises(InvalidParameterError, match="valid fields"):
+            run_dgd(paper.costs, None, iterations=5, iteratons=7)
+
+    def test_override_does_not_mutate_base_config(self, paper):
+        from repro.system.runner import apply_config_overrides
+
+        base = DGDConfig(iterations=5)
+        derived = apply_config_overrides(base, {"seed": 9, "iterations": 3})
+        assert base.iterations == 5 and base.seed == 0
+        assert derived.iterations == 3 and derived.seed == 9
+
+    def test_empty_overrides_return_config_unchanged(self):
+        from repro.system.runner import apply_config_overrides
+
+        base = DGDConfig()
+        assert apply_config_overrides(base, {}) is base
+
+
+class TestNetworkLogCapacity:
+    def test_log_capacity_plumbed_from_config(self, paper):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trace = run_dgd(
+                paper.costs, None, iterations=30, record_messages=True,
+                log_capacity=50,
+            )
+        # 30 rounds x 12 deliveries = 360 records against capacity 50.
+        assert len(trace.extra["network_log"]) == 50
+        assert any("overflowed" in str(w.message) for w in caught)
+
+    def test_no_warning_when_log_fits(self, paper):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trace = run_dgd(
+                paper.costs, None, iterations=5, record_messages=True,
+                log_capacity=1000,
+            )
+        assert len(trace.extra["network_log"]) == 5 * 12
+        assert not any("overflowed" in str(w.message) for w in caught)
+
+    def test_network_eviction_counters(self):
+        from repro.system.messages import GradientMessage
+        from repro.system.network import SynchronousNetwork
+
+        network = SynchronousNetwork(log_capacity=3)
+        assert network.log_capacity == 3
+        for round_index in range(5):
+            network.deliver(
+                GradientMessage(sender=0, round_index=round_index,
+                                gradient=np.zeros(2)),
+                receiver=-1,
+            )
+        assert network.records_evicted == 2
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            log = network.log
+            network.log  # warn-once: second access stays silent
+        assert len(log) == 3
+        assert sum("overflowed" in str(w.message) for w in caught) == 1
+
+    def test_invalid_log_capacity_rejected(self):
+        from repro.system.network import SynchronousNetwork
+
+        with pytest.raises(InvalidParameterError):
+            SynchronousNetwork(log_capacity=0)
