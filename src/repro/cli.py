@@ -136,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="directory for the on-disk trace cache (off by default)",
     )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk wall-clock budget; hung chunks are retried in a "
+        "fresh pool (unlimited by default)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="failed attempts allowed per chunk before quarantine (default 2)",
+    )
+    sweep.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="write a JSONL event log (retries, cache hits/misses, "
+        "quarantines, per-chunk wall time) and print its summary",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted grid from its cache: recompute only "
+        "cells without a valid cache entry (requires --cache-dir)",
+    )
 
     commands.add_parser("list", help="show registered filters, attacks, experiments")
     return parser
@@ -205,6 +224,10 @@ def _command_redundancy(args) -> int:
 def _command_sweep(args) -> int:
     from repro.experiments.sweep import RegressionGrid, SweepEngine, summarize_grid
 
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir (nothing to resume from)",
+              file=sys.stderr)
+        return 2
     grid = RegressionGrid(
         filters=tuple(args.filters),
         attacks=tuple(args.attacks),
@@ -221,12 +244,24 @@ def _command_sweep(args) -> int:
         max_workers=args.workers,
         cache_dir=args.cache_dir,
         backend=args.backend,
+        timeout=args.timeout,
+        retries=args.retries,
+        events=args.events,
     )
-    cells = engine.run_regression_grid(grid)
+    cells = engine.resume(grid) if args.resume else engine.run_regression_grid(grid)
     print(summarize_grid(cells).render())
     cached = sum(cell.cached for cell in cells)
-    print(f"{len(cells)} cells ({cached} from cache)")
-    return 0
+    failed = sum(cell.failed for cell in cells)
+    quarantined = sum(cell.quarantined for cell in cells)
+    line = f"{len(cells)} cells ({cached} from cache)"
+    if failed:
+        line += f", {failed} failed ({quarantined} quarantined)"
+    print(line)
+    if args.events:
+        counts = engine.events.counts()
+        rendered = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        print(f"events -> {args.events}: {rendered}")
+    return 1 if failed else 0
 
 
 def _command_list(_args) -> int:

@@ -50,6 +50,27 @@ class ConvergenceError(ReproError, RuntimeError):
         self.best = best
 
 
+class CacheIntegrityError(ReproError, RuntimeError):
+    """An on-disk cache entry failed its integrity check.
+
+    Raised by :mod:`repro.utils.atomicio` when a stored document is
+    truncated, is not valid JSON, or carries a checksum that does not match
+    its payload. The sweep engine treats this as "entry absent": the
+    corrupt file is discarded and the cell recomputed, so corruption can
+    cost time but never poison results.
+    """
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberately injected infrastructure fault (chaos testing).
+
+    Raised by the :mod:`repro.system.faultinjection` policies to simulate
+    worker crashes and transient failures. Deriving from
+    :class:`ReproError` keeps it catchable alongside genuine library
+    errors, but production code never raises it.
+    """
+
+
 class ProtocolViolationError(ReproError, RuntimeError):
     """A simulated distributed protocol reached a state its specification forbids.
 

@@ -31,6 +31,7 @@ from repro.experiments.sweep import (
     RegressionGrid,
     SweepCellResult,
     SweepEngine,
+    SweepEvents,
     derive_run_seeds,
     parallel_map,
     summarize_grid,
@@ -60,6 +61,7 @@ __all__ = [
     "run_projection_ablation",
     "run_stochastic_step_sizes",
     "SweepEngine",
+    "SweepEvents",
     "RegressionGrid",
     "SweepCellResult",
     "derive_run_seeds",

@@ -1,4 +1,4 @@
-"""Parallel sweep executor for (filter × attack × f × seed) experiment grids.
+"""Fault-tolerant parallel sweep executor for experiment grids.
 
 The experiment modules were written as straight-line loops: readable, but a
 robustness matrix over 9 filters × 7 attacks × 10 seeds is 630 independent
@@ -17,13 +17,44 @@ provides the missing execution layer:
   seed through :func:`repro.utils.rng.spawn_rngs`, so a grid is a pure
   function of its declaration — rerunning it, resuming it, or running it
   with a different worker count yields the same numbers.
-- **On-disk trace cache.** Each cell's trace is stored under a SHA-256
-  hash of its full configuration; re-running a grid recomputes only the
-  cells whose configuration changed.
+- **Checksummed on-disk trace cache.** Each cell's trace is stored under a
+  SHA-256 hash of its full configuration, written atomically
+  (write-then-rename) with an end-to-end content checksum. Truncated or
+  bit-flipped entries are detected on read, discarded, and recomputed —
+  corruption can cost time, never correctness.
+
+The engine is built to survive the faults infrastructure actually
+exhibits, mirroring how CGE survives Byzantine gradients (the paper's own
+subject). The failure ladder, applied per chunk:
+
+1. **Retry with backoff.** A chunk whose worker raises, whose process
+   dies (``BrokenProcessPool``), or which exceeds ``timeout`` seconds is
+   retried up to ``retries`` times with exponential backoff and jitter.
+   Timeouts and crashes poison the pool, so it is killed and rebuilt
+   before resubmission; still-pending chunks are resubmitted to the fresh
+   pool (workers are pure functions of their task, so re-execution is
+   bit-identical).
+2. **Degrade to in-process.** A chunk that keeps raising *soft*
+   exceptions after all pool retries is rerun in-process one item at a
+   time, so a single poison item cannot take down its chunk-mates.
+   (Timed-out and hard-crashed chunks skip this step — re-executing a
+   hang or an ``os._exit`` in the parent would take the engine down.)
+3. **Quarantine.** Items that still fail become per-item error results
+   (:class:`SweepCellResult` with ``failed=True, quarantined=True``)
+   instead of aborting the grid — the sweep analogue of eliminating a
+   Byzantine agent rather than crashing the protocol.
+
+Every decision is recorded in a structured :class:`SweepEvents` log
+(optionally mirrored to a JSONL file): retries, timeouts, pool rebuilds,
+quarantines, cache hits/misses/corruptions, and per-chunk wall time.
+``resume()`` re-executes a grid against its cache manifest, recomputing
+only cells that never completed — the event log's cache-hit count is the
+proof.
 
 Everything submitted to the pool must be picklable; the engine verifies
-this up front and transparently falls back to in-process execution (with a
-warning) when it is not, so ``parallel=True`` is always safe to request.
+this up front and transparently falls back to in-process execution (with
+one warning per engine instance) when it is not, so ``parallel=True`` is
+always safe to request.
 """
 
 from __future__ import annotations
@@ -32,19 +63,24 @@ import hashlib
 import json
 import os
 import pickle
+import random
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as PoolTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.reporting import ExperimentResult
-from repro.exceptions import InvalidParameterError, ReproError
+from repro.exceptions import CacheIntegrityError, InvalidParameterError, ReproError
+from repro.utils.atomicio import read_json_checked, write_json_atomic
 from repro.utils.rng import derive_seed, spawn_rngs
 
 __all__ = [
     "SweepEngine",
+    "SweepEvents",
     "RegressionGrid",
     "SweepCellResult",
     "derive_run_seeds",
@@ -73,6 +109,62 @@ def _config_hash(payload: Dict) -> str:
 def _run_chunk(worker: Callable, items: Sequence) -> List:
     """Pool task body: apply ``worker`` to one contiguous chunk of items."""
     return [worker(item) for item in items]
+
+
+class SweepEvents:
+    """Structured, append-only event log for one engine's activity.
+
+    Records are plain dicts with an ``"event"`` key; with ``path`` given,
+    each record is also mirrored to disk as one JSON line the moment it is
+    emitted, so a killed run leaves a readable prefix. The reader side
+    (:meth:`load`) skips unparsable lines — a truncated final line from a
+    killed writer must not take the post-mortem down with it.
+
+    Event vocabulary: ``chunk_done`` (with ``elapsed`` wall seconds),
+    ``chunk_retry``, ``chunk_timeout``, ``chunk_crash``, ``chunk_degraded``,
+    ``pool_rebuild``, ``fallback`` (pool → in-process), ``item_retry``,
+    ``quarantine``, ``cache_hit``, ``cache_miss``, ``cache_corrupt``,
+    ``cell_failed``, ``manifest``, ``resume``.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.records: List[Dict] = []
+        if path is not None:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+            with open(path, "w", encoding="utf-8"):
+                pass  # own the file: each engine run starts a fresh log
+
+    def emit(self, event: str, **fields) -> Dict:
+        record = {"event": event, **fields}
+        self.records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def counts(self) -> Dict[str, int]:
+        """Event name → number of occurrences."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record["event"]] = totals.get(record["event"], 0) + 1
+        return totals
+
+    @staticmethod
+    def load(path: str) -> List[Dict]:
+        """Parse a JSONL event file, skipping malformed (truncated) lines."""
+        records: List[Dict] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return records
 
 
 @dataclass(frozen=True)
@@ -123,6 +215,7 @@ class SweepCellResult:
     estimates: Optional[np.ndarray] = field(default=None, repr=False)
     error: Optional[str] = None
     cached: bool = False
+    quarantined: bool = False
 
     @property
     def failed(self) -> bool:
@@ -133,9 +226,10 @@ def _cell_cache_payload(grid_fields: Dict, filter_name: str, attack_name: str,
                         f: int, seed: int) -> Dict:
     """The exact configuration a cell's cache key is derived from.
 
-    Excludes execution details (backend, worker count, chunking) on
-    purpose: the batch engine is bit-identical to the sequential runner,
-    so they cannot change the result.
+    Excludes execution details (backend, worker count, chunking, timeout,
+    retries) on purpose: the batch engine is bit-identical to the
+    sequential runner and the resilience machinery only re-executes pure
+    work, so none of them can change the result.
     """
     return {
         "kind": "regression-dgd",
@@ -148,13 +242,53 @@ def _cell_cache_payload(grid_fields: Dict, filter_name: str, attack_name: str,
     }
 
 
+def _valid_cell_payload(payload) -> bool:
+    """Does a cache document have the shape a cell payload must have?
+
+    Guards the read path beyond the checksum: a legacy (pre-checksum)
+    entry has no digest to verify, and single-bit corruption of a wrapper
+    can demote a checksummed document to an apparently-legacy one — the
+    shape check rejects both instead of poisoning results.
+    """
+    if not isinstance(payload, dict):
+        return False
+    if "error" in payload:
+        return isinstance(payload["error"], str)
+    return all(key in payload for key in ("final_error", "final_estimate",
+                                          "estimates"))
+
+
+def _load_cache_entry(path: str) -> Optional[Dict]:
+    """Read one cache entry; ``None`` means corrupt/invalid (recompute).
+
+    Never raises on bad content: truncated JSON, checksum mismatches, and
+    shape violations all report as a miss, and the damaged file is removed
+    so the rewrite is clean.
+    """
+    try:
+        payload = read_json_checked(path)
+    except CacheIntegrityError:
+        payload = None
+    if payload is not None and not _valid_cell_payload(payload):
+        payload = None
+    if payload is None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    return payload
+
+
 def _run_regression_group(task: Dict) -> List[Dict]:
     """Execute one (filter, attack, f) group across its seeds.
 
     Module-level (hence picklable) pool worker. Consults the cell cache
-    first, batches all missing seeds through :func:`run_dgd_batch`, and
-    writes fresh entries back. Returns one JSON-safe payload per seed, in
-    the group's seed order.
+    first — discarding corrupt entries — batches all missing seeds through
+    :func:`run_dgd_batch`, and writes fresh entries back atomically with
+    checksums. Returns one JSON-safe payload per seed, in the group's seed
+    order; each payload carries ``cache_state`` (``"hit"``, ``"miss"``, or
+    ``"corrupt"``) so the parent can log cache events.
     """
     from repro.attacks.registry import make_attack
     from repro.problems.linear_regression import make_redundant_regression
@@ -167,6 +301,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     backend = task["backend"]
 
     payloads: List[Optional[Dict]] = [None] * len(seeds)
+    cache_states: List[str] = ["miss"] * len(seeds)
     missing: List[int] = []
     for index, seed in enumerate(seeds):
         if cache_dir is not None:
@@ -175,11 +310,13 @@ def _run_regression_group(task: Dict) -> List[Dict]:
             )
             path = os.path.join(cache_dir, f"{key}.json")
             if os.path.exists(path):
-                with open(path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-                payload["cached"] = True
-                payloads[index] = payload
-                continue
+                payload = _load_cache_entry(path)
+                if payload is not None:
+                    payload["cached"] = True
+                    payload["cache_state"] = "hit"
+                    payloads[index] = payload
+                    continue
+                cache_states[index] = "corrupt"
         missing.append(index)
 
     if missing:
@@ -230,6 +367,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
                 for _ in missing_seeds
             ]
         for index, payload in zip(missing, fresh):
+            payload["cache_state"] = cache_states[index]
             payloads[index] = payload
             if cache_dir is not None:
                 key = _config_hash(
@@ -237,25 +375,43 @@ def _run_regression_group(task: Dict) -> List[Dict]:
                         grid_fields, filter_name, attack_name, f, seeds[index]
                     )
                 )
-                path = os.path.join(cache_dir, f"{key}.json")
                 stored = dict(payload)
                 stored.pop("cached", None)
-                tmp_path = f"{path}.tmp.{os.getpid()}"
-                with open(tmp_path, "w", encoding="utf-8") as handle:
-                    json.dump(stored, handle)
-                os.replace(tmp_path, path)
+                stored.pop("cache_state", None)
+                write_json_atomic(os.path.join(cache_dir, f"{key}.json"), stored)
 
     return payloads  # type: ignore[return-value]
 
 
+class _PoolUnavailable(ReproError):
+    """Internal: the process pool could not be (re)created at all.
+
+    Distinct from chunk-level failures so :meth:`SweepEngine.map` can
+    degrade the whole map to in-process execution without accidentally
+    swallowing worker exceptions (note ``TimeoutError`` is an ``OSError``
+    subclass on modern Pythons — a broad ``except OSError`` around the
+    pool loop would eat quarantine re-raises).
+    """
+
+
+def _quarantined_group(exc: BaseException, task: Dict) -> List[Dict]:
+    """Per-seed error payloads for a group the engine gave up on."""
+    message = f"quarantined: {type(exc).__name__}: {exc}"
+    return [
+        {"error": message, "quarantined": True, "cached": False,
+         "cache_state": "miss"}
+        for _ in task["seeds"]
+    ]
+
+
 class SweepEngine:
-    """Chunked process-pool executor with per-cell caching for sweep grids.
+    """Chunked, fault-tolerant process-pool executor with per-cell caching.
 
     Parameters
     ----------
     parallel:
         Fan work out over a process pool; ``False`` executes in-process
-        (still batched, still cached).
+        (still batched, still cached, still retried/quarantined).
     max_workers:
         Pool size; defaults to ``os.cpu_count()`` capped at the number of
         scheduled chunks.
@@ -265,6 +421,30 @@ class SweepEngine:
         ``"batch"`` (vectorized multi-run engine, default) or
         ``"sequential"`` — numerically identical, the switch exists for
         benchmarking and for paranoia-mode verification.
+    timeout:
+        Per-chunk wall-clock budget in seconds (pool mode only). A chunk
+        exceeding it counts as one failed attempt; the pool is killed and
+        rebuilt so a hung worker cannot wedge the grid. ``None`` waits
+        forever (the pre-hardening behaviour).
+    retries:
+        Failed attempts allowed per chunk beyond the first, and per item
+        on the in-process path. Exhausting them quarantines (with
+        ``on_item_error``) or re-raises.
+    retry_backoff:
+        Base of the exponential backoff: retry ``k`` sleeps
+        ``retry_backoff · 2^(k-1) · u`` seconds with jitter
+        ``u ∈ [0.5, 1.5)`` to decorrelate contending retries.
+    events:
+        A :class:`SweepEvents` instance, a path for a JSONL event file, or
+        ``None`` for an in-memory log (always available via ``.events``).
+    worker_wrapper:
+        Applied to the worker before execution — the seam the chaos suite
+        uses to wrap grid workers in
+        :class:`repro.system.faultinjection.FaultyWorker` without patching
+        engine internals.
+    chunk_size:
+        Default chunk size for :meth:`map` (``None`` auto-sizes to a few
+        chunks per worker).
     """
 
     def __init__(
@@ -273,6 +453,12 @@ class SweepEngine:
         max_workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         backend: str = "batch",
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        events: Union[SweepEvents, str, None] = None,
+        worker_wrapper: Optional[Callable[[Callable], Callable]] = None,
+        chunk_size: Optional[int] = None,
     ):
         if backend not in ("batch", "sequential"):
             raise InvalidParameterError(
@@ -282,10 +468,26 @@ class SweepEngine:
             raise InvalidParameterError(
                 f"max_workers must be positive, got {max_workers}"
             )
+        if timeout is not None and timeout <= 0:
+            raise InvalidParameterError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise InvalidParameterError(f"retries must be non-negative, got {retries}")
+        if retry_backoff < 0:
+            raise InvalidParameterError(
+                f"retry_backoff must be non-negative, got {retry_backoff}"
+            )
         self._parallel = bool(parallel)
         self._max_workers = max_workers
         self._cache_dir = cache_dir
         self._backend = backend
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._retry_backoff = float(retry_backoff)
+        self._worker_wrapper = worker_wrapper
+        self._chunk_size = chunk_size
+        self._events = events if isinstance(events, SweepEvents) else SweepEvents(events)
+        self._warned: set = set()
+        self._retry_rng = random.Random(0x5EED)
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -297,64 +499,328 @@ class SweepEngine:
     def backend(self) -> str:
         return self._backend
 
+    @property
+    def events(self) -> SweepEvents:
+        return self._events
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+
+    def _warn_once(self, key: str, message: str) -> None:
+        """Emit ``message`` at most once per engine instance per ``key``."""
+        if key in self._warned:
+            return
+        self._warned.add(key)
+        warnings.warn(message, stacklevel=3)
+
+    def _backoff(self, attempt: int) -> None:
+        if self._retry_backoff <= 0:
+            return
+        jitter = 0.5 + self._retry_rng.random()
+        time.sleep(self._retry_backoff * (2 ** max(0, attempt - 1)) * jitter)
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (OSError, RuntimeError) as exc:
+            raise _PoolUnavailable(f"{type(exc).__name__}: {exc}") from exc
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown is best-effort
+            pass
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+    def _run_items_inprocess(
+        self,
+        worker: Callable,
+        items: Sequence,
+        on_item_error: Optional[Callable],
+        retries: int,
+    ) -> List:
+        """Sequential per-item execution with retry and quarantine."""
+        results: List = []
+        for item in items:
+            attempt = 0
+            while True:
+                try:
+                    results.append(worker(item))
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > retries:
+                        if on_item_error is None:
+                            raise
+                        self._events.emit(
+                            "quarantine",
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=attempt,
+                        )
+                        results.append(on_item_error(exc, item))
+                        break
+                    self._events.emit(
+                        "item_retry", attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    self._backoff(attempt)
+        return results
+
+    def _quarantine_chunk(
+        self,
+        chunk: Sequence,
+        exc: BaseException,
+        on_item_error: Optional[Callable],
+        chunk_index: int,
+    ) -> List:
+        if on_item_error is None:
+            raise exc
+        out = []
+        for item in chunk:
+            self._events.emit(
+                "quarantine", chunk=chunk_index,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            out.append(on_item_error(exc, item))
+        return out
+
+    def _map_pooled(
+        self,
+        worker: Callable,
+        chunks: List[Sequence],
+        workers: int,
+        on_item_error: Optional[Callable],
+    ) -> List:
+        """Pool execution of ``chunks`` with the retry/rebuild/quarantine ladder.
+
+        Each round submits every pending chunk and collects results in
+        order. The first timeout or pool break in a round marks the pool
+        for rebuild: completed chunks are salvaged, everything else is
+        resubmitted to a fresh pool without charging an attempt — only the
+        chunk that actually failed pays one, so an innocent chunk queued
+        behind a hang is never quarantined for it. Every round charges at
+        least one attempt to some chunk, so the loop terminates.
+        """
+        results: Dict[int, List] = {}
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
+        pool = self._new_pool(workers)
+        try:
+            while pending:
+                futures: Dict[int, object] = {}
+                submitted_at: Dict[int, float] = {}
+                rebuild = False
+                next_round: List[int] = []
+
+                def charge_failure(index: int, exc: BaseException, event: str,
+                                   **extra) -> None:
+                    attempts[index] += 1
+                    self._events.emit(
+                        event, chunk=index, attempt=attempts[index], **extra
+                    )
+                    if attempts[index] > self._retries:
+                        results[index] = self._quarantine_chunk(
+                            chunks[index], exc, on_item_error, index
+                        )
+                    else:
+                        next_round.append(index)
+
+                for index in pending:
+                    if rebuild:
+                        next_round.append(index)
+                        continue
+                    try:
+                        submitted_at[index] = time.perf_counter()
+                        futures[index] = pool.submit(_run_chunk, worker, chunks[index])
+                    except Exception as exc:
+                        rebuild = True
+                        charge_failure(
+                            index, exc, "chunk_crash",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                for index in sorted(futures):
+                    if rebuild:
+                        # Salvage chunks that finished before the pool was
+                        # marked dead; resubmit the rest, attempt-free.
+                        future = futures[index]
+                        if future.done():
+                            try:
+                                results[index] = future.result(timeout=0)
+                                self._events.emit(
+                                    "chunk_done", chunk=index,
+                                    size=len(chunks[index]),
+                                    attempt=attempts[index] + 1,
+                                    elapsed=time.perf_counter() - submitted_at[index],
+                                )
+                                continue
+                            except Exception:
+                                pass
+                        next_round.append(index)
+                        continue
+                    try:
+                        results[index] = futures[index].result(timeout=self._timeout)
+                        self._events.emit(
+                            "chunk_done", chunk=index, size=len(chunks[index]),
+                            attempt=attempts[index] + 1,
+                            elapsed=time.perf_counter() - submitted_at[index],
+                        )
+                    except PoolTimeoutError:
+                        rebuild = True
+                        charge_failure(
+                            index,
+                            TimeoutError(
+                                f"chunk exceeded timeout={self._timeout}s"
+                            ),
+                            "chunk_timeout",
+                            timeout=self._timeout,
+                        )
+                    except BrokenExecutor as exc:
+                        rebuild = True
+                        charge_failure(
+                            index, exc, "chunk_crash",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    except Exception as exc:
+                        attempts[index] += 1
+                        if attempts[index] > self._retries:
+                            # Soft failure out of retries: isolate the poison
+                            # item in-process (one attempt each).
+                            self._events.emit(
+                                "chunk_degraded", chunk=index,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            results[index] = self._run_items_inprocess(
+                                worker, chunks[index], on_item_error, retries=0
+                            )
+                        else:
+                            self._events.emit(
+                                "chunk_retry", chunk=index, attempt=attempts[index],
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            next_round.append(index)
+                if rebuild and next_round:
+                    self._kill_pool(pool)
+                    self._events.emit("pool_rebuild", pending=len(next_round))
+                    pool = self._new_pool(workers)
+                if next_round:
+                    self._backoff(max(attempts[i] for i in next_round))
+                pending = sorted(next_round)
+        finally:
+            self._kill_pool(pool)
+        return [item for index in range(len(chunks)) for item in results[index]]
+
+    # ------------------------------------------------------------------
+    # Public execution API
+    # ------------------------------------------------------------------
+
     def map(
         self,
         worker: Callable,
         items: Sequence,
         chunk_size: Optional[int] = None,
+        on_item_error: Optional[Callable] = None,
     ) -> List:
         """Apply a picklable ``worker`` to every item, preserving order.
 
         Items are scheduled in contiguous chunks (one pool task per chunk)
         so that fine-grained grids do not pay one IPC round-trip per cell.
-        Falls back to in-process execution — with a warning — when the
-        worker or an item cannot be pickled or the pool cannot start.
+        Chunks ride the failure ladder documented on the class: bounded
+        retries with backoff, pool rebuild on timeout/crash, degradation
+        to in-process per-item execution, and — when ``on_item_error`` is
+        given — quarantine via ``on_item_error(exc, item)`` in place of the
+        item's result. Without ``on_item_error`` a persistent failure
+        re-raises after the retries are spent.
+
+        Workers must be effectively idempotent: a chunk interrupted by a
+        timeout or crash is re-executed from scratch.
         """
         items = list(items)
         if not items:
             return []
-        if not self._parallel or len(items) == 1:
-            return [worker(item) for item in items]
-        try:
-            pickle.dumps((worker, items))
-        except Exception as exc:  # pragma: no cover - exercised via multiseed
-            warnings.warn(
-                f"sweep work is not picklable ({type(exc).__name__}: {exc}); "
-                "running sequentially in-process",
-                stacklevel=2,
+        if self._worker_wrapper is not None:
+            worker = self._worker_wrapper(worker)
+        use_pool = self._parallel and len(items) > 1
+        if use_pool:
+            try:
+                pickle.dumps((worker, items))
+            except Exception as exc:
+                self._warn_once(
+                    "unpicklable",
+                    f"sweep work is not picklable ({type(exc).__name__}: {exc}); "
+                    "running sequentially in-process",
+                )
+                self._events.emit(
+                    "fallback", reason="unpicklable",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                use_pool = False
+        if not use_pool:
+            return self._run_items_inprocess(
+                worker, items, on_item_error, retries=self._retries
             )
-            return [worker(item) for item in items]
         workers = self._max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(items)))
+        if chunk_size is None:
+            chunk_size = self._chunk_size
         if chunk_size is None:
             # Aim for a few chunks per worker so stragglers rebalance.
             chunk_size = max(1, -(-len(items) // (4 * workers)))
         chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+        workers = min(workers, len(chunks))
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_chunk, worker, chunk) for chunk in chunks]
-                results: List = []
-                for future in futures:
-                    results.extend(future.result())
-                return results
-        except (OSError, RuntimeError) as exc:
-            warnings.warn(
+            return self._map_pooled(worker, chunks, workers, on_item_error)
+        except _PoolUnavailable as exc:
+            self._warn_once(
+                "pool-unavailable",
                 f"process pool unavailable ({type(exc).__name__}: {exc}); "
                 "running sequentially in-process",
-                stacklevel=2,
             )
-            return [worker(item) for item in items]
+            self._events.emit(
+                "fallback", reason="pool-unavailable",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return self._run_items_inprocess(
+                worker, items, on_item_error, retries=self._retries
+            )
 
-    def run_regression_grid(self, grid: RegressionGrid) -> List[SweepCellResult]:
-        """Execute every cell of a :class:`RegressionGrid`.
+    # ------------------------------------------------------------------
+    # Grid execution, manifest, resume
+    # ------------------------------------------------------------------
 
-        Cells are grouped by (f, filter, attack); each group's seeds run as
-        one batched DGD execution, and groups fan out over the pool.
-        Results are ordered by (f, filter, attack, seed) — the grid's
-        declaration order — independent of scheduling.
-        """
+    def _grid_cells(self, grid: RegressionGrid) -> List[Dict]:
+        """Flat cell descriptors (declaration order) with their cache keys."""
         seeds = grid.seeds()
-        grid_fields = {
+        grid_fields = self._grid_fields(grid)
+        cells = []
+        for f in grid.fault_counts:
+            for filter_name in grid.filters:
+                for attack_name in grid.attacks:
+                    for seed in seeds:
+                        cells.append(
+                            {
+                                "filter": filter_name,
+                                "attack": attack_name,
+                                "f": f,
+                                "seed": seed,
+                                "key": _config_hash(
+                                    _cell_cache_payload(
+                                        grid_fields, filter_name, attack_name, f, seed
+                                    )
+                                ),
+                            }
+                        )
+        return cells
+
+    @staticmethod
+    def _grid_fields(grid: RegressionGrid) -> Dict:
+        return {
             "n": grid.n,
             "d": grid.d,
             "redundancy_f": grid.resolved_redundancy_f(),
@@ -363,6 +829,97 @@ class SweepEngine:
             "iterations": grid.iterations,
             "x0": list(grid.x0) if grid.x0 is not None else None,
         }
+
+    def _grid_hash(self, grid: RegressionGrid) -> str:
+        payload = {
+            **self._grid_fields(grid),
+            "filters": list(grid.filters),
+            "attacks": list(grid.attacks),
+            "fault_counts": list(grid.fault_counts),
+            "num_seeds": grid.num_seeds,
+            "master_seed": grid.master_seed,
+        }
+        return _config_hash(payload)[:16]
+
+    def manifest_path(self, grid: RegressionGrid) -> Optional[str]:
+        """Where the grid's resume manifest lives (``None`` without a cache)."""
+        if self._cache_dir is None:
+            return None
+        return os.path.join(self._cache_dir, f"manifest-{self._grid_hash(grid)}.json")
+
+    def grid_progress(self, grid: RegressionGrid) -> Dict:
+        """Completion state of ``grid`` against the on-disk cache.
+
+        Counts a cell as completed only when its entry exists *and* passes
+        the checksum/shape verification, so a corrupt entry reads as
+        pending. Pure inspection: computes nothing, mutates nothing.
+        """
+        cells = self._grid_cells(grid)
+        completed = 0
+        pending: List[str] = []
+        for cell in cells:
+            done = False
+            if self._cache_dir is not None:
+                path = os.path.join(self._cache_dir, f"{cell['key']}.json")
+                if os.path.exists(path):
+                    try:
+                        done = _valid_cell_payload(read_json_checked(path))
+                    except CacheIntegrityError:
+                        done = False
+            if done:
+                completed += 1
+            else:
+                pending.append(cell["key"])
+        return {
+            "grid_hash": self._grid_hash(grid),
+            "total": len(cells),
+            "completed": completed,
+            "pending": pending,
+        }
+
+    def _write_manifest(self, grid: RegressionGrid,
+                        results: Sequence["SweepCellResult"]) -> None:
+        path = self.manifest_path(grid)
+        if path is None:
+            return
+        cells = self._grid_cells(grid)
+        failed = [
+            cell["key"]
+            for cell, result in zip(cells, results)
+            if result.failed
+        ]
+        manifest = {
+            "grid_hash": self._grid_hash(grid),
+            "grid": {
+                **self._grid_fields(grid),
+                "filters": list(grid.filters),
+                "attacks": list(grid.attacks),
+                "fault_counts": list(grid.fault_counts),
+                "num_seeds": grid.num_seeds,
+                "master_seed": grid.master_seed,
+            },
+            "cells": [cell["key"] for cell in cells],
+            "failed": failed,
+        }
+        write_json_atomic(path, manifest)
+        self._events.emit(
+            "manifest", path=path, cells=len(cells), failed=len(failed)
+        )
+
+    def run_regression_grid(self, grid: RegressionGrid) -> List[SweepCellResult]:
+        """Execute every cell of a :class:`RegressionGrid`.
+
+        Cells are grouped by (f, filter, attack); each group's seeds run as
+        one batched DGD execution, and groups fan out over the pool through
+        the failure ladder — a group that cannot be computed after all
+        retries is quarantined into per-seed failed cells rather than
+        aborting the grid. Results are ordered by (f, filter, attack,
+        seed) — the grid's declaration order — independent of scheduling.
+        With a cache directory configured, a resume manifest is written
+        after every run.
+        """
+        seeds = grid.seeds()
+        grid_fields = self._grid_fields(grid)
         tasks = [
             {
                 "grid_fields": grid_fields,
@@ -377,7 +934,9 @@ class SweepEngine:
             for filter_name in grid.filters
             for attack_name in grid.attacks
         ]
-        grouped_payloads = self.map(_run_regression_group, tasks)
+        grouped_payloads = self.map(
+            _run_regression_group, tasks, on_item_error=_quarantined_group
+        )
         results: List[SweepCellResult] = []
         for task, payloads in zip(tasks, grouped_payloads):
             for seed, payload in zip(seeds, payloads):
@@ -387,15 +946,56 @@ class SweepEngine:
                     f=task["f"],
                     seed=seed,
                     cached=bool(payload.get("cached", False)),
+                    quarantined=bool(payload.get("quarantined", False)),
                 )
+                state = payload.get("cache_state")
+                if self._cache_dir is not None and state is not None:
+                    self._events.emit(
+                        f"cache_{state}",
+                        filter=cell.filter_name, attack=cell.attack_name,
+                        f=cell.f, seed=cell.seed,
+                    )
                 if "error" in payload:
                     cell.error = payload["error"]
+                    self._events.emit(
+                        "cell_failed",
+                        filter=cell.filter_name, attack=cell.attack_name,
+                        f=cell.f, seed=cell.seed, error=cell.error,
+                        quarantined=cell.quarantined,
+                    )
                 else:
                     cell.final_error = float(payload["final_error"])
                     cell.final_estimate = np.asarray(payload["final_estimate"])
                     cell.estimates = np.asarray(payload["estimates"])
                 results.append(cell)
+        self._write_manifest(grid, results)
         return results
+
+    def resume(self, grid: RegressionGrid) -> List[SweepCellResult]:
+        """Re-execute ``grid``, recomputing only cells not already cached.
+
+        This is the recovery path after an interrupted run (killed
+        process, power loss, quarantined chunks): completed cells are
+        served from the checksum-verified cache — the event log records
+        one ``cache_hit`` per served cell and one ``cache_miss`` per
+        recomputed cell, so the "only the missing work was redone" claim
+        is checkable — and the manifest is rewritten to reflect the new
+        state. Requires a cache directory.
+        """
+        if self._cache_dir is None:
+            raise InvalidParameterError(
+                "resume() requires a cache_dir; without one there is nothing "
+                "to resume from"
+            )
+        progress = self.grid_progress(grid)
+        self._events.emit(
+            "resume",
+            grid_hash=progress["grid_hash"],
+            total=progress["total"],
+            completed=progress["completed"],
+            missing=len(progress["pending"]),
+        )
+        return self.run_regression_grid(grid)
 
 
 def parallel_map(
@@ -408,10 +1008,12 @@ def parallel_map(
     """Order-preserving map with optional process-pool fan-out.
 
     Convenience wrapper used by the sweep-style experiment modules: with
-    ``parallel=False`` (the default everywhere) this is a plain list
-    comprehension, byte-for-byte the old behaviour.
+    ``parallel=False`` (the default everywhere) this is a plain sequential
+    map, byte-for-byte the old behaviour. Failures propagate immediately
+    (``retries=0``) — experiment modules that want the resilience ladder
+    construct a :class:`SweepEngine` explicitly.
     """
-    engine = SweepEngine(parallel=parallel, max_workers=max_workers)
+    engine = SweepEngine(parallel=parallel, max_workers=max_workers, retries=0)
     return engine.map(worker, items, chunk_size=chunk_size)
 
 

@@ -12,6 +12,20 @@ from repro.system.broadcast import BroadcastResult, EquivocatingSender, byzantin
 from repro.system.messages import EstimateBroadcast, GradientMessage, Message
 from repro.system.network import DeliveryRecord, SynchronousNetwork
 from repro.system.batch import batch_unsupported_reason, run_dgd_batch
+from repro.system.faultinjection import (
+    CallCounter,
+    CrashOnCalls,
+    FailEveryNth,
+    FailMatching,
+    FailOnCalls,
+    FaultPolicy,
+    FaultyWorker,
+    HangOnCalls,
+    RandomFaults,
+    TransientlyUnpicklable,
+    corrupt_cache_entry,
+    corrupt_json_file,
+)
 from repro.system.peer_to_peer import PeerExecutionResult, run_peer_to_peer_dgd
 from repro.system.runner import DGDConfig, Trace, apply_config_overrides, run_dgd
 from repro.system.server import DGDServer
@@ -38,4 +52,16 @@ __all__ = [
     "EquivocatingSender",
     "run_peer_to_peer_dgd",
     "PeerExecutionResult",
+    "FaultPolicy",
+    "FaultyWorker",
+    "CallCounter",
+    "FailEveryNth",
+    "FailOnCalls",
+    "FailMatching",
+    "HangOnCalls",
+    "CrashOnCalls",
+    "RandomFaults",
+    "TransientlyUnpicklable",
+    "corrupt_json_file",
+    "corrupt_cache_entry",
 ]

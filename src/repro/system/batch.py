@@ -206,6 +206,7 @@ def run_dgd_batch(
     behavior: Optional[ByzantineBehavior] = None,
     config: Optional[DGDConfig] = None,
     seeds: Optional[Sequence[SeedLike]] = None,
+    round_hook: Optional[Callable[[int], None]] = None,
     **config_overrides,
 ) -> List[Trace]:
     """Execute ``K`` replicate DGD runs, vectorized across the batch.
@@ -218,6 +219,13 @@ def run_dgd_batch(
     seeds:
         One master seed per replicate run; defaults to ``[config.seed]``
         (a batch of one). Every other configuration field is shared.
+    round_hook:
+        Optional ``hook(t)`` invoked after round ``t`` completes on the
+        vectorized fast path — a seam for progress reporting and for the
+        chaos suite to inject faults *mid-execution* (a raising hook
+        aborts the batch; re-running it is bit-identical, so the sweep
+        engine's retry ladder recovers exactly). Not invoked on the
+        sequential fallback path, which has no shared round loop.
 
     Returns
     -------
@@ -331,6 +339,8 @@ def run_dgd_batch(
         eta = step_sizes(t)
         X = project_batch(X - eta * D)
         estimates[:, t + 1] = X
+        if round_hook is not None:
+            round_hook(t)
     elapsed = time.perf_counter() - start
 
     # Closed-form network accounting: every round delivers one estimate

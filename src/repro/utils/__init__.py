@@ -1,5 +1,10 @@
-"""Shared low-level helpers: RNG handling, validation, subset enumeration."""
+"""Shared low-level helpers: RNG handling, validation, subsets, atomic IO."""
 
+from repro.utils.atomicio import (
+    payload_checksum,
+    read_json_checked,
+    write_json_atomic,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.subsets import (
     count_redundancy_pairs,
@@ -16,6 +21,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "payload_checksum",
+    "read_json_checked",
+    "write_json_atomic",
     "ensure_rng",
     "spawn_rngs",
     "iter_fixed_size_subsets",

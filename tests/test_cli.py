@@ -72,3 +72,87 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestSweepCommand:
+    FAST = ["--filters", "cge", "--attacks", "zero", "--num-seeds", "2",
+            "--iterations", "10", "--sequential"]
+
+    def test_parses_resilience_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--timeout", "2.5", "--retries", "1",
+            "--events", "ev.jsonl", "--cache-dir", "cache", "--resume",
+        ])
+        assert args.timeout == 2.5
+        assert args.retries == 1
+        assert args.events == "ev.jsonl"
+        assert args.cache_dir == "cache"
+        assert args.resume is True
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.timeout is None
+        assert args.retries == 2
+        assert args.events is None
+        assert args.resume is False
+
+    def test_rejects_unknown_filter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--filters", "nope"])
+
+    def test_rejects_unknown_attack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--attacks", "nope"])
+
+    def test_runs_and_reports_cells(self, capsys):
+        assert main(["sweep", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep grid summary" in out
+        assert "2 cells (0 from cache)" in out
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", *self.FAST, "--cache-dir", cache]) == 0
+        assert "(0 from cache)" in capsys.readouterr().out
+        assert main(["sweep", *self.FAST, "--cache-dir", cache]) == 0
+        assert "(2 from cache)" in capsys.readouterr().out
+
+    def test_failed_cells_exit_code(self, capsys):
+        # bulyan needs n >= 4f + 3: infeasible on the default n=6 instance,
+        # so every cell fails and the command must signal it.
+        code = main([
+            "sweep", "--filters", "bulyan", "--attacks", "zero",
+            "--num-seeds", "1", "--iterations", "5", "--sequential",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "n/a" in out
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(["sweep", *self.FAST, "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_resume_serves_cached_cells(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", *self.FAST, "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", *self.FAST, "--cache-dir", cache, "--resume"]) == 0
+        assert "(2 from cache)" in capsys.readouterr().out
+
+    def test_events_log_written_and_summarized(self, tmp_path, capsys):
+        from repro.experiments.sweep import SweepEvents
+
+        events = str(tmp_path / "events.jsonl")
+        cache = str(tmp_path / "cache")
+        code = main([
+            "sweep", *self.FAST, "--events", events, "--cache-dir", cache,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"events -> {events}" in out
+        assert "cache_miss=2" in out
+        assert "manifest=1" in out
+        records = SweepEvents.load(events)
+        assert all("event" in record for record in records)
+        assert any(r["event"] == "cache_miss" for r in records)

@@ -104,7 +104,8 @@ class TestSweepEngine:
         engine = SweepEngine(parallel=False, cache_dir=str(tmp_path))
         first = engine.run_regression_grid(grid)
         assert not any(cell.cached for cell in first)
-        assert len(os.listdir(tmp_path)) == len(first)
+        entries = [e for e in os.listdir(tmp_path) if not e.startswith("manifest")]
+        assert len(entries) == len(first)
         second = engine.run_regression_grid(grid)
         assert all(cell.cached for cell in second)
         for a, b in zip(first, second):
@@ -131,9 +132,12 @@ class TestSweepEngine:
             RegressionGrid(filters=("cge",), attacks=("zero",), num_seeds=1,
                            iterations=10)
         )
-        (entry,) = os.listdir(tmp_path)
+        (entry,) = [e for e in os.listdir(tmp_path) if not e.startswith("manifest")]
         with open(os.path.join(tmp_path, entry)) as handle:
-            payload = json.load(handle)
+            document = json.load(handle)
+        # Entries are checksum-wrapped: {"sha256": ..., "payload": ...}.
+        assert document["sha256"]
+        payload = document["payload"]
         assert "final_error" in payload and "estimates" in payload
 
     def test_infeasible_filter_reported_per_cell(self):
@@ -208,3 +212,127 @@ class TestExperimentWiring:
             warnings.simplefilter("always")
             summarize_over_seeds(make, [1, 2], parallel=True, max_workers=2)
         assert not any("picklable" in str(w.message) for w in caught)
+
+
+# ----------------------------------------------------------------------
+# Property-based guarantees (hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import assume, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.experiments.sweep import _cell_cache_payload, _config_hash  # noqa: E402
+
+#: Canonical instance fields as produced by SweepEngine._grid_fields.
+BASE_FIELDS = {
+    "n": 6,
+    "d": 2,
+    "redundancy_f": 1,
+    "noise_std": 0.0,
+    "instance_seed": 20200803,
+    "iterations": 300,
+    "x0": None,
+}
+
+
+def _key(fields=BASE_FIELDS, filter_name="cge", attack="zero", f=1, seed=0):
+    return _config_hash(_cell_cache_payload(fields, filter_name, attack, f, seed))
+
+
+class TestSeedDerivationProperties:
+    """derive_run_seeds is prefix-stable for *every* (master, count) pair,
+    not just the handful of examples tested above — growing any sweep must
+    preserve every already-cached cell's seed."""
+
+    @given(
+        master=st.integers(min_value=0, max_value=2**32 - 1),
+        a=st.integers(min_value=0, max_value=40),
+        b=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_stability_universal(self, master, a, b):
+        lo, hi = sorted((a, b))
+        assert derive_run_seeds(master, hi)[:lo] == derive_run_seeds(master, lo)
+
+    @given(
+        masters=st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            min_size=2, max_size=2, unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_masters_give_distinct_streams(self, masters):
+        first, second = masters
+        assert derive_run_seeds(first, 4) != derive_run_seeds(second, 4)
+
+    @given(
+        master=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seeds_within_a_stream_are_distinct(self, master, count):
+        seeds = derive_run_seeds(master, count)
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestCacheKeyProperties:
+    """Cache-key hashing is injective over the cell configuration: any
+    semantic change produces a new key (no stale hits), and no change —
+    including dict insertion order — keeps the key (no spurious misses)."""
+
+    @given(
+        field=st.sampled_from(
+            ["n", "d", "redundancy_f", "instance_seed", "iterations"]
+        ),
+        value=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_changing_any_instance_field_changes_key(self, field, value):
+        assume(value != BASE_FIELDS[field])
+        assert _key({**BASE_FIELDS, field: value}) != _key()
+
+    @given(noise=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_changing_noise_std_changes_key(self, noise):
+        assume(noise != 0.0)
+        assert _key({**BASE_FIELDS, "noise_std": noise}) != _key()
+
+    @given(
+        filter_name=st.sampled_from(["cge", "cwtm", "median", "average"]),
+        attack=st.sampled_from(
+            ["zero", "random", "sign-flip", "gradient-reverse"]
+        ),
+        f=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_axis_coordinates_are_injective(self, filter_name, attack, f, seed):
+        reference = _key()
+        candidate = _key(
+            filter_name=filter_name, attack=attack, f=f, seed=seed
+        )
+        is_same_cell = (filter_name, attack, f, seed) == ("cge", "zero", 1, 0)
+        assert (candidate == reference) == is_same_cell
+
+    @given(
+        x0=st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(
+                    min_value=-100, max_value=100,
+                    allow_nan=False, allow_subnormal=False,
+                ),
+                min_size=1, max_size=4,
+            ),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_start_point_distinguishes_keys(self, x0):
+        assume(x0 != BASE_FIELDS["x0"])
+        assert _key({**BASE_FIELDS, "x0": x0}) != _key()
+
+    @given(order=st.permutations(sorted(BASE_FIELDS)))
+    @settings(max_examples=40, deadline=None)
+    def test_key_independent_of_field_insertion_order(self, order):
+        shuffled = {name: BASE_FIELDS[name] for name in order}
+        assert _key(shuffled) == _key()
