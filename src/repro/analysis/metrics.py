@@ -17,6 +17,12 @@ from repro.optimization.cost_functions import CostFunction
 from repro.system.runner import Trace
 from repro.utils.validation import check_vector
 
+# ``np.trapezoid`` arrived in numpy 2.0 as the successor of ``np.trapz``
+# (removed in 2.x). Resolve whichever this numpy provides, once, at import.
+_trapezoid = getattr(np, "trapezoid", None)
+if _trapezoid is None:  # pragma: no cover - exercised on numpy<2 only
+    _trapezoid = np.trapz
+
 
 def distance_series(trace: Trace, target) -> np.ndarray:
     """``||x^t − target||`` for every recorded round of a trace."""
@@ -62,11 +68,19 @@ def area_under_error(series: np.ndarray) -> float:
     series = np.asarray(series, dtype=float)
     if series.ndim != 1 or series.shape[0] < 2:
         raise InvalidParameterError("series must be a 1-D array with at least 2 points")
-    return float(np.trapezoid(series))
+    return float(_trapezoid(series))
 
 
 def relative_regret(trace: Trace, costs: Sequence[CostFunction], target) -> float:
-    """``(L(x^T) − L(x_H)) / max(L(x_H), eps)`` on the honest aggregate loss."""
+    """``(L(x^T) − L(x_H)) / max(|L(x_H)|, eps)`` on the honest aggregate loss.
+
+    The denominator uses the *magnitude* of the optimal loss so the metric
+    keeps its sign (positive iff the output is worse than ``x_H``) even for
+    costs whose minimum is negative, and the ``eps = 1e-12`` floor keeps it
+    finite when the optimal loss is (numerically) zero — as with translated
+    quadratics whose minimum value is exactly 0, where the regret degrades
+    to an absolute-gap-over-eps reading rather than dividing by zero.
+    """
     target = check_vector(target, dimension=trace.dimension, name="target")
     honest = trace.honest_ids
     final_loss = float(sum(costs[i].value(trace.final_estimate) for i in honest))

@@ -15,6 +15,10 @@ Commands
 ``sweep``
     Execute a (filter × attack × f × seed) grid through the batched,
     process-pooled sweep engine and print the per-configuration summary.
+``profile``
+    Run one configured scenario with telemetry enabled and print the
+    roll-up: p50/p95 span latencies, rounds/sec, and the filter's
+    elimination precision/recall against the ground-truth Byzantine set.
 ``list``
     Show the registered gradient filters, attacks, and experiments.
 """
@@ -92,6 +96,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--iterations", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream per-round telemetry records (JSONL) to PATH",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="run one scenario with telemetry and print the profiling roll-up",
+    )
+    profile.add_argument("--n", type=int, default=6, help="number of agents")
+    profile.add_argument("--d", type=int, default=2, help="problem dimension")
+    profile.add_argument("--f", type=int, default=1, help="fault bound")
+    profile.add_argument("--noise", type=float, default=0.02,
+                         help="observation noise std")
+    profile.add_argument(
+        "--filter", default="cge", choices=available_filters(), dest="filter_name"
+    )
+    profile.add_argument(
+        "--attack", default="gradient-reverse",
+        choices=[a for a in available_attacks() if a not in ("constant-bias", "cost-substitution", "optimal-direction", "intermittent")],
+    )
+    profile.add_argument("--iterations", type=int, default=500)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--runs", type=int, default=1,
+        help="replicate runs; >1 profiles the vectorized batch engine "
+        "(seeds derived from --seed)",
+    )
+    profile.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="also keep the raw JSONL record stream at PATH",
+    )
+    profile.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="save the roll-up summary (checksummed atomic write)",
+    )
 
     redundancy = commands.add_parser(
         "redundancy", help="measure the redundancy margin over a noise sweep"
@@ -155,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted grid from its cache: recompute only "
         "cells without a valid cache entry (requires --cache-dir)",
     )
+    sweep.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write per-round run telemetry, one JSONL stream per "
+        "(f, filter, attack) group, into DIR (same event schema as --events)",
+    )
 
     commands.add_parser("list", help="show registered filters, attacks, experiments")
     return parser
@@ -182,6 +227,13 @@ def _command_run(args) -> int:
     honest = [i for i in range(args.n) if i not in faulty]
     x_H = instance.honest_minimizer(honest)
     behavior = make_attack(args.attack) if faulty else None
+    telemetry = None
+    if args.telemetry:
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry(
+            args.telemetry, byzantine_ids=faulty, reference_point=x_H
+        )
     trace = run_dgd(
         instance.costs,
         behavior,
@@ -189,6 +241,7 @@ def _command_run(args) -> int:
         faulty_ids=faulty,
         iterations=args.iterations,
         seed=args.seed,
+        telemetry=telemetry,
     )
     margin = measure_redundancy_margin(instance.costs, args.f).margin
     rows = [
@@ -203,6 +256,112 @@ def _command_run(args) -> int:
     ]
     print(format_table(["quantity", "value"], rows,
                        title=f"filtered DGD on n={args.n}, f={args.f}, d={args.d}"))
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry -> {args.telemetry} ({telemetry.emitted} records)")
+    return 0
+
+
+def _format_metric(value, digits: int = 3) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _render_telemetry_summary(summary: dict, title: str) -> str:
+    """Render a :meth:`Telemetry.summary` roll-up as aligned tables."""
+    blocks = []
+    spans = summary.get("spans") or {}
+    if spans:
+        rows = [
+            [
+                name,
+                stats["count"],
+                _format_metric(stats["p50"] * 1e3),
+                _format_metric(stats["p95"] * 1e3),
+                _format_metric(stats["total"]),
+            ]
+            for name, stats in sorted(spans.items())
+        ]
+        blocks.append(format_table(
+            ["span", "count", "p50 (ms)", "p95 (ms)", "total (s)"], rows,
+            title=title,
+        ))
+    elimination = summary.get("elimination") or {}
+    rows = [
+        ["rounds recorded", summary.get("rounds", 0)],
+        ["rounds / sec", _format_metric(summary.get("rounds_per_sec"), 1)],
+        ["eliminated Byzantine (TP)", elimination.get("true_positives", 0)],
+        ["eliminated honest (FP)", elimination.get("false_positives", 0)],
+        ["surviving Byzantine (FN)", elimination.get("false_negatives", 0)],
+        ["elimination precision", _format_metric(elimination.get("precision"))],
+        ["elimination recall", _format_metric(elimination.get("recall"))],
+    ]
+    blocks.append(format_table(["quantity", "value"], rows, title="roll-up"))
+    return "\n".join(blocks)
+
+
+def _command_profile(args) -> int:
+    from repro.observability import (
+        JSONLSink,
+        MemorySink,
+        Telemetry,
+        write_summary_atomic,
+    )
+    from repro.system.batch import run_dgd_batch
+    from repro.utils.rng import derive_seed, spawn_rngs
+
+    if args.runs <= 0:
+        print("error: --runs must be positive", file=sys.stderr)
+        return 2
+    instance = make_redundant_regression(
+        n=args.n, d=args.d, f=args.f, noise_std=args.noise, seed=args.seed
+    )
+    faulty = tuple(range(args.f))
+    honest = [i for i in range(args.n) if i not in faulty]
+    x_H = instance.honest_minimizer(honest)
+    behavior = make_attack(args.attack) if faulty else None
+    sinks = [MemorySink()]
+    if args.telemetry:
+        sinks.append(JSONLSink(args.telemetry))
+    telemetry = Telemetry(sinks, byzantine_ids=faulty, reference_point=x_H)
+    if args.runs == 1:
+        run_dgd(
+            instance.costs,
+            behavior,
+            gradient_filter=args.filter_name,
+            faulty_ids=faulty,
+            iterations=args.iterations,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+    else:
+        seeds = [derive_seed(rng) for rng in spawn_rngs(args.seed, args.runs)]
+        run_dgd_batch(
+            instance.costs,
+            behavior,
+            seeds=seeds,
+            gradient_filter=args.filter_name,
+            faulty_ids=faulty,
+            iterations=args.iterations,
+            telemetry=telemetry,
+        )
+    summary = telemetry.summary()
+    telemetry.close()
+    engine = "run_dgd" if args.runs == 1 else f"run_dgd_batch x{args.runs}"
+    print(_render_telemetry_summary(
+        summary,
+        title=(f"profile: {engine}, filter={args.filter_name}, "
+               f"attack={args.attack if faulty else '(none)'}, "
+               f"n={args.n}, f={args.f}, d={args.d}, T={args.iterations}"),
+    ))
+    if args.telemetry:
+        print(f"telemetry -> {args.telemetry} ({telemetry.emitted} records)")
+    if args.json:
+        write_summary_atomic(args.json, summary)
+        print(f"saved summary to {args.json}")
     return 0
 
 
@@ -247,6 +406,7 @@ def _command_sweep(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         events=args.events,
+        telemetry_dir=args.telemetry,
     )
     cells = engine.resume(grid) if args.resume else engine.run_regression_grid(grid)
     print(summarize_grid(cells).render())
@@ -261,6 +421,8 @@ def _command_sweep(args) -> int:
         counts = engine.events.counts()
         rendered = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
         print(f"events -> {args.events}: {rendered}")
+    if args.telemetry:
+        print(f"telemetry -> {args.telemetry}/")
     return 1 if failed else 0
 
 
@@ -277,6 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "experiment": _command_experiment,
         "run": _command_run,
+        "profile": _command_profile,
         "redundancy": _command_redundancy,
         "sweep": _command_sweep,
         "list": _command_list,

@@ -75,6 +75,12 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentResult
 from repro.exceptions import CacheIntegrityError, InvalidParameterError, ReproError
+from repro.observability.exporters import (
+    JSONLSink,
+    MemorySink,
+    count_events,
+    load_jsonl,
+)
 from repro.utils.atomicio import read_json_checked, write_json_atomic
 from repro.utils.rng import derive_seed, spawn_rngs
 
@@ -114,11 +120,16 @@ def _run_chunk(worker: Callable, items: Sequence) -> List:
 class SweepEvents:
     """Structured, append-only event log for one engine's activity.
 
-    Records are plain dicts with an ``"event"`` key; with ``path`` given,
-    each record is also mirrored to disk as one JSON line the moment it is
-    emitted, so a killed run leaves a readable prefix. The reader side
-    (:meth:`load`) skips unparsable lines — a truncated final line from a
-    killed writer must not take the post-mortem down with it.
+    Built on the observability layer's sinks
+    (:mod:`repro.observability.exporters`), so sweep event logs and run
+    telemetry streams share one schema — flat JSON objects with an
+    ``"event"`` key, one per line — and one set of post-mortem tools:
+    ``SweepEvents.load`` *is* :func:`~repro.observability.load_jsonl`, and
+    either kind of stream can be counted or summarized interchangeably.
+    With ``path`` given, each record is mirrored to disk the moment it is
+    emitted, so a killed run leaves a readable prefix; the reader side
+    skips unparsable lines — a truncated final line from a killed writer
+    must not take the post-mortem down with it.
 
     Event vocabulary: ``chunk_done`` (with ``elapsed`` wall seconds),
     ``chunk_retry``, ``chunk_timeout``, ``chunk_crash``, ``chunk_degraded``,
@@ -129,42 +140,27 @@ class SweepEvents:
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
-        self.records: List[Dict] = []
+        self._memory = MemorySink()
+        self._sinks = [self._memory]
         if path is not None:
-            parent = os.path.dirname(os.path.abspath(path))
-            os.makedirs(parent, exist_ok=True)
-            with open(path, "w", encoding="utf-8"):
-                pass  # own the file: each engine run starts a fresh log
+            # JSONLSink owns the file: each engine run starts a fresh log.
+            self._sinks.append(JSONLSink(path))
+
+    @property
+    def records(self) -> List[Dict]:
+        return self._memory.records
 
     def emit(self, event: str, **fields) -> Dict:
         record = {"event": event, **fields}
-        self.records.append(record)
-        if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for sink in self._sinks:
+            sink.emit(record)
         return record
 
     def counts(self) -> Dict[str, int]:
         """Event name → number of occurrences."""
-        totals: Dict[str, int] = {}
-        for record in self.records:
-            totals[record["event"]] = totals.get(record["event"], 0) + 1
-        return totals
+        return count_events(self.records)
 
-    @staticmethod
-    def load(path: str) -> List[Dict]:
-        """Parse a JSONL event file, skipping malformed (truncated) lines."""
-        records: List[Dict] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue
-        return records
+    load = staticmethod(load_jsonl)
 
 
 @dataclass(frozen=True)
@@ -291,6 +287,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     ``"corrupt"``) so the parent can log cache events.
     """
     from repro.attacks.registry import make_attack
+    from repro.observability import Telemetry
     from repro.problems.linear_regression import make_redundant_regression
     from repro.system.batch import run_dgd_batch
     from repro.system.runner import DGDConfig, run_dgd
@@ -299,6 +296,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     filter_name, attack_name, f = task["filter"], task["attack"], task["f"]
     seeds, cache_dir = task["seeds"], task["cache_dir"]
     backend = task["backend"]
+    telemetry_dir = task.get("telemetry_dir")
 
     payloads: List[Optional[Dict]] = [None] * len(seeds)
     cache_states: List[str] = ["miss"] * len(seeds)
@@ -340,14 +338,35 @@ def _run_regression_group(task: Dict) -> List[Dict]:
             seed=0,
         )
         missing_seeds = [seeds[i] for i in missing]
+        telemetry = None
+        if telemetry_dir is not None:
+            # One JSONL stream per (f, filter, attack) group, produced by
+            # the worker that executes it (safe under the process pool:
+            # no two workers share a group, hence a file). Cached cells
+            # emit nothing — telemetry records actual execution.
+            stream = os.path.join(
+                telemetry_dir, f"f{f}-{filter_name}-{attack_name}.jsonl"
+            )
+            telemetry = Telemetry(
+                stream, byzantine_ids=faulty_ids, reference_point=x_H
+            )
         try:
             if backend == "batch":
-                traces = run_dgd_batch(instance.costs, behavior, config, seeds=missing_seeds)
+                traces = run_dgd_batch(
+                    instance.costs, behavior, config, seeds=missing_seeds,
+                    telemetry=telemetry,
+                )
             else:
-                traces = [
-                    run_dgd(instance.costs, behavior, config, seed=s)
-                    for s in missing_seeds
-                ]
+                traces = []
+                for run_index, s in enumerate(missing_seeds):
+                    if telemetry is not None:
+                        telemetry.emit("run_start", run=run_index, seed=int(s))
+                    traces.append(
+                        run_dgd(
+                            instance.costs, behavior, config, seed=s,
+                            telemetry=telemetry,
+                        )
+                    )
             fresh = []
             for trace in traces:
                 final_estimate = trace.final_estimate
@@ -366,6 +385,9 @@ def _run_regression_group(task: Dict) -> List[Dict]:
                 {"error": f"{type(exc).__name__}: {exc}", "cached": False}
                 for _ in missing_seeds
             ]
+        finally:
+            if telemetry is not None:
+                telemetry.close()  # flush the trailing counters + summary
         for index, payload in zip(missing, fresh):
             payload["cache_state"] = cache_states[index]
             payloads[index] = payload
@@ -445,6 +467,14 @@ class SweepEngine:
     chunk_size:
         Default chunk size for :meth:`map` (``None`` auto-sizes to a few
         chunks per worker).
+    telemetry_dir:
+        Directory for per-group run-telemetry JSONL streams. When set,
+        every recomputed (f, filter, attack) group writes
+        ``f{f}-{filter}-{attack}.jsonl`` with one ``"round"`` record per
+        round per run slice (kept/eliminated agents, gradient norms, step
+        size, distance to the group's honest minimizer) in the same event
+        schema as :class:`SweepEvents`. Cache hits produce no telemetry —
+        the stream records actual execution. ``None`` (default) disables.
     """
 
     def __init__(
@@ -459,6 +489,7 @@ class SweepEngine:
         events: Union[SweepEvents, str, None] = None,
         worker_wrapper: Optional[Callable[[Callable], Callable]] = None,
         chunk_size: Optional[int] = None,
+        telemetry_dir: Optional[str] = None,
     ):
         if backend not in ("batch", "sequential"):
             raise InvalidParameterError(
@@ -488,8 +519,11 @@ class SweepEngine:
         self._events = events if isinstance(events, SweepEvents) else SweepEvents(events)
         self._warned: set = set()
         self._retry_rng = random.Random(0x5EED)
+        self._telemetry_dir = telemetry_dir
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+        if telemetry_dir is not None:
+            os.makedirs(telemetry_dir, exist_ok=True)
 
     @property
     def cache_dir(self) -> Optional[str]:
@@ -502,6 +536,10 @@ class SweepEngine:
     @property
     def events(self) -> SweepEvents:
         return self._events
+
+    @property
+    def telemetry_dir(self) -> Optional[str]:
+        return self._telemetry_dir
 
     # ------------------------------------------------------------------
     # Resilience plumbing
@@ -929,6 +967,7 @@ class SweepEngine:
                 "seeds": seeds,
                 "cache_dir": self._cache_dir,
                 "backend": self._backend,
+                "telemetry_dir": self._telemetry_dir,
             }
             for f in grid.fault_counts
             for filter_name in grid.filters

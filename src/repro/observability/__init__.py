@@ -1,0 +1,42 @@
+"""Structured run telemetry: counters, spans, per-round filter records.
+
+The observability layer generalizes the sweep engine's event log into a
+library-wide substrate: one record schema (flat JSON objects with an
+``"event"`` key), pluggable sinks (in-memory, JSONL), a zero-overhead
+disabled mode, and a roll-up that turns a record stream into the profiling
+quantities future performance work is measured against — p50/p95 span
+latencies, rounds per second, and the gradient filter's elimination
+precision/recall against the ground-truth Byzantine set.
+"""
+
+from repro.observability.exporters import (
+    JSONLSink,
+    MemorySink,
+    TelemetrySink,
+    count_events,
+    load_jsonl,
+    summarize_records,
+    write_summary_atomic,
+)
+from repro.observability.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryLike,
+    ensure_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetryLike",
+    "ensure_telemetry",
+    "TelemetrySink",
+    "MemorySink",
+    "JSONLSink",
+    "load_jsonl",
+    "count_events",
+    "summarize_records",
+    "write_summary_atomic",
+]

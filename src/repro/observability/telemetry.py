@@ -1,0 +1,369 @@
+"""The library-wide run-telemetry handle.
+
+:class:`Telemetry` is the single instrumentation seam every execution layer
+accepts (``run_dgd``, ``run_dgd_batch``, the server, the peer-to-peer
+protocol, the sweep engine's workers): counters, wall-clock spans
+(``with tel.span("round"): ...``), and structured per-round records of what
+the gradient filter actually did — which agents survived the cut, how many
+of the eliminated agents were truly Byzantine, the spread of gradient
+norms, the step size, and the distance to a reference point (``x_H``) when
+one is known. That per-round elimination view is the quantity the paper's
+convergence condition ``α = 1 − (f/n)(1 + 2μ/γ) > 0`` reasons about, and
+the quantity follow-up filter comparisons measure.
+
+Telemetry is **opt-in and zero-overhead when disabled**: every entry point
+defaults to :data:`NULL_TELEMETRY`, whose operations are no-ops, whose
+spans are a shared do-nothing context manager, and which is *falsy* — hot
+paths guard record construction with ``if telemetry:`` so a disabled run
+executes exactly the pre-telemetry instruction stream (the bit-identity
+suites pin this down).
+
+Records share one schema with the sweep engine's
+:class:`~repro.experiments.sweep.SweepEvents` log: flat JSON objects with
+an ``"event"`` key, mirrored to JSONL the moment they are emitted. See
+:mod:`repro.observability.exporters` for sinks and roll-ups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.exporters import (
+    JSONLSink,
+    MemorySink,
+    TelemetrySink,
+    _assemble_summary,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetryLike",
+    "ensure_telemetry",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: falsy, and every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TELEMETRY`) is the default for
+    every ``telemetry=`` parameter in the library, so instrumented code
+    never needs ``if telemetry is not None`` checks — ``if telemetry:``
+    is both the truthiness guard and the cheapest possible disable switch.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def increment(self, name: str, by: int = 1) -> None:
+        pass
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def record_round(self, **fields) -> None:
+        pass
+
+    def annotate(self, **fields) -> None:
+        pass
+
+    def summary(self) -> Dict:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The process-wide disabled-telemetry singleton.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Span:
+    """Times one ``with`` block and reports it to its telemetry handle."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._telemetry._record_span(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+def _id_list(ids: Iterable) -> List[int]:
+    return [int(i) for i in ids]
+
+
+class Telemetry:
+    """Live telemetry handle: counters, spans, and per-round records.
+
+    Parameters
+    ----------
+    sink:
+        Where records go: a :class:`TelemetrySink`, a filesystem path
+        (JSONL stream), a sequence of sinks, or ``None`` for an in-memory
+        sink. The handle also keeps running aggregates, so
+        :meth:`summary` works regardless of the sink choice.
+    byzantine_ids:
+        Ground-truth Byzantine agent ids. Set automatically by the
+        runners (they know ``faulty_ids``); used to score each round's
+        eliminations into true/false positives.
+    reference_point:
+        Optional reference (typically the honest minimizer ``x_H``);
+        when set, every round record carries ``distance_to_ref``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[TelemetrySink, str, os.PathLike, Sequence, None] = None,
+        *,
+        byzantine_ids: Iterable = (),
+        reference_point=None,
+    ):
+        self._sinks: List[TelemetrySink] = self._coerce_sinks(sink)
+        self.counters: Dict[str, int] = {}
+        self._span_durations: Dict[str, List[float]] = {}
+        self._rounds = 0
+        self._elim_tp = 0
+        self._elim_fp = 0
+        self._elim_fn = 0
+        self.emitted = 0
+        self._byzantine: set = set(_id_list(byzantine_ids))
+        self._reference = (
+            None if reference_point is None
+            else np.asarray(reference_point, dtype=float)
+        )
+        self._closed = False
+
+    @staticmethod
+    def _coerce_sinks(sink) -> List[TelemetrySink]:
+        if sink is None:
+            return [MemorySink()]
+        if isinstance(sink, TelemetrySink):
+            return [sink]
+        if isinstance(sink, (str, os.PathLike)):
+            return [JSONLSink(os.fspath(sink))]
+        if isinstance(sink, Sequence):
+            sinks = list(sink)
+            if not sinks or not all(isinstance(s, TelemetrySink) for s in sinks):
+                raise InvalidParameterError(
+                    "sink sequence must contain only TelemetrySink instances"
+                )
+            return sinks
+        raise InvalidParameterError(
+            f"sink must be a TelemetrySink, path, or sequence of sinks, "
+            f"got {type(sink).__name__}"
+        )
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def records(self) -> List[Dict]:
+        """Records of the first in-memory sink (empty for JSONL-only)."""
+        for sink in self._sinks:
+            if isinstance(sink, MemorySink):
+                return sink.records
+        return []
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> Dict:
+        """Emit one schema record (``{"event": event, **fields}``)."""
+        record = {"event": event, **fields}
+        for sink in self._sinks:
+            sink.emit(record)
+        self.emitted += 1
+        return record
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Bump a named counter (reported in :meth:`summary` and on close)."""
+        self.counters[name] = self.counters.get(name, 0) + int(by)
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one named region of work."""
+        return _Span(self, name)
+
+    def _record_span(self, name: str, seconds: float) -> None:
+        self._span_durations.setdefault(name, []).append(seconds)
+        self.emit("span", name=name, seconds=seconds)
+
+    def annotate(self, *, byzantine_ids=None, reference_point=None) -> None:
+        """Attach ground truth the execution layer knows (runners call this)."""
+        if byzantine_ids is not None:
+            self._byzantine = set(_id_list(byzantine_ids))
+        if reference_point is not None:
+            self._reference = np.asarray(reference_point, dtype=float)
+
+    def record_round(
+        self,
+        *,
+        round_index: int,
+        filter_name: str,
+        step_size: float,
+        gradient_norms,
+        agent_ids: Optional[Sequence[int]] = None,
+        kept_ids: Optional[Sequence[int]] = None,
+        estimate=None,
+        run: Optional[int] = None,
+        seed=None,
+    ) -> Dict:
+        """Record one protocol round's filter outcome.
+
+        ``kept_ids`` is the filter's surviving agent set (``None`` for
+        filters without row-elimination semantics, e.g. coordinate-wise
+        ones — such rounds carry norm/step data but do not contribute to
+        elimination precision/recall). ``agent_ids`` maps gradient rows to
+        agent ids and defaults to ``0..n-1``.
+        """
+        norms = np.asarray(gradient_norms, dtype=float)
+        present = _id_list(
+            agent_ids if agent_ids is not None else range(norms.shape[0])
+        )
+        record: Dict = {
+            "round": int(round_index),
+            "filter": str(filter_name),
+            "step_size": float(step_size),
+            "grad_norm_min": float(norms.min()),
+            "grad_norm_median": float(np.median(norms)),
+            "grad_norm_max": float(norms.max()),
+        }
+        if kept_ids is not None:
+            kept = _id_list(kept_ids)
+            eliminated = sorted(set(present) - set(kept))
+            byz_present = self._byzantine & set(present)
+            eliminated_byzantine = len(self._byzantine & set(eliminated))
+            surviving_byzantine = len(byz_present) - eliminated_byzantine
+            record.update(
+                kept=kept,
+                eliminated=eliminated,
+                eliminated_byzantine=eliminated_byzantine,
+                surviving_byzantine=surviving_byzantine,
+            )
+            self._elim_tp += eliminated_byzantine
+            self._elim_fp += len(eliminated) - eliminated_byzantine
+            self._elim_fn += surviving_byzantine
+        if estimate is not None and self._reference is not None:
+            record["distance_to_ref"] = float(
+                np.linalg.norm(np.asarray(estimate, dtype=float) - self._reference)
+            )
+        if run is not None:
+            record["run"] = int(run)
+        if seed is not None:
+            record["seed"] = int(seed) if isinstance(seed, (int, np.integer)) else str(seed)
+        self._rounds += 1
+        return self.emit("round", **record)
+
+    # ------------------------------------------------------------------
+    # Roll-up
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Roll-up of the handle's running aggregates.
+
+        Structurally identical to
+        :func:`repro.observability.exporters.summarize_records` applied to
+        the emitted record stream (the test suite pins the equivalence),
+        but available even when the only sink is a JSONL file.
+        """
+        return _assemble_summary(
+            self._rounds,
+            self._span_durations,
+            self._elim_tp,
+            self._elim_fp,
+            self._elim_fn,
+            dict(self.counters),
+        )
+
+    def close(self) -> None:
+        """Flush counters and the final summary, then close the sinks.
+
+        Idempotent. The trailing ``counters`` and ``summary`` records make
+        a JSONL stream self-describing: :func:`summarize_records` over the
+        re-loaded stream reproduces :meth:`summary` without the live
+        handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.counters:
+            self.emit("counters", **self.counters)
+        self.emit("summary", **self.summary())
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+#: Anything the ``telemetry=`` parameters accept.
+TelemetryLike = Union[None, Telemetry, NullTelemetry, str, os.PathLike]
+
+
+def ensure_telemetry(telemetry: TelemetryLike) -> Union[Telemetry, NullTelemetry]:
+    """Coerce a ``telemetry=`` argument into a usable handle.
+
+    ``None`` (the library-wide default) yields the shared
+    :data:`NULL_TELEMETRY`; a path yields a :class:`Telemetry` streaming
+    to that JSONL file; an existing handle passes through unchanged.
+    """
+    if telemetry is None:
+        return NULL_TELEMETRY
+    if isinstance(telemetry, (Telemetry, NullTelemetry)):
+        return telemetry
+    if isinstance(telemetry, (str, os.PathLike)):
+        return Telemetry(telemetry)
+    raise InvalidParameterError(
+        f"telemetry must be None, a Telemetry handle, or a path, "
+        f"got {type(telemetry).__name__}"
+    )

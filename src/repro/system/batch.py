@@ -47,6 +47,7 @@ from repro.aggregators.registry import make_filter
 from repro.attacks.base import AttackContext, ByzantineBehavior
 from repro.attacks.simple import ConstantBias, GradientReverse, SignFlip, ZeroGradient
 from repro.exceptions import InvalidParameterError
+from repro.observability import TelemetryLike, ensure_telemetry
 from repro.optimization.cost_functions import CostFunction, QuadraticCost
 from repro.optimization.projections import BoxSet, ConvexSet, UnconstrainedSet, BallSet
 from repro.system.runner import (
@@ -201,12 +202,53 @@ def _vectorized_forger(
     return forge_per_slice
 
 
+def _json_seed(seed: SeedLike):
+    """A JSON-safe rendering of a seed for telemetry records."""
+    return int(seed) if isinstance(seed, (int, np.integer)) else str(seed)
+
+
+def _emit_round_records(
+    tel,
+    gradient_filter: GradientFilter,
+    filter_name: str,
+    M: np.ndarray,
+    X: np.ndarray,
+    eta: float,
+    t: int,
+    seeds: Sequence[SeedLike],
+) -> None:
+    """One telemetry round record per run slice (telemetry-enabled only).
+
+    Norm statistics and kept sets are computed from the sanitized stacked
+    tensor with the filter's own batched kernel — the exact matrix the
+    aggregation saw — in vectorized passes; only the final per-run record
+    assembly is a Python loop.
+    """
+    matrix = gradient_filter.sanitize(M)
+    norms = np.linalg.norm(matrix, axis=2)
+    kept = None
+    if hasattr(gradient_filter, "_kept_indices_batch"):
+        kept = gradient_filter._kept_indices_batch(matrix)
+    for k in range(M.shape[0]):
+        tel.record_round(
+            round_index=t,
+            filter_name=filter_name,
+            step_size=eta,
+            gradient_norms=norms[k],
+            kept_ids=None if kept is None else kept[k],
+            estimate=X[k],
+            run=k,
+            seed=_json_seed(seeds[k]),
+        )
+
+
 def run_dgd_batch(
     costs: Sequence[CostFunction],
     behavior: Optional[ByzantineBehavior] = None,
     config: Optional[DGDConfig] = None,
     seeds: Optional[Sequence[SeedLike]] = None,
     round_hook: Optional[Callable[[int], None]] = None,
+    telemetry: TelemetryLike = None,
     **config_overrides,
 ) -> List[Trace]:
     """Execute ``K`` replicate DGD runs, vectorized across the batch.
@@ -226,6 +268,17 @@ def run_dgd_batch(
         aborts the batch; re-running it is bit-identical, so the sweep
         engine's retry ladder recovers exactly). Not invoked on the
         sequential fallback path, which has no shared round loop.
+    telemetry:
+        Optional :class:`~repro.observability.Telemetry` handle (or JSONL
+        path), defaulting to the no-op. On the fast path it emits one
+        ``"round"`` record per round *per run slice* (tagged ``run=k`` and
+        ``seed=seeds[k]``), with the filter's kept set computed by the
+        batched kernel — norms and kept indices are derived from the same
+        stacked tensor the filter aggregates, outside the arithmetic of
+        the update itself, so enabling telemetry never perturbs the
+        bit-identical guarantee. On the sequential fallback the handle is
+        passed through to each :func:`run_dgd`, with a ``"run_start"``
+        event marking each run's slice of the stream.
 
     Returns
     -------
@@ -269,12 +322,22 @@ def run_dgd_batch(
     if isinstance(gradient_filter, str):
         gradient_filter = make_filter(gradient_filter, f=f)
 
+    tel = ensure_telemetry(telemetry)
     reason = batch_unsupported_reason(costs, behavior, config, gradient_filter)
     if reason is not None:
-        return [
-            run_dgd(costs, behavior, apply_config_overrides(config, {"seed": seed}))
-            for seed in seeds
-        ]
+        traces = []
+        for k, seed in enumerate(seeds):
+            if tel:
+                tel.emit("run_start", run=k, seed=_json_seed(seed), reason=reason)
+            traces.append(
+                run_dgd(
+                    costs,
+                    behavior,
+                    apply_config_overrides(config, {"seed": seed}),
+                    telemetry=tel,
+                )
+            )
+        return traces
 
     K = len(seeds)
     T = config.iterations
@@ -325,22 +388,32 @@ def run_dgd_batch(
     X = np.broadcast_to(x0, (K, dimension)).copy()
     estimates[:, 0] = X
 
+    filter_name = getattr(gradient_filter, "name", type(gradient_filter).__name__)
+    if tel:
+        tel.annotate(byzantine_ids=faulty_ids)
+
     start = time.perf_counter()
-    for t in range(T):
-        G = (P[None] @ X[:, None, :, None])[..., 0] + q[None]
-        if forge is not None:
-            forged = forge(t, X, G)
-            M = G
-            M[:, faulty_idx] = forged
-        else:
-            M = G
-        D = gradient_filter.aggregate_batch(M)
-        directions[:, t] = D
-        eta = step_sizes(t)
-        X = project_batch(X - eta * D)
-        estimates[:, t + 1] = X
-        if round_hook is not None:
-            round_hook(t)
+    with tel.span("run"):
+        for t in range(T):
+            with tel.span("round"):
+                G = (P[None] @ X[:, None, :, None])[..., 0] + q[None]
+                if forge is not None:
+                    forged = forge(t, X, G)
+                    M = G
+                    M[:, faulty_idx] = forged
+                else:
+                    M = G
+                D = gradient_filter.aggregate_batch(M)
+                directions[:, t] = D
+                eta = step_sizes(t)
+                X = project_batch(X - eta * D)
+                estimates[:, t + 1] = X
+            if tel:
+                _emit_round_records(
+                    tel, gradient_filter, filter_name, M, X, eta, t, seeds
+                )
+            if round_hook is not None:
+                round_hook(t)
     elapsed = time.perf_counter() - start
 
     # Closed-form network accounting: every round delivers one estimate
@@ -352,7 +425,6 @@ def run_dgd_batch(
     messages_delivered = 2 * n * T
     bytes_delivered = messages_delivered * message_bytes
 
-    filter_name = getattr(gradient_filter, "name", type(gradient_filter).__name__)
     traces = []
     for k in range(K):
         traces.append(

@@ -20,6 +20,7 @@ import numpy as np
 from repro.aggregators.base import GradientFilter
 from repro.attacks.base import AttackContext, ByzantineBehavior
 from repro.exceptions import InvalidParameterError, ProtocolViolationError
+from repro.observability import TelemetryLike, ensure_telemetry
 from repro.optimization.cost_functions import CostFunction
 from repro.optimization.projections import BoxSet, ConvexSet
 from repro.optimization.step_sizes import StepSizeSchedule
@@ -75,6 +76,7 @@ def run_peer_to_peer_dgd(
     x0=None,
     seed: SeedLike = 0,
     equivocate: bool = True,
+    telemetry: TelemetryLike = None,
 ) -> PeerExecutionResult:
     """Run filtered DGD in the peer-to-peer architecture.
 
@@ -91,6 +93,12 @@ def run_peer_to_peer_dgd(
         the broadcast primitive (sending different vectors to different
         peers); the primitive must — and does — still force a consistent
         delivered value.
+    telemetry:
+        Optional :class:`~repro.observability.Telemetry` handle (or JSONL
+        path), defaulting to the no-op. Emits ``"round"``/``"broadcast"``/
+        ``"filter"`` spans and a per-round record of the filter's
+        kept/eliminated senders on the *delivered* (post-broadcast)
+        gradient matrix — the matrix every honest agent filters locally.
     """
     costs = list(costs)
     n = len(costs)
@@ -119,60 +127,85 @@ def run_peer_to_peer_dgd(
     estimates[0] = local[honest[0]]
     broadcast_messages = 0
 
+    tel = ensure_telemetry(telemetry)
+    if tel:
+        tel.annotate(byzantine_ids=faulty)
+
     start = time.perf_counter()
-    for t in range(iterations):
-        reference = local[honest[0]]
-        honest_gradients = np.stack([costs[i].gradient(local[i]) for i in honest])
-        # Faulty agents forge gradients knowing the honest ones (rushing).
-        forged: Dict[int, np.ndarray] = {}
-        if faulty:
-            context = AttackContext(
-                round_index=t,
-                estimate=reference,
-                honest_gradients=honest_gradients,
-                honest_ids=honest,
-                faulty_ids=faulty,
-                faulty_costs=[costs[i] for i in faulty],
-                rng=rng,
-            )
-            matrix = behavior(context)
-            forged = {agent: matrix[row] for row, agent in enumerate(faulty)}
+    with tel.span("run"):
+        for t in range(iterations):
+            with tel.span("round"):
+                reference = local[honest[0]]
+                honest_gradients = np.stack([costs[i].gradient(local[i]) for i in honest])
+                # Faulty agents forge gradients knowing the honest ones (rushing).
+                forged: Dict[int, np.ndarray] = {}
+                if faulty:
+                    context = AttackContext(
+                        round_index=t,
+                        estimate=reference,
+                        honest_gradients=honest_gradients,
+                        honest_ids=honest,
+                        faulty_ids=faulty,
+                        faulty_costs=[costs[i] for i in faulty],
+                        rng=rng,
+                    )
+                    matrix = behavior(context)
+                    forged = {agent: matrix[row] for row, agent in enumerate(faulty)}
 
-        delivered_rows: List[np.ndarray] = []
-        for sender in range(n):
-            if sender in forged and equivocate and f > 0:
-                # The faulty sender equivocates between its forged vector
-                # and an opposite decoy; broadcast resolves it consistently.
-                strategy = EquivocatingSender(forged[sender], -forged[sender])
-                result = byzantine_broadcast(
-                    n, f, sender, value=None, faulty=faulty, sender_strategy=strategy, rng=rng
-                )
-            else:
-                payload = (
-                    forged[sender]
-                    if sender in forged
-                    else costs[sender].gradient(local[sender])
-                )
-                result = byzantine_broadcast(n, f, sender, payload, faulty=faulty, rng=rng)
-            broadcast_messages += result.messages_sent
-            agreed = result.agreed_value
-            # ⊥ is replaced by the zero vector by protocol convention — a
-            # deterministic rule every honest agent applies identically.
-            delivered_rows.append(np.zeros(dimension) if agreed is None else agreed)
+                delivered_rows: List[np.ndarray] = []
+                with tel.span("broadcast"):
+                    for sender in range(n):
+                        if sender in forged and equivocate and f > 0:
+                            # The faulty sender equivocates between its forged vector
+                            # and an opposite decoy; broadcast resolves it consistently.
+                            strategy = EquivocatingSender(forged[sender], -forged[sender])
+                            result = byzantine_broadcast(
+                                n, f, sender, value=None, faulty=faulty, sender_strategy=strategy, rng=rng
+                            )
+                        else:
+                            payload = (
+                                forged[sender]
+                                if sender in forged
+                                else costs[sender].gradient(local[sender])
+                            )
+                            result = byzantine_broadcast(n, f, sender, payload, faulty=faulty, rng=rng)
+                        broadcast_messages += result.messages_sent
+                        agreed = result.agreed_value
+                        # ⊥ is replaced by the zero vector by protocol convention — a
+                        # deterministic rule every honest agent applies identically.
+                        delivered_rows.append(np.zeros(dimension) if agreed is None else agreed)
 
-        gradients = np.stack(delivered_rows)
-        direction = gradient_filter(gradients)
-        eta = schedule(t)
-        for agent in honest:
-            local[agent] = constraint.project(local[agent] - eta * direction)
-        # Agreement audit: all honest estimates must coincide exactly.
-        baseline = local[honest[0]]
-        for agent in honest[1:]:
-            if not np.array_equal(local[agent], baseline):
-                raise ProtocolViolationError(
-                    "honest estimates diverged in peer-to-peer execution"
+                gradients = np.stack(delivered_rows)
+                with tel.span("filter"):
+                    direction = gradient_filter(gradients)
+                eta = schedule(t)
+                for agent in honest:
+                    local[agent] = constraint.project(local[agent] - eta * direction)
+                # Agreement audit: all honest estimates must coincide exactly.
+                baseline = local[honest[0]]
+                for agent in honest[1:]:
+                    if not np.array_equal(local[agent], baseline):
+                        raise ProtocolViolationError(
+                            "honest estimates diverged in peer-to-peer execution"
+                        )
+                estimates[t + 1] = baseline
+            if tel:
+                matrix = gradient_filter.sanitize(gradients)
+                kept_rows = (
+                    gradient_filter.kept_indices(matrix)
+                    if hasattr(gradient_filter, "kept_indices")
+                    else None
                 )
-        estimates[t + 1] = baseline
+                tel.record_round(
+                    round_index=t,
+                    filter_name=getattr(
+                        gradient_filter, "name", type(gradient_filter).__name__
+                    ),
+                    step_size=eta,
+                    gradient_norms=np.linalg.norm(matrix, axis=1),
+                    kept_ids=kept_rows,
+                    estimate=baseline,
+                )
     elapsed = time.perf_counter() - start
 
     return PeerExecutionResult(

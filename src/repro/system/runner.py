@@ -18,6 +18,7 @@ from repro.aggregators.base import GradientFilter
 from repro.aggregators.registry import make_filter
 from repro.attacks.base import ByzantineBehavior
 from repro.exceptions import InvalidParameterError
+from repro.observability import TelemetryLike, ensure_telemetry
 from repro.optimization.cost_functions import CostFunction
 from repro.optimization.projections import BoxSet, ConvexSet
 from repro.optimization.step_sizes import (
@@ -194,6 +195,7 @@ def run_dgd(
     costs: Sequence[CostFunction],
     behavior: Optional[ByzantineBehavior] = None,
     config: Optional[DGDConfig] = None,
+    telemetry: TelemetryLike = None,
     **config_overrides,
 ) -> Trace:
     """Execute the server-based filtered DGD protocol.
@@ -209,6 +211,13 @@ def run_dgd(
     config:
         Execution configuration; keyword overrides are applied on top
         (e.g. ``run_dgd(costs, atk, iterations=100)``).
+    telemetry:
+        Optional :class:`~repro.observability.Telemetry` handle (or a
+        JSONL path). Disabled by default; when enabled, the execution
+        emits ``"run"``/``"round"``/``"filter"`` timing spans and one
+        per-round record of the filter's kept/eliminated agents, gradient
+        norm spread, and step size. The numerical execution is identical
+        either way.
 
     Returns
     -------
@@ -291,9 +300,12 @@ def run_dgd(
         if faulty_ids
         else None
     )
+    tel = ensure_telemetry(telemetry)
+    if tel:
+        tel.annotate(byzantine_ids=faulty_ids + sorted(crash_rounds))
     network = SynchronousNetwork(rng=network_rng, log_capacity=config.log_capacity)
     server = DGDServer.with_fixed_filter(
-        gradient_filter, step_sizes, projection, x0, n=n, f=f
+        gradient_filter, step_sizes, projection, x0, n=n, f=f, telemetry=tel
     )
 
     estimates = np.empty((config.iterations + 1, dimension))
@@ -301,28 +313,30 @@ def run_dgd(
     estimates[0] = server.estimate
 
     start = time.perf_counter()
-    for t in range(config.iterations):
-        broadcast = server.make_broadcast()
-        active = set(server.active_agents)
-        delivered = network.broadcast(broadcast, sorted(active))
-        honest_replies: List[GradientMessage] = []
-        for agent_id in sorted(active & set(agents)):
-            if agent_id not in delivered:
-                continue
-            reply = agents[agent_id].on_estimate(delivered[agent_id])
-            if reply is not None:
-                honest_replies.append(reply)
-        forged: List[GradientMessage] = []
-        if adversary is not None:
-            active_faulty = sorted(active & set(faulty_ids))
-            if active_faulty:
-                forged = adversary.forge_messages(
-                    broadcast, honest_replies, active_faulty=active_faulty
-                )
-        inbound = network.gather(honest_replies + forged, SERVER_ID)
-        server.step(inbound)
-        estimates[t + 1] = server.estimate
-        directions[t] = server.last_direction
+    with tel.span("run"):
+        for t in range(config.iterations):
+            with tel.span("round"):
+                broadcast = server.make_broadcast()
+                active = set(server.active_agents)
+                delivered = network.broadcast(broadcast, sorted(active))
+                honest_replies: List[GradientMessage] = []
+                for agent_id in sorted(active & set(agents)):
+                    if agent_id not in delivered:
+                        continue
+                    reply = agents[agent_id].on_estimate(delivered[agent_id])
+                    if reply is not None:
+                        honest_replies.append(reply)
+                forged: List[GradientMessage] = []
+                if adversary is not None:
+                    active_faulty = sorted(active & set(faulty_ids))
+                    if active_faulty:
+                        forged = adversary.forge_messages(
+                            broadcast, honest_replies, active_faulty=active_faulty
+                        )
+                inbound = network.gather(honest_replies + forged, SERVER_ID)
+                server.step(inbound)
+                estimates[t + 1] = server.estimate
+                directions[t] = server.last_direction
     elapsed = time.perf_counter() - start
 
     return Trace(

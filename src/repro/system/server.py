@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.aggregators.base import GradientFilter
 from repro.exceptions import InvalidParameterError, ProtocolViolationError
+from repro.observability import TelemetryLike, ensure_telemetry
 from repro.optimization.projections import ConvexSet
 from repro.optimization.step_sizes import StepSizeSchedule
 from repro.system.messages import SERVER_ID, EstimateBroadcast, GradientMessage
@@ -43,6 +44,14 @@ class DGDServer:
         Initial estimate (arbitrary, per the paper); projected into ``W``.
     n, f:
         Initial system size and fault bound.
+    telemetry:
+        Optional :class:`~repro.observability.Telemetry` handle (defaults
+        to the shared no-op). When enabled, the server times every filter
+        application (``"filter"`` span), logs silence eliminations, and
+        emits one ``"round"`` record per :meth:`step` with the filter's
+        kept/eliminated agent sets (for filters exposing
+        ``kept_indices``), the received gradient-norm spread, and the
+        step size.
     """
 
     def __init__(
@@ -53,6 +62,7 @@ class DGDServer:
         x0,
         n: int,
         f: int,
+        telemetry: TelemetryLike = None,
     ):
         if n <= 0:
             raise InvalidParameterError(f"n must be positive, got {n}")
@@ -69,6 +79,7 @@ class DGDServer:
         self._filter = filter_factory(self._n, self._f)
         self._eliminated: List[int] = []
         self._last_direction: Optional[np.ndarray] = None
+        self._telemetry = ensure_telemetry(telemetry)
 
     @classmethod
     def with_fixed_filter(
@@ -79,6 +90,7 @@ class DGDServer:
         x0,
         n: int,
         f: int,
+        telemetry: TelemetryLike = None,
     ) -> "DGDServer":
         """Build a server around one concrete filter instance.
 
@@ -96,7 +108,7 @@ class DGDServer:
             except TypeError:
                 return gradient_filter
 
-        return cls(factory, step_sizes, projection, x0, n, f)
+        return cls(factory, step_sizes, projection, x0, n, f, telemetry=telemetry)
 
     @property
     def estimate(self) -> np.ndarray:
@@ -164,6 +176,14 @@ class DGDServer:
         self._n -= len(silent)
         self._f -= len(silent)
         self._filter = self._filter_factory(self._n, self._f)
+        if self._telemetry:
+            self._telemetry.emit(
+                "silence_elimination",
+                round=self._round,
+                agents=silent,
+                n=self._n,
+                f=self._f,
+            )
         return silent
 
     def step(self, messages: Sequence[GradientMessage]) -> np.ndarray:
@@ -192,9 +212,39 @@ class DGDServer:
         self.eliminate_silent(list(by_sender))
         ordered = [by_sender[agent_id] for agent_id in sorted(by_sender)]
         gradients = np.stack([message.gradient for message in ordered])
-        direction = self._filter(gradients)
+        with self._telemetry.span("filter"):
+            direction = self._filter(gradients)
         self._last_direction = np.asarray(direction, dtype=float)
         eta = self._step_sizes(self._round)
         self._estimate = self._projection.project(self._estimate - eta * self._last_direction)
+        if self._telemetry:
+            self._record_round_telemetry(ordered, gradients, eta)
         self._round += 1
         return self.estimate
+
+    def _record_round_telemetry(
+        self,
+        ordered: Sequence[GradientMessage],
+        gradients: np.ndarray,
+        eta: float,
+    ) -> None:
+        """Emit this round's telemetry record (telemetry-enabled path only).
+
+        Norms are taken on the sanitized matrix — what the filter actually
+        scored — and ``kept_indices`` (CGE and friends) is re-derived the
+        same way, so the record reconstructs the filter's decision exactly.
+        """
+        agent_ids = [message.sender for message in ordered]
+        matrix = self._filter.sanitize(gradients)
+        kept_rows = None
+        if hasattr(self._filter, "kept_indices"):
+            kept_rows = self._filter.kept_indices(matrix)
+        self._telemetry.record_round(
+            round_index=self._round,
+            filter_name=getattr(self._filter, "name", type(self._filter).__name__),
+            step_size=eta,
+            gradient_norms=np.linalg.norm(matrix, axis=1),
+            agent_ids=agent_ids,
+            kept_ids=None if kept_rows is None else [agent_ids[r] for r in kept_rows],
+            estimate=self._estimate,
+        )

@@ -45,16 +45,23 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
         raise ValueError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
         # A Generator cannot be split reproducibly; derive children from its
-        # own bit stream instead.
-        seeds = seed.integers(0, 2**63 - 1, size=count)
+        # own bit stream instead. The high bound is exclusive, so 2**63 (not
+        # 2**63 - 1) covers the full non-negative int64 seed range; uint64
+        # dtype is required because the bound overflows int64.
+        seeds = seed.integers(0, 2**63, size=count, dtype=np.uint64)
         return [np.random.default_rng(int(s)) for s in seeds]
     sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
 def derive_seed(rng: np.random.Generator) -> int:
-    """Draw a fresh integer seed from ``rng`` (for logging / replay)."""
-    return int(rng.integers(0, 2**63 - 1))
+    """Draw a fresh integer seed from ``rng`` (for logging / replay).
+
+    The draw is uniform over ``[0, 2**63)`` — the exclusive high bound means
+    ``2**63`` (not ``2**63 - 1``, which would silently drop the largest
+    seed) and needs uint64 because the bound itself overflows int64.
+    """
+    return int(rng.integers(0, 2**63, dtype=np.uint64))
 
 
 def default_seed() -> Optional[int]:

@@ -11,9 +11,10 @@ from repro.analysis.metrics import (
     loss_series,
     relative_regret,
 )
+from repro.analysis import metrics
 from repro.analysis.reporting import ExperimentResult, format_series, format_table
 from repro.exceptions import InvalidParameterError
-from repro.optimization.cost_functions import TranslatedQuadratic
+from repro.optimization.cost_functions import QuadraticCost, TranslatedQuadratic
 from repro.system.runner import run_dgd
 
 
@@ -52,6 +53,34 @@ class TestTraceMetrics:
         costs, trace = simple_trace
         assert relative_regret(trace, costs, [1.0, 1.0]) < 1e-3
 
+    def test_relative_regret_near_zero_optimal_loss_stays_finite(self):
+        # Translated quadratics have minimum value exactly 0, so the
+        # denominator hits its eps floor: the regret must stay finite and
+        # non-negative rather than dividing by zero.
+        costs = [TranslatedQuadratic([2.0]) for _ in range(3)]
+        trace = run_dgd(costs, None, gradient_filter="average", iterations=2, seed=0)
+        regret = relative_regret(trace, costs, [2.0])
+        assert np.isfinite(regret)
+        assert regret >= 0.0
+
+    def test_relative_regret_sign_with_negative_optimal_loss(self):
+        # The anisotropic quadratic below has minimum value −6 at (1, 1); a
+        # 3-round run cannot converge exactly along both axes. With |L(x_H)|
+        # in the denominator the regret keeps its sign: positive iff the
+        # output is worse than x_H, even though L(x_H) < 0.
+        P = np.diag([1.0, 3.0])
+        costs = [QuadraticCost(P, [-1.0, -3.0], c=-4.0) for _ in range(3)]
+        trace = run_dgd(costs, None, gradient_filter="average", iterations=3, seed=0)
+        final_loss = sum(c.value(trace.final_estimate) for c in costs)
+        optimal_loss = sum(c.value([1.0, 1.0]) for c in costs)
+        assert optimal_loss < 0
+        assert final_loss > optimal_loss  # a short run has not converged
+        regret = relative_regret(trace, costs, [1.0, 1.0])
+        assert regret > 0
+        assert regret == pytest.approx(
+            (final_loss - optimal_loss) / abs(optimal_loss)
+        )
+
 
 class TestConvergenceIteration:
     def test_settling_semantics(self):
@@ -68,6 +97,18 @@ class TestConvergenceIteration:
         with pytest.raises(InvalidParameterError):
             convergence_iteration(np.ones(3), 0.0)
 
+    def test_ending_exactly_at_threshold_is_not_below(self):
+        # The comparison is strict (<): a series that ends exactly at the
+        # threshold has not settled below it.
+        series = np.array([1.0, 0.5, 0.1])
+        assert convergence_iteration(series, 0.1) is None
+
+    def test_single_element_below(self):
+        assert convergence_iteration(np.array([0.05]), 0.1) == 0
+
+    def test_single_element_above(self):
+        assert convergence_iteration(np.array([1.0]), 0.1) is None
+
 
 class TestAreaUnderError:
     def test_matches_trapezoid(self):
@@ -77,6 +118,24 @@ class TestAreaUnderError:
     def test_requires_at_least_two_points(self):
         with pytest.raises(InvalidParameterError):
             area_under_error(np.array([1.0]))
+
+    def test_matches_manual_trapezoid_formula(self):
+        # Regression for the numpy-version shim: ``np.trapezoid`` exists
+        # only on numpy>=2 and ``np.trapz`` only on numpy<2, so the module
+        # resolves an alias at import time. Pin it to the textbook formula
+        # so the alias cannot silently resolve to something else.
+        series = np.random.default_rng(0).random(17)
+        expected = 0.5 * float((series[:-1] + series[1:]).sum())
+        assert area_under_error(series) == pytest.approx(expected)
+
+    def test_trapezoid_alias_resolved_to_this_numpy(self):
+        assert callable(metrics._trapezoid)
+        available = {
+            name: getattr(np, name)
+            for name in ("trapezoid", "trapz")
+            if hasattr(np, name)
+        }
+        assert metrics._trapezoid in available.values()
 
 
 class TestFormatting:

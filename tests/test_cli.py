@@ -156,3 +156,71 @@ class TestSweepCommand:
         records = SweepEvents.load(events)
         assert all("event" in record for record in records)
         assert any(r["event"] == "cache_miss" for r in records)
+
+    def test_sweep_telemetry_dir(self, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        assert main(["sweep", *self.FAST, "--telemetry", telemetry]) == 0
+        assert f"telemetry -> {telemetry}/" in capsys.readouterr().out
+        from repro.observability import count_events, load_jsonl
+
+        stream = tmp_path / "telemetry" / "f1-cge-zero.jsonl"
+        counts = count_events(load_jsonl(str(stream)))
+        assert counts["round"] == 20  # 2 seeds x 10 iterations
+
+
+class TestProfileCommand:
+    FAST = ["profile", "--iterations", "20", "--seed", "1"]
+
+    def test_prints_rollup_table(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "p50 (ms)" in out and "p95 (ms)" in out
+        assert "rounds / sec" in out
+        assert "elimination precision" in out
+        assert "elimination recall" in out
+        assert "rounds recorded" in out
+
+    def test_batch_engine_profile(self, capsys):
+        assert main([*self.FAST, "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "run_dgd_batch x3" in out
+        assert "60" in out  # 3 runs x 20 iterations recorded
+
+    def test_rejects_nonpositive_runs(self, capsys):
+        assert main([*self.FAST, "--runs", "0"]) == 2
+        assert "--runs" in capsys.readouterr().err
+
+    def test_telemetry_and_json_exports(self, tmp_path, capsys):
+        from repro.observability import count_events, load_jsonl
+        from repro.utils.atomicio import read_json_checked
+
+        stream = str(tmp_path / "profile.jsonl")
+        summary_path = str(tmp_path / "summary.json")
+        code = main([
+            *self.FAST, "--telemetry", stream, "--json", summary_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"telemetry -> {stream}" in out
+        assert f"saved summary to {summary_path}" in out
+        counts = count_events(load_jsonl(stream))
+        assert counts["round"] == 20
+        summary = read_json_checked(summary_path)
+        assert summary["rounds"] == 20
+        assert summary["elimination"]["recall"] == 1.0
+
+    def test_run_command_telemetry_flag(self, tmp_path, capsys):
+        from repro.observability import count_events, load_jsonl
+
+        stream = str(tmp_path / "run.jsonl")
+        code = main([
+            "run", "--iterations", "15", "--telemetry", stream,
+        ])
+        assert code == 0
+        assert f"telemetry -> {stream}" in capsys.readouterr().out
+        records = load_jsonl(stream)
+        counts = count_events(records)
+        assert counts["round"] == 15
+        # The run's ground truth flows in: faulty agent 0 is scored.
+        rounds = [r for r in records if r["event"] == "round"]
+        assert all("distance_to_ref" in r for r in rounds)

@@ -56,5 +56,24 @@ def test_derive_seed_in_range():
     assert 0 <= seed < 2**63
 
 
+def test_derive_seed_draws_from_full_inclusive_range():
+    # The draw is uniform over [0, 2**63): the exclusive numpy bound must be
+    # 2**63 itself, not 2**63 - 1 (which silently dropped the largest seed).
+    # Pin the literal value so a change to the bound or dtype cannot slip
+    # through as a silent reseeding of every derived stream.
+    assert derive_seed(np.random.default_rng(3)) == 789974133212406140
+
+
+def test_spawn_rngs_generator_branch_uses_full_seed_range():
+    # Same inclusive-range fix in the Generator branch of spawn_rngs: the
+    # children must be seeded by uint64 draws over [0, 2**63).
+    children = spawn_rngs(np.random.default_rng(1), 2)
+    expected_seeds = [4720721261117928063, 8766480278738261043]
+    for child, expected in zip(children, expected_seeds):
+        assert np.array_equal(
+            child.random(4), np.random.default_rng(expected).random(4)
+        )
+
+
 def test_default_seed_is_stable():
     assert default_seed() == default_seed()
