@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the reproduction in one run.
 
-Runs all experiments (E1–E15 and the ablations A1–A4), prints each rendered
+Runs all experiments (E1–E16 and the ablations A1–A4), prints each rendered
 artefact, and saves the structured results as JSON under ``results/`` so
 they can be diffed across machines or loaded for plotting.
 

@@ -13,6 +13,7 @@ from repro.analysis.reporting import (
     format_markdown_table,
     format_series,
     format_table,
+    format_traffic_summary,
 )
 from repro.analysis.serialization import (
     experiment_to_csv,
@@ -31,6 +32,7 @@ __all__ = [
     "area_under_error",
     "format_table",
     "format_markdown_table",
+    "format_traffic_summary",
     "RateFit",
     "fit_power_law",
     "fit_geometric",

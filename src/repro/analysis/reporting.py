@@ -59,6 +59,35 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: Option
     return "\n".join(lines)
 
 
+#: Canonical display order of traffic counters; anything else the summary
+#: carries is appended alphabetically so no counter is silently hidden.
+_TRAFFIC_ORDER = (
+    "messages_delivered",
+    "messages_dropped",
+    "bytes_delivered",
+    "bytes_dropped",
+    "messages_delayed",
+    "messages_duplicated",
+    "messages_corrupted",
+)
+
+
+def format_traffic_summary(summary: Dict[str, int], title: str = "network traffic") -> str:
+    """Render a network ``traffic_summary()`` dict as an aligned table.
+
+    Accepts both the synchronous network's four delivered/dropped totals
+    and the partially-synchronous network's extended counters; drop totals
+    are always shown (zero included) so a clean run is distinguishable
+    from a run that never accounted drops.
+    """
+    if not summary:
+        raise InvalidParameterError("traffic summary is empty")
+    ordered = [key for key in _TRAFFIC_ORDER if key in summary]
+    ordered += sorted(set(summary) - set(_TRAFFIC_ORDER))
+    rows = [[key, int(summary[key])] for key in ordered]
+    return format_table(["counter", "total"], rows, title=title)
+
+
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 

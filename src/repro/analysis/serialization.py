@@ -38,6 +38,8 @@ def save_trace(trace: Trace, path: PathLike) -> Path:
         "wall_time": trace.wall_time,
         "messages_delivered": trace.messages_delivered,
         "bytes_delivered": trace.bytes_delivered,
+        "messages_dropped": trace.messages_dropped,
+        "bytes_dropped": trace.bytes_dropped,
         "filter_name": trace.filter_name,
     }
     np.savez_compressed(
@@ -66,6 +68,9 @@ def load_trace(path: PathLike) -> Trace:
         wall_time=float(metadata["wall_time"]),
         messages_delivered=int(metadata["messages_delivered"]),
         bytes_delivered=int(metadata["bytes_delivered"]),
+        # Legacy archives predate drop accounting; default to zero.
+        messages_dropped=int(metadata.get("messages_dropped", 0)),
+        bytes_dropped=int(metadata.get("bytes_dropped", 0)),
         filter_name=str(metadata["filter_name"]),
     )
 

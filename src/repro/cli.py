@@ -59,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "E13": experiment_module.run_worst_case_certification,
     "E14": experiment_module.run_heterogeneity_sweep,
     "E15": experiment_module.run_communication_costs,
+    "E16": experiment_module.run_degraded_network,
     "A1": experiment_module.run_cge_sum_vs_mean,
     "A2": experiment_module.run_step_size_ablation,
     "A3": experiment_module.run_projection_ablation,
@@ -99,6 +100,66 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--telemetry", metavar="PATH", default=None,
         help="stream per-round telemetry records (JSONL) to PATH",
+    )
+    degraded = run.add_argument_group(
+        "degraded network",
+        "partially-synchronous fault injection; any of these flags switches "
+        "the execution to the self-healing runtime (deterministic in "
+        "--fault-seed)",
+    )
+    degraded.add_argument(
+        "--drop-prob", type=float, default=0.0,
+        help="per-message loss probability on every agent link",
+    )
+    degraded.add_argument(
+        "--delay", type=int, default=0, metavar="B",
+        help="partial-synchrony bound: messages may arrive up to B rounds late",
+    )
+    degraded.add_argument(
+        "--delay-prob", type=float, default=None,
+        help="per-message delay probability (defaults to 0.25 when --delay > 0)",
+    )
+    degraded.add_argument(
+        "--duplicate-prob", type=float, default=0.0,
+        help="per-message duplication probability",
+    )
+    degraded.add_argument(
+        "--corrupt-prob", type=float, default=0.0,
+        help="per-gradient payload-corruption probability",
+    )
+    degraded.add_argument(
+        "--corrupt-mode", default="nan", choices=["nan", "inf", "bitflip"],
+        help="payload corruption mode",
+    )
+    degraded.add_argument(
+        "--stragglers", type=int, default=0, metavar="K",
+        help="make the K highest-id honest agents stragglers",
+    )
+    degraded.add_argument(
+        "--straggle-every", type=int, default=4,
+        help="straggler cadence: extra latency every Nth round",
+    )
+    degraded.add_argument(
+        "--straggle-delay", type=int, default=1,
+        help="extra rounds of latency when the straggler schedule fires",
+    )
+    degraded.add_argument(
+        "--crash-recover", default=None, metavar="ID:CRASH[:RECOVER]",
+        help="agent ID goes down at round CRASH and returns at RECOVER "
+        "(omit RECOVER for a permanent endpoint crash)",
+    )
+    degraded.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="determinism seed of every network fault draw",
+    )
+    degraded.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint the run state atomically to PATH; an existing "
+        "compatible checkpoint is resumed bit-identically",
+    )
+    degraded.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="ROUNDS",
+        help="checkpoint cadence (default 25)",
     )
 
     profile = commands.add_parser(
@@ -219,7 +280,67 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _parse_crash_recover(spec: str):
+    """Parse ``ID:CRASH[:RECOVER]`` into ``(id, crash, recover_or_None)``."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"--crash-recover expects ID:CRASH[:RECOVER], got {spec!r}")
+    values = [int(p) for p in parts]
+    return values[0], values[1], values[2] if len(values) == 3 else None
+
+
+def _build_fault_model(args, n: int):
+    """Translate the degraded-network flags into a ``NetworkFaultModel``.
+
+    Returns ``None`` when no fault flag is set (pure synchronous run).
+    """
+    from repro.system.netfaults import FaultProfile, NetworkFaultModel
+
+    delay_prob = args.delay_prob
+    if delay_prob is None:
+        delay_prob = 0.25 if args.delay > 0 else 0.0
+    base = FaultProfile(
+        drop_prob=args.drop_prob,
+        delay_prob=delay_prob if args.delay > 0 else 0.0,
+        max_delay=args.delay,
+        duplicate_prob=args.duplicate_prob,
+        corrupt_prob=args.corrupt_prob,
+        corrupt_mode=args.corrupt_mode,
+    )
+    profiles = {}
+    if not base.is_null:
+        profiles.update({i: base for i in range(n)})
+    if args.stragglers:
+        if args.stragglers < 0 or args.stragglers > n - args.f:
+            raise ValueError(
+                f"--stragglers must lie in [0, {n - args.f}] "
+                f"(honest agents), got {args.stragglers}"
+            )
+        from dataclasses import replace
+
+        for agent_id in range(n - args.stragglers, n):
+            profiles[agent_id] = replace(
+                profiles.get(agent_id, base),
+                straggle_every=args.straggle_every,
+                straggle_delay=args.straggle_delay,
+            )
+    if args.crash_recover:
+        agent_id, crash, recover = _parse_crash_recover(args.crash_recover)
+        if agent_id < 0 or agent_id >= n:
+            raise ValueError(f"--crash-recover agent id {agent_id} out of range")
+        from dataclasses import replace
+
+        profiles[agent_id] = replace(
+            profiles.get(agent_id, base), crash_round=crash, recover_round=recover
+        )
+    if not profiles:
+        return None
+    return NetworkFaultModel(profiles=profiles, seed=args.fault_seed)
+
+
 def _command_run(args) -> int:
+    from repro.exceptions import InvalidParameterError
+
     instance = make_redundant_regression(
         n=args.n, d=args.d, f=args.f, noise_std=args.noise, seed=args.seed
     )
@@ -227,6 +348,15 @@ def _command_run(args) -> int:
     honest = [i for i in range(args.n) if i not in faulty]
     x_H = instance.honest_minimizer(honest)
     behavior = make_attack(args.attack) if faulty else None
+    try:
+        fault_model = _build_fault_model(args, args.n)
+        if args.checkpoint_every <= 0:
+            raise ValueError(
+                f"--checkpoint-every must be positive, got {args.checkpoint_every}"
+            )
+    except (ValueError, InvalidParameterError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     telemetry = None
     if args.telemetry:
         from repro.observability import Telemetry
@@ -242,6 +372,9 @@ def _command_run(args) -> int:
         iterations=args.iterations,
         seed=args.seed,
         telemetry=telemetry,
+        fault_model=fault_model,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
     margin = measure_redundancy_margin(instance.costs, args.f).margin
     rows = [
@@ -252,10 +385,27 @@ def _command_run(args) -> int:
         ["dist(x_H, x_out)", final_error(trace, x_H)],
         ["redundancy margin eps", margin],
         ["messages delivered", trace.messages_delivered],
+        ["messages dropped", trace.messages_dropped],
         ["wall time (s)", round(trace.wall_time, 3)],
     ]
+    resilience = trace.extra.get("resilience")
+    if resilience is not None:
+        rows += [
+            ["stale reuses", resilience["stale_reuses"]],
+            ["stalled rounds", resilience["stalled_rounds"]],
+            ["quarantined payloads", resilience["quarantined_payloads"]],
+            ["suspected agents", resilience["suspected"] or "(none)"],
+            ["reinstatements", resilience["reinstatements"]],
+            ["resumed from round", trace.extra.get("resumed_from_round", 0)],
+        ]
     print(format_table(["quantity", "value"], rows,
                        title=f"filtered DGD on n={args.n}, f={args.f}, d={args.d}"))
+    if trace.extra.get("traffic") is not None:
+        from repro.analysis.reporting import format_traffic_summary
+
+        print(format_traffic_summary(trace.extra["traffic"]))
+    if args.checkpoint:
+        print(f"checkpoint -> {args.checkpoint}")
     if telemetry is not None:
         telemetry.close()
         print(f"telemetry -> {args.telemetry} ({telemetry.emitted} records)")

@@ -3,7 +3,7 @@
 Each ``run_*`` function is pure given its arguments (seeded), returns an
 :class:`repro.analysis.reporting.ExperimentResult`, and is wrapped by a
 bench target under ``benchmarks/`` that prints the rendered rows/series.
-The experiment ids (E1-E15, plus ablations A1-A4) and their mapping to the
+The experiment ids (E1-E16, plus ablations A1-A4) and their mapping to the
 paper's artefacts are indexed in DESIGN.md; the observed-vs-expected record
 lives in EXPERIMENTS.md. Any experiment can be aggregated across seeds with
 :func:`repro.experiments.multiseed.summarize_over_seeds`.
@@ -15,6 +15,7 @@ from repro.experiments.ablations import (
     run_step_size_ablation,
 )
 from repro.experiments.communication import run_communication_costs
+from repro.experiments.degraded_network import run_degraded_network
 from repro.experiments.dimension_sweep import run_cwtm_dimension_sweep
 from repro.experiments.exact_table import run_exact_algorithm_table
 from repro.experiments.fault_sweep import run_fault_sweep
@@ -54,6 +55,7 @@ __all__ = [
     "run_worst_case_certification",
     "run_heterogeneity_sweep",
     "run_communication_costs",
+    "run_degraded_network",
     "summarize_over_seeds",
     "run_aggregator_scaling",
     "run_cge_sum_vs_mean",

@@ -92,6 +92,9 @@ class NullTelemetry:
     def record_round(self, **fields) -> None:
         pass
 
+    def record_liveness(self, **fields) -> None:
+        pass
+
     def annotate(self, **fields) -> None:
         pass
 
@@ -299,6 +302,49 @@ class Telemetry:
             record["seed"] = int(seed) if isinstance(seed, (int, np.integer)) else str(seed)
         self._rounds += 1
         return self.emit("round", **record)
+
+    def record_liveness(
+        self,
+        *,
+        round_index: int,
+        fresh: Sequence[int] = (),
+        stale_reused: Sequence[int] = (),
+        quarantined: Sequence[int] = (),
+        suspected: Sequence[int] = (),
+        reinstated: Sequence[int] = (),
+        missing: Sequence[int] = (),
+    ) -> Dict:
+        """Record one round's liveness/staleness/quarantine outcome.
+
+        Emitted by the partially-synchronous runtime
+        (:class:`repro.system.healing.ResilientDGDServer`) whenever a
+        round deviated from the synchronous ideal: an agent's gradient
+        was reused stale, a payload was quarantined at the message
+        boundary, or an agent's suspicion state changed. Each id list
+        also bumps the matching counter (``stale_reuses``,
+        ``quarantined_payloads``, ``suspicions``, ``reinstatements``,
+        ``missed_deadlines``), so the roll-up in :meth:`summary` carries
+        the totals.
+        """
+        for counter, ids in (
+            ("stale_reuses", stale_reused),
+            ("quarantined_payloads", quarantined),
+            ("suspicions", suspected),
+            ("reinstatements", reinstated),
+            ("missed_deadlines", missing),
+        ):
+            if ids:
+                self.increment(counter, len(tuple(ids)))
+        return self.emit(
+            "liveness",
+            round=int(round_index),
+            fresh=_id_list(fresh),
+            stale_reused=_id_list(stale_reused),
+            quarantined=_id_list(quarantined),
+            suspected=_id_list(suspected),
+            reinstated=_id_list(reinstated),
+            missing=_id_list(missing),
+        )
 
     # ------------------------------------------------------------------
     # Roll-up

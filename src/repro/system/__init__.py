@@ -4,6 +4,11 @@ Implements the paper's system model from scratch: a synchronous, round-based
 message-passing system in either the **server-based** architecture (trusted
 server, up to ``f`` Byzantine agents) or the **peer-to-peer** architecture
 (agents simulate the server via Byzantine broadcast, requiring ``f < n/3``).
+
+The :mod:`repro.system.netfaults` / :mod:`repro.system.healing` pair drops
+the synchrony assumption: a deterministic partially-synchronous network
+(bounded delay, drops, duplicates, payload corruption, stragglers,
+crash-recovery) and the self-healing server runtime that survives it.
 """
 
 from repro.system.adversary import Adversary
@@ -25,10 +30,25 @@ from repro.system.faultinjection import (
     TransientlyUnpicklable,
     corrupt_cache_entry,
     corrupt_json_file,
+    deterministic_choice,
+    deterministic_draw,
+)
+from repro.system.healing import (
+    LivenessTracker,
+    ResiliencePolicy,
+    ResilientDGDServer,
+    RoundInbox,
+)
+from repro.system.netfaults import (
+    CORRUPTION_MODES,
+    FaultProfile,
+    NetworkFaultModel,
+    PartiallySynchronousNetwork,
+    corrupt_gradient,
 )
 from repro.system.peer_to_peer import PeerExecutionResult, run_peer_to_peer_dgd
 from repro.system.runner import DGDConfig, Trace, apply_config_overrides, run_dgd
-from repro.system.server import DGDServer
+from repro.system.server import DGDServer, fixed_filter_factory
 
 __all__ = [
     "Message",
@@ -64,4 +84,16 @@ __all__ = [
     "TransientlyUnpicklable",
     "corrupt_json_file",
     "corrupt_cache_entry",
+    "deterministic_draw",
+    "deterministic_choice",
+    "CORRUPTION_MODES",
+    "FaultProfile",
+    "NetworkFaultModel",
+    "PartiallySynchronousNetwork",
+    "corrupt_gradient",
+    "ResiliencePolicy",
+    "LivenessTracker",
+    "RoundInbox",
+    "ResilientDGDServer",
+    "fixed_filter_factory",
 ]

@@ -56,7 +56,32 @@ __all__ = [
     "TransientlyUnpicklable",
     "corrupt_json_file",
     "corrupt_cache_entry",
+    "deterministic_draw",
+    "deterministic_choice",
 ]
+
+
+def deterministic_draw(seed: int, *key) -> float:
+    """A uniform draw in ``[0, 1)`` that is a pure function of ``(seed, key)``.
+
+    SHA-256 over the stringified key, mapped to the unit interval. This is
+    the determinism discipline every fault schedule in this module (and the
+    network fault model in :mod:`repro.system.netfaults`) follows: a chaos
+    run is exactly replayable from its seed, and — unlike a stateful
+    ``Generator`` — a resumed run replays the *same* draws without having
+    to persist any stream position in a checkpoint.
+    """
+    material = ":".join(str(part) for part in (seed, *key))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def deterministic_choice(seed: int, low: int, high: int, *key) -> int:
+    """A deterministic integer draw in ``[low, high]`` (inclusive)."""
+    if high < low:
+        raise InvalidParameterError(f"empty choice range [{low}, {high}]")
+    span = high - low + 1
+    return low + int(deterministic_draw(seed, "choice", *key) * span) % span
 
 
 @dataclass(frozen=True)
@@ -208,8 +233,7 @@ class RandomFaults(FaultPolicy):
             raise InvalidParameterError(f"rate must be in [0, 1], got {self.rate}")
 
     def apply(self, call_index: int, item) -> None:
-        digest = hashlib.sha256(f"{self.seed}:{call_index}".encode("utf-8")).digest()
-        draw = int.from_bytes(digest[:8], "big") / 2**64
+        draw = deterministic_draw(self.seed, call_index)
         if draw < self.rate:
             raise InjectedFault(f"{self.message} (call {call_index}, draw {draw:.3f})")
 

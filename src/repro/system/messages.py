@@ -8,11 +8,13 @@ inspected by tests and by the rushing adversary.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, ProtocolViolationError
 
 #: Conventional node id of the trusted server in the server-based architecture.
 SERVER_ID = -1
@@ -88,3 +90,49 @@ class GradientMessage(Message):
 
     def size_bytes(self) -> int:
         return 16 + 8 * self.gradient.shape[0]
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether every payload entry is finite (NaN/Inf-free)."""
+        return bool(np.all(np.isfinite(self.gradient)))
+
+    def payload_digest(self) -> str:
+        """SHA-256 hex digest of the exact payload bytes.
+
+        Used by the partially-synchronous runtime to deduplicate replayed
+        copies of a message and to detect *conflicting* duplicates (same
+        sender and round, different payload bytes) without comparing
+        arrays pairwise. NaNs digest by their bit pattern, so two
+        NaN-corrupted copies with identical bytes still deduplicate.
+        """
+        return hashlib.sha256(
+            np.ascontiguousarray(self.gradient).tobytes()
+        ).hexdigest()
+
+    def validate(self, dimension: Optional[int] = None) -> "GradientMessage":
+        """Check the payload a well-behaved sender would produce.
+
+        The constructor deliberately admits arbitrary payload bytes — a
+        Byzantine sender controls them entirely — so validation is a
+        *separate*, explicit boundary step: the server calls it on every
+        received gradient and quarantines (or rejects) offenders before
+        they can reach an aggregator whose norm-sort is undefined on NaN.
+
+        Raises
+        ------
+        ProtocolViolationError
+            When the payload has the wrong dimension or any non-finite
+            entry. Returns ``self`` otherwise, so validation chains.
+        """
+        if dimension is not None and self.gradient.shape[0] != dimension:
+            raise ProtocolViolationError(
+                f"gradient from agent {self.sender} (round {self.round_index}) "
+                f"has dimension {self.gradient.shape[0]}, expected {dimension}"
+            )
+        if not self.is_finite:
+            bad = int(np.count_nonzero(~np.isfinite(self.gradient)))
+            raise ProtocolViolationError(
+                f"gradient from agent {self.sender} (round {self.round_index}) "
+                f"carries {bad} non-finite entr{'y' if bad == 1 else 'ies'}"
+            )
+        return self

@@ -1,0 +1,604 @@
+"""Partially-synchronous network fault model.
+
+The paper's convergence analysis assumes perfect synchrony: every honest
+gradient arrives in its round, so silence alone proves faultiness. This
+module drops that assumption in a controlled, *deterministic* way. A
+:class:`PartiallySynchronousNetwork` can
+
+- **drop** a message outright,
+- **delay** it by a bounded number of rounds (the partial-synchrony bound
+  ``B``),
+- **duplicate** it (the copy possibly arriving later than the original),
+- **reorder** deliveries within a round,
+- **corrupt** a gradient payload in place (NaN-poison, Inf-poison, or a
+  single bit-flip — what a flaky link or DMA error does to real traffic),
+- model **stragglers** (periodic extra latency on an agent's uplink) and
+  **crash-recovery** agents (an endpoint that is down for a window of
+  rounds and then returns).
+
+Every fault decision is a pure function of ``(seed, message coordinates)``
+via :func:`repro.system.faultinjection.deterministic_draw` — the same
+determinism discipline the infrastructure chaos harness uses. Two
+consequences matter:
+
+- a degraded run is exactly replayable from its seed, and
+- a **checkpoint/resume** of a degraded run replays identical faults
+  without persisting any RNG stream position (there is none).
+
+Faults compose per agent through a :class:`FaultProfile`; the model applies
+a sender's profile to its uplink traffic and a receiver's profile to its
+downlink traffic, so "agent 3 is a straggler behind a lossy link" is one
+profile attached to one id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.system.faultinjection import deterministic_choice, deterministic_draw
+from repro.system.messages import GradientMessage, Message
+from repro.system.network import DeliveryRecord, SynchronousNetwork
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "FaultProfile",
+    "NetworkFaultModel",
+    "PartiallySynchronousNetwork",
+    "corrupt_gradient",
+]
+
+#: Supported payload corruption modes.
+CORRUPTION_MODES = ("nan", "inf", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Composable per-agent network fault knobs.
+
+    All probabilities are per message; all schedules are deterministic in
+    the round index, in the style of the :mod:`repro.system.faultinjection`
+    policies (``FailEveryNth`` and friends).
+
+    Attributes
+    ----------
+    drop_prob:
+        Probability a message is lost.
+    delay_prob / max_delay:
+        Probability a message is delayed, and the inclusive bound ``B`` on
+        the delay in rounds (delays are uniform on ``{1, …, B}``). The
+        bound is what makes the model *partially* synchronous rather than
+        asynchronous.
+    duplicate_prob:
+        Probability the network re-delivers a second copy of the message
+        (possibly with its own delay draw).
+    corrupt_prob / corrupt_mode:
+        Probability a gradient payload is corrupted in flight and how:
+        ``"nan"`` poisons one coordinate with NaN, ``"inf"`` with ±Inf,
+        ``"bitflip"`` flips one bit of one float64 (which may yield a
+        plausible-but-wrong finite value — the nastiest case).
+    straggle_every / straggle_delay:
+        Deterministic straggler schedule: on every ``straggle_every``-th
+        round (indices ``k−1, 2k−1, …``, matching ``FailEveryNth``) the
+        agent's uplink is ``straggle_delay`` rounds late.
+    crash_round / recover_round:
+        Crash-recovery window: the endpoint is down (sends and receives
+        nothing) for rounds in ``[crash_round, recover_round)``; with
+        ``recover_round=None`` the crash is permanent.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay: int = 0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    corrupt_mode: str = "nan"
+    straggle_every: int = 0
+    straggle_delay: int = 1
+    crash_round: Optional[int] = None
+    recover_round: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("drop_prob", "delay_prob", "duplicate_prob", "corrupt_prob"):
+            check_probability(getattr(self, name), name=name)
+        if self.max_delay < 0:
+            raise InvalidParameterError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.delay_prob > 0 and self.max_delay < 1:
+            raise InvalidParameterError(
+                "delay_prob > 0 requires max_delay >= 1 (the partial-synchrony bound)"
+            )
+        if self.corrupt_mode not in CORRUPTION_MODES:
+            raise InvalidParameterError(
+                f"corrupt_mode must be one of {CORRUPTION_MODES}, got {self.corrupt_mode!r}"
+            )
+        if self.straggle_every < 0:
+            raise InvalidParameterError(
+                f"straggle_every must be >= 0, got {self.straggle_every}"
+            )
+        if self.straggle_every > 0 and self.straggle_delay < 1:
+            raise InvalidParameterError(
+                f"straggle_delay must be >= 1, got {self.straggle_delay}"
+            )
+        if self.crash_round is not None and self.crash_round < 0:
+            raise InvalidParameterError(
+                f"crash_round must be non-negative, got {self.crash_round}"
+            )
+        if self.recover_round is not None:
+            if self.crash_round is None:
+                raise InvalidParameterError("recover_round requires crash_round")
+            if self.recover_round <= self.crash_round:
+                raise InvalidParameterError(
+                    f"recover_round ({self.recover_round}) must exceed "
+                    f"crash_round ({self.crash_round})"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this profile injects no fault at all."""
+        return (
+            self.drop_prob == 0.0
+            and self.delay_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.corrupt_prob == 0.0
+            and self.straggle_every == 0
+            and self.crash_round is None
+        )
+
+    @property
+    def preserves_synchrony(self) -> bool:
+        """Whether silence under this profile still proves faultiness.
+
+        Any fault that can make an *honest* agent's reply miss its round —
+        a drop, a delay, a straggle, a crash window — breaks the
+        synchrony proof; duplication and corruption do not.
+        """
+        return (
+            self.drop_prob == 0.0
+            and self.delay_prob == 0.0
+            and self.straggle_every == 0
+            and self.crash_round is None
+        )
+
+    def is_down(self, round_index: int) -> bool:
+        """Whether the endpoint is inside its crash-recovery window."""
+        if self.crash_round is None or round_index < self.crash_round:
+            return False
+        return self.recover_round is None or round_index < self.recover_round
+
+    def straggles_at(self, round_index: int) -> bool:
+        """Whether the deterministic straggler schedule fires this round."""
+        if self.straggle_every <= 0:
+            return False
+        return round_index % self.straggle_every == self.straggle_every - 1
+
+    def worst_case_delay(self) -> int:
+        """The largest delay (in rounds) this profile can inflict."""
+        delay = self.max_delay if self.delay_prob > 0 else 0
+        straggle = self.straggle_delay if self.straggle_every > 0 else 0
+        return delay + straggle
+
+
+#: The profile of an agent with no configured faults.
+NULL_PROFILE = FaultProfile()
+
+
+@dataclass(frozen=True)
+class NetworkFaultModel:
+    """Per-agent fault profiles plus the model-wide determinism seed.
+
+    Attributes
+    ----------
+    profiles:
+        Map from agent id to its :class:`FaultProfile`; absent agents get
+        :data:`NULL_PROFILE`.
+    seed:
+        Seed of every deterministic draw the model makes.
+    reorder:
+        When set, each round's due deliveries are permuted by a seeded
+        shuffle instead of arriving in canonical order.
+    """
+
+    profiles: Mapping[int, FaultProfile] = field(default_factory=dict)
+    seed: int = 0
+    reorder: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "profiles",
+            {int(k): v for k, v in dict(self.profiles).items()},
+        )
+        for agent_id, profile in self.profiles.items():
+            if not isinstance(profile, FaultProfile):
+                raise InvalidParameterError(
+                    f"profiles[{agent_id}] must be a FaultProfile, "
+                    f"got {type(profile).__name__}"
+                )
+
+    @classmethod
+    def uniform(
+        cls,
+        agent_ids: Iterable[int],
+        profile: FaultProfile,
+        seed: int = 0,
+        reorder: bool = False,
+    ) -> "NetworkFaultModel":
+        """One profile applied to every listed agent."""
+        return cls(
+            profiles={int(i): profile for i in agent_ids}, seed=seed, reorder=reorder
+        )
+
+    def profile(self, agent_id: int) -> FaultProfile:
+        return self.profiles.get(int(agent_id), NULL_PROFILE)
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the model injects no fault (perfect synchrony)."""
+        return all(profile.is_null for profile in self.profiles.values())
+
+    @property
+    def preserves_synchrony(self) -> bool:
+        """Whether silence is still proof of faultiness under this model."""
+        return all(p.preserves_synchrony for p in self.profiles.values())
+
+    def delay_bound(self) -> int:
+        """The model-wide bound ``B`` on message delay, in rounds."""
+        if not self.profiles:
+            return 0
+        return max(p.worst_case_delay() for p in self.profiles.values())
+
+    def staleness_bound(self) -> int:
+        """Worst-case age of an honest gradient when it finally arrives.
+
+        A round-``t`` broadcast can reach an agent ``B`` rounds late and
+        the reply can take another ``B`` rounds back, so the server may
+        receive an honest gradient up to ``2B`` rounds after the round it
+        was computed for. A model with drops (but no delays) still
+        warrants a bound of one round of reuse, so a single lost reply
+        does not cost an agent its round.
+        """
+        bound = 2 * self.delay_bound()
+        if bound == 0 and not self.is_null:
+            return 1
+        return bound
+
+
+def corrupt_gradient(
+    gradient: np.ndarray, mode: str, seed: int, *key
+) -> np.ndarray:
+    """Deterministically corrupt one coordinate of a gradient payload.
+
+    The damaged coordinate (and, for ``"bitflip"``, the damaged bit) is a
+    pure function of ``(seed, key)``; the input array is never modified.
+    """
+    if mode not in CORRUPTION_MODES:
+        raise InvalidParameterError(
+            f"mode must be one of {CORRUPTION_MODES}, got {mode!r}"
+        )
+    damaged = np.array(gradient, dtype=float, copy=True)
+    if damaged.size == 0:
+        return damaged
+    position = deterministic_choice(seed, 0, damaged.size - 1, "corrupt-pos", *key)
+    if mode == "nan":
+        damaged[position] = np.nan
+    elif mode == "inf":
+        sign = 1.0 if deterministic_draw(seed, "corrupt-sign", *key) < 0.5 else -1.0
+        damaged[position] = sign * np.inf
+    else:  # bitflip
+        bit = deterministic_choice(seed, 0, 63, "corrupt-bit", *key)
+        bits = damaged.view(np.uint64)
+        bits[position] ^= np.uint64(1) << np.uint64(bit)
+    return damaged
+
+
+@dataclass(frozen=True)
+class _InFlight:
+    """One queued delivery: a message bound for ``receiver`` at ``due``."""
+
+    due: int
+    receiver: int
+    sequence: int
+    message: Message
+    copy_index: int = 0
+
+
+class PartiallySynchronousNetwork(SynchronousNetwork):
+    """A round-based network whose deliveries obey a fault model.
+
+    Unlike the synchronous parent — where :meth:`deliver` resolves a
+    message immediately — this network separates **submission** from
+    **collection**: :meth:`submit` applies the sender-or-receiver profile
+    (drop, delay, duplicate, corrupt) and queues surviving copies;
+    :meth:`collect` releases the copies due in the current round, in a
+    deterministic (optionally seeded-shuffled) order. With a null fault
+    model every submission is collectable in its own round in submission
+    order, so the schedule degenerates to the synchronous one.
+
+    Traffic accounting extends the parent's: ``messages_delayed``,
+    ``messages_duplicated``, and ``messages_corrupted`` count fault
+    activity, and the delivery log records each copy when it is collected.
+
+    The queue (plus counters) round-trips through :meth:`state` /
+    :meth:`restore_state` so a checkpointed run can resume with its
+    in-flight messages intact; fault draws need no state because they are
+    pure functions of the model seed.
+    """
+
+    def __init__(
+        self,
+        fault_model: Optional[NetworkFaultModel] = None,
+        log_capacity: int = 10_000,
+    ):
+        super().__init__(drop_probabilities=None, rng=None, log_capacity=log_capacity)
+        self._model = fault_model if fault_model is not None else NetworkFaultModel()
+        self._queue: List[_InFlight] = []
+        self._sequence = 0
+        self._messages_delayed = 0
+        self._messages_duplicated = 0
+        self._messages_corrupted = 0
+
+    @property
+    def fault_model(self) -> NetworkFaultModel:
+        return self._model
+
+    @property
+    def messages_delayed(self) -> int:
+        return self._messages_delayed
+
+    @property
+    def messages_duplicated(self) -> int:
+        return self._messages_duplicated
+
+    @property
+    def messages_corrupted(self) -> int:
+        return self._messages_corrupted
+
+    @property
+    def pending_count(self) -> int:
+        """Queued copies not yet collected."""
+        return len(self._queue)
+
+    def traffic_summary(self) -> Dict[str, int]:
+        summary = super().traffic_summary()
+        summary.update(
+            messages_delayed=self._messages_delayed,
+            messages_duplicated=self._messages_duplicated,
+            messages_corrupted=self._messages_corrupted,
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+
+    def _endpoint_profile(self, message: Message, receiver: int) -> Tuple[int, FaultProfile]:
+        """The agent-side endpoint whose profile governs this message.
+
+        Server→agent traffic is shaped by the receiving agent's link;
+        agent→server traffic by the sending agent's. (The trusted server
+        itself is assumed reliable, as in the paper.)
+        """
+        endpoint = message.sender if message.sender >= 0 else int(receiver)
+        return endpoint, self._model.profile(endpoint)
+
+    def _record_drop(self, message: Message, receiver: int) -> None:
+        record = DeliveryRecord(
+            round_index=message.round_index,
+            sender=message.sender,
+            receiver=int(receiver),
+            message_type=type(message).__name__,
+            size_bytes=message.size_bytes(),
+            dropped=True,
+        )
+        self._log.append(record)
+        self._records_seen += 1
+        self._messages_dropped += 1
+        self._bytes_dropped += record.size_bytes
+
+    def submit(self, message: Message, receiver: int, current_round: int) -> None:
+        """Hand one message to the network in ``current_round``.
+
+        Applies the governing endpoint profile and queues zero, one, or
+        two copies for future collection.
+        """
+        endpoint, profile = self._endpoint_profile(message, receiver)
+        key = (endpoint, int(receiver), message.sender, message.round_index, current_round)
+        seed = self._model.seed
+
+        if profile.is_down(current_round):
+            self._record_drop(message, receiver)
+            return
+        if profile.drop_prob > 0 and deterministic_draw(seed, "drop", *key) < profile.drop_prob:
+            self._record_drop(message, receiver)
+            return
+
+        delay = 0
+        if profile.straggle_every > 0 and message.sender >= 0 and profile.straggles_at(current_round):
+            delay += profile.straggle_delay
+        if profile.delay_prob > 0 and deterministic_draw(seed, "delay", *key) < profile.delay_prob:
+            delay += deterministic_choice(seed, 1, profile.max_delay, "delay-len", *key)
+        if delay > 0:
+            self._messages_delayed += 1
+
+        payload = message
+        if (
+            profile.corrupt_prob > 0
+            and isinstance(message, GradientMessage)
+            and deterministic_draw(seed, "corrupt", *key) < profile.corrupt_prob
+        ):
+            payload = GradientMessage(
+                sender=message.sender,
+                round_index=message.round_index,
+                gradient=corrupt_gradient(
+                    message.gradient, profile.corrupt_mode, seed, *key
+                ),
+            )
+            self._messages_corrupted += 1
+
+        self._enqueue(payload, receiver, current_round + delay, copy_index=0)
+
+        if profile.duplicate_prob > 0 and deterministic_draw(seed, "dup", *key) < profile.duplicate_prob:
+            extra = 0
+            if profile.max_delay > 0:
+                extra = deterministic_choice(seed, 0, profile.max_delay, "dup-delay", *key)
+            self._messages_duplicated += 1
+            self._enqueue(payload, receiver, current_round + delay + extra, copy_index=1)
+
+    def _enqueue(self, message: Message, receiver: int, due: int, copy_index: int) -> None:
+        self._queue.append(
+            _InFlight(
+                due=int(due),
+                receiver=int(receiver),
+                sequence=self._sequence,
+                message=message,
+                copy_index=copy_index,
+            )
+        )
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self, receiver: int, current_round: int) -> List[Message]:
+        """Release the copies due for ``receiver`` by ``current_round``.
+
+        Due copies arrive sorted by ``(message round, sender, submission
+        sequence)`` — a canonical order so results are reproducible — or in
+        a deterministic seeded shuffle when the model's ``reorder`` flag is
+        set. Each released copy is logged and counted as delivered.
+        """
+        receiver = int(receiver)
+        due = [e for e in self._queue if e.receiver == receiver and e.due <= current_round]
+        if not due:
+            return []
+        self._queue = [
+            e for e in self._queue if not (e.receiver == receiver and e.due <= current_round)
+        ]
+        due.sort(key=lambda e: (e.message.round_index, e.message.sender, e.sequence))
+        if self._model.reorder and len(due) > 1:
+            order = sorted(
+                range(len(due)),
+                key=lambda i: deterministic_draw(
+                    self._model.seed, "reorder", current_round, receiver, i
+                ),
+            )
+            due = [due[i] for i in order]
+        released: List[Message] = []
+        for entry in due:
+            record = DeliveryRecord(
+                round_index=entry.message.round_index,
+                sender=entry.message.sender,
+                receiver=receiver,
+                message_type=type(entry.message).__name__,
+                size_bytes=entry.message.size_bytes(),
+                dropped=False,
+            )
+            self._log.append(record)
+            self._records_seen += 1
+            self._messages_delivered += 1
+            self._bytes_delivered += record.size_bytes
+            released.append(entry.message)
+        return released
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state(self) -> Dict:
+        """JSON-serializable snapshot of queue and counters.
+
+        The delivery log is deliberately excluded: it is diagnostics, not
+        execution state, and resumed runs only need counters to keep the
+        traffic totals consistent.
+        """
+        return {
+            "sequence": self._sequence,
+            "queue": [
+                {
+                    "due": e.due,
+                    "receiver": e.receiver,
+                    "sequence": e.sequence,
+                    "copy_index": e.copy_index,
+                    "kind": type(e.message).__name__,
+                    "sender": e.message.sender,
+                    "round_index": e.message.round_index,
+                    "payload": self._payload_of(e.message),
+                }
+                for e in self._queue
+            ],
+            "counters": {
+                "messages_delivered": self._messages_delivered,
+                "messages_dropped": self._messages_dropped,
+                "bytes_delivered": self._bytes_delivered,
+                "bytes_dropped": self._bytes_dropped,
+                "messages_delayed": self._messages_delayed,
+                "messages_duplicated": self._messages_duplicated,
+                "messages_corrupted": self._messages_corrupted,
+                "records_seen": self._records_seen,
+            },
+        }
+
+    @staticmethod
+    def _payload_of(message: Message) -> Optional[List]:
+        if isinstance(message, GradientMessage):
+            # float(hex) round-trips every float64 bit pattern; plain JSON
+            # floats cannot carry NaN/Inf, which corrupted payloads contain.
+            return [float(v).hex() for v in np.asarray(message.gradient, dtype=float)]
+        from repro.system.messages import EstimateBroadcast
+
+        if isinstance(message, EstimateBroadcast):
+            return [float(v).hex() for v in np.asarray(message.estimate, dtype=float)]
+        return None
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        from repro.system.messages import EstimateBroadcast
+
+        self._sequence = int(state["sequence"])
+        counters = state["counters"]
+        self._messages_delivered = int(counters["messages_delivered"])
+        self._messages_dropped = int(counters["messages_dropped"])
+        self._bytes_delivered = int(counters["bytes_delivered"])
+        self._bytes_dropped = int(counters["bytes_dropped"])
+        self._messages_delayed = int(counters["messages_delayed"])
+        self._messages_duplicated = int(counters["messages_duplicated"])
+        self._messages_corrupted = int(counters["messages_corrupted"])
+        self._records_seen = int(counters["records_seen"])
+        queue: List[_InFlight] = []
+        for entry in state["queue"]:
+            payload = (
+                None
+                if entry["payload"] is None
+                else np.array([float.fromhex(v) for v in entry["payload"]])
+            )
+            if entry["kind"] == "GradientMessage":
+                message: Message = GradientMessage(
+                    sender=entry["sender"],
+                    round_index=entry["round_index"],
+                    gradient=payload,
+                )
+            elif entry["kind"] == "EstimateBroadcast":
+                message = EstimateBroadcast(
+                    sender=entry["sender"],
+                    round_index=entry["round_index"],
+                    estimate=payload,
+                )
+            else:
+                raise InvalidParameterError(
+                    f"cannot restore in-flight message of kind {entry['kind']!r}"
+                )
+            queue.append(
+                _InFlight(
+                    due=int(entry["due"]),
+                    receiver=int(entry["receiver"]),
+                    sequence=int(entry["sequence"]),
+                    message=message,
+                    copy_index=int(entry["copy_index"]),
+                )
+            )
+        self._queue = queue

@@ -65,6 +65,7 @@ class SynchronousNetwork:
         self._messages_delivered = 0
         self._messages_dropped = 0
         self._bytes_delivered = 0
+        self._bytes_dropped = 0
         self._records_seen = 0
         self._eviction_warned = False
 
@@ -79,6 +80,26 @@ class SynchronousNetwork:
     @property
     def bytes_delivered(self) -> int:
         return self._bytes_delivered
+
+    @property
+    def bytes_dropped(self) -> int:
+        """Payload bytes the network absorbed without delivering.
+
+        Dropped traffic costs the sender bandwidth even though nothing
+        arrives; accounting it separately keeps ``bytes_delivered`` an
+        honest measure of *useful* traffic instead of silently conflating
+        the two.
+        """
+        return self._bytes_dropped
+
+    def traffic_summary(self) -> Dict[str, int]:
+        """Delivered/dropped message and byte totals as a plain dict."""
+        return {
+            "messages_delivered": self._messages_delivered,
+            "messages_dropped": self._messages_dropped,
+            "bytes_delivered": self._bytes_delivered,
+            "bytes_dropped": self._bytes_dropped,
+        }
 
     @property
     def log_capacity(self) -> int:
@@ -133,6 +154,7 @@ class SynchronousNetwork:
         self._records_seen += 1
         if dropped:
             self._messages_dropped += 1
+            self._bytes_dropped += record.size_bytes
             return None
         self._messages_delivered += 1
         self._bytes_delivered += record.size_bytes

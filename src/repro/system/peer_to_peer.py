@@ -25,6 +25,9 @@ from repro.optimization.cost_functions import CostFunction
 from repro.optimization.projections import BoxSet, ConvexSet
 from repro.optimization.step_sizes import StepSizeSchedule
 from repro.system.broadcast import EquivocatingSender, byzantine_broadcast
+from repro.system.faultinjection import deterministic_choice, deterministic_draw
+from repro.system.healing import ResiliencePolicy
+from repro.system.netfaults import NetworkFaultModel, corrupt_gradient
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_fault_bound, check_vector
 
@@ -65,6 +68,86 @@ class PeerExecutionResult:
         return np.linalg.norm(self.estimates - point, axis=1)
 
 
+def _degrade_agreed_rows(
+    rows: List[np.ndarray],
+    t: int,
+    model: NetworkFaultModel,
+    policy: ResiliencePolicy,
+    in_flight: List,
+    last_agreed: Dict[int, tuple],
+    counters: Dict[str, int],
+    dimension: int,
+) -> List[np.ndarray]:
+    """Apply the fault model to one round's agreed broadcast values.
+
+    Works on the broadcast *outcomes* — by then every honest agent holds
+    the same per-sender vector, and every fault draw below is a pure
+    function of ``(model seed, "p2p", sender, round)``, so all honest
+    agents degrade the matrix identically and agreement survives. A
+    sender's value can be lost for the round, delayed a bounded number of
+    rounds, or corrupted; consumers fall back to the sender's last agreed
+    value up to ``policy.max_staleness`` rounds old and to the zero vector
+    (the protocol's ⊥ convention) beyond that. Duplicated deliveries are
+    inherently idempotent here — re-delivering an agreed value changes
+    nothing — so duplication needs no handling.
+    """
+    seed = model.seed
+    for sender, value in enumerate(rows):
+        profile = model.profile(sender)
+        key = ("p2p", sender, t)
+        if profile.is_down(t):
+            counters["dropped"] += 1
+            continue
+        if profile.drop_prob > 0 and deterministic_draw(seed, "drop", *key) < profile.drop_prob:
+            counters["dropped"] += 1
+            continue
+        if (
+            profile.corrupt_prob > 0
+            and deterministic_draw(seed, "corrupt", *key) < profile.corrupt_prob
+        ):
+            value = corrupt_gradient(value, profile.corrupt_mode, seed, *key)
+            counters["corrupted"] += 1
+        delay = 0
+        if profile.straggles_at(t):
+            delay += profile.straggle_delay
+        if profile.delay_prob > 0 and deterministic_draw(seed, "delay", *key) < profile.delay_prob:
+            delay += deterministic_choice(seed, 1, profile.max_delay, "delay-len", *key)
+        if delay > 0:
+            counters["delayed"] += 1
+        in_flight.append((t + delay, t, sender, value))
+
+    arrivals: Dict[int, tuple] = {}
+    remaining = []
+    for due, origin, sender, value in in_flight:
+        if due <= t:
+            best = arrivals.get(sender)
+            if best is None or origin > best[0]:
+                arrivals[sender] = (origin, value)
+        else:
+            remaining.append((due, origin, sender, value))
+    in_flight[:] = remaining
+
+    for sender, (origin, value) in arrivals.items():
+        if policy.quarantine_non_finite and not np.all(np.isfinite(value)):
+            counters["quarantined"] += 1
+            continue
+        prev = last_agreed.get(sender)
+        if prev is None or origin > prev[0]:
+            last_agreed[sender] = (origin, value)
+
+    degraded: List[np.ndarray] = []
+    for sender in range(len(rows)):
+        entry = last_agreed.get(sender)
+        if entry is not None and t - entry[0] <= policy.max_staleness:
+            if entry[0] < t:
+                counters["stale_reuses"] += 1
+            degraded.append(entry[1])
+        else:
+            counters["zero_filled"] += 1
+            degraded.append(np.zeros(dimension))
+    return degraded
+
+
 def run_peer_to_peer_dgd(
     costs: Sequence[CostFunction],
     gradient_filter: GradientFilter,
@@ -77,6 +160,8 @@ def run_peer_to_peer_dgd(
     seed: SeedLike = 0,
     equivocate: bool = True,
     telemetry: TelemetryLike = None,
+    fault_model: Optional[NetworkFaultModel] = None,
+    resilience: Optional["ResiliencePolicy"] = None,
 ) -> PeerExecutionResult:
     """Run filtered DGD in the peer-to-peer architecture.
 
@@ -99,6 +184,23 @@ def run_peer_to_peer_dgd(
         ``"filter"`` spans and a per-round record of the filter's
         kept/eliminated senders on the *delivered* (post-broadcast)
         gradient matrix — the matrix every honest agent filters locally.
+    fault_model:
+        Optional :class:`~repro.system.netfaults.NetworkFaultModel`
+        degrading the *outcome* of each sender's broadcast: the agreed
+        value may be lost for the round (drop / crash window), arrive a
+        bounded number of rounds late (delay / straggle schedule), or be
+        corrupted in flight. Every fault draw is a pure function of
+        ``(model seed, "p2p", sender, round)`` — identical at every honest
+        agent — so broadcast agreement is preserved by construction. A
+        ``None`` or null model reproduces the fault-free execution
+        bit-for-bit.
+    resilience:
+        Optional :class:`~repro.system.healing.ResiliencePolicy`; defaults
+        to ``ResiliencePolicy.for_model(fault_model)``. Under faults each
+        honest agent reuses a sender's last agreed gradient up to
+        ``max_staleness`` rounds old and zero-fills beyond (the protocol's
+        deterministic ⊥ convention), and quarantines non-finite agreed
+        values at the message boundary.
     """
     costs = list(costs)
     n = len(costs)
@@ -126,6 +228,24 @@ def run_peer_to_peer_dgd(
     estimates = np.empty((iterations + 1, dimension))
     estimates[0] = local[honest[0]]
     broadcast_messages = 0
+
+    policy: Optional[ResiliencePolicy] = None
+    in_flight: List = []
+    last_agreed: Dict[int, tuple] = {}
+    overlay_counters = {
+        "dropped": 0,
+        "delayed": 0,
+        "corrupted": 0,
+        "quarantined": 0,
+        "stale_reuses": 0,
+        "zero_filled": 0,
+    }
+    if fault_model is not None:
+        policy = (
+            resilience
+            if resilience is not None
+            else ResiliencePolicy.for_model(fault_model)
+        )
 
     tel = ensure_telemetry(telemetry)
     if tel:
@@ -175,6 +295,17 @@ def run_peer_to_peer_dgd(
                         # deterministic rule every honest agent applies identically.
                         delivered_rows.append(np.zeros(dimension) if agreed is None else agreed)
 
+                if fault_model is not None:
+                    delivered_rows = _degrade_agreed_rows(
+                        delivered_rows,
+                        t,
+                        fault_model,
+                        policy,
+                        in_flight,
+                        last_agreed,
+                        overlay_counters,
+                        dimension,
+                    )
                 gradients = np.stack(delivered_rows)
                 with tel.span("filter"):
                     direction = gradient_filter(gradients)
@@ -208,6 +339,10 @@ def run_peer_to_peer_dgd(
                 )
     elapsed = time.perf_counter() - start
 
+    extra: Dict[str, object] = {}
+    if fault_model is not None:
+        extra["degraded"] = dict(overlay_counters)
+        extra["max_staleness"] = policy.max_staleness
     return PeerExecutionResult(
         estimates=estimates,
         honest_ids=honest,
@@ -215,4 +350,5 @@ def run_peer_to_peer_dgd(
         per_agent_final={i: local[i].copy() for i in honest},
         broadcast_messages=broadcast_messages,
         wall_time=elapsed,
+        extra=extra,
     )

@@ -16,8 +16,31 @@ from repro.utils.validation import check_vector
 
 #: Builds a gradient filter for current system parameters ``(n, f)``. The
 #: server re-invokes the factory after eliminating silent agents, because
-#: elimination shrinks both ``n`` and ``f`` (the paper's Step S1).
+#: elimination shrinks both ``n`` and ``f`` (the paper's Step S1), and the
+#: partially-synchronous server re-invokes it per round for partial
+#: aggregation over the ``k ≤ n`` gradients that met the deadline.
 FilterFactory = Callable[[int, int], GradientFilter]
+
+
+def fixed_filter_factory(gradient_filter: GradientFilter) -> FilterFactory:
+    """A :data:`FilterFactory` anchored to one concrete filter instance.
+
+    Returns the given instance while the fault budget is unchanged (the
+    common case, including partial aggregation at the same ``f``);
+    rebuilds the same *class* with the reduced budget after an
+    elimination, falling back to the instance for filters that do not
+    take a plain ``f=`` constructor.
+    """
+
+    def factory(n_now: int, f_now: int) -> GradientFilter:
+        if f_now == gradient_filter.f:
+            return gradient_filter
+        try:
+            return type(gradient_filter)(f=f_now)
+        except TypeError:
+            return gradient_filter
+
+    return factory
 
 
 class DGDServer:
@@ -63,6 +86,7 @@ class DGDServer:
         n: int,
         f: int,
         telemetry: TelemetryLike = None,
+        validate_payloads: bool = False,
     ):
         if n <= 0:
             raise InvalidParameterError(f"n must be positive, got {n}")
@@ -80,6 +104,12 @@ class DGDServer:
         self._eliminated: List[int] = []
         self._last_direction: Optional[np.ndarray] = None
         self._telemetry = ensure_telemetry(telemetry)
+        #: When set, :meth:`step` rejects wrong-shaped or non-finite
+        #: gradient payloads with :class:`ProtocolViolationError` instead
+        #: of letting ``GradientFilter.sanitize`` absorb them. Off by
+        #: default: the synchronous model treats malformed payloads as
+        #: ordinary Byzantine outliers.
+        self.validate_payloads = bool(validate_payloads)
 
     @classmethod
     def with_fixed_filter(
@@ -99,16 +129,15 @@ class DGDServer:
         where reuse is safe; the factory recreates via ``type(filter)(f=...)``
         when possible and falls back to the given instance otherwise.
         """
-
-        def factory(n_now: int, f_now: int) -> GradientFilter:
-            if f_now == gradient_filter.f:
-                return gradient_filter
-            try:
-                return type(gradient_filter)(f=f_now)
-            except TypeError:
-                return gradient_filter
-
-        return cls(factory, step_sizes, projection, x0, n, f, telemetry=telemetry)
+        return cls(
+            fixed_filter_factory(gradient_filter),
+            step_sizes,
+            projection,
+            x0,
+            n,
+            f,
+            telemetry=telemetry,
+        )
 
     @property
     def estimate(self) -> np.ndarray:
@@ -202,6 +231,8 @@ class DGDServer:
                 raise ProtocolViolationError(
                     f"message from inactive agent {message.sender}"
                 )
+            if self.validate_payloads:
+                message.validate(self._estimate.shape[0])
         by_sender: Dict[int, GradientMessage] = {}
         for message in messages:
             if message.sender in by_sender:
@@ -211,14 +242,25 @@ class DGDServer:
             by_sender[message.sender] = message
         self.eliminate_silent(list(by_sender))
         ordered = [by_sender[agent_id] for agent_id in sorted(by_sender)]
+        return self._filtered_update(ordered, self._filter)
+
+    def _filtered_update(
+        self, ordered: Sequence[GradientMessage], gradient_filter: GradientFilter
+    ) -> np.ndarray:
+        """Apply one filtered update from an ordered message list (S2).
+
+        Shared by the synchronous :meth:`step` and the partially-
+        synchronous :class:`~repro.system.healing.ResilientDGDServer`, so
+        the two runtimes are numerically one code path.
+        """
         gradients = np.stack([message.gradient for message in ordered])
         with self._telemetry.span("filter"):
-            direction = self._filter(gradients)
+            direction = gradient_filter(gradients)
         self._last_direction = np.asarray(direction, dtype=float)
         eta = self._step_sizes(self._round)
         self._estimate = self._projection.project(self._estimate - eta * self._last_direction)
         if self._telemetry:
-            self._record_round_telemetry(ordered, gradients, eta)
+            self._record_round_telemetry(ordered, gradients, eta, gradient_filter)
         self._round += 1
         return self.estimate
 
@@ -227,6 +269,7 @@ class DGDServer:
         ordered: Sequence[GradientMessage],
         gradients: np.ndarray,
         eta: float,
+        gradient_filter: Optional[GradientFilter] = None,
     ) -> None:
         """Emit this round's telemetry record (telemetry-enabled path only).
 
@@ -234,14 +277,15 @@ class DGDServer:
         scored — and ``kept_indices`` (CGE and friends) is re-derived the
         same way, so the record reconstructs the filter's decision exactly.
         """
+        gradient_filter = self._filter if gradient_filter is None else gradient_filter
         agent_ids = [message.sender for message in ordered]
-        matrix = self._filter.sanitize(gradients)
+        matrix = gradient_filter.sanitize(gradients)
         kept_rows = None
-        if hasattr(self._filter, "kept_indices"):
-            kept_rows = self._filter.kept_indices(matrix)
+        if hasattr(gradient_filter, "kept_indices"):
+            kept_rows = gradient_filter.kept_indices(matrix)
         self._telemetry.record_round(
             round_index=self._round,
-            filter_name=getattr(self._filter, "name", type(self._filter).__name__),
+            filter_name=getattr(gradient_filter, "name", type(gradient_filter).__name__),
             step_size=eta,
             gradient_norms=np.linalg.norm(matrix, axis=1),
             agent_ids=agent_ids,

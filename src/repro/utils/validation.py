@@ -24,7 +24,12 @@ def require(condition: bool, message: str, exception: type = InvalidParameterErr
         raise exception(message)
 
 
-def check_vector(x, dimension: Optional[int] = None, name: str = "x") -> np.ndarray:
+def check_vector(
+    x,
+    dimension: Optional[int] = None,
+    name: str = "x",
+    allow_non_finite: bool = False,
+) -> np.ndarray:
     """Validate and coerce ``x`` into a finite 1-D float64 array.
 
     Parameters
@@ -35,6 +40,10 @@ def check_vector(x, dimension: Optional[int] = None, name: str = "x") -> np.ndar
         If given, the exact length the vector must have.
     name:
         Name used in error messages.
+    allow_non_finite:
+        Permit NaN/Inf entries. Off by default — the only legitimate
+        carriers of non-finite payloads are fault-injection paths (e.g. a
+        corrupted in-flight gradient), which opt in explicitly.
     """
     arr = np.asarray(x, dtype=float)
     if arr.ndim == 0:
@@ -45,7 +54,7 @@ def check_vector(x, dimension: Optional[int] = None, name: str = "x") -> np.ndar
         raise DimensionMismatchError(
             f"{name} must have dimension {dimension}, got {arr.shape[0]}"
         )
-    if not np.all(np.isfinite(arr)):
+    if not allow_non_finite and not np.all(np.isfinite(arr)):
         raise InvalidParameterError(f"{name} contains non-finite entries")
     return arr
 

@@ -74,6 +74,52 @@ class TestCommands:
         assert excinfo.value.code == 0
 
 
+class TestRunFaultFlags:
+    FAST = ["run", "--n", "6", "--f", "1", "--iterations", "40", "--seed", "1"]
+
+    def test_degraded_run_reports_resilience(self, capsys):
+        code = main([
+            *self.FAST, "--drop-prob", "0.1", "--delay", "2",
+            "--stragglers", "1", "--fault-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stale reuses" in out
+        assert "messages dropped" in out
+        assert "network traffic" in out
+
+    def test_crash_recover_flag(self, capsys):
+        code = main([*self.FAST, "--crash-recover", "4:10:20"])
+        assert code == 0
+        assert "reinstatements" in capsys.readouterr().out
+
+    def test_checkpoint_flag_writes_and_resumes(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt.json")
+        args = [*self.FAST, "--delay", "1", "--checkpoint", ckpt]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert f"checkpoint -> {ckpt}" in first
+        assert "resumed from round | 0" in first.replace("  ", " ") or "resumed" in first
+        assert main(args) == 0
+        assert "resumed from round" in capsys.readouterr().out
+
+    def test_bad_drop_prob_exits_2(self, capsys):
+        assert main([*self.FAST, "--drop-prob", "1.5"]) == 2
+        assert "drop_prob" in capsys.readouterr().err
+
+    def test_too_many_stragglers_exits_2(self, capsys):
+        assert main([*self.FAST, "--stragglers", "9"]) == 2
+        assert "--stragglers" in capsys.readouterr().err
+
+    def test_malformed_crash_recover_exits_2(self, capsys):
+        assert main([*self.FAST, "--crash-recover", "banana"]) == 2
+        assert "--crash-recover" in capsys.readouterr().err
+
+    def test_nonpositive_checkpoint_every_exits_2(self, capsys):
+        assert main([*self.FAST, "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     FAST = ["--filters", "cge", "--attacks", "zero", "--num-seeds", "2",
             "--iterations", "10", "--sequential"]

@@ -1,0 +1,412 @@
+"""Tests for the partially-synchronous fault model and network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, ProtocolViolationError
+from repro.system.faultinjection import deterministic_choice, deterministic_draw
+from repro.system.healing import RoundInbox
+from repro.system.messages import SERVER_ID, EstimateBroadcast, GradientMessage
+from repro.system.netfaults import (
+    CORRUPTION_MODES,
+    FaultProfile,
+    NetworkFaultModel,
+    PartiallySynchronousNetwork,
+    corrupt_gradient,
+)
+
+
+def _grad(sender, round_index, values):
+    return GradientMessage(
+        sender=sender, round_index=round_index, gradient=np.asarray(values, dtype=float)
+    )
+
+
+class TestDeterministicDraws:
+    def test_draw_in_unit_interval_and_reproducible(self):
+        values = [deterministic_draw(7, "a", i) for i in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [deterministic_draw(7, "a", i) for i in range(100)]
+
+    def test_draw_depends_on_seed_and_key(self):
+        assert deterministic_draw(1, "x") != deterministic_draw(2, "x")
+        assert deterministic_draw(1, "x") != deterministic_draw(1, "y")
+
+    def test_choice_respects_bounds(self):
+        picks = {deterministic_choice(3, 2, 5, i) for i in range(200)}
+        assert picks == {2, 3, 4, 5}
+
+    def test_choice_rejects_empty_range(self):
+        with pytest.raises(InvalidParameterError):
+            deterministic_choice(0, 5, 4)
+
+
+class TestFaultProfile:
+    def test_null_profile_flags(self):
+        profile = FaultProfile()
+        assert profile.is_null
+        assert profile.preserves_synchrony
+        assert profile.worst_case_delay() == 0
+
+    def test_probability_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(drop_prob=1.5)
+
+    def test_delay_requires_bound(self):
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(delay_prob=0.5, max_delay=0)
+
+    def test_corrupt_mode_validated(self):
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(corrupt_mode="gamma-ray")
+
+    def test_recover_must_follow_crash(self):
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(crash_round=5, recover_round=5)
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(recover_round=3)
+
+    def test_crash_window(self):
+        profile = FaultProfile(crash_round=5, recover_round=8)
+        assert not profile.is_down(4)
+        assert profile.is_down(5)
+        assert profile.is_down(7)
+        assert not profile.is_down(8)
+        permanent = FaultProfile(crash_round=2)
+        assert permanent.is_down(1_000_000)
+
+    def test_straggle_schedule_matches_fail_every_nth(self):
+        profile = FaultProfile(straggle_every=3, straggle_delay=2)
+        fired = [t for t in range(9) if profile.straggles_at(t)]
+        assert fired == [2, 5, 8]
+        assert not profile.preserves_synchrony
+
+    def test_duplication_and_corruption_preserve_synchrony(self):
+        profile = FaultProfile(duplicate_prob=0.5, corrupt_prob=0.5)
+        assert profile.preserves_synchrony
+        assert not profile.is_null
+
+
+class TestNetworkFaultModel:
+    def test_default_is_null(self):
+        model = NetworkFaultModel()
+        assert model.is_null
+        assert model.preserves_synchrony
+        assert model.delay_bound() == 0
+        assert model.staleness_bound() == 0
+
+    def test_uniform_and_profile_lookup(self):
+        profile = FaultProfile(delay_prob=0.2, max_delay=3)
+        model = NetworkFaultModel.uniform([0, 1], profile, seed=4)
+        assert model.profile(0) is not None and model.profile(0) == profile
+        assert model.profile(9).is_null
+        assert model.delay_bound() == 3
+        assert model.staleness_bound() == 6
+
+    def test_drop_only_model_gets_one_round_of_staleness(self):
+        model = NetworkFaultModel(profiles={0: FaultProfile(drop_prob=0.1)})
+        assert model.delay_bound() == 0
+        assert model.staleness_bound() == 1
+
+    def test_profiles_type_checked(self):
+        with pytest.raises(InvalidParameterError):
+            NetworkFaultModel(profiles={0: "lossy"})
+
+
+class TestCorruptGradient:
+    def test_input_never_modified(self):
+        original = np.array([1.0, 2.0, 3.0])
+        kept = original.copy()
+        corrupt_gradient(original, "nan", 0, "k")
+        assert np.array_equal(original, kept)
+
+    def test_deterministic(self):
+        g = np.arange(5.0)
+        a = corrupt_gradient(g, "bitflip", 3, "key", 1)
+        b = corrupt_gradient(g, "bitflip", 3, "key", 1)
+        assert np.array_equal(a, b, equal_nan=True)
+
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_exactly_one_coordinate_damaged(self, mode):
+        g = np.linspace(1.0, 2.0, 6)
+        damaged = corrupt_gradient(g, mode, 11, "k")
+        changed = [i for i in range(6) if not (damaged[i] == g[i])]
+        assert len(changed) == 1
+        if mode == "nan":
+            assert np.isnan(damaged[changed[0]])
+        elif mode == "inf":
+            assert np.isinf(damaged[changed[0]])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            corrupt_gradient(np.ones(2), "zero", 0)
+
+
+class TestPartiallySynchronousNetwork:
+    def test_null_model_is_synchronous(self):
+        network = PartiallySynchronousNetwork()
+        for sender in range(3):
+            network.submit(_grad(sender, 0, [float(sender)]), SERVER_ID, 0)
+        inbound = network.collect(SERVER_ID, 0)
+        assert [m.sender for m in inbound] == [0, 1, 2]
+        assert network.messages_delivered == 3
+        assert network.pending_count == 0
+
+    def test_drop_is_deterministic_and_accounted(self):
+        model = NetworkFaultModel.uniform([0], FaultProfile(drop_prob=1.0), seed=1)
+        network = PartiallySynchronousNetwork(model)
+        message = _grad(0, 0, [1.0, 2.0])
+        network.submit(message, SERVER_ID, 0)
+        assert network.collect(SERVER_ID, 0) == []
+        assert network.messages_dropped == 1
+        assert network.bytes_dropped == message.size_bytes()
+        # Identical rebuild replays the identical fate.
+        replay = PartiallySynchronousNetwork(model)
+        replay.submit(message, SERVER_ID, 0)
+        assert replay.collect(SERVER_ID, 0) == []
+
+    def test_delay_holds_message_until_due_round(self):
+        model = NetworkFaultModel.uniform(
+            [0], FaultProfile(delay_prob=1.0, max_delay=1), seed=2
+        )
+        network = PartiallySynchronousNetwork(model)
+        network.submit(_grad(0, 0, [1.0]), SERVER_ID, 0)
+        assert network.collect(SERVER_ID, 0) == []
+        late = network.collect(SERVER_ID, 1)
+        assert [m.sender for m in late] == [0]
+        assert network.messages_delayed == 1
+
+    def test_duplicate_yields_identical_copy(self):
+        model = NetworkFaultModel.uniform([0], FaultProfile(duplicate_prob=1.0), seed=3)
+        network = PartiallySynchronousNetwork(model)
+        network.submit(_grad(0, 0, [4.0, 5.0]), SERVER_ID, 0)
+        copies = network.collect(SERVER_ID, 0)
+        assert len(copies) == 2
+        assert copies[0].payload_digest() == copies[1].payload_digest()
+        assert network.messages_duplicated == 1
+
+    def test_corruption_hits_gradients_not_broadcasts(self):
+        model = NetworkFaultModel.uniform(
+            [0, 1], FaultProfile(corrupt_prob=1.0, corrupt_mode="nan"), seed=4
+        )
+        network = PartiallySynchronousNetwork(model)
+        network.submit(_grad(0, 0, [1.0, 2.0]), SERVER_ID, 0)
+        broadcast = EstimateBroadcast(sender=SERVER_ID, round_index=0, estimate=[9.0])
+        network.submit(broadcast, 1, 0)
+        (gradient,) = network.collect(SERVER_ID, 0)
+        (estimate,) = network.collect(1, 0)
+        assert not gradient.is_finite
+        assert np.all(np.isfinite(estimate.estimate))
+        assert network.messages_corrupted == 1
+
+    def test_crash_window_silences_both_directions(self):
+        model = NetworkFaultModel(
+            profiles={1: FaultProfile(crash_round=0, recover_round=2)}, seed=5
+        )
+        network = PartiallySynchronousNetwork(model)
+        broadcast = EstimateBroadcast(sender=SERVER_ID, round_index=0, estimate=[1.0])
+        network.submit(broadcast, 1, 0)  # downlink governed by receiver 1
+        network.submit(_grad(1, 0, [1.0]), SERVER_ID, 0)  # uplink by sender 1
+        assert network.collect(1, 0) == []
+        assert network.collect(SERVER_ID, 0) == []
+        assert network.messages_dropped == 2
+        # After recovery both directions flow again.
+        network.submit(_grad(1, 2, [1.0]), SERVER_ID, 2)
+        assert len(network.collect(SERVER_ID, 2)) == 1
+
+    def test_reorder_is_a_seeded_permutation(self):
+        profile = FaultProfile()
+        messages = [_grad(s, 0, [float(s)]) for s in range(5)]
+        plain = PartiallySynchronousNetwork(
+            NetworkFaultModel(profiles={}, seed=6, reorder=False)
+        )
+        shuffled = PartiallySynchronousNetwork(
+            NetworkFaultModel(profiles={}, seed=6, reorder=True)
+        )
+        for m in messages:
+            plain.submit(m, SERVER_ID, 0)
+            shuffled.submit(m, SERVER_ID, 0)
+        plain_order = [m.sender for m in plain.collect(SERVER_ID, 0)]
+        shuffled_order = [m.sender for m in shuffled.collect(SERVER_ID, 0)]
+        assert sorted(shuffled_order) == plain_order == [0, 1, 2, 3, 4]
+        # Same seed, same permutation.
+        replay = PartiallySynchronousNetwork(
+            NetworkFaultModel(profiles={}, seed=6, reorder=True)
+        )
+        for m in messages:
+            replay.submit(m, SERVER_ID, 0)
+        assert [m.sender for m in replay.collect(SERVER_ID, 0)] == shuffled_order
+        assert profile.is_null  # silence the unused-variable lint
+
+    def test_traffic_summary_has_fault_counters(self):
+        network = PartiallySynchronousNetwork()
+        summary = network.traffic_summary()
+        for key in (
+            "messages_delivered",
+            "messages_dropped",
+            "bytes_dropped",
+            "messages_delayed",
+            "messages_duplicated",
+            "messages_corrupted",
+        ):
+            assert key in summary
+
+    def test_state_round_trip_preserves_in_flight_queue(self):
+        model = NetworkFaultModel.uniform(
+            [0, 1], FaultProfile(delay_prob=1.0, max_delay=2, corrupt_prob=0.5), seed=7
+        )
+        network = PartiallySynchronousNetwork(model)
+        for sender in range(2):
+            network.submit(_grad(sender, 0, [1.0 + sender, -2.0]), SERVER_ID, 0)
+        assert network.pending_count == 2
+
+        clone = PartiallySynchronousNetwork(model)
+        clone.restore_state(network.state())
+        assert clone.pending_count == network.pending_count
+        assert clone.traffic_summary() == network.traffic_summary()
+        for r in range(1, 3):
+            original = network.collect(SERVER_ID, r)
+            restored = clone.collect(SERVER_ID, r)
+            assert [m.sender for m in original] == [m.sender for m in restored]
+            for a, b in zip(original, restored):
+                assert np.array_equal(a.gradient, b.gradient, equal_nan=True)
+
+    def test_state_round_trips_non_finite_payloads(self):
+        network = PartiallySynchronousNetwork(
+            NetworkFaultModel.uniform(
+                [0], FaultProfile(delay_prob=1.0, max_delay=1), seed=8
+            )
+        )
+        network.submit(_grad(0, 0, [np.nan, np.inf]), SERVER_ID, 0)
+        clone = PartiallySynchronousNetwork(network.fault_model)
+        clone.restore_state(network.state())
+        (message,) = clone.collect(SERVER_ID, 1)
+        assert np.isnan(message.gradient[0]) and np.isposinf(message.gradient[1])
+
+
+class TestGradientMessageBoundary:
+    def test_validate_rejects_non_finite(self):
+        message = _grad(0, 0, [np.nan, 1.0])
+        with pytest.raises(ProtocolViolationError):
+            message.validate()
+
+    def test_validate_rejects_wrong_dimension(self):
+        message = _grad(0, 0, [1.0, 2.0])
+        with pytest.raises(ProtocolViolationError):
+            message.validate(dimension=3)
+
+    def test_validate_returns_self_on_success(self):
+        message = _grad(0, 0, [1.0, 2.0])
+        assert message.validate(dimension=2) is message
+
+    def test_payload_digest_tracks_payload_only(self):
+        a = _grad(0, 0, [1.0, 2.0])
+        b = _grad(5, 3, [1.0, 2.0])
+        c = _grad(0, 0, [1.0, 2.000001])
+        assert a.payload_digest() == b.payload_digest()
+        assert a.payload_digest() != c.payload_digest()
+
+
+def _inbox_messages():
+    """Strategy: a pool of gradient deliveries with duplicates mixed in."""
+    single = st.tuples(
+        st.integers(0, 3),  # sender
+        st.integers(0, 2),  # round
+        st.lists(
+            st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=2,
+        ),
+    )
+    return st.lists(single, min_size=1, max_size=12)
+
+
+def _fill_inbox(deliveries):
+    inbox = RoundInbox()
+    for sender, round_index, values in deliveries:
+        inbox.offer(_grad(sender, round_index, values), dimension=2)
+    return inbox
+
+
+def _observable_state(inbox, rounds=3, staleness=2):
+    state = {}
+    for r in range(rounds):
+        state[("fresh", r)] = frozenset(inbox.fresh_senders(r))
+        for sender in range(4):
+            found = inbox.latest(sender, r, staleness)
+            state[("latest", sender, r)] = (
+                None if found is None else (found[0], found[1].payload_digest())
+            )
+    return state
+
+
+class TestRoundInboxProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(deliveries=_inbox_messages(), seed=st.integers(0, 10_000))
+    def test_permutation_invariance(self, deliveries, seed):
+        """The inbox's observable state ignores arrival order."""
+        rng = np.random.default_rng(seed)
+        shuffled = [deliveries[i] for i in rng.permutation(len(deliveries))]
+        assert _observable_state(_fill_inbox(deliveries)) == _observable_state(
+            _fill_inbox(shuffled)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(deliveries=_inbox_messages(), seed=st.integers(0, 10_000))
+    def test_idempotence_under_duplicates(self, deliveries, seed):
+        """Re-delivering any subset of messages changes nothing."""
+        rng = np.random.default_rng(seed)
+        extras = [deliveries[i] for i in rng.integers(0, len(deliveries), size=5)]
+        assert _observable_state(_fill_inbox(deliveries)) == _observable_state(
+            _fill_inbox(deliveries + extras)
+        )
+
+    def test_duplicate_vs_conflict_classification(self):
+        inbox = RoundInbox()
+        assert inbox.offer(_grad(0, 0, [1.0, 1.0])) == RoundInbox.ACCEPTED
+        assert inbox.offer(_grad(0, 0, [1.0, 1.0])) == RoundInbox.DUPLICATE
+        assert inbox.offer(_grad(0, 0, [2.0, 2.0])) == RoundInbox.CONFLICT
+        assert inbox.conflicts_by_agent == {0: 1}
+
+    def test_quarantine_counts_per_sender(self):
+        inbox = RoundInbox()
+        assert inbox.offer(_grad(3, 0, [np.nan, 0.0])) == RoundInbox.QUARANTINED
+        assert inbox.quarantined_by_agent == {3: 1}
+        assert inbox.quarantined_total == 1
+        # Quarantine off: the payload is stored as-is.
+        permissive = RoundInbox()
+        status = permissive.offer(
+            _grad(3, 0, [np.nan, 0.0]), quarantine_non_finite=False
+        )
+        assert status == RoundInbox.ACCEPTED
+
+    def test_latest_prefers_fresh_then_falls_back(self):
+        inbox = RoundInbox()
+        inbox.offer(_grad(1, 0, [1.0, 0.0]))
+        inbox.offer(_grad(1, 2, [2.0, 0.0]))
+        found_round, message = inbox.latest(1, 2, max_staleness=2)
+        assert found_round == 2 and message.gradient[0] == 2.0
+        found_round, message = inbox.latest(1, 1, max_staleness=2)
+        assert found_round == 0 and message.gradient[0] == 1.0
+        assert inbox.latest(1, 1, max_staleness=0) is None
+
+    def test_prune_discards_old_rounds(self):
+        inbox = RoundInbox()
+        inbox.offer(_grad(0, 0, [1.0, 0.0]))
+        inbox.offer(_grad(0, 5, [2.0, 0.0]))
+        inbox.prune(before_round=3)
+        assert inbox.latest(0, 5, max_staleness=5)[0] == 5
+        assert inbox.latest(0, 2, max_staleness=2) is None
+
+    def test_state_round_trip(self):
+        inbox = RoundInbox()
+        inbox.offer(_grad(0, 0, [1.0, -1.0]))
+        inbox.offer(_grad(0, 0, [2.0, -2.0]))  # conflict
+        inbox.offer(_grad(2, 1, [np.nan, 0.0]))  # quarantined
+        clone = RoundInbox()
+        clone.restore_state(inbox.state())
+        assert _observable_state(clone) == _observable_state(inbox)
+        assert clone.quarantined_by_agent == inbox.quarantined_by_agent
+        assert clone.conflicts_by_agent == inbox.conflicts_by_agent

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, ProtocolViolationError
 from repro.system.messages import SERVER_ID, EstimateBroadcast, GradientMessage
 from repro.system.network import SynchronousNetwork
 
@@ -40,6 +40,32 @@ class TestMessages:
         msg = GradientMessage(sender=0, round_index=0, gradient=[1.0])
         with pytest.raises(Exception):
             msg.sender = 5
+
+    def test_is_finite_flags_corrupt_payloads(self):
+        assert GradientMessage(sender=0, round_index=0, gradient=[1.0, 2.0]).is_finite
+        assert not GradientMessage(sender=0, round_index=0, gradient=[np.nan]).is_finite
+        assert not GradientMessage(sender=0, round_index=0, gradient=[np.inf]).is_finite
+
+    def test_validate_accepts_clean_payload_and_chains(self):
+        msg = GradientMessage(sender=0, round_index=0, gradient=[1.0, 2.0])
+        assert msg.validate(2) is msg
+
+    def test_validate_rejects_non_finite(self):
+        msg = GradientMessage(sender=3, round_index=1, gradient=[np.nan, 0.0])
+        with pytest.raises(ProtocolViolationError, match="agent 3"):
+            msg.validate(2)
+
+    def test_validate_rejects_dimension_mismatch(self):
+        msg = GradientMessage(sender=0, round_index=0, gradient=[1.0, 2.0])
+        with pytest.raises(ProtocolViolationError, match="dimension"):
+            msg.validate(3)
+
+    def test_payload_digest_tracks_payload_bytes_only(self):
+        a = GradientMessage(sender=0, round_index=0, gradient=[1.0, 2.0])
+        b = GradientMessage(sender=5, round_index=9, gradient=[1.0, 2.0])
+        c = GradientMessage(sender=0, round_index=0, gradient=[1.0, 2.5])
+        assert a.payload_digest() == b.payload_digest()
+        assert a.payload_digest() != c.payload_digest()
 
 
 class TestNetwork:
@@ -90,3 +116,14 @@ class TestNetwork:
     def test_invalid_probability_rejected(self):
         with pytest.raises(InvalidParameterError):
             SynchronousNetwork(drop_probabilities={0: 1.5})
+
+    def test_dropped_bytes_are_accounted(self):
+        rng = np.random.default_rng(0)
+        net = SynchronousNetwork(drop_probabilities={7: 1.0}, rng=rng)
+        msg = self._msg(sender=7)
+        net.deliver(msg, SERVER_ID)
+        assert net.bytes_dropped == msg.size_bytes()
+        assert net.bytes_delivered == 0
+        summary = net.traffic_summary()
+        assert summary["messages_dropped"] == 1
+        assert summary["bytes_dropped"] == msg.size_bytes()
