@@ -6,11 +6,9 @@ converge to the same point; under one fixed schedule the scale mismatch
 appears as a speed gap.
 """
 
-from repro.experiments import run_cge_sum_vs_mean
 
-
-def test_ablation_cge_sum_vs_mean(benchmark, reporter):
-    result = benchmark(run_cge_sum_vs_mean)
+def test_ablation_cge_sum_vs_mean(bench, reporter):
+    result = bench("ablation_cge_sum_vs_mean").value
     reporter(result)
     errors = {(row[0], row[1]): row[2] for row in result.rows}
     assert errors[("sum", "matched")] < 0.15

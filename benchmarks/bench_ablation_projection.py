@@ -7,11 +7,9 @@ W excluding x_H converges to the boundary with error ≈ dist(x_H, W).
 
 import pytest
 
-from repro.experiments import run_projection_ablation
 
-
-def test_ablation_projection(benchmark, reporter):
-    result = benchmark(run_projection_ablation)
+def test_ablation_projection(bench, reporter):
+    result = bench("ablation_projection").value
     reporter(result)
     inside_errors = [row[2] for row in result.rows if row[1] == "yes"]
     assert max(inside_errors) - min(inside_errors) < 1e-6

@@ -6,11 +6,9 @@ Byzantine norms, so there is no stochastic floor); the conservative 1/t
 schedule is the slowest at a fixed horizon.
 """
 
-from repro.experiments import run_step_size_ablation
 
-
-def test_ablation_step_sizes(benchmark, reporter):
-    result = benchmark(run_step_size_ablation)
+def test_ablation_step_sizes(bench, reporter):
+    result = bench("ablation_step_sizes").value
     reporter(result)
     errors = {row[0]: row[2] for row in result.rows}
     assert all(error < 0.5 for error in errors.values())

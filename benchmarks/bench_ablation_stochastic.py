@@ -7,11 +7,9 @@ and the floors scale with the step size — the behaviour absent from the
 deterministic ablation A2.
 """
 
-from repro.experiments import run_stochastic_step_sizes
 
-
-def test_ablation_stochastic_step_sizes(benchmark, reporter):
-    result = benchmark(run_stochastic_step_sizes)
+def test_ablation_stochastic_step_sizes(bench, reporter):
+    result = bench("ablation_stochastic").value
     reporter(result)
     tail = {row[0]: row[2] for row in result.rows}
     rm = tail["diminishing 1/t (RM)"]

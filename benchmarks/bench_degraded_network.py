@@ -11,11 +11,9 @@ engine exactly; degraded cells pay a modest, bounded accuracy cost and
 never stall or drop messages under delay-only degradation.
 """
 
-from repro.experiments import run_degraded_network
 
-
-def test_degraded_network(benchmark, reporter):
-    result = benchmark(lambda: run_degraded_network(iterations=200))
+def test_degraded_network(bench, reporter):
+    result = bench("degraded_network").value
     reporter(result)
     rows = result.rows
     by_cell = {(row[0], row[1]): row for row in rows}

@@ -7,11 +7,9 @@ Expected shape: robust-filter distance curves track the fault-free curve;
 the unfiltered curves plateau (gradient-reverse) or blow up (random).
 """
 
-from repro.experiments import run_trajectories
 
-
-def test_fig2_trajectories(benchmark, reporter):
-    result = benchmark(run_trajectories)
+def test_fig2_trajectories(bench, reporter):
+    result = bench("fig2_trajectories").value
     reporter(result)
     for attack in ("gradient-reverse", "random"):
         robust = result.series[f"cge+{attack}/distance"][-1]

@@ -6,11 +6,9 @@ Expected shape: within the first 80 iterations the robust filters have
 already separated from the unfiltered run under attack.
 """
 
-from repro.experiments import run_trajectories
 
-
-def test_fig3_early_iterations(benchmark, reporter):
-    result = benchmark(lambda: run_trajectories(early_window=80))
+def test_fig3_early_iterations(bench, reporter):
+    result = bench("fig3_early_iterations").value
     reporter(result)
     assert result.experiment_id == "E3"
     for name, series in result.series.items():

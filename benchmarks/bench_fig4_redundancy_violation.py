@@ -9,11 +9,9 @@ Expected shape: measured margin ε*(σ) and final errors grow together; at
 
 import numpy as np
 
-from repro.experiments import run_noise_sweep
 
-
-def test_fig4_redundancy_violation(benchmark, reporter):
-    result = benchmark(run_noise_sweep, backend="batch")
+def test_fig4_redundancy_violation(bench, reporter):
+    result = bench("fig4_redundancy_violation").value
     reporter(result)
     margins = result.series["margin eps*(sigma)"]
     errors = result.series["cge final error(sigma)"]

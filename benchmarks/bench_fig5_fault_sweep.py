@@ -9,11 +9,9 @@ averaging degrades immediately; α decreases monotonically in f.
 
 import numpy as np
 
-from repro.experiments import run_fault_sweep
 
-
-def test_fig5_fault_sweep(benchmark, reporter):
-    result = benchmark(run_fault_sweep, backend="batch")
+def test_fig5_fault_sweep(bench, reporter):
+    result = bench("fig5_fault_sweep").value
     reporter(result)
     alphas = result.series["alpha vs f"]
     assert np.all(np.diff(alphas) < 0)

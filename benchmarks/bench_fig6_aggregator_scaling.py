@@ -5,18 +5,17 @@ the trimmed mean are near-linear in input size, Krum quadratic in n, and
 the subset-enumeration algorithm exponentially out of reach.
 
 Expected shape: cge/cwtm times grow mildly in n; krum grows superlinearly.
+The registered workload forwards the harness's telemetry handle into
+``run_aggregator_scaling``, so the emitted ``BENCH_*.json`` carries one
+timing phase per (filter, n, d) cell.
 """
 
-from repro.experiments import run_aggregator_scaling
 
-
-def test_fig6_aggregator_scaling(benchmark, reporter):
-    result = benchmark(
-        lambda: run_aggregator_scaling(
-            agent_counts=(10, 25, 50, 100), dimensions=(2, 100), repeats=3
-        )
-    )
+def test_fig6_aggregator_scaling(bench, reporter):
+    outcome = bench("fig6_aggregator_scaling")
+    result = outcome.value
     reporter(result)
+
     def times(name, d):
         return [row[3] for row in result.rows if row[0] == name and row[2] == d]
 
@@ -24,3 +23,5 @@ def test_fig6_aggregator_scaling(benchmark, reporter):
     krum_times = times("krum", 100)
     # Krum's n² pairwise term dominates at the largest n.
     assert krum_times[-1] > cge_times[-1]
+    # The per-cell spans made it into the bench record's phase attribution.
+    assert any(phase.startswith("filter:krum") for phase in outcome.result.phases)

@@ -8,11 +8,9 @@ Expected shape: near-zero robustness gap in the i.i.d. regime; the gap
 widens monotonically-in-trend as heterogeneity grows.
 """
 
-from repro.experiments import run_heterogeneity_sweep
 
-
-def test_fig7_heterogeneity(benchmark, reporter):
-    result = benchmark(run_heterogeneity_sweep)
+def test_fig7_heterogeneity(bench, reporter):
+    result = bench("fig7_heterogeneity").value
     reporter(result)
     first, last = result.rows[0], result.rows[-1]
     num_filters = (len(first) - 2) // 2

@@ -8,14 +8,17 @@ Expected shape: robust filters land within the instance's redundancy margin
 of ``x_H``; plain averaging does not; the fault-free run brackets them.
 """
 
-from repro.experiments import run_table1
 
-
-def test_table1_final_error(benchmark, reporter):
-    result = benchmark(run_table1)
+def test_table1_final_error(bench, reporter):
+    outcome = bench("table1_final_error")
+    result = outcome.value
     reporter(result)
     errors = {(row[0], row[1]): row[3] for row in result.rows if row[0] != "fault-free"}
     margin = float(result.notes[1].split("=")[-1])
     for attack in ("gradient-reverse", "random"):
         assert errors[("cge", attack)] < errors[("average", attack)]
         assert errors[("cge", attack)] <= 2.5 * margin
+    # The headline errors are exported as gated quality metrics.
+    assert outcome.result.metrics["cge_gradient_reverse_error"] == errors[
+        ("cge", "gradient-reverse")
+    ]

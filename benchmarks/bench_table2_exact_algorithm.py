@@ -7,10 +7,8 @@ exact 2f-redundancy the algorithm must output the honest minimizer for
 Expected shape: every configuration row reports "exact".
 """
 
-from repro.experiments import run_exact_algorithm_table
 
-
-def test_table2_exact_algorithm(benchmark, reporter):
-    result = benchmark(run_exact_algorithm_table)
+def test_table2_exact_algorithm(bench, reporter):
+    result = bench("table2_exact_algorithm").value
     reporter(result)
     assert all(row[-1] == "yes" for row in result.rows)

@@ -8,11 +8,9 @@ Expected shape: robust filters reach near-fault-free accuracy in the i.i.d.
 (redundant) regime; averaging collapses under the amplified sign-flip.
 """
 
-from repro.experiments import run_learning_eval
 
-
-def test_table3_learning(benchmark, reporter):
-    result = benchmark(run_learning_eval)
+def test_table3_learning(bench, reporter):
+    result = bench("table3_learning").value
     reporter(result)
     iid = {(row[1], row[2]): row[4] for row in result.rows if row[0] == 0.0}
     reference = iid[("fault-free", "(none)")]

@@ -8,11 +8,9 @@ architectures produce bitwise-identical trajectories; equivocation inside
 broadcast degenerates to the zero attack; messages scale with T·n²·f.
 """
 
-from repro.experiments import run_peer_vs_server
 
-
-def test_table4_peer_to_peer(benchmark, reporter):
-    result = benchmark(run_peer_vs_server)
+def test_table4_peer_to_peer(bench, reporter):
+    result = bench("table4_peer_to_peer").value
     reporter(result)
     for row in result.rows:
         n, f, server_error, p2p_error, gap, equivocating_error, messages = row

@@ -8,11 +8,9 @@ bounded while averaging fails; norm-camouflaged attacks expose CGE's large
 guarantee constant without unbounded divergence.
 """
 
-from repro.experiments import run_robustness_matrix
 
-
-def test_table5_robustness_matrix(benchmark, reporter):
-    result = benchmark(run_robustness_matrix, backend="batch", parallel=True)
+def test_table5_robustness_matrix(bench, reporter):
+    result = bench("table5_robustness_matrix").value
     reporter(result)
     by_filter = {row[0]: row[1:] for row in result.rows}
     attacks = result.headers[1:]

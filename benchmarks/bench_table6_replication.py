@@ -9,11 +9,9 @@ threshold k = 2f + 1, and the attacked DGD+CGE error collapses from O(1)
 to the optimization floor at the same point.
 """
 
-from repro.experiments import run_replication_design
 
-
-def test_table6_replication(benchmark, reporter):
-    result = benchmark(run_replication_design)
+def test_table6_replication(bench, reporter):
+    result = bench("table6_replication").value
     reporter(result)
     rows = {row[0]: (row[2], row[3]) for row in result.rows}
     assert rows[1][0] == "no"

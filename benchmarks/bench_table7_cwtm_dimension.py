@@ -12,11 +12,9 @@ from math import sqrt
 
 import pytest
 
-from repro.experiments import run_cwtm_dimension_sweep
 
-
-def test_table7_cwtm_dimension(benchmark, reporter):
-    result = benchmark(run_cwtm_dimension_sweep)
+def test_table7_cwtm_dimension(bench, reporter):
+    result = bench("table7_cwtm_dimension").value
     reporter(result)
     skews = [row[1] for row in result.rows]
     thresholds = [row[2] for row in result.rows]

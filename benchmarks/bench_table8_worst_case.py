@@ -10,11 +10,9 @@ beats every fixed attack against CGE by a wide margin; with ``α > 0``
 driven toward the projection boundary in both regimes.
 """
 
-from repro.experiments import run_worst_case_certification
 
-
-def test_table8_worst_case(benchmark, reporter):
-    result = benchmark(run_worst_case_certification)
+def test_table8_worst_case(bench, reporter):
+    result = bench("table8_worst_case").value
     reporter(result)
     rows = {(row[0], row[2]): row for row in result.rows}
     small_cge = rows[("n=6 (paper)", "cge")]

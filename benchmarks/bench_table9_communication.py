@@ -9,11 +9,9 @@ grows with n·f; the subset algorithm's argmin-solve count grows
 combinatorially while its communication stays one-shot.
 """
 
-from repro.experiments import run_communication_costs
 
-
-def test_table9_communication(benchmark, reporter):
-    result = benchmark(run_communication_costs)
+def test_table9_communication(bench, reporter):
+    result = bench("table9_communication").value
     reporter(result)
     rows = result.rows
     # Server messages: exactly 2n per round.

@@ -2,12 +2,25 @@
 
 Each ``bench_*`` file regenerates one of the paper's (reconstructed) tables
 or figures — see DESIGN.md §2 for the experiment index and EXPERIMENTS.md
-for the recorded observations. Benches print the full rendered table/series
-so that ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
-artefacts in the terminal; the timed body is the full experiment run.
+for the recorded observations. The workload definitions live in the
+benchmark registry (:mod:`repro.observability.perf.workloads`); the files
+here resolve them by name through the ``bench`` fixture, which executes the
+spec under the continuous-benchmarking harness so that every run emits a
+schema'd ``BENCH_<name>.json`` (min-of-k timings, telemetry-span phases,
+tracemalloc peak, provenance) at the repository root — the same records
+``repro bench run`` produces and ``repro bench gate`` compares against the
+committed baselines.
+
+Benches print the full rendered table/series so that
+``pytest benchmarks/ -s`` reproduces the paper's artefacts in the terminal;
+the timed body is the full experiment run.
 """
 
+from pathlib import Path
+
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def render(result):
@@ -20,3 +33,24 @@ def render(result):
 @pytest.fixture(scope="session")
 def reporter():
     return render
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """Run a registered bench through the harness; emit ``BENCH_<name>.json``.
+
+    Returns the :class:`~repro.observability.perf.BenchOutcome`, whose
+    ``value`` is the workload's raw return (the experiment result the
+    test asserts on) and whose ``result`` is the persisted record. One
+    repeat — the pytest suite verifies artefact *shape*; the trajectory
+    statistics come from ``repro bench run`` with its min-of-k default.
+    """
+    from repro.observability.perf import load_default_workloads, run_registered
+
+    load_default_workloads()
+
+    def _run(name, repeats=1, **kwargs):
+        kwargs.setdefault("output_dir", str(REPO_ROOT))
+        return run_registered(name, repeats=repeats, **kwargs)
+
+    return _run

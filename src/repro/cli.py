@@ -19,6 +19,14 @@ Commands
     Run one configured scenario with telemetry enabled and print the
     roll-up: p50/p95 span latencies, rounds/sec, and the filter's
     elimination precision/recall against the ground-truth Byzantine set.
+``bench run|compare|gate|list``
+    The continuous-benchmarking harness: execute registered benchmarks
+    into schema'd ``BENCH_<name>.json`` records, compare/gate them
+    against a baseline store with the deterministic regression policy
+    (exit 0 ok / 1 regression / 2 usage), and list the registry.
+``trace report``
+    Analyze a telemetry/sweep JSONL stream (or a directory of streams)
+    into hotspot attribution, rounds/sec trends, and anomaly flags.
 ``list``
     Show the registered gradient filters, attacks, and experiments.
 """
@@ -262,8 +270,89 @@ def build_parser() -> argparse.ArgumentParser:
         "(f, filter, attack) group, into DIR (same event schema as --events)",
     )
 
+    bench = commands.add_parser(
+        "bench",
+        help="continuous benchmarking: run, compare, and gate BENCH_*.json records",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_selection(sub):
+        sub.add_argument("names", nargs="*", help="registered bench names")
+        sub.add_argument("--all", action="store_true", dest="select_all",
+                         help="select every registered bench")
+        sub.add_argument("--tag", default=None,
+                         help="select benches carrying this tag (e.g. smoke, paper)")
+
+    bench_run = bench_commands.add_parser(
+        "run", help="execute benches and write schema'd BENCH_<name>.json records"
+    )
+    _add_selection(bench_run)
+    bench_run.add_argument("--repeats", type=int, default=3,
+                           help="timing repeats per bench (headline is min-of-k)")
+    bench_run.add_argument("--output-dir", default=".",
+                           help="where BENCH_<name>.json records land (default .)")
+    bench_run.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                           help="also keep each repeat's raw telemetry JSONL stream")
+    bench_run.add_argument("--no-memory", action="store_true",
+                           help="disable tracemalloc peak-memory tracking")
+
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="compare existing BENCH_*.json records against a baseline store",
+    )
+    _add_selection(bench_compare)
+    bench_compare.add_argument("--baseline-dir", default="benchmarks/baselines")
+    bench_compare.add_argument("--current-dir", default=".",
+                               help="directory holding the candidate records")
+    _add_policy_flags(bench_compare)
+
+    bench_gate = bench_commands.add_parser(
+        "gate",
+        help="run benches fresh and fail (exit 1) on perf/quality regression",
+    )
+    _add_selection(bench_gate)
+    bench_gate.add_argument("--baseline-dir", default="benchmarks/baselines")
+    bench_gate.add_argument("--repeats", type=int, default=3)
+    bench_gate.add_argument("--output-dir", default=None,
+                            help="also persist the fresh records here")
+    bench_gate.add_argument("--strict-missing", action="store_true",
+                            help="treat a bench without a baseline as a failure")
+    _add_policy_flags(bench_gate)
+
+    bench_list = bench_commands.add_parser(
+        "list", help="show the registered benches, their tags and workloads"
+    )
+    bench_list.add_argument("--tag", default=None)
+
+    trace = commands.add_parser(
+        "trace", help="analyze telemetry/sweep JSONL streams"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_commands.add_parser(
+        "report",
+        help="hotspots, rounds/sec trend, and anomaly flags for a stream",
+    )
+    trace_report.add_argument("path",
+                              help="a telemetry JSONL file, or a directory of them")
+    trace_report.add_argument("--json", metavar="PATH", default=None,
+                              help="save the structured report(s) (atomic write)")
+    trace_report.add_argument("--windows", type=int, default=8,
+                              help="windows for the rounds/sec trend (default 8)")
+    trace_report.add_argument("--fail-on-anomaly", action="store_true",
+                              help="exit 1 when any stream carries anomaly flags")
+
     commands.add_parser("list", help="show registered filters, attacks, experiments")
     return parser
+
+
+def _add_policy_flags(sub) -> None:
+    """The regression-policy knobs shared by ``bench compare`` and ``bench gate``."""
+    sub.add_argument("--rel-tol", type=float, default=None, metavar="FRAC",
+                     help="tolerated fractional wall-time slowdown (default 0.5)")
+    sub.add_argument("--noise-floor", type=float, default=None, metavar="SECONDS",
+                     help="timings under this are never compared (default 0.005)")
+    sub.add_argument("--metric-tol", type=float, default=None, metavar="FRAC",
+                     help="tolerated relative drift of quality metrics (default 0.01)")
 
 
 def _command_experiment(args) -> int:
@@ -576,6 +665,183 @@ def _command_sweep(args) -> int:
     return 1 if failed else 0
 
 
+def _select_benches(args) -> List[str]:
+    """Resolve the names/--all/--tag selection flags against the registry.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` for an empty
+    or unknown selection (mapped to exit code 2 by the handlers).
+    """
+    from repro.exceptions import InvalidParameterError
+    from repro.observability.perf import (
+        available_benches,
+        get_bench,
+        load_default_workloads,
+    )
+
+    load_default_workloads()
+    tag = getattr(args, "tag", None)
+    if args.names and (args.select_all or tag):
+        raise InvalidParameterError(
+            "give bench names OR --all/--tag, not both"
+        )
+    if args.names:
+        for name in args.names:
+            get_bench(name)  # raises with the known-name list
+        return list(args.names)
+    if args.select_all:
+        return available_benches()
+    if tag:
+        names = available_benches(tag=tag)
+        if not names:
+            raise InvalidParameterError(f"no benches carry tag {tag!r}")
+        return names
+    raise InvalidParameterError(
+        "no benches selected (give names, --all, or --tag)"
+    )
+
+
+def _build_policy(args):
+    from repro.observability.perf import RegressionPolicy
+
+    overrides = {}
+    if args.rel_tol is not None:
+        overrides["rel_tol"] = args.rel_tol
+    if args.noise_floor is not None:
+        overrides["noise_floor"] = args.noise_floor
+    if args.metric_tol is not None:
+        overrides["metric_rel_tol"] = args.metric_tol
+    return RegressionPolicy(**overrides)
+
+
+def _command_bench(args) -> int:
+    from repro.exceptions import BenchSchemaError, InvalidParameterError, ReproError
+    from repro.observability.perf import (
+        BaselineStore,
+        available_benches,
+        bench_output_path,
+        compare_payloads,
+        format_comparisons,
+        get_bench,
+        load_bench_payload,
+        load_default_workloads,
+        run_registered,
+        worst_verdict,
+    )
+
+    if args.bench_command == "list":
+        load_default_workloads()
+        rows = []
+        for name in available_benches(tag=args.tag):
+            spec = get_bench(name)
+            rows.append([
+                name,
+                ",".join(spec.tags) or "-",
+                spec.description or "-",
+            ])
+        if not rows:
+            print(f"error: no benches carry tag {args.tag!r}", file=sys.stderr)
+            return 2
+        print(format_table(["bench", "tags", "description"], rows,
+                           title="registered benchmarks"))
+        return 0
+
+    try:
+        names = _select_benches(args)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.bench_command == "run":
+        if args.repeats < 1:
+            print("error: --repeats must be >= 1", file=sys.stderr)
+            return 2
+        for name in names:
+            outcome = run_registered(
+                name,
+                repeats=args.repeats,
+                memory=not args.no_memory,
+                output_dir=args.output_dir,
+                telemetry_dir=args.telemetry_dir,
+            )
+            timings = outcome.result.timings
+            print(
+                f"{name}: best {timings['best_seconds']:.4f}s over "
+                f"{args.repeats} repeat(s), peak "
+                f"{outcome.result.memory['peak_bytes'] / 1e6:.1f} MB "
+                f"-> {outcome.path}"
+            )
+        return 0
+
+    store = BaselineStore(args.baseline_dir)
+    policy = _build_policy(args)
+
+    if args.bench_command == "compare":
+        comparisons = []
+        for name in names:
+            path = bench_output_path(args.current_dir, name)
+            try:
+                current = load_bench_payload(path)
+            except (BenchSchemaError, ReproError, OSError) as exc:
+                print(f"error: cannot load candidate {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            comparisons.append(compare_payloads(current, store.load(name), policy))
+        print(format_comparisons(comparisons))
+        return 1 if worst_verdict(comparisons) == "regression" else 0
+
+    # gate: run fresh, then compare.
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    comparisons = []
+    for name in names:
+        outcome = run_registered(
+            name, repeats=args.repeats, output_dir=args.output_dir
+        )
+        comparison = compare_payloads(
+            outcome.result.to_payload(), store.load(name), policy
+        )
+        if comparison.verdict == "new" and args.strict_missing:
+            comparison.verdict = "missing"
+            comparison.notes.append(
+                "strict mode: a gated bench must have a committed baseline"
+            )
+        comparisons.append(comparison)
+    print(format_comparisons(comparisons))
+    failed = worst_verdict(comparisons) in ("regression", "missing")
+    print("gate:", "FAIL" if failed else "ok",
+          f"({len(comparisons)} bench(es) against {store.directory})")
+    return 1 if failed else 0
+
+
+def _command_trace(args) -> int:
+    from repro.exceptions import InvalidParameterError
+    from repro.observability import write_summary_atomic
+    from repro.observability.perf import analyze_trace_path
+
+    if args.windows < 1:
+        print("error: --windows must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        reports = analyze_trace_path(args.path, windows=args.windows)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.render())
+        print()
+    anomalies = sum(len(report.anomalies) for report in reports)
+    print(f"{len(reports)} stream(s), {anomalies} anomaly flag(s)")
+    if args.json:
+        write_summary_atomic(
+            args.json, {"reports": [r.to_payload() for r in reports]}
+        )
+        print(f"saved report to {args.json}")
+    if args.fail_on_anomaly and anomalies:
+        return 1
+    return 0
+
+
 def _command_list(_args) -> int:
     print("gradient filters:", ", ".join(available_filters()))
     print("attacks:         ", ", ".join(available_attacks()))
@@ -592,6 +858,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _command_profile,
         "redundancy": _command_redundancy,
         "sweep": _command_sweep,
+        "bench": _command_bench,
+        "trace": _command_trace,
         "list": _command_list,
     }
     return handlers[args.command](args)

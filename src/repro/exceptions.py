@@ -61,6 +61,18 @@ class CacheIntegrityError(ReproError, RuntimeError):
     """
 
 
+class BenchSchemaError(ReproError, ValueError):
+    """A benchmark document violates the ``repro.bench`` result schema.
+
+    Raised by :mod:`repro.observability.perf.bench_harness` when a
+    ``BENCH_*.json`` payload (freshly produced or loaded from the baseline
+    store) is missing required fields, carries ill-typed values, or is
+    internally inconsistent (e.g. a ``best_seconds`` that is not the
+    minimum of its repeats). The regression gate refuses such documents
+    instead of comparing against garbage.
+    """
+
+
 class InjectedFault(ReproError, RuntimeError):
     """A deliberately injected infrastructure fault (chaos testing).
 

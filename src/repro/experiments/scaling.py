@@ -10,27 +10,37 @@ count).
 
 from __future__ import annotations
 
-import time
 from math import comb
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.aggregators.registry import make_filter
 from repro.analysis.reporting import ExperimentResult
+from repro.observability import Telemetry
 from repro.utils.rng import SeedLike, ensure_rng
 
 
-def _time_filter(filter_name: str, n: int, d: int, f: int, rng, repeats: int) -> float:
-    """Median wall-time (seconds) of one aggregation call."""
+def _time_filter(
+    filter_name: str, n: int, d: int, f: int, rng, repeats: int,
+    telemetry: Telemetry,
+) -> float:
+    """Median wall-time (seconds) of one aggregation call.
+
+    Each call is timed with a :meth:`Telemetry.span` named after the cell
+    (``filter:<name>[n=..,d=..]``), so the scaling experiment's timings
+    land in the same trace schema as every other instrumented code path —
+    a bench that forwards its handle here gets per-cell hotspot
+    attribution — and the median is read back from the handle's running
+    aggregates.
+    """
     gradient_filter = make_filter(filter_name, f=f)
     gradients = rng.normal(size=(n, d))
-    timings = []
+    span_name = f"filter:{filter_name}[n={n},d={d}]"
     for _ in range(repeats):
-        start = time.perf_counter()
-        gradient_filter(gradients)
-        timings.append(time.perf_counter() - start)
-    return float(np.median(timings))
+        with telemetry.span(span_name):
+            gradient_filter(gradients)
+    return float(np.median(telemetry.span_durations(span_name)))
 
 
 def run_aggregator_scaling(
@@ -40,8 +50,16 @@ def run_aggregator_scaling(
     fault_fraction: float = 0.2,
     repeats: int = 5,
     seed: SeedLike = 13,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 6 (aggregation wall-time vs n and d)."""
+    """Regenerate Figure 6 (aggregation wall-time vs n and d).
+
+    ``telemetry`` may supply an external handle (the benchmark harness
+    does) to receive the per-cell timing spans; measurement needs a *live*
+    handle to read durations back, so a disabled/absent one is replaced
+    with a private in-memory handle rather than ``NULL_TELEMETRY``.
+    """
+    tel = telemetry if telemetry else Telemetry()
     rng = ensure_rng(seed)
     result = ExperimentResult(
         experiment_id="E9",
@@ -52,7 +70,7 @@ def run_aggregator_scaling(
         for n in agent_counts:
             f = max(int(n * fault_fraction), 1)
             for d in dimensions:
-                seconds = _time_filter(filter_name, n, d, f, rng, repeats)
+                seconds = _time_filter(filter_name, n, d, f, rng, repeats, tel)
                 result.rows.append([filter_name, n, d, seconds])
         series = [
             row[3] for row in result.rows if row[0] == filter_name and row[2] == dimensions[-1]

@@ -124,6 +124,9 @@ def count_events(records: Iterable[Dict]) -> Dict[str, int]:
 
 
 def _percentile(values: List[float], q: float) -> float:
+    """Percentile that tolerates an empty sample (0.0) instead of raising."""
+    if len(values) == 0:
+        return 0.0
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
@@ -165,6 +168,10 @@ def summarize_records(records: Iterable[Dict]) -> Dict:
                 )
                 fn += int(record.get("surviving_byzantine", 0))
         elif event == "span":
+            # Tolerate partial span records (a torn line salvaged by
+            # load_jsonl, or a foreign stream): skip rather than raise.
+            if record.get("name") is None or record.get("seconds") is None:
+                continue
             durations.setdefault(record["name"], []).append(
                 float(record["seconds"])
             )
@@ -185,6 +192,9 @@ def _assemble_summary(
     counters: Dict[str, int],
 ) -> Dict:
     """Shared summary assembly for live telemetry and re-loaded records."""
+    # An empty stream (or one whose span lists are empty) must roll up to
+    # an explicit empty summary, never an exception: post-mortems run this
+    # on whatever a killed process left behind.
     spans = {
         name: {
             "count": len(values),
@@ -193,6 +203,7 @@ def _assemble_summary(
             "total": float(sum(values)),
         }
         for name, values in sorted(durations.items())
+        if values
     }
     rounds_per_sec: Optional[float] = None
     for clock in ("round", "run"):

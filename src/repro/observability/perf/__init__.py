@@ -1,0 +1,101 @@
+"""Continuous benchmarking, regression gating, and trace analysis.
+
+PR 3 built the *capture* side of observability (telemetry spans, per-round
+records, JSONL sinks); this package is the *consumption* side — the
+"measure, baseline, gate" discipline applied to both runtime and solution
+quality:
+
+- :mod:`~repro.observability.perf.bench_harness` — a benchmark registry
+  with one standardized, schema-versioned :class:`BenchResult` per bench
+  (workload parameters, min-of-k repeat timings, per-phase timings built
+  from :class:`~repro.observability.Telemetry` spans, peak memory via
+  :mod:`tracemalloc`, and full provenance), persisted through the
+  checksummed atomic-write discipline of :mod:`repro.utils.atomicio` as
+  ``BENCH_<name>.json``;
+- :mod:`~repro.observability.perf.regression` — a baseline store plus a
+  deterministic statistical comparator (relative-tolerance and noise-floor
+  thresholds over min-of-k timings, tight relative drift bounds over
+  quality metrics) that classifies each bench as pass / improved /
+  regression and backs the ``repro bench gate`` exit code;
+- :mod:`~repro.observability.perf.traces` — an analyzer that ingests the
+  PR 3/PR 4 telemetry and sweep JSONL streams and produces hotspot
+  attribution per span, rounds/sec trends, and anomaly flags (stalls,
+  elimination-precision drops, divergence);
+- :mod:`~repro.observability.perf.workloads` — the default registry
+  contents: every ``benchmarks/bench_*.py`` figure/table workload plus a
+  fast ``smoke`` subset for CI gating. Imported lazily (it pulls the whole
+  experiment layer) via :func:`load_default_workloads`.
+"""
+
+from repro.observability.perf.bench_harness import (
+    BENCH_SCHEMA,
+    PROVENANCE_KEYS,
+    BenchOutcome,
+    BenchResult,
+    BenchSpec,
+    available_benches,
+    bench_output_path,
+    collect_provenance,
+    get_bench,
+    load_bench_payload,
+    register_bench,
+    run_bench,
+    run_registered,
+    validate_bench_payload,
+    write_bench_result,
+)
+from repro.observability.perf.regression import (
+    BaselineStore,
+    BenchComparison,
+    RegressionPolicy,
+    compare_payloads,
+    format_comparisons,
+    worst_verdict,
+)
+from repro.observability.perf.traces import (
+    TraceAnomaly,
+    TraceReport,
+    analyze_records,
+    analyze_trace_path,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PROVENANCE_KEYS",
+    "BenchOutcome",
+    "BenchResult",
+    "BenchSpec",
+    "available_benches",
+    "bench_output_path",
+    "collect_provenance",
+    "get_bench",
+    "load_bench_payload",
+    "register_bench",
+    "run_bench",
+    "run_registered",
+    "validate_bench_payload",
+    "write_bench_result",
+    "BaselineStore",
+    "BenchComparison",
+    "RegressionPolicy",
+    "compare_payloads",
+    "format_comparisons",
+    "worst_verdict",
+    "TraceAnomaly",
+    "TraceReport",
+    "analyze_records",
+    "analyze_trace_path",
+    "load_default_workloads",
+]
+
+
+def load_default_workloads():
+    """Populate the registry with the repository's benches; return names.
+
+    The workload definitions import the full experiment layer, so they are
+    kept out of the package import path and pulled in on demand (the CLI
+    and the benchmark suite call this before resolving names).
+    """
+    from repro.observability.perf import workloads  # noqa: F401
+
+    return available_benches()

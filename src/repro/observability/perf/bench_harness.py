@@ -1,0 +1,472 @@
+"""Benchmark registry, standardized result schema, and the run harness.
+
+Every benchmark in the repository — the figure/table reconstructions under
+``benchmarks/`` and the fast CI smoke subset — registers here as a
+:class:`BenchSpec`: a named runner plus a declarative workload description.
+:func:`run_bench` executes a spec ``repeats`` times under a fresh
+:class:`~repro.observability.Telemetry` handle per repeat, with
+:mod:`tracemalloc` tracking peak allocation, and condenses the repeats into
+one :class:`BenchResult`:
+
+- ``timings`` — per-repeat wall seconds plus the min-of-k headline
+  (``best_seconds``), the statistic the regression detector gates on
+  because the *minimum* of k repeats converges to the noise-free cost
+  while the mean inherits scheduler jitter;
+- ``phases`` — per-span count/total/p50/p95 from the fastest repeat's
+  telemetry, so a bench that forwards its handle into ``run_dgd`` (or
+  opens explicit ``tel.span(...)`` phases) gets hotspot-grade attribution
+  for free;
+- ``memory`` — tracemalloc peak bytes (tracked on every repeat so the
+  overhead is identical between baseline and candidate measurements);
+- ``metrics`` — optional solution-quality scalars extracted from the
+  runner's return value (final errors, speedup ratios), gated much more
+  tightly than wall-clock;
+- ``provenance`` — git sha, UTC timestamp, host, platform, and
+  python/numpy/repro versions, so a ``BENCH_*.json`` found at the repo
+  root is attributable without archaeology.
+
+Results are persisted as ``BENCH_<name>.json`` through
+:func:`repro.utils.atomicio.write_json_atomic` — atomic rename plus an
+end-to-end sha256 checksum wrapper, the same discipline the sweep cache
+uses — and validated against :data:`BENCH_SCHEMA` on load, so a truncated
+or hand-edited trajectory file fails loudly instead of polluting a gate.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import __version__
+from repro.exceptions import BenchSchemaError, InvalidParameterError
+from repro.observability.telemetry import Telemetry
+from repro.utils.atomicio import read_json_dict_checked, write_json_atomic
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PROVENANCE_KEYS",
+    "BenchSpec",
+    "BenchResult",
+    "BenchOutcome",
+    "register_bench",
+    "get_bench",
+    "available_benches",
+    "collect_provenance",
+    "run_bench",
+    "run_registered",
+    "bench_output_path",
+    "write_bench_result",
+    "load_bench_payload",
+    "validate_bench_payload",
+]
+
+#: Schema identifier stamped into (and required of) every bench payload.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Provenance keys every payload must carry (values may be null when the
+#: information is genuinely unavailable, e.g. a tarball checkout without git).
+PROVENANCE_KEYS = (
+    "git_sha",
+    "timestamp",
+    "host",
+    "platform",
+    "python",
+    "numpy",
+    "repro",
+)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark: a runner plus its workload description.
+
+    ``runner`` receives a live :class:`Telemetry` handle; workloads that
+    forward it into the execution engines (or open their own spans) get
+    per-phase attribution in the result. Returning a value is optional —
+    when ``metrics`` is set it is applied to the fastest repeat's return
+    value to extract solution-quality scalars.
+    """
+
+    name: str
+    runner: Callable[[Telemetry], Any]
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    metrics: Optional[Callable[[Any], Dict[str, float]]] = None
+    #: Optional extractor of free-form, NON-gated result data (e.g. the
+    #: engine bench's speedup ratios — wall-clock-derived, so informative
+    #: to track but too noisy for the tightly-toleranced metric gate).
+    observations: Optional[Callable[[Any], Dict[str, Any]]] = None
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise InvalidParameterError(
+            f"bench name must be non-empty [A-Za-z0-9_]+ "
+            f"(it becomes BENCH_<name>.json), got {name!r}"
+        )
+
+
+def register_bench(
+    name: str,
+    *,
+    workload: Optional[Mapping[str, Any]] = None,
+    description: str = "",
+    tags: Sequence[str] = (),
+    metrics: Optional[Callable[[Any], Dict[str, float]]] = None,
+    observations: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    replace: bool = False,
+) -> Callable[[Callable[[Telemetry], Any]], Callable[[Telemetry], Any]]:
+    """Decorator registering ``fn`` as the runner of bench ``name``."""
+
+    _validate_name(name)
+
+    def decorator(fn: Callable[[Telemetry], Any]) -> Callable[[Telemetry], Any]:
+        if name in _REGISTRY and not replace:
+            raise InvalidParameterError(f"bench {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip()
+        _REGISTRY[name] = BenchSpec(
+            name=name,
+            runner=fn,
+            workload=dict(workload or {}),
+            description=description or (doc.splitlines()[0] if doc else ""),
+            tags=tuple(tags),
+            metrics=metrics,
+            observations=observations,
+        )
+        return fn
+
+    return decorator
+
+
+def get_bench(name: str) -> BenchSpec:
+    """Resolve a registered bench by name (:class:`InvalidParameterError` otherwise)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise InvalidParameterError(
+            f"unknown bench {name!r}; registered: {known}"
+        ) from None
+
+
+def available_benches(tag: Optional[str] = None) -> List[str]:
+    """Sorted names of registered benches, optionally filtered by tag."""
+    return sorted(
+        name
+        for name, spec in _REGISTRY.items()
+        if tag is None or tag in spec.tags
+    )
+
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+
+
+def _git_sha() -> Optional[str]:
+    """Current commit sha: ask git, fall back to CI env, else ``None``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "-C", here, "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA") or None
+
+
+def collect_provenance() -> Dict[str, Optional[str]]:
+    """The provenance block stamped into every :class:`BenchResult`."""
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "repro": __version__,
+    }
+
+
+# ----------------------------------------------------------------------
+# Result schema
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """The standardized, serializable outcome of one benchmark execution."""
+
+    name: str
+    workload: Dict[str, Any]
+    repeats: int
+    timings: Dict[str, Any]
+    phases: Dict[str, Dict[str, float]]
+    memory: Dict[str, int]
+    metrics: Dict[str, float]
+    provenance: Dict[str, Optional[str]]
+    observations: Dict[str, Any] = field(default_factory=dict)
+    schema: str = BENCH_SCHEMA
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-JSON rendering (the exact on-disk document payload)."""
+        payload = {
+            "schema": self.schema,
+            "name": self.name,
+            "workload": dict(self.workload),
+            "repeats": int(self.repeats),
+            "timings": dict(self.timings),
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+            "memory": dict(self.memory),
+            "metrics": dict(self.metrics),
+            "provenance": dict(self.provenance),
+        }
+        if self.observations:
+            payload["observations"] = dict(self.observations)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BenchResult":
+        """Inverse of :meth:`to_payload`; validates the schema first."""
+        validate_bench_payload(payload)
+        return cls(
+            name=payload["name"],
+            workload=dict(payload["workload"]),
+            repeats=int(payload["repeats"]),
+            timings=dict(payload["timings"]),
+            phases={k: dict(v) for k, v in payload["phases"].items()},
+            memory=dict(payload["memory"]),
+            metrics=dict(payload["metrics"]),
+            provenance=dict(payload["provenance"]),
+            observations=dict(payload.get("observations", {})),
+            schema=payload["schema"],
+        )
+
+
+def validate_bench_payload(payload: Any) -> Dict[str, Any]:
+    """Check a bench document against :data:`BENCH_SCHEMA`; return it.
+
+    Raises :class:`~repro.exceptions.BenchSchemaError` naming the first
+    violated constraint — the gate refuses malformed baselines instead of
+    silently comparing against garbage.
+    """
+    if not isinstance(payload, Mapping):
+        raise BenchSchemaError(
+            f"bench payload must be a JSON object, got {type(payload).__name__}"
+        )
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"unsupported bench schema {payload.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    for key, kind in (
+        ("name", str),
+        ("workload", Mapping),
+        ("repeats", int),
+        ("timings", Mapping),
+        ("phases", Mapping),
+        ("memory", Mapping),
+        ("metrics", Mapping),
+        ("provenance", Mapping),
+    ):
+        if key not in payload:
+            raise BenchSchemaError(f"bench payload missing {key!r}")
+        if not isinstance(payload[key], kind) or isinstance(payload[key], bool):
+            raise BenchSchemaError(
+                f"bench payload field {key!r} must be {kind.__name__}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    timings = payload["timings"]
+    per_repeat = timings.get("seconds_per_repeat")
+    if not isinstance(per_repeat, Sequence) or isinstance(per_repeat, (str, bytes)):
+        raise BenchSchemaError("timings.seconds_per_repeat must be a list")
+    if len(per_repeat) != payload["repeats"] or payload["repeats"] < 1:
+        raise BenchSchemaError(
+            f"timings.seconds_per_repeat length {len(per_repeat)} does not "
+            f"match repeats={payload['repeats']}"
+        )
+    for key in ("best_seconds", "mean_seconds"):
+        value = timings.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            raise BenchSchemaError(f"timings.{key} must be a non-negative number")
+    if abs(timings["best_seconds"] - min(per_repeat)) > 1e-12:
+        raise BenchSchemaError(
+            "timings.best_seconds is not the minimum of seconds_per_repeat"
+        )
+    for metric, value in payload["metrics"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise BenchSchemaError(
+                f"metric {metric!r} must be numeric, got {type(value).__name__}"
+            )
+    missing = [k for k in PROVENANCE_KEYS if k not in payload["provenance"]]
+    if missing:
+        raise BenchSchemaError(f"provenance missing keys: {', '.join(missing)}")
+    if "observations" in payload and not isinstance(payload["observations"], Mapping):
+        raise BenchSchemaError("observations must be a JSON object when present")
+    return dict(payload)
+
+
+@dataclass
+class BenchOutcome:
+    """What :func:`run_bench` hands back to in-process callers.
+
+    ``result`` is the serializable record; ``value`` is the fastest
+    repeat's raw return value (the experiment result the benchmark suite
+    asserts shape properties on); ``path`` is where the record was
+    persisted, when an output directory was given.
+    """
+
+    result: BenchResult
+    value: Any
+    path: Optional[str] = None
+
+
+def _phase_stats(durations: Dict[str, List[float]]) -> Dict[str, Dict[str, float]]:
+    phases: Dict[str, Dict[str, float]] = {}
+    for name, values in sorted(durations.items()):
+        if not values:
+            continue
+        arr = np.asarray(values, dtype=float)
+        phases[name] = {
+            "count": int(arr.size),
+            "total": float(arr.sum()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+        }
+    return phases
+
+
+def run_bench(
+    spec: BenchSpec,
+    *,
+    repeats: int = 3,
+    memory: bool = True,
+    output_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+) -> BenchOutcome:
+    """Execute one spec ``repeats`` times and condense a :class:`BenchResult`.
+
+    Each repeat runs under its own :class:`Telemetry` handle (plus a JSONL
+    mirror under ``telemetry_dir`` when given, one stream per repeat) with
+    tracemalloc active when ``memory`` is on. Peak memory is the maximum
+    across repeats; phase statistics come from the fastest repeat so they
+    describe the same execution the ``best_seconds`` headline does.
+    """
+    if repeats < 1:
+        raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
+    elapsed: List[float] = []
+    peaks: List[int] = []
+    repeat_spans: List[Dict[str, List[float]]] = []
+    values: List[Any] = []
+    for repeat in range(repeats):
+        sink = None
+        if telemetry_dir is not None:
+            sink = os.path.join(
+                telemetry_dir, f"bench_{spec.name}.repeat{repeat}.jsonl"
+            )
+        tel = Telemetry(sink)
+        tracing_here = False
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracing_here = True
+        try:
+            start = time.perf_counter()
+            value = spec.runner(tel)
+            elapsed.append(time.perf_counter() - start)
+            peaks.append(
+                int(tracemalloc.get_traced_memory()[1])
+                if tracemalloc.is_tracing()
+                else 0
+            )
+        finally:
+            if tracing_here:
+                tracemalloc.stop()
+            tel.close()
+        repeat_spans.append({k: list(v) for k, v in tel.all_span_durations().items()})
+        values.append(value)
+    best = int(np.argmin(elapsed))
+    metrics: Dict[str, float] = {}
+    if spec.metrics is not None:
+        metrics = {
+            key: float(value) for key, value in spec.metrics(values[best]).items()
+        }
+    observations: Dict[str, Any] = {}
+    if spec.observations is not None:
+        # Round-trip through JSON (with the telemetry coercions) so numpy
+        # scalars in observation dicts cannot poison the atomic write.
+        import json
+
+        from repro.observability.exporters import _json_default
+
+        observations = json.loads(
+            json.dumps(spec.observations(values[best]), default=_json_default)
+        )
+    result = BenchResult(
+        name=spec.name,
+        workload=dict(spec.workload),
+        repeats=repeats,
+        timings={
+            "seconds_per_repeat": [float(s) for s in elapsed],
+            "best_seconds": float(min(elapsed)),
+            "mean_seconds": float(np.mean(elapsed)),
+        },
+        phases=_phase_stats(repeat_spans[best]),
+        memory={"peak_bytes": max(peaks) if peaks else 0, "tracked": bool(memory)},
+        metrics=metrics,
+        provenance=collect_provenance(),
+        observations=observations,
+    )
+    path = None
+    if output_dir is not None:
+        path = write_bench_result(result, output_dir)
+    return BenchOutcome(result=result, value=values[best], path=path)
+
+
+def run_registered(name: str, **kwargs) -> BenchOutcome:
+    """:func:`run_bench` on the registered spec called ``name``."""
+    return run_bench(get_bench(name), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+def bench_output_path(output_dir: str, name: str) -> str:
+    """Canonical on-disk location of a bench record: ``BENCH_<name>.json``."""
+    return os.path.join(output_dir, f"BENCH_{name}.json")
+
+
+def write_bench_result(result: BenchResult, output_dir: str) -> str:
+    """Persist a record checksummed-atomically; return the path written."""
+    os.makedirs(output_dir, exist_ok=True)
+    payload = validate_bench_payload(result.to_payload())
+    return write_json_atomic(bench_output_path(output_dir, result.name), payload)
+
+
+def load_bench_payload(path: str) -> Dict[str, Any]:
+    """Load + checksum-verify + schema-validate one ``BENCH_*.json``.
+
+    Accepts both the checksummed wrapper this harness writes and a legacy
+    bare document (the pre-harness ``BENCH_engine.json`` format fails the
+    *schema* check instead, with a message naming the missing field).
+    """
+    return validate_bench_payload(read_json_dict_checked(path))

@@ -1,0 +1,265 @@
+"""Baseline store and deterministic perf/quality regression detection.
+
+The comparator is a pure function of two bench payloads and a
+:class:`RegressionPolicy` — no clocks, no randomness — so gate decisions
+are reproducible and testable with synthetic documents. Three defenses
+keep it wall-clock-stable in CI:
+
+- **min-of-k.** Both sides compare on ``timings.best_seconds``, the
+  minimum over the harness's repeats. The minimum estimates the noise-free
+  cost of the code path; means and single shots inherit scheduler jitter.
+- **Relative tolerance.** A timing regresses only when the candidate is
+  slower than ``baseline * (1 + rel_tol)``; the default tolerates a 50 %
+  excursion, far above same-host run-to-run noise but far below any real
+  algorithmic regression worth gating (the 88× engine speedup would have
+  to rot by orders of magnitude to slip under it repeatedly).
+- **Noise floor.** Timings where *both* sides sit under ``noise_floor``
+  seconds are never compared — a 0.2 ms bench that doubles is timer
+  granularity, not a regression.
+
+Solution-quality ``metrics`` (final errors, speedup ratios) are seeded and
+deterministic, so they get a much tighter relative bound
+(``metric_rel_tol``) with a tiny absolute floor for float-representation
+drift across numpy versions. A metric present in the baseline but missing
+from the candidate is a regression: silently dropping a measured quantity
+is how trajectories rot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.perf.bench_harness import (
+    BenchResult,
+    bench_output_path,
+    load_bench_payload,
+    validate_bench_payload,
+    write_bench_result,
+)
+
+__all__ = [
+    "RegressionPolicy",
+    "BenchComparison",
+    "BaselineStore",
+    "compare_payloads",
+    "worst_verdict",
+    "format_comparisons",
+]
+
+#: Comparison verdicts, ordered from best to worst.
+VERDICTS = ("pass", "improved", "new", "missing", "regression")
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """Thresholds of the deterministic comparator (see module docstring)."""
+
+    rel_tol: float = 0.50
+    noise_floor: float = 0.005
+    metric_rel_tol: float = 0.01
+    metric_abs_floor: float = 1e-9
+    improvement_ratio: float = 2 / 3
+
+    def __post_init__(self):
+        if self.rel_tol < 0 or self.noise_floor < 0 or self.metric_rel_tol < 0:
+            raise InvalidParameterError(
+                "regression tolerances must be non-negative"
+            )
+        if not 0 < self.improvement_ratio <= 1:
+            raise InvalidParameterError(
+                f"improvement_ratio must lie in (0, 1], got {self.improvement_ratio}"
+            )
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing one candidate bench payload against a baseline."""
+
+    name: str
+    verdict: str
+    baseline_seconds: Optional[float] = None
+    current_seconds: Optional[float] = None
+    ratio: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+    metric_failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "regression"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "baseline_seconds": self.baseline_seconds,
+            "current_seconds": self.current_seconds,
+            "ratio": self.ratio,
+            "notes": list(self.notes),
+            "metric_failures": dict(self.metric_failures),
+        }
+
+
+def compare_payloads(
+    current: Mapping[str, Any],
+    baseline: Optional[Mapping[str, Any]],
+    policy: RegressionPolicy = RegressionPolicy(),
+) -> BenchComparison:
+    """Classify one candidate payload against its baseline.
+
+    ``baseline=None`` yields the ``"new"`` verdict (no baseline exists
+    yet — informational, not a failure; the gate can be told to treat it
+    as one via its strict mode).
+    """
+    current = validate_bench_payload(current)
+    cur_best = float(current["timings"]["best_seconds"])
+    if baseline is None:
+        return BenchComparison(
+            name=current["name"],
+            verdict="new",
+            current_seconds=cur_best,
+            notes=["no baseline on record"],
+        )
+    baseline = validate_bench_payload(baseline)
+    if baseline["name"] != current["name"]:
+        raise InvalidParameterError(
+            f"comparing bench {current['name']!r} against baseline "
+            f"{baseline['name']!r}"
+        )
+    base_best = float(baseline["timings"]["best_seconds"])
+    notes: List[str] = []
+    if baseline["workload"] != current["workload"]:
+        notes.append(
+            "workload parameters changed since the baseline was recorded; "
+            "timing comparison is apples-to-oranges until the baseline is "
+            "refreshed"
+        )
+    ratio = cur_best / base_best if base_best > 0 else None
+
+    timing_verdict = "pass"
+    if max(cur_best, base_best) < policy.noise_floor:
+        notes.append(
+            f"both timings under the {policy.noise_floor * 1e3:.1f} ms noise "
+            "floor; timing not compared"
+        )
+    elif cur_best > base_best * (1.0 + policy.rel_tol):
+        timing_verdict = "regression"
+        notes.append(
+            f"best-of-{current['repeats']} wall time regressed: "
+            f"{base_best:.4f}s -> {cur_best:.4f}s "
+            f"(x{ratio:.2f}, tolerance x{1 + policy.rel_tol:.2f})"
+        )
+    elif cur_best < base_best * policy.improvement_ratio:
+        timing_verdict = "improved"
+        notes.append(
+            f"wall time improved: {base_best:.4f}s -> {cur_best:.4f}s"
+        )
+
+    metric_failures: Dict[str, str] = {}
+    for metric, base_value in baseline["metrics"].items():
+        if metric not in current["metrics"]:
+            metric_failures[metric] = "metric disappeared from the candidate"
+            continue
+        cur_value = float(current["metrics"][metric])
+        base_value = float(base_value)
+        drift = abs(cur_value - base_value)
+        scale = max(abs(base_value), abs(cur_value))
+        if drift <= policy.metric_abs_floor:
+            continue
+        if drift > policy.metric_rel_tol * max(scale, policy.metric_abs_floor):
+            metric_failures[metric] = (
+                f"{base_value:.6g} -> {cur_value:.6g} "
+                f"(drift {drift / max(scale, policy.metric_abs_floor):.2%}, "
+                f"tolerance {policy.metric_rel_tol:.2%})"
+            )
+
+    verdict = timing_verdict
+    if metric_failures:
+        verdict = "regression"
+    return BenchComparison(
+        name=current["name"],
+        verdict=verdict,
+        baseline_seconds=base_best,
+        current_seconds=cur_best,
+        ratio=ratio,
+        notes=notes,
+        metric_failures=metric_failures,
+    )
+
+
+def worst_verdict(comparisons: List[BenchComparison]) -> str:
+    """The most severe verdict in a batch (``"pass"`` for an empty batch)."""
+    worst = "pass"
+    for comparison in comparisons:
+        if VERDICTS.index(comparison.verdict) > VERDICTS.index(worst):
+            worst = comparison.verdict
+    return worst
+
+
+def format_comparisons(comparisons: List[BenchComparison]) -> str:
+    """Aligned plain-text table of a comparison batch, worst rows last."""
+    from repro.analysis.reporting import format_table
+
+    def _fmt(seconds: Optional[float]) -> str:
+        return "-" if seconds is None else f"{seconds:.4f}"
+
+    rows = [
+        [
+            c.name,
+            c.verdict,
+            _fmt(c.baseline_seconds),
+            _fmt(c.current_seconds),
+            "-" if c.ratio is None else f"x{c.ratio:.2f}",
+            "; ".join(
+                list(c.notes)
+                + [f"{m}: {why}" for m, why in sorted(c.metric_failures.items())]
+            )
+            or "-",
+        ]
+        for c in sorted(comparisons, key=lambda c: VERDICTS.index(c.verdict))
+    ]
+    return format_table(
+        ["bench", "verdict", "baseline (s)", "current (s)", "ratio", "notes"],
+        rows,
+        title="benchmark comparison",
+    )
+
+
+class BaselineStore:
+    """Directory of committed ``BENCH_<name>.json`` baseline documents.
+
+    The default location is ``benchmarks/baselines/`` at the repository
+    root — baselines are version-controlled artifacts, refreshed
+    deliberately (``repro bench run --output-dir benchmarks/baselines``)
+    when a PR legitimately changes the performance envelope, and gated
+    against otherwise.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = os.fspath(directory)
+
+    def path_for(self, name: str) -> str:
+        return bench_output_path(self.directory, name)
+
+    def names(self) -> List[str]:
+        """Bench names with a baseline on record."""
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                found.append(entry[len("BENCH_"):-len(".json")])
+        return found
+
+    def load(self, name: str) -> Optional[Dict[str, Any]]:
+        """The validated baseline payload for ``name``; ``None`` if absent."""
+        path = self.path_for(name)
+        if not os.path.exists(path):
+            return None
+        return load_bench_payload(path)
+
+    def store(self, result: BenchResult) -> str:
+        """Persist ``result`` as the new baseline; return the path."""
+        return write_bench_result(result, self.directory)

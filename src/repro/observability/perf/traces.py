@@ -1,0 +1,332 @@
+"""Post-hoc analysis of telemetry / sweep-event JSONL streams.
+
+The capture side (PR 3/PR 4) leaves behind JSONL record streams — run
+telemetry from ``run_dgd``/``run_dgd_batch``/the resilient runtime, and
+the sweep engine's event log, all sharing one flat ``{"event": ...}``
+schema. :func:`analyze_records` turns one stream into a
+:class:`TraceReport`:
+
+- **hotspot attribution** — per span name: call count, total seconds,
+  p95, and the share of the run's accounted time (against the ``"run"``
+  span when present, else the sum of spans), so "where did the time go"
+  has a first-class answer;
+- **rounds/sec trend** — the ``"round"`` span series split into windows
+  with a rate per window, making gradual slowdowns visible instead of
+  averaged away;
+- **anomaly flags** — stalls (round spans an order of magnitude over the
+  median, stalled/missing liveness evidence from the self-healing
+  runtime), elimination-precision drops (a window's filter precision
+  falling well under the stream's overall precision), and divergence
+  (the distance-to-reference series ending far above its minimum).
+
+Anomaly detection is heuristic by design — flags are pointers for a human
+(or a gate with ``--fail-on-anomaly``), not proofs — but every threshold
+is an explicit parameter, so a workload with known-spiky rounds can relax
+them instead of learning to ignore the report.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.exporters import load_jsonl, summarize_records
+
+__all__ = [
+    "TraceAnomaly",
+    "TraceReport",
+    "analyze_records",
+    "analyze_trace_path",
+]
+
+
+@dataclass
+class TraceAnomaly:
+    """One flagged irregularity in a trace stream."""
+
+    kind: str  # "stall" | "precision_drop" | "divergence" | "slowdown"
+    message: str
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "message": self.message, "context": dict(self.context)}
+
+
+@dataclass
+class TraceReport:
+    """Structured outcome of analyzing one JSONL record stream."""
+
+    source: str
+    records: int
+    rounds: int
+    hotspots: List[Dict[str, Any]]
+    rounds_per_sec: Optional[float]
+    round_rate_windows: List[Dict[str, float]]
+    elimination: Dict[str, Any]
+    counters: Dict[str, int]
+    anomalies: List[TraceAnomaly]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "records": self.records,
+            "rounds": self.rounds,
+            "hotspots": [dict(h) for h in self.hotspots],
+            "rounds_per_sec": self.rounds_per_sec,
+            "round_rate_windows": [dict(w) for w in self.round_rate_windows],
+            "elimination": dict(self.elimination),
+            "counters": dict(self.counters),
+            "anomalies": [a.to_payload() for a in self.anomalies],
+        }
+
+    def render(self) -> str:
+        """Plain-text report: hotspot table, trend line, anomaly list."""
+        from repro.analysis.reporting import format_table
+
+        blocks: List[str] = [f"== trace report: {self.source} =="]
+        if self.hotspots:
+            rows = [
+                [
+                    h["span"],
+                    h["count"],
+                    f"{h['total_seconds']:.4f}",
+                    f"{h['p95_ms']:.3f}",
+                    f"{h['share']:.1%}" if h["share"] is not None else "-",
+                ]
+                for h in self.hotspots
+            ]
+            blocks.append(format_table(
+                ["span", "count", "total (s)", "p95 (ms)", "share"],
+                rows,
+                title="hotspots",
+            ))
+        summary_rows = [
+            ["records", self.records],
+            ["rounds", self.rounds],
+            ["rounds/sec", "-" if self.rounds_per_sec is None
+             else f"{self.rounds_per_sec:.1f}"],
+        ]
+        precision = self.elimination.get("precision")
+        recall = self.elimination.get("recall")
+        if precision is not None:
+            summary_rows.append(["elimination precision", f"{precision:.3f}"])
+        if recall is not None:
+            summary_rows.append(["elimination recall", f"{recall:.3f}"])
+        if self.round_rate_windows:
+            rates = [w["rounds_per_sec"] for w in self.round_rate_windows]
+            summary_rows.append(
+                ["round-rate trend",
+                 " -> ".join(f"{r:.0f}/s" for r in rates)]
+            )
+        for name, value in sorted(self.counters.items()):
+            summary_rows.append([f"counter {name}", value])
+        blocks.append(format_table(["quantity", "value"], summary_rows,
+                                   title="stream summary"))
+        if self.anomalies:
+            blocks.append("anomalies:")
+            blocks.extend(
+                f"  [{a.kind}] {a.message}" for a in self.anomalies
+            )
+        else:
+            blocks.append("anomalies: none")
+        return "\n".join(blocks)
+
+
+def _window_slices(count: int, windows: int) -> List[slice]:
+    edges = np.linspace(0, count, min(windows, count) + 1).astype(int)
+    return [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+def analyze_records(
+    records: Iterable[Dict],
+    *,
+    source: str = "<records>",
+    windows: int = 8,
+    stall_factor: float = 10.0,
+    slowdown_ratio: float = 0.5,
+    precision_drop: float = 0.25,
+    divergence_factor: float = 2.0,
+) -> TraceReport:
+    """Analyze one record stream into a :class:`TraceReport`.
+
+    Parameters beyond the stream tune the anomaly heuristics: a round span
+    ``stall_factor`` times the median round is a stall; the last rate
+    window dropping under ``slowdown_ratio`` times the first is a
+    slowdown; a window's elimination precision ``precision_drop`` under
+    the stream's overall precision is a precision drop; a
+    distance-to-reference series ending above ``divergence_factor`` times
+    its minimum (and above where it started) is divergence.
+    """
+    records = list(records)
+    summary = summarize_records(records)
+    anomalies: List[TraceAnomaly] = []
+
+    span_durations: Dict[str, List[float]] = {}
+    round_records: List[Dict] = []
+    distances: List[float] = []
+    stalled_liveness = 0
+    for record in records:
+        event = record.get("event")
+        if event == "span" and "name" in record and "seconds" in record:
+            span_durations.setdefault(record["name"], []).append(
+                float(record["seconds"])
+            )
+        elif event == "round":
+            round_records.append(record)
+            if record.get("distance_to_ref") is not None:
+                distances.append(float(record["distance_to_ref"]))
+        elif event == "liveness" and record.get("missing"):
+            stalled_liveness += 1
+
+    # Hotspot attribution.
+    totals = {name: float(np.sum(vals)) for name, vals in span_durations.items()}
+    denominator = totals.get("run") or (sum(totals.values()) or None)
+    hotspots = [
+        {
+            "span": name,
+            "count": len(span_durations[name]),
+            "total_seconds": totals[name],
+            "p95_ms": float(np.percentile(span_durations[name], 95)) * 1e3,
+            "share": (totals[name] / denominator) if denominator else None,
+        }
+        for name in sorted(totals, key=totals.get, reverse=True)
+    ]
+
+    # Round-rate trend and stalls.
+    round_times = span_durations.get("round", [])
+    rate_windows: List[Dict[str, float]] = []
+    if round_times:
+        arr = np.asarray(round_times, dtype=float)
+        median = float(np.median(arr))
+        if median > 0:
+            worst = int(np.argmax(arr))
+            if arr[worst] > stall_factor * median:
+                stalls = int(np.sum(arr > stall_factor * median))
+                anomalies.append(TraceAnomaly(
+                    kind="stall",
+                    message=(
+                        f"{stalls} round(s) exceeded {stall_factor:.0f}x the "
+                        f"median round time (worst {arr[worst] * 1e3:.2f} ms "
+                        f"vs median {median * 1e3:.2f} ms)"
+                    ),
+                    context={"stalled_rounds": stalls,
+                             "worst_round_index": worst,
+                             "worst_seconds": float(arr[worst]),
+                             "median_seconds": median},
+                ))
+        for window in _window_slices(arr.size, windows):
+            chunk = arr[window]
+            total = float(chunk.sum())
+            rate_windows.append({
+                "rounds": int(chunk.size),
+                "seconds": total,
+                "rounds_per_sec": (chunk.size / total) if total > 0 else 0.0,
+            })
+        if len(rate_windows) >= 2:
+            first = rate_windows[0]["rounds_per_sec"]
+            last = rate_windows[-1]["rounds_per_sec"]
+            if first > 0 and last < slowdown_ratio * first:
+                anomalies.append(TraceAnomaly(
+                    kind="slowdown",
+                    message=(
+                        f"round rate decayed from {first:.0f}/s to "
+                        f"{last:.0f}/s across the stream"
+                    ),
+                    context={"first_rate": first, "last_rate": last},
+                ))
+    if stalled_liveness:
+        anomalies.append(TraceAnomaly(
+            kind="stall",
+            message=(
+                f"{stalled_liveness} liveness record(s) reported agents "
+                "missing their round deadline"
+            ),
+            context={"liveness_records_with_missing": stalled_liveness},
+        ))
+
+    # Windowed elimination precision.
+    overall_precision = summary["elimination"]["precision"]
+    scored = [r for r in round_records if r.get("eliminated") is not None]
+    if overall_precision is not None and scored:
+        for index, window in enumerate(_window_slices(len(scored), windows)):
+            tp = fp = 0
+            for record in scored[window]:
+                tp += int(record.get("eliminated_byzantine", 0))
+                fp += len(record["eliminated"]) - int(
+                    record.get("eliminated_byzantine", 0)
+                )
+            if tp + fp == 0:
+                continue
+            window_precision = tp / (tp + fp)
+            if window_precision < overall_precision - precision_drop:
+                anomalies.append(TraceAnomaly(
+                    kind="precision_drop",
+                    message=(
+                        f"elimination precision fell to "
+                        f"{window_precision:.2f} in window {index} "
+                        f"(stream overall {overall_precision:.2f})"
+                    ),
+                    context={"window": index,
+                             "window_precision": window_precision,
+                             "overall_precision": overall_precision},
+                ))
+
+    # Divergence of the distance-to-reference series.
+    if len(distances) >= 2:
+        arr = np.asarray(distances, dtype=float)
+        floor = float(arr.min())
+        if (
+            arr[-1] > max(divergence_factor * floor, 1e-12)
+            and arr[-1] > arr[0]
+        ):
+            anomalies.append(TraceAnomaly(
+                kind="divergence",
+                message=(
+                    f"distance to reference ended at {arr[-1]:.4g}, above "
+                    f"{divergence_factor:.1f}x its minimum {floor:.4g} and "
+                    f"above its start {arr[0]:.4g}"
+                ),
+                context={"first": float(arr[0]), "min": floor,
+                         "last": float(arr[-1])},
+            ))
+
+    return TraceReport(
+        source=source,
+        records=len(records),
+        rounds=summary["rounds"],
+        hotspots=hotspots,
+        rounds_per_sec=summary["rounds_per_sec"],
+        round_rate_windows=rate_windows,
+        elimination=summary["elimination"],
+        counters=summary["counters"],
+        anomalies=anomalies,
+    )
+
+
+def analyze_trace_path(path: str, **kwargs) -> List[TraceReport]:
+    """Analyze a JSONL file, or every ``*.jsonl`` stream in a directory.
+
+    Returns one report per stream (sorted by filename for a directory).
+    Raises :class:`~repro.exceptions.InvalidParameterError` when the path
+    does not exist or a directory holds no streams — the CLI maps that to
+    its usage exit code.
+    """
+    if os.path.isfile(path):
+        return [analyze_records(load_jsonl(path), source=path, **kwargs)]
+    if os.path.isdir(path):
+        streams = sorted(
+            os.path.join(path, entry)
+            for entry in os.listdir(path)
+            if entry.endswith(".jsonl")
+        )
+        if not streams:
+            raise InvalidParameterError(f"no *.jsonl streams under {path}")
+        return [
+            analyze_records(load_jsonl(stream), source=stream, **kwargs)
+            for stream in streams
+        ]
+    raise InvalidParameterError(f"trace path does not exist: {path}")

@@ -95,6 +95,12 @@ class NullTelemetry:
     def record_liveness(self, **fields) -> None:
         pass
 
+    def span_durations(self, name: str) -> List[float]:
+        return []
+
+    def all_span_durations(self) -> Dict[str, List[float]]:
+        return {}
+
     def annotate(self, **fields) -> None:
         pass
 
@@ -236,6 +242,20 @@ class Telemetry:
     def _record_span(self, name: str, seconds: float) -> None:
         self._span_durations.setdefault(name, []).append(seconds)
         self.emit("span", name=name, seconds=seconds)
+
+    def span_durations(self, name: str) -> List[float]:
+        """All recorded durations (seconds) of the named span, in order.
+
+        Backed by the handle's running aggregates, so it works regardless
+        of the sink choice (a JSONL-only handle still answers). The
+        benchmark harness and the scaling experiment read timings back
+        through this instead of re-parsing the record stream.
+        """
+        return list(self._span_durations.get(name, []))
+
+    def all_span_durations(self) -> Dict[str, List[float]]:
+        """Span name → recorded durations, as independent copies."""
+        return {name: list(vals) for name, vals in self._span_durations.items()}
 
     def annotate(self, *, byzantine_ids=None, reference_point=None) -> None:
         """Attach ground truth the execution layer knows (runners call this)."""

@@ -1,0 +1,221 @@
+"""Exit-code contract of ``repro bench`` and ``repro trace`` (0/1/2)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability.perf import (
+    BaselineStore,
+    load_bench_payload,
+    register_bench,
+    run_registered,
+)
+from repro.utils.atomicio import write_json_atomic
+
+# A deliberately trivial bench: microsecond-scale (so the default noise
+# floor always suppresses the timing comparison) with one deterministic
+# quality metric the tests can tamper with to force a gate failure.
+register_bench(
+    "unit_cli_tiny",
+    workload={"kind": "unit"},
+    tags=("unit_cli",),
+    metrics=lambda value: {"quality": value},
+    description="trivial bench for CLI exit-code tests",
+    replace=True,
+)(lambda tel: 1.0)
+
+
+def _seed_baseline(directory):
+    store = BaselineStore(str(directory))
+    store.store(run_registered("unit_cli_tiny", repeats=1).result)
+    return store
+
+
+class TestBenchSelection:
+    def test_no_selection_is_usage_error(self, capsys):
+        assert main(["bench", "run"]) == 2
+        assert "no benches selected" in capsys.readouterr().err
+
+    def test_unknown_name_is_usage_error(self, capsys):
+        assert main(["bench", "run", "no_such_bench"]) == 2
+        assert "unknown bench" in capsys.readouterr().err
+
+    def test_names_and_tag_conflict(self, capsys):
+        assert main(["bench", "run", "unit_cli_tiny", "--tag", "smoke"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_tag_on_list(self, capsys):
+        assert main(["bench", "list", "--tag", "no_such_tag"]) == 2
+        assert "no benches carry tag" in capsys.readouterr().err
+
+    def test_list_shows_registered_benches(self, capsys):
+        assert main(["bench", "list", "--tag", "unit_cli"]) == 0
+        out = capsys.readouterr().out
+        assert "unit_cli_tiny" in out
+        assert "trivial bench" in out
+
+
+class TestBenchRun:
+    def test_run_writes_schema_record(self, tmp_path, capsys):
+        code = main([
+            "bench", "run", "unit_cli_tiny",
+            "--repeats", "2", "--output-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "unit_cli_tiny: best" in capsys.readouterr().out
+        payload = load_bench_payload(str(tmp_path / "BENCH_unit_cli_tiny.json"))
+        assert payload["repeats"] == 2
+        assert payload["metrics"] == {"quality": 1.0}
+
+    def test_bad_repeats_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "bench", "run", "unit_cli_tiny",
+            "--repeats", "0", "--output-dir", str(tmp_path),
+        ])
+        assert code == 2
+
+
+class TestBenchGate:
+    def test_gate_passes_against_fresh_baseline(self, tmp_path, capsys):
+        _seed_baseline(tmp_path)
+        code = main([
+            "bench", "gate", "unit_cli_tiny", "--repeats", "1",
+            "--baseline-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_gate_fails_on_injected_regression(self, tmp_path, capsys):
+        store = _seed_baseline(tmp_path)
+        # Tamper with the committed baseline: the bench still reports
+        # quality=1.0, so a baseline demanding 2.0 is a >1% metric drift.
+        path = store.path_for("unit_cli_tiny")
+        payload = load_bench_payload(path)
+        payload["metrics"]["quality"] = 2.0
+        write_json_atomic(path, payload)
+        code = main([
+            "bench", "gate", "unit_cli_tiny", "--repeats", "1",
+            "--baseline-dir", str(tmp_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out
+        assert "quality" in out
+
+    def test_gate_without_baseline_is_informational(self, tmp_path, capsys):
+        code = main([
+            "bench", "gate", "unit_cli_tiny", "--repeats", "1",
+            "--baseline-dir", str(tmp_path / "empty"),
+        ])
+        assert code == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_gate_strict_missing_fails(self, tmp_path, capsys):
+        code = main([
+            "bench", "gate", "unit_cli_tiny", "--repeats", "1",
+            "--baseline-dir", str(tmp_path / "empty"), "--strict-missing",
+        ])
+        assert code == 1
+        assert "gate: FAIL" in capsys.readouterr().out
+
+    def test_gate_persists_candidate_records(self, tmp_path):
+        _seed_baseline(tmp_path / "baselines")
+        out_dir = tmp_path / "fresh"
+        code = main([
+            "bench", "gate", "unit_cli_tiny", "--repeats", "1",
+            "--baseline-dir", str(tmp_path / "baselines"),
+            "--output-dir", str(out_dir),
+        ])
+        assert code == 0
+        assert (out_dir / "BENCH_unit_cli_tiny.json").exists()
+
+
+class TestBenchCompare:
+    def test_compare_pass_and_regression(self, tmp_path, capsys):
+        store = _seed_baseline(tmp_path / "baselines")
+        current = tmp_path / "current"
+        main([
+            "bench", "run", "unit_cli_tiny",
+            "--repeats", "1", "--output-dir", str(current),
+        ])
+        capsys.readouterr()
+        args = [
+            "bench", "compare", "unit_cli_tiny",
+            "--baseline-dir", str(tmp_path / "baselines"),
+            "--current-dir", str(current),
+        ]
+        assert main(args) == 0
+        payload = load_bench_payload(store.path_for("unit_cli_tiny"))
+        payload["metrics"]["quality"] = 2.0
+        write_json_atomic(store.path_for("unit_cli_tiny"), payload)
+        assert main(args) == 1
+
+    def test_compare_missing_candidate_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "bench", "compare", "unit_cli_tiny",
+            "--baseline-dir", str(tmp_path),
+            "--current-dir", str(tmp_path / "nowhere"),
+        ])
+        assert code == 2
+        assert "cannot load candidate" in capsys.readouterr().err
+
+
+class TestTraceReport:
+    @staticmethod
+    def _write_stream(path, records):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_report_on_healthy_stream(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        self._write_stream(stream, [
+            {"event": "span", "name": "round", "seconds": 0.01}
+            for _ in range(20)
+        ])
+        assert main(["trace", "report", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "0 anomaly flag(s)" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        code = main(["trace", "report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_windows_is_usage_error(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        self._write_stream(stream, [])
+        code = main(["trace", "report", str(stream), "--windows", "0"])
+        assert code == 2
+
+    def test_fail_on_anomaly(self, tmp_path, capsys):
+        stream = tmp_path / "stalled.jsonl"
+        records = [
+            {"event": "span", "name": "round", "seconds": 0.01}
+            for _ in range(20)
+        ]
+        records.append({"event": "span", "name": "round", "seconds": 1.0})
+        self._write_stream(stream, records)
+        # Informational by default; a hard failure only when asked.
+        assert main(["trace", "report", str(stream)]) == 0
+        capsys.readouterr()
+        code = main(["trace", "report", str(stream), "--fail-on-anomaly"])
+        assert code == 1
+        assert "[stall]" in capsys.readouterr().out
+
+    def test_json_report_is_written_atomically(self, tmp_path, capsys):
+        from repro.utils.atomicio import read_json_dict_checked
+
+        stream = tmp_path / "run.jsonl"
+        self._write_stream(stream, [
+            {"event": "span", "name": "round", "seconds": 0.01},
+        ])
+        target = tmp_path / "report.json"
+        code = main([
+            "trace", "report", str(stream), "--json", str(target),
+        ])
+        assert code == 0
+        document = read_json_dict_checked(str(target))
+        assert document["reports"][0]["source"] == str(stream)

@@ -1,0 +1,222 @@
+"""Bench registry, run harness, and the ``repro.bench/v1`` schema."""
+
+import pytest
+
+from repro.exceptions import BenchSchemaError, InvalidParameterError
+from repro.observability.perf import (
+    BENCH_SCHEMA,
+    PROVENANCE_KEYS,
+    BenchResult,
+    BenchSpec,
+    available_benches,
+    bench_output_path,
+    collect_provenance,
+    get_bench,
+    load_bench_payload,
+    register_bench,
+    run_bench,
+    run_registered,
+    validate_bench_payload,
+    write_bench_result,
+)
+from repro.utils.atomicio import CacheIntegrityError
+
+
+def _spec(name="unit_spec", **kwargs):
+    defaults = dict(
+        runner=lambda tel: {"answer": 42.0},
+        workload={"n": 6},
+        metrics=lambda value: {"answer": value["answer"]},
+    )
+    defaults.update(kwargs)
+    return BenchSpec(name=name, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_register_and_resolve():
+    @register_bench("unit_registered", workload={"k": 1}, tags=("unit",),
+                    replace=True)
+    def _runner(tel):
+        """First docstring line becomes the description."""
+        return None
+
+    spec = get_bench("unit_registered")
+    assert spec.workload == {"k": 1}
+    assert spec.description == "First docstring line becomes the description."
+    assert "unit_registered" in available_benches(tag="unit")
+    assert "unit_registered" in available_benches()
+
+
+def test_duplicate_registration_rejected():
+    register_bench("unit_dup", replace=True)(lambda tel: None)
+    with pytest.raises(InvalidParameterError, match="already registered"):
+        register_bench("unit_dup")(lambda tel: None)
+
+
+def test_bad_names_rejected():
+    for name in ("", "has space", "has/slash", "has.dot"):
+        with pytest.raises(InvalidParameterError, match="bench name"):
+            register_bench(name)(lambda tel: None)
+
+
+def test_unknown_bench_names_known_ones():
+    with pytest.raises(InvalidParameterError, match="unknown bench"):
+        get_bench("no_such_bench_anywhere")
+
+
+# ----------------------------------------------------------------------
+# run_bench
+# ----------------------------------------------------------------------
+
+
+def test_run_bench_shapes_result():
+    outcome = run_bench(_spec(), repeats=3)
+    result = outcome.result
+    assert result.schema == BENCH_SCHEMA
+    assert result.repeats == 3
+    assert len(result.timings["seconds_per_repeat"]) == 3
+    assert result.timings["best_seconds"] == min(
+        result.timings["seconds_per_repeat"]
+    )
+    assert result.metrics == {"answer": 42.0}
+    assert result.memory["tracked"] is True
+    assert outcome.value == {"answer": 42.0}
+    assert outcome.path is None
+    for key in PROVENANCE_KEYS:
+        assert key in result.provenance
+
+
+def test_run_bench_rejects_bad_repeats():
+    with pytest.raises(InvalidParameterError, match="repeats"):
+        run_bench(_spec(), repeats=0)
+
+
+def test_run_bench_collects_phases_from_spans():
+    def runner(tel):
+        with tel.span("phase_a"):
+            pass
+        with tel.span("phase_a"):
+            pass
+        with tel.span("phase_b"):
+            pass
+        return None
+
+    outcome = run_bench(_spec(runner=runner, metrics=None), repeats=2)
+    phases = outcome.result.phases
+    assert phases["phase_a"]["count"] == 2
+    assert phases["phase_b"]["count"] == 1
+    assert set(phases["phase_a"]) == {"count", "total", "p50", "p95"}
+
+
+def test_run_bench_observations_are_json_clean():
+    import numpy as np
+
+    spec = _spec(
+        runner=lambda tel: {"ratio": np.float64(2.5), "grid": np.arange(3)},
+        metrics=None,
+        observations=lambda value: value,
+    )
+    outcome = run_bench(spec, repeats=1)
+    assert outcome.result.observations == {"ratio": 2.5, "grid": [0, 1, 2]}
+
+
+def test_run_bench_memory_toggle():
+    outcome = run_bench(_spec(), repeats=1, memory=False)
+    assert outcome.result.memory == {"peak_bytes": 0, "tracked": False}
+    outcome = run_bench(_spec(), repeats=1, memory=True)
+    assert outcome.result.memory["peak_bytes"] >= 0
+
+
+def test_run_bench_writes_telemetry_streams(tmp_path):
+    tel_dir = tmp_path / "telemetry"
+
+    def runner(tel):
+        with tel.span("work"):
+            pass
+        return None
+
+    run_bench(_spec(runner=runner, metrics=None), repeats=2,
+              telemetry_dir=str(tel_dir))
+    streams = sorted(p.name for p in tel_dir.glob("*.jsonl"))
+    assert streams == [
+        "bench_unit_spec.repeat0.jsonl",
+        "bench_unit_spec.repeat1.jsonl",
+    ]
+
+
+def test_run_registered_round_trips_to_disk(tmp_path):
+    register_bench("unit_disk", metrics=lambda v: {"x": v}, replace=True)(
+        lambda tel: 1.5
+    )
+    outcome = run_registered("unit_disk", repeats=2, output_dir=str(tmp_path))
+    assert outcome.path == bench_output_path(str(tmp_path), "unit_disk")
+    payload = load_bench_payload(outcome.path)
+    assert payload == outcome.result.to_payload()
+    assert BenchResult.from_payload(payload).metrics == {"x": 1.5}
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+
+def _valid_payload():
+    return run_bench(_spec(), repeats=2).result.to_payload()
+
+
+def test_validate_accepts_harness_output():
+    assert validate_bench_payload(_valid_payload())["schema"] == BENCH_SCHEMA
+
+
+@pytest.mark.parametrize(
+    "mutate, match",
+    [
+        (lambda p: p.update(schema="repro.bench/v0"), "unsupported bench schema"),
+        (lambda p: p.pop("metrics"), "missing 'metrics'"),
+        (lambda p: p.update(repeats="2"), "'repeats' must be int"),
+        (lambda p: p["timings"].pop("seconds_per_repeat"), "must be a list"),
+        (lambda p: p.update(repeats=5), "does not match repeats"),
+        (lambda p: p["timings"].update(best_seconds=-1.0), "non-negative"),
+        (
+            lambda p: p["timings"].update(
+                best_seconds=p["timings"]["best_seconds"] + 1.0
+            ),
+            "not the minimum",
+        ),
+        (lambda p: p["metrics"].update(answer="fast"), "must be numeric"),
+        (lambda p: p["provenance"].pop("git_sha"), "provenance missing"),
+        (lambda p: p.update(observations=[1, 2]), "observations"),
+    ],
+)
+def test_validate_rejects_violations(mutate, match):
+    payload = _valid_payload()
+    mutate(payload)
+    with pytest.raises(BenchSchemaError, match=match):
+        validate_bench_payload(payload)
+
+
+def test_validate_rejects_non_mapping():
+    with pytest.raises(BenchSchemaError, match="JSON object"):
+        validate_bench_payload([1, 2, 3])
+
+
+def test_load_rejects_tampered_file(tmp_path):
+    path = write_bench_result(run_bench(_spec(), repeats=1).result,
+                              str(tmp_path))
+    text = open(path).read().replace("42.0", "43.0")
+    with open(path, "w") as handle:
+        handle.write(text)
+    with pytest.raises(CacheIntegrityError):
+        load_bench_payload(path)
+
+
+def test_collect_provenance_is_complete():
+    provenance = collect_provenance()
+    assert set(provenance) == set(PROVENANCE_KEYS)
+    assert provenance["python"] and provenance["numpy"]
+    # Inside this git checkout the sha must resolve.
+    assert provenance["git_sha"] is None or len(provenance["git_sha"]) == 40

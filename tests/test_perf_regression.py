@@ -1,0 +1,209 @@
+"""Deterministic regression detection and the baseline store."""
+
+import copy
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.perf import (
+    BaselineStore,
+    BenchComparison,
+    BenchResult,
+    RegressionPolicy,
+    compare_payloads,
+    format_comparisons,
+    worst_verdict,
+)
+
+
+def _payload(name="unit_cmp", best=1.0, repeats=3, metrics=None,
+             workload=None):
+    per_repeat = [best + 0.1 * i for i in range(repeats)]
+    return {
+        "schema": "repro.bench/v1",
+        "name": name,
+        "workload": dict(workload or {"n": 6}),
+        "repeats": repeats,
+        "timings": {
+            "seconds_per_repeat": per_repeat,
+            "best_seconds": min(per_repeat),
+            "mean_seconds": sum(per_repeat) / repeats,
+        },
+        "phases": {},
+        "memory": {"peak_bytes": 1024, "tracked": True},
+        "metrics": dict(metrics or {}),
+        "provenance": {
+            "git_sha": "0" * 40,
+            "timestamp": "2026-08-06T00:00:00+00:00",
+            "host": "unit",
+            "platform": "unit",
+            "python": "3",
+            "numpy": "2",
+            "repro": "0",
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+
+
+def test_policy_validates_thresholds():
+    with pytest.raises(InvalidParameterError):
+        RegressionPolicy(rel_tol=-0.1)
+    with pytest.raises(InvalidParameterError):
+        RegressionPolicy(improvement_ratio=0.0)
+    with pytest.raises(InvalidParameterError):
+        RegressionPolicy(improvement_ratio=1.5)
+
+
+# ----------------------------------------------------------------------
+# Comparator — deterministic by construction (pure function of payloads)
+# ----------------------------------------------------------------------
+
+
+def test_identical_payloads_pass():
+    payload = _payload(metrics={"error": 0.25})
+    comparison = compare_payloads(payload, copy.deepcopy(payload))
+    assert comparison.verdict == "pass"
+    assert not comparison.failed
+    assert comparison.ratio == pytest.approx(1.0)
+
+
+def test_clear_slowdown_is_a_regression():
+    comparison = compare_payloads(_payload(best=2.0), _payload(best=1.0))
+    assert comparison.verdict == "regression"
+    assert comparison.failed
+    assert comparison.ratio == pytest.approx(2.0)
+    assert any("regressed" in note for note in comparison.notes)
+
+
+def test_clear_speedup_is_improved():
+    comparison = compare_payloads(_payload(best=0.5), _payload(best=1.0))
+    assert comparison.verdict == "improved"
+    assert not comparison.failed
+
+
+def test_comparator_is_deterministic():
+    current, baseline = _payload(best=2.0), _payload(best=1.0)
+    verdicts = {
+        compare_payloads(copy.deepcopy(current),
+                         copy.deepcopy(baseline)).verdict
+        for _ in range(5)
+    }
+    assert verdicts == {"regression"}
+
+
+def test_noise_floor_suppresses_timing_comparison():
+    # A 10x slowdown entirely under the noise floor is timer granularity.
+    comparison = compare_payloads(_payload(best=0.0020),
+                                  _payload(best=0.0002))
+    assert comparison.verdict == "pass"
+    assert any("noise" in note for note in comparison.notes)
+    # The identical ratio above the floor is a regression.
+    strict = compare_payloads(_payload(best=0.0020), _payload(best=0.0002),
+                              RegressionPolicy(noise_floor=0.0))
+    assert strict.verdict == "regression"
+
+
+def test_missing_baseline_is_new():
+    comparison = compare_payloads(_payload(), None)
+    assert comparison.verdict == "new"
+    assert comparison.baseline_seconds is None
+
+
+def test_name_mismatch_is_an_error():
+    with pytest.raises(InvalidParameterError, match="against baseline"):
+        compare_payloads(_payload(name="unit_a"), _payload(name="unit_b"))
+
+
+def test_workload_change_is_noted():
+    comparison = compare_payloads(_payload(workload={"n": 6}),
+                                  _payload(workload={"n": 12}))
+    assert any("workload parameters changed" in note
+               for note in comparison.notes)
+
+
+def test_metric_drift_beyond_tolerance_fails():
+    comparison = compare_payloads(
+        _payload(metrics={"error": 0.30}),
+        _payload(metrics={"error": 0.25}),
+    )
+    assert comparison.verdict == "regression"
+    assert "error" in comparison.metric_failures
+
+
+def test_metric_within_tolerance_passes():
+    comparison = compare_payloads(
+        _payload(metrics={"error": 0.2500001}),
+        _payload(metrics={"error": 0.25}),
+    )
+    assert comparison.verdict == "pass"
+    assert not comparison.metric_failures
+
+
+def test_disappearing_metric_fails():
+    comparison = compare_payloads(
+        _payload(metrics={}),
+        _payload(metrics={"error": 0.25}),
+    )
+    assert comparison.verdict == "regression"
+    assert "disappeared" in comparison.metric_failures["error"]
+
+
+def test_new_candidate_metrics_are_not_gated():
+    comparison = compare_payloads(
+        _payload(metrics={"error": 0.25, "extra": 1.0}),
+        _payload(metrics={"error": 0.25}),
+    )
+    assert comparison.verdict == "pass"
+
+
+# ----------------------------------------------------------------------
+# Batch roll-up and rendering
+# ----------------------------------------------------------------------
+
+
+def test_worst_verdict_ordering():
+    assert worst_verdict([]) == "pass"
+    batch = [
+        BenchComparison(name="a", verdict="pass"),
+        BenchComparison(name="b", verdict="improved"),
+        BenchComparison(name="c", verdict="new"),
+    ]
+    assert worst_verdict(batch) == "new"
+    batch.append(BenchComparison(name="d", verdict="regression"))
+    assert worst_verdict(batch) == "regression"
+
+
+def test_format_comparisons_renders_every_row():
+    text = format_comparisons([
+        compare_payloads(_payload(best=2.0), _payload(best=1.0)),
+        compare_payloads(_payload(name="unit_ok"), None),
+    ])
+    assert "unit_cmp" in text and "unit_ok" in text
+    assert "regression" in text and "new" in text
+
+
+def test_comparison_payload_round_trip():
+    comparison = compare_payloads(_payload(best=2.0), _payload(best=1.0))
+    payload = comparison.to_payload()
+    assert payload["verdict"] == "regression"
+    assert payload["ratio"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# BaselineStore
+# ----------------------------------------------------------------------
+
+
+def test_baseline_store_round_trip(tmp_path):
+    store = BaselineStore(str(tmp_path))
+    assert store.names() == []
+    assert store.load("unit_cmp") is None
+    result = BenchResult.from_payload(_payload(metrics={"error": 0.25}))
+    path = store.store(result)
+    assert path == store.path_for("unit_cmp")
+    assert store.names() == ["unit_cmp"]
+    assert store.load("unit_cmp") == result.to_payload()

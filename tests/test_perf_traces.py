@@ -1,0 +1,195 @@
+"""Trace analysis: hotspots, trends, anomaly flags, empty-stream guards."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.exporters import (
+    _assemble_summary,
+    _percentile,
+    summarize_records,
+)
+from repro.observability.perf import analyze_records, analyze_trace_path
+
+
+def _span(name, seconds):
+    return {"event": "span", "name": name, "seconds": seconds}
+
+
+def _round(index, eliminated, byzantine, distance):
+    return {
+        "event": "round",
+        "round": index,
+        "eliminated": eliminated,
+        "eliminated_byzantine": byzantine,
+        "surviving_byzantine": 0,
+        "distance_to_ref": distance,
+    }
+
+
+def _healthy_stream(rounds=40):
+    records = [_span("run", rounds * 0.01)]
+    for index in range(rounds):
+        records.append(_span("round", 0.01))
+        records.append(_span("filter", 0.004))
+        records.append(_round(index, [0], 1, 1.0 / (index + 1)))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Healthy stream
+# ----------------------------------------------------------------------
+
+
+def test_healthy_stream_has_no_anomalies():
+    report = analyze_records(_healthy_stream(), source="unit")
+    assert report.source == "unit"
+    assert report.rounds == 40
+    assert report.anomalies == []
+    assert report.rounds_per_sec == pytest.approx(100.0)
+    # Hotspots are sorted by total descending with share attribution.
+    assert [h["span"] for h in report.hotspots[:2]] == ["run", "round"]
+    run = report.hotspots[0]
+    assert run["share"] == pytest.approx(1.0)
+    filt = next(h for h in report.hotspots if h["span"] == "filter")
+    assert filt["share"] == pytest.approx(0.4)
+    assert report.elimination["precision"] == 1.0
+
+
+def test_rate_windows_cover_every_round():
+    report = analyze_records(_healthy_stream(rounds=40), windows=4)
+    assert len(report.round_rate_windows) == 4
+    assert sum(w["rounds"] for w in report.round_rate_windows) == 40
+    for window in report.round_rate_windows:
+        assert window["rounds_per_sec"] == pytest.approx(100.0)
+
+
+def test_report_payload_and_render():
+    report = analyze_records(_healthy_stream(), source="unit")
+    payload = report.to_payload()
+    assert payload["rounds"] == 40
+    json.dumps(payload)  # JSON-clean
+    text = report.render()
+    assert "hotspots" in text
+    assert "anomalies: none" in text
+
+
+# ----------------------------------------------------------------------
+# Anomaly flags
+# ----------------------------------------------------------------------
+
+
+def test_stall_flagged_from_round_spans():
+    records = _healthy_stream()
+    records.append(_span("round", 0.5))  # 50x the 10 ms median
+    report = analyze_records(records)
+    kinds = {a.kind for a in report.anomalies}
+    assert "stall" in kinds
+    stall = next(a for a in report.anomalies if a.kind == "stall")
+    assert stall.context["stalled_rounds"] == 1
+
+
+def test_stall_flagged_from_liveness_records():
+    records = _healthy_stream()
+    records.append({"event": "liveness", "round": 7, "missing": [3]})
+    report = analyze_records(records)
+    assert any("liveness" in a.message for a in report.anomalies)
+
+
+def test_slowdown_flagged_when_rate_decays():
+    records = [_span("round", 0.001)] * 20 + [_span("round", 0.01)] * 20
+    report = analyze_records(records, windows=4)
+    assert any(a.kind == "slowdown" for a in report.anomalies)
+
+
+def test_precision_drop_flagged_per_window():
+    records = []
+    for index in range(30):
+        records.append(_round(index, [0], 1, 0.5))
+    for index in range(30, 40):
+        records.append(_round(index, [3], 0, 0.5))  # honest eliminated
+    report = analyze_records(records, windows=4)
+    drops = [a for a in report.anomalies if a.kind == "precision_drop"]
+    assert drops and drops[0].context["window_precision"] == 0.0
+
+
+def test_divergence_flagged_when_distance_rebounds():
+    records = [_round(i, None, 0, d)
+               for i, d in enumerate([1.0, 0.1, 0.05, 2.0])]
+    report = analyze_records(records)
+    divergence = [a for a in report.anomalies if a.kind == "divergence"]
+    assert divergence
+    assert divergence[0].context["last"] == pytest.approx(2.0)
+
+
+def test_converging_distance_not_flagged():
+    records = [_round(i, None, 0, 1.0 / (i + 1)) for i in range(20)]
+    assert analyze_records(records).anomalies == []
+
+
+# ----------------------------------------------------------------------
+# Degenerate streams (the empty-stream guards of the exporters layer)
+# ----------------------------------------------------------------------
+
+
+def test_empty_stream_rolls_up_cleanly():
+    report = analyze_records([])
+    assert report.records == 0
+    assert report.rounds == 0
+    assert report.hotspots == []
+    assert report.anomalies == []
+    assert "anomalies: none" in report.render()
+
+
+def test_percentile_of_empty_sample_is_zero():
+    assert _percentile([], 95) == 0.0
+    assert _percentile([3.0], 50) == 3.0
+
+
+def test_summarize_skips_partial_span_records():
+    summary = summarize_records([
+        {"event": "span", "name": "round"},  # torn line: no seconds
+        {"event": "span", "seconds": 0.5},  # torn line: no name
+        _span("round", 0.25),
+    ])
+    assert summary["spans"]["round"]["count"] == 1
+
+
+def test_assemble_summary_drops_empty_span_lists():
+    summary = _assemble_summary(0, {"round": []}, 0, 0, 0, {})
+    assert summary["spans"] == {}
+    assert summary["rounds_per_sec"] is None
+    assert summary["elimination"]["precision"] is None
+
+
+# ----------------------------------------------------------------------
+# Path ingestion
+# ----------------------------------------------------------------------
+
+
+def _write_stream(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def test_analyze_file_and_directory(tmp_path):
+    _write_stream(tmp_path / "a.jsonl", _healthy_stream())
+    _write_stream(tmp_path / "b.jsonl", [_span("round", 0.01)])
+    reports = analyze_trace_path(str(tmp_path / "a.jsonl"))
+    assert len(reports) == 1 and reports[0].rounds == 40
+    reports = analyze_trace_path(str(tmp_path))
+    assert [r.source for r in reports] == [
+        str(tmp_path / "a.jsonl"),
+        str(tmp_path / "b.jsonl"),
+    ]
+
+
+def test_analyze_path_rejects_missing_and_empty(tmp_path):
+    with pytest.raises(InvalidParameterError, match="does not exist"):
+        analyze_trace_path(str(tmp_path / "nope.jsonl"))
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(InvalidParameterError, match="no \\*.jsonl"):
+        analyze_trace_path(str(empty))
