@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -78,7 +78,7 @@ class GradientFilter(abc.ABC):
             )
         return self._aggregate(matrix)
 
-    def aggregate_batch(self, gradients) -> np.ndarray:
+    def aggregate_batch(self, gradients, presanitized: bool = False) -> np.ndarray:
         """Aggregate ``K`` stacked gradient matrices in one call.
 
         Parameters
@@ -86,7 +86,14 @@ class GradientFilter(abc.ABC):
         gradients:
             Array-like of shape ``(K, n, d)``: ``K`` independent ``(n, d)``
             gradient matrices (one per replicate run). Non-finite entries
-            are sanitized exactly as in :meth:`__call__`.
+            are sanitized exactly as in :meth:`__call__`. Floating dtypes
+            are preserved (the batch engine's ``float32`` precision mode
+            rides on that); anything else is cast to float64.
+        presanitized:
+            Skip the internal :meth:`sanitize` pass. Callers that already
+            sanitized the exact tensor they pass in (the batch engine
+            sanitizes once per round and shares the result with its
+            telemetry records) set this to avoid a redundant scan.
 
         Returns
         -------
@@ -96,14 +103,17 @@ class GradientFilter(abc.ABC):
             loops over the slices; filters with a vectorized kernel
             override :meth:`_aggregate_batch`.
         """
-        tensor = np.asarray(gradients, dtype=float)
+        tensor = np.asarray(gradients)
+        if tensor.dtype not in (np.float32, np.float64):
+            tensor = tensor.astype(float)
         if tensor.ndim != 3:
             raise InvalidParameterError(
                 f"gradients must be a (K, n, d) tensor, got shape {tensor.shape}"
             )
         if tensor.shape[0] == 0:
             raise InvalidParameterError("batch must contain at least one run")
-        tensor = self.sanitize(tensor)
+        if not presanitized:
+            tensor = self.sanitize(tensor)
         n = tensor.shape[1]
         if n < self.minimum_inputs():
             raise InvalidParameterError(
@@ -119,6 +129,18 @@ class GradientFilter(abc.ABC):
         bit-identical to the loop (the equivalence suite enforces this).
         """
         return np.stack([self._aggregate(matrix) for matrix in tensor])
+
+    def kernel_spec(self) -> Optional[Dict]:
+        """A plain-dict description of the filter's batched kernel.
+
+        The :mod:`repro.system.backends` seam uses this to route the
+        aggregation to an alternative array backend without importing any
+        filter class: ``{"kind": "cge", "f": 1, "mode": "sum"}`` and so
+        on. ``None`` (the default) means the filter has no
+        backend-portable kernel — the batch engine then always aggregates
+        through the filter's own numpy implementation.
+        """
+        return None
 
     @staticmethod
     def sanitize(matrix: np.ndarray, cap: float = 1e12) -> np.ndarray:

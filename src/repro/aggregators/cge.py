@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.aggregators import kernels
 from repro.aggregators.base import GradientFilter
 from repro.exceptions import InvalidParameterError
 from repro.utils.validation import check_matrix
@@ -66,32 +67,16 @@ class ComparativeGradientElimination(GradientFilter):
 
     def _kept_indices(self, matrix: np.ndarray) -> np.ndarray:
         """Kept indices of a pre-validated, sanitized ``(n, d)`` matrix."""
-        norms = np.linalg.norm(matrix, axis=1)
-        order = np.lexsort((np.arange(matrix.shape[0]), norms))
-        keep = matrix.shape[0] - self._f
-        return np.sort(order[:keep])
+        return kernels.cge_kept_indices(matrix, self._f)
 
     def _kept_indices_batch(self, tensor: np.ndarray) -> np.ndarray:
         """Kept indices of every run slice: ``(K, n, d)`` → ``(K, n − f)``.
 
-        Fast path: batched norms + ``argpartition`` (O(n) per run instead of
-        a full sort). ``argpartition`` breaks norm ties arbitrarily, so any
-        run whose cut boundary has tied norms is redone with the stable
-        (norm, index) order to match :meth:`_kept_indices` exactly.
+        Delegates to :func:`repro.aggregators.kernels.cge_kept_indices_batch`
+        (batched ``argpartition`` with a stable redo of any run whose cut
+        boundary has tied norms).
         """
-        K, n, _ = tensor.shape
-        keep = n - self._f
-        norms = np.linalg.norm(tensor, axis=2)
-        if self._f == 0:
-            return np.broadcast_to(np.arange(n), (K, n)).copy()
-        part = np.argpartition(norms, keep - 1, axis=1)
-        kept = np.sort(part[:, :keep], axis=1)
-        boundary = np.take_along_axis(norms, part[:, keep - 1 : keep], axis=1)
-        cut = np.take_along_axis(norms, part[:, keep:], axis=1)
-        ambiguous = np.flatnonzero((cut <= boundary).any(axis=1))
-        for k in ambiguous:
-            kept[k] = self._kept_indices(tensor[k])
-        return kept
+        return kernels.cge_kept_indices_batch(tensor, self._f)
 
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
         kept = self._kept_indices(gradients)
@@ -101,11 +86,10 @@ class ComparativeGradientElimination(GradientFilter):
         return total
 
     def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
-        kept = self._kept_indices_batch(tensor)
-        total = np.take_along_axis(tensor, kept[:, :, None], axis=1).sum(axis=1)
-        if self._mode == "mean":
-            return total / kept.shape[1]
-        return total
+        return kernels.cge_aggregate_batch(tensor, self._f, self._mode)
+
+    def kernel_spec(self):
+        return {"kind": "cge", "f": self._f, "mode": self._mode}
 
     def __repr__(self) -> str:
         return f"ComparativeGradientElimination(f={self._f}, mode={self._mode!r})"

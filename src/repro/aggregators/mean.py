@@ -30,6 +30,9 @@ class Average(GradientFilter):
     def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
         return tensor.mean(axis=1)
 
+    def kernel_spec(self):
+        return {"kind": "mean"}
+
 
 class TrimmedSum(GradientFilter):
     """Sum of all received gradients (the fault-free DGD direction).
@@ -49,3 +52,6 @@ class TrimmedSum(GradientFilter):
 
     def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
         return tensor.sum(axis=1)
+
+    def kernel_spec(self):
+        return {"kind": "sum"}

@@ -4,12 +4,20 @@ For each coordinate ``k``, discard the ``f`` largest and ``f`` smallest
 values among the received gradients' ``k``-th entries, and average the
 remaining ``n − 2f``. A standard robust-aggregation baseline (Su & Vaidya;
 Yin et al.) that the paper's experiments compare CGE against.
+
+Both the scalar and batched paths run through
+:func:`repro.aggregators.kernels.partition_trimmed_mean` — a two-pass
+single-``kth`` selection that replaces the former full ``np.sort`` (about
+2x faster at ``n=1024, d=256``; the ``scale_cwtm_*`` benches track the
+ratio). The scalar path is the batched kernel on a singleton batch, which
+is what keeps the scalar/batch bit-identity contract true by construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.aggregators import kernels
 from repro.aggregators.base import GradientFilter
 
 
@@ -23,15 +31,10 @@ class CoordinateWiseTrimmedMean(GradientFilter):
         return 2 * self._f + 1
 
     def _aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        if self._f == 0:
-            return gradients.mean(axis=0)
-        ordered = np.sort(gradients, axis=0)
-        kept = ordered[self._f : gradients.shape[0] - self._f]
-        return kept.mean(axis=0)
+        return kernels.partition_trimmed_mean(gradients[None], self._f)[0]
 
     def _aggregate_batch(self, tensor: np.ndarray) -> np.ndarray:
-        if self._f == 0:
-            return tensor.mean(axis=1)
-        ordered = np.sort(tensor, axis=1)
-        kept = ordered[:, self._f : tensor.shape[1] - self._f]
-        return kept.mean(axis=1)
+        return kernels.partition_trimmed_mean(tensor, self._f)
+
+    def kernel_spec(self):
+        return {"kind": "cwtm", "f": self._f}

@@ -219,15 +219,23 @@ class SweepCellResult:
 
 
 def _cell_cache_payload(grid_fields: Dict, filter_name: str, attack_name: str,
-                        f: int, seed: int) -> Dict:
+                        f: int, seed: int, array_backend: str = "numpy",
+                        dtype: str = "float64") -> Dict:
     """The exact configuration a cell's cache key is derived from.
 
-    Excludes execution details (backend, worker count, chunking, timeout,
-    retries) on purpose: the batch engine is bit-identical to the
-    sequential runner and the resilience machinery only re-executes pure
-    work, so none of them can change the result.
+    Excludes execution details (batch-vs-sequential engine, worker count,
+    chunking, timeout, retries) on purpose: the batch engine is
+    bit-identical to the sequential runner and the resilience machinery
+    only re-executes pure work, so none of them can change the result.
+
+    A non-default ``array_backend`` or ``dtype`` *does* enter the key:
+    tolerance-class backends and float32 produce different (close, not
+    identical) numbers, so their cells must not collide with the
+    bit-identity-pinned default entries. The defaults are omitted rather
+    than written as explicit keys, keeping every pre-existing cache entry
+    and manifest valid.
     """
-    return {
+    payload = {
         "kind": "regression-dgd",
         "version": 1,
         **grid_fields,
@@ -236,6 +244,11 @@ def _cell_cache_payload(grid_fields: Dict, filter_name: str, attack_name: str,
         "f": f,
         "seed": seed,
     }
+    if array_backend != "numpy":
+        payload["array_backend"] = array_backend
+    if dtype != "float64":
+        payload["dtype"] = dtype
+    return payload
 
 
 def _valid_cell_payload(payload) -> bool:
@@ -296,6 +309,8 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     filter_name, attack_name, f = task["filter"], task["attack"], task["f"]
     seeds, cache_dir = task["seeds"], task["cache_dir"]
     backend = task["backend"]
+    array_backend = task.get("array_backend", "numpy")
+    dtype = task.get("dtype", "float64")
     telemetry_dir = task.get("telemetry_dir")
 
     payloads: List[Optional[Dict]] = [None] * len(seeds)
@@ -304,7 +319,8 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     for index, seed in enumerate(seeds):
         if cache_dir is not None:
             key = _config_hash(
-                _cell_cache_payload(grid_fields, filter_name, attack_name, f, seed)
+                _cell_cache_payload(grid_fields, filter_name, attack_name, f,
+                                    seed, array_backend, dtype)
             )
             path = os.path.join(cache_dir, f"{key}.json")
             if os.path.exists(path):
@@ -354,7 +370,8 @@ def _run_regression_group(task: Dict) -> List[Dict]:
             if backend == "batch":
                 traces = run_dgd_batch(
                     instance.costs, behavior, config, seeds=missing_seeds,
-                    telemetry=telemetry,
+                    telemetry=telemetry, backend=array_backend,
+                    dtype=None if dtype == "float64" else dtype,
                 )
             else:
                 traces = []
@@ -394,7 +411,8 @@ def _run_regression_group(task: Dict) -> List[Dict]:
             if cache_dir is not None:
                 key = _config_hash(
                     _cell_cache_payload(
-                        grid_fields, filter_name, attack_name, f, seeds[index]
+                        grid_fields, filter_name, attack_name, f, seeds[index],
+                        array_backend, dtype,
                     )
                 )
                 stored = dict(payload)
@@ -443,6 +461,18 @@ class SweepEngine:
         ``"batch"`` (vectorized multi-run engine, default) or
         ``"sequential"`` — numerically identical, the switch exists for
         benchmarking and for paranoia-mode verification.
+    array_backend:
+        Array backend name for the batch engine's hot kernels (see
+        :mod:`repro.system.backends`); ``"numpy"`` (default) keeps the
+        bit-identity contract, other registered backends run under the
+        tolerance contract and get their own cache-key namespace.
+        Requires ``backend="batch"``. Resolved eagerly so a missing
+        optional dependency fails at engine construction, not mid-grid.
+    dtype:
+        ``"float64"`` (default) or ``"float32"`` — the batch engine's
+        working precision. Float32 results live under their own cache
+        keys, like non-default array backends. Requires
+        ``backend="batch"``.
     timeout:
         Per-chunk wall-clock budget in seconds (pool mode only). A chunk
         exceeding it counts as one failed attempt; the pool is killed and
@@ -490,11 +520,28 @@ class SweepEngine:
         worker_wrapper: Optional[Callable[[Callable], Callable]] = None,
         chunk_size: Optional[int] = None,
         telemetry_dir: Optional[str] = None,
+        array_backend: str = "numpy",
+        dtype: str = "float64",
     ):
         if backend not in ("batch", "sequential"):
             raise InvalidParameterError(
                 f"backend must be 'batch' or 'sequential', got {backend!r}"
             )
+        if dtype not in ("float64", "float32"):
+            raise InvalidParameterError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if backend == "sequential" and (array_backend != "numpy" or dtype != "float64"):
+            raise InvalidParameterError(
+                "array_backend/dtype apply to the batch engine only; "
+                "backend='sequential' supports neither"
+            )
+        if array_backend != "numpy":
+            # Fail fast (unknown name or missing optional dependency) at
+            # construction instead of inside every pool worker.
+            from repro.system.backends import resolve_backend
+
+            resolve_backend(array_backend)
         if max_workers is not None and max_workers <= 0:
             raise InvalidParameterError(
                 f"max_workers must be positive, got {max_workers}"
@@ -520,6 +567,8 @@ class SweepEngine:
         self._warned: set = set()
         self._retry_rng = random.Random(0x5EED)
         self._telemetry_dir = telemetry_dir
+        self._array_backend = str(array_backend)
+        self._dtype = dtype
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
         if telemetry_dir is not None:
@@ -540,6 +589,14 @@ class SweepEngine:
     @property
     def telemetry_dir(self) -> Optional[str]:
         return self._telemetry_dir
+
+    @property
+    def array_backend(self) -> str:
+        return self._array_backend
+
+    @property
+    def dtype(self) -> str:
+        return self._dtype
 
     # ------------------------------------------------------------------
     # Resilience plumbing
@@ -849,7 +906,8 @@ class SweepEngine:
                                 "seed": seed,
                                 "key": _config_hash(
                                     _cell_cache_payload(
-                                        grid_fields, filter_name, attack_name, f, seed
+                                        grid_fields, filter_name, attack_name,
+                                        f, seed, self._array_backend, self._dtype,
                                     )
                                 ),
                             }
@@ -967,6 +1025,8 @@ class SweepEngine:
                 "seeds": seeds,
                 "cache_dir": self._cache_dir,
                 "backend": self._backend,
+                "array_backend": self._array_backend,
+                "dtype": self._dtype,
                 "telemetry_dir": self._telemetry_dir,
             }
             for f in grid.fault_counts

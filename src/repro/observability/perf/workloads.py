@@ -489,6 +489,83 @@ def _bench_smoke_batch(tel):
     return {"mean_final_error": float(np.mean(errors)), "traces": traces}
 
 
+# ----------------------------------------------------------------------
+# Large-n / large-d kernel scaling (the backend seam's reason to exist)
+# ----------------------------------------------------------------------
+
+#: Batch size chosen so one (K, n, d) float64 tensor stays near 128 MB.
+_SCALE_BUDGET_ELEMS = 2**24
+
+
+def _scale_batch_size(n: int, d: int) -> int:
+    return max(1, min(8, _SCALE_BUDGET_ELEMS // (n * d)))
+
+
+def _make_scale_bench(kind: str, n: int, d: int) -> None:
+    """Register one ``scale_{kind}_n{n}_d{d}`` aggregation-kernel bench.
+
+    The workload is a seeded random ``(K, n, d)`` tensor pushed through the
+    batched kernel; the quality metric is the (deterministic) norm of the
+    first aggregate row, so a kernel rewrite that changes the numbers trips
+    the gate even when it is faster. CWTM benches additionally time the
+    reference full-sort kernel and record the partition-vs-sort ratio in
+    the (ungated) observations — the regression story for the
+    ``partition_trimmed_mean`` rewrite lives in those fields.
+    """
+    f = n // 8
+    K = _scale_batch_size(n, d)
+    name = f"scale_{kind}_n{n}_d{d}"
+    # CI gates the two shapes that bracket the interesting range: the
+    # break-even small shape and the shape the kernel rewrite targets.
+    tags = ["scale", kind]
+    if (n, d) in ((256, 64), (1024, 256)):
+        tags.append("scale_smoke")
+
+    def runner(tel, kind=kind, n=n, d=d, f=f, K=K):
+        from repro.aggregators import kernels
+
+        tensor = np.random.default_rng(n * 1000003 + d).normal(size=(K, n, d))
+        out: Dict[str, float] = {}
+        if kind == "cge":
+            with tel.span("cge"):
+                agg = kernels.cge_aggregate_batch(tensor, f)
+        elif kind == "mean":
+            with tel.span("mean"):
+                agg = kernels.mean_batch(tensor)
+        else:  # cwtm: race the optimized kernel against the reference sort
+            with tel.span("partition"):
+                start = time.perf_counter()
+                agg = kernels.partition_trimmed_mean(tensor, f)
+                out["partition_seconds"] = time.perf_counter() - start
+            with tel.span("full_sort"):
+                start = time.perf_counter()
+                reference = kernels.sort_trimmed_mean(tensor, f)
+                out["full_sort_seconds"] = time.perf_counter() - start
+            assert np.allclose(agg, reference)
+            out["partition_speedup"] = (
+                out["full_sort_seconds"] / out["partition_seconds"]
+            )
+        out["aggregate_norm"] = float(np.linalg.norm(agg[0]))
+        return out
+
+    register_bench(
+        name,
+        workload={"kind": kind, "n": n, "d": d, "f": f, "runs": K},
+        tags=tuple(tags),
+        metrics=lambda out: {"aggregate_norm": out["aggregate_norm"]},
+        observations=lambda out: {
+            k: v for k, v in out.items() if k != "aggregate_norm"
+        },
+        description=f"Scaling: batched {kind} kernel at n={n}, d={d} (K={K})",
+    )(runner)
+
+
+for _kind in ("cge", "cwtm", "mean"):
+    for _n in (256, 1024, 4096):
+        for _d in (64, 256, 1024):
+            _make_scale_bench(_kind, _n, _d)
+
+
 @register_bench(
     "smoke_aggregators",
     workload={"filters": ["cge", "cwtm", "median"], "agent_counts": [10, 25],

@@ -1,0 +1,65 @@
+"""Array backends for the batch engine's hot kernels.
+
+The default ``"numpy"`` backend is always available and bit-identity
+pinned; ``"torch"`` and ``"numba"`` are optional extras, registered here
+by name but imported only when first resolved — a missing dependency
+surfaces as :class:`~repro.exceptions.BackendUnavailableError` at
+:func:`resolve_backend` time, never at package import.
+
+Register additional backends with :func:`register_backend`; the batch
+engine, sweep engine, and CLI accept any registered name.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BackendUnavailableError
+from repro.system.backends.base import (
+    ArrayBackend,
+    available_backends,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.system.backends.numpy_backend import NumpyBackend, numpy_batch_projector
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "available_backends",
+    "backend_names",
+    "numpy_batch_projector",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+def _load_numpy() -> ArrayBackend:
+    return NumpyBackend()
+
+
+def _load_torch() -> ArrayBackend:
+    try:
+        from repro.system.backends.torch_backend import TorchBackend
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "the 'torch' array backend needs the torch extra "
+            "(pip install 'repro[torch]'): " + str(exc)
+        ) from exc
+    return TorchBackend()
+
+
+def _load_numba() -> ArrayBackend:
+    try:
+        from repro.system.backends.numba_backend import NumbaBackend
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "the 'numba' array backend needs the numba extra "
+            "(pip install 'repro[numba]'): " + str(exc)
+        ) from exc
+    return NumbaBackend()
+
+
+register_backend("numpy", _load_numpy)
+register_backend("torch", _load_torch)
+register_backend("numba", _load_numba)

@@ -1,0 +1,150 @@
+"""The :class:`ArrayBackend` protocol and its name registry.
+
+An array backend owns the per-round ``O(K·n·d)`` kernels of the batch
+engine — the batched affine gradient map, the aggregation of a sanitized
+``(K, n, d)`` tensor described by a filter's ``kernel_spec()``, and the
+batched projector. The round *state* (estimates, directions, step-size
+bookkeeping) stays in numpy on the host; a backend accelerates the tensor
+work and hands numpy arrays back at the seam, so every consumer of a
+:class:`~repro.system.runner.Trace` is backend-agnostic.
+
+Equivalence contract
+--------------------
+``NumpyBackend`` (the default) is **bit-identical**: it evaluates the
+exact expressions the batch engine always used, so the sequential-vs-batch
+equivalence suite continues to pin ``np.array_equal``. Every other backend
+is **tolerance-based**: it must match the numpy kernels to ``np.allclose``
+(the suite in ``tests/test_backends.py``), never bit-for-bit — GPU matmul
+order, fused multiply-adds, and library-specific reductions all reorder
+floating-point sums legitimately.
+
+Optional backends are *registered eagerly but imported lazily*: the
+registry stores a loader callable, and the heavyweight import (torch,
+numba) happens on first :func:`resolve_backend`. A missing extra raises
+:class:`~repro.exceptions.BackendUnavailableError` at resolution time,
+not at package import.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import BackendUnavailableError, InvalidParameterError
+
+__all__ = [
+    "ArrayBackend",
+    "available_backends",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+class ArrayBackend(abc.ABC):
+    """One implementation of the batch engine's hot tensor kernels.
+
+    Subclasses provide the three per-round kernels; everything else in
+    :func:`repro.system.batch.run_dgd_batch` (forging, telemetry, trace
+    assembly) is backend-independent numpy.
+    """
+
+    #: Registry name (``"numpy"``, ``"torch"``, ``"numba"``).
+    name: str = "abstract"
+
+    #: ``"bit-identical"`` or ``"tolerance"`` — which equivalence suite
+    #: the backend must pass against the sequential runner.
+    equivalence: str = "tolerance"
+
+    @abc.abstractmethod
+    def bind_affine(
+        self, P: np.ndarray, q: np.ndarray
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Bind the batched affine gradient map ``X ↦ G``.
+
+        ``P`` is ``(n, d, d)``, ``q`` is ``(n, d)``; the returned callable
+        maps a ``(K, d)`` estimate matrix to the ``(K, n, d)`` gradient
+        tensor ``G[k, i] = P_i @ X[k] + q_i``. Binding once per batch lets
+        a backend pay any host→device transfer of the constants once.
+        """
+
+    def supports(self, spec: Optional[Dict]) -> bool:
+        """Can :meth:`aggregate` execute this ``kernel_spec`` dict?"""
+        return False
+
+    def aggregate(self, tensor: np.ndarray, spec: Dict) -> np.ndarray:
+        """Aggregate a sanitized ``(K, n, d)`` tensor per ``spec`` → ``(K, d)``.
+
+        Only called when :meth:`supports` returned ``True`` for ``spec``.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not implement kernel spec {spec!r}"
+        )
+
+    @abc.abstractmethod
+    def projector(self, projection) -> Callable[[np.ndarray], np.ndarray]:
+        """A map projecting each row of a ``(K, d)`` matrix onto ``projection``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, equivalence={self.equivalence!r})"
+
+
+#: name → loader returning a fresh ArrayBackend (imports happen inside).
+_LOADERS: Dict[str, Callable[[], ArrayBackend]] = {}
+#: name → resolved singleton (only successfully loaded backends).
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, loader: Callable[[], ArrayBackend]) -> None:
+    """Register ``loader`` under ``name`` (later registrations win).
+
+    The loader must perform any optional import itself and raise
+    :class:`BackendUnavailableError` when the dependency is missing.
+    """
+    _LOADERS[str(name)] = loader
+    _INSTANCES.pop(str(name), None)
+
+
+def backend_names() -> List[str]:
+    """Every registered backend name, resolvable or not."""
+    return sorted(_LOADERS)
+
+
+def available_backends() -> Dict[str, bool]:
+    """name → whether the backend resolves on this interpreter.
+
+    Probing imports the optional dependency (once — resolutions are
+    cached), so this is what ``repro list`` prints.
+    """
+    out = {}
+    for name in backend_names():
+        try:
+            resolve_backend(name)
+            out[name] = True
+        except BackendUnavailableError:
+            out[name] = False
+    return out
+
+
+def resolve_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Raises :class:`InvalidParameterError` for an unknown name and
+    :class:`BackendUnavailableError` when the backend's optional
+    dependency is not installed.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    name = str(spec)
+    if name in _INSTANCES:
+        return _INSTANCES[name]
+    if name not in _LOADERS:
+        raise InvalidParameterError(
+            f"unknown array backend {name!r} (registered: "
+            f"{', '.join(backend_names())})"
+        )
+    backend = _LOADERS[name]()
+    _INSTANCES[name] = backend
+    return backend

@@ -1,0 +1,156 @@
+"""Optional numba array backend (tolerance equivalence class).
+
+Importing this module requires ``numba`` (install the ``numba`` extra);
+the registry's loader imports it lazily and maps an :class:`ImportError`
+to :class:`~repro.exceptions.BackendUnavailableError`.
+
+The kernels are ``@njit(parallel=True)`` loops compiled on first call
+(numba's lazy dispatch), so constructing the backend is cheap and the JIT
+cost is paid once per process per dtype signature. Accumulations run in
+float64 scalar loops whose association order differs from numpy's pairwise
+reductions — hence the tolerance (not bit-identity) contract. The CGE
+kept set uses a stable mergesort on norms so tied norms resolve by row
+index, matching the numpy kernel's deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from numba import njit, prange
+
+from repro.system.backends.base import ArrayBackend
+from repro.system.backends.numpy_backend import numpy_batch_projector
+
+__all__ = ["NumbaBackend"]
+
+
+@njit(cache=True, parallel=True)
+def _affine_kernel(P, q, X):  # pragma: no cover - compiled
+    n, d, _ = P.shape
+    K = X.shape[0]
+    G = np.empty((K, n, d))
+    for k in prange(K):
+        for i in range(n):
+            for a in range(d):
+                acc = q[i, a]
+                for b in range(d):
+                    acc += P[i, a, b] * X[k, b]
+                G[k, i, a] = acc
+    return G
+
+
+@njit(cache=True, parallel=True)
+def _trimmed_mean_kernel(tensor, f):  # pragma: no cover - compiled
+    K, n, d = tensor.shape
+    keep = n - 2 * f
+    out = np.empty((K, d))
+    for k in prange(K):
+        for j in range(d):
+            lane = tensor[k, :, j].copy()
+            lane.sort()
+            acc = 0.0
+            for i in range(f, n - f):
+                acc += lane[i]
+            out[k, j] = acc / keep
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _median_kernel(tensor):  # pragma: no cover - compiled
+    K, n, d = tensor.shape
+    out = np.empty((K, d))
+    for k in prange(K):
+        for j in range(d):
+            lane = tensor[k, :, j].copy()
+            lane.sort()
+            if n % 2 == 1:
+                out[k, j] = lane[n // 2]
+            else:
+                out[k, j] = (lane[n // 2 - 1] + lane[n // 2]) / 2.0
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _cge_kernel(tensor, f, mean_mode):  # pragma: no cover - compiled
+    K, n, d = tensor.shape
+    keep = n - f
+    out = np.zeros((K, d))
+    for k in prange(K):
+        norms = np.empty(n)
+        for i in range(n):
+            acc = 0.0
+            for j in range(d):
+                acc += tensor[k, i, j] * tensor[k, i, j]
+            norms[i] = np.sqrt(acc)
+        order = np.argsort(norms, kind="mergesort")
+        for r in range(keep):
+            i = order[r]
+            for j in range(d):
+                out[k, j] += tensor[k, i, j]
+        if mean_mode:
+            for j in range(d):
+                out[k, j] /= keep
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _reduce_kernel(tensor, mean_mode):  # pragma: no cover - compiled
+    K, n, d = tensor.shape
+    out = np.zeros((K, d))
+    for k in prange(K):
+        for i in range(n):
+            for j in range(d):
+                out[k, j] += tensor[k, i, j]
+        if mean_mode:
+            for j in range(d):
+                out[k, j] /= n
+    return out
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT-compiled parallel loops over the batched tensors."""
+
+    name = "numba"
+    equivalence = "tolerance"
+
+    def bind_affine(self, P, q):
+        P64 = np.ascontiguousarray(P, dtype=np.float64)
+        q64 = np.ascontiguousarray(q, dtype=np.float64)
+
+        def gradients(X: np.ndarray) -> np.ndarray:
+            return _affine_kernel(P64, q64, np.ascontiguousarray(X, dtype=np.float64))
+
+        return gradients
+
+    def supports(self, spec: Optional[Dict]) -> bool:
+        return spec is not None and spec.get("kind") in (
+            "cge",
+            "cwtm",
+            "median",
+            "mean",
+            "sum",
+        )
+
+    def aggregate(self, tensor: np.ndarray, spec: Dict) -> np.ndarray:
+        t = np.ascontiguousarray(tensor, dtype=np.float64)
+        kind = spec["kind"]
+        if kind == "cwtm":
+            f = int(spec["f"])
+            if f == 0:
+                return _reduce_kernel(t, True)
+            return _trimmed_mean_kernel(t, f)
+        if kind == "median":
+            return _median_kernel(t)
+        if kind == "cge":
+            return _cge_kernel(t, int(spec["f"]), spec.get("mode", "sum") == "mean")
+        if kind == "mean":
+            return _reduce_kernel(t, True)
+        if kind == "sum":
+            return _reduce_kernel(t, False)
+        raise NotImplementedError(f"kernel spec {spec!r}")  # pragma: no cover
+
+    def projector(self, projection):
+        # O(K·d) host work; JIT overhead would dominate any win here.
+        return numpy_batch_projector(projection)

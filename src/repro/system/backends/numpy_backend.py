@@ -1,0 +1,90 @@
+"""The default (and bit-identity-pinned) numpy array backend.
+
+Every expression here is byte-for-byte the arithmetic the batch engine
+used before the backend seam existed — the sequential-vs-batch equivalence
+suite depends on that, so treat this module as frozen numerics: any change
+to an expression must keep ``np.array_equal`` against the sequential
+runner's per-round arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.aggregators import kernels
+from repro.optimization.projections import BallSet, BoxSet, UnconstrainedSet
+from repro.system.backends.base import ArrayBackend
+
+__all__ = ["NumpyBackend", "numpy_batch_projector"]
+
+
+def numpy_batch_projector(projection) -> Callable[[np.ndarray], np.ndarray]:
+    """A map projecting each row of a ``(K, d)`` matrix onto ``projection``.
+
+    Specialized (and bit-identical) for the closed-form sets; other sets
+    fall back to a per-row loop over ``projection.project``.
+    """
+    if isinstance(projection, BoxSet):
+        lower, upper = projection.lower, projection.upper
+        return lambda X: np.clip(X, lower, upper)
+    if isinstance(projection, UnconstrainedSet):
+        return lambda X: X
+    if isinstance(projection, BallSet):
+        center, radius = projection.center, projection.radius
+
+        def project_ball(X: np.ndarray) -> np.ndarray:
+            delta = X - center
+            norms = np.linalg.norm(delta, axis=1)
+            outside = norms > radius
+            if np.any(outside):
+                X = X.copy()
+                scales = radius / norms[outside]
+                X[outside] = center + delta[outside] * scales[:, None]
+            return X
+
+        return project_ball
+    return lambda X: np.stack([projection.project(row) for row in X])
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: exact numpy arithmetic, bit-identity guaranteed."""
+
+    name = "numpy"
+    equivalence = "bit-identical"
+
+    def bind_affine(self, P, q):
+        # Broadcast matmul, which matches the sequential dgemv bit-for-bit.
+        def gradients(X: np.ndarray) -> np.ndarray:
+            return (P[None] @ X[:, None, :, None])[..., 0] + q[None]
+
+        return gradients
+
+    def supports(self, spec: Optional[Dict]) -> bool:
+        return spec is not None and spec.get("kind") in (
+            "cge",
+            "cwtm",
+            "median",
+            "mean",
+            "sum",
+        )
+
+    def aggregate(self, tensor: np.ndarray, spec: Dict) -> np.ndarray:
+        kind = spec["kind"]
+        if kind == "cge":
+            return kernels.cge_aggregate_batch(
+                tensor, spec["f"], spec.get("mode", "sum")
+            )
+        if kind == "cwtm":
+            return kernels.partition_trimmed_mean(tensor, spec["f"])
+        if kind == "median":
+            return kernels.median_batch(tensor)
+        if kind == "mean":
+            return kernels.mean_batch(tensor)
+        if kind == "sum":
+            return kernels.sum_batch(tensor)
+        raise NotImplementedError(f"kernel spec {spec!r}")  # pragma: no cover
+
+    def projector(self, projection):
+        return numpy_batch_projector(projection)

@@ -1,0 +1,131 @@
+"""Optional torch array backend (tolerance equivalence class).
+
+Importing this module requires ``torch`` (install the ``torch`` extra);
+the registry's loader imports it lazily and maps an :class:`ImportError`
+to :class:`~repro.exceptions.BackendUnavailableError`.
+
+Numerics: torch reduces sums in a different association order than numpy
+(and may use fused multiply-adds), so this backend is held to the
+``np.allclose`` tolerance suite, never bit-identity. The CGE kept set is
+computed with a *stable* argsort on ``(norm)`` so tied norms resolve by
+row index, matching the numpy kernel's deterministic tie-break.
+
+All methods take and return numpy arrays: the batch engine keeps its
+round state on the host, and this backend pays one transfer per kernel
+call (the constants ``P``/``q`` transfer once, at :meth:`bind_affine`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import torch
+
+from repro.optimization.projections import BallSet, BoxSet
+from repro.system.backends.base import ArrayBackend
+from repro.system.backends.numpy_backend import numpy_batch_projector
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    """Batched kernels on torch tensors (CPU by default).
+
+    Parameters
+    ----------
+    device:
+        A torch device string (``"cpu"``, ``"cuda"``); ``None`` picks CPU —
+        the deterministic choice, and the only one exercised in CI.
+    """
+
+    name = "torch"
+    equivalence = "tolerance"
+
+    def __init__(self, device: Optional[str] = None):
+        self._device = torch.device(device) if device is not None else torch.device("cpu")
+
+    def _tensor(self, array: np.ndarray) -> "torch.Tensor":
+        return torch.from_numpy(np.ascontiguousarray(array)).to(self._device)
+
+    def bind_affine(self, P, q):
+        P_t = self._tensor(P)
+        q_t = self._tensor(q)
+
+        def gradients(X: np.ndarray) -> np.ndarray:
+            X_t = self._tensor(X)
+            G = torch.einsum("nab,kb->kna", P_t, X_t) + q_t
+            return G.cpu().numpy()
+
+        return gradients
+
+    def supports(self, spec: Optional[Dict]) -> bool:
+        return spec is not None and spec.get("kind") in (
+            "cge",
+            "cwtm",
+            "median",
+            "mean",
+            "sum",
+        )
+
+    def aggregate(self, tensor: np.ndarray, spec: Dict) -> np.ndarray:
+        t = self._tensor(tensor)
+        kind = spec["kind"]
+        n = t.shape[1]
+        if kind == "mean":
+            out = t.mean(dim=1)
+        elif kind == "sum":
+            out = t.sum(dim=1)
+        elif kind == "cwtm":
+            f = int(spec["f"])
+            if f == 0:
+                out = t.mean(dim=1)
+            else:
+                ordered, _ = torch.sort(t, dim=1)
+                out = ordered[:, f : n - f].mean(dim=1)
+        elif kind == "median":
+            # numpy semantics: an even n averages the two middle order
+            # statistics (torch.median returns the lower one, so sort).
+            ordered, _ = torch.sort(t, dim=1)
+            out = (ordered[:, (n - 1) // 2] + ordered[:, n // 2]) / 2
+        elif kind == "cge":
+            f = int(spec["f"])
+            keep = n - f
+            norms = torch.linalg.vector_norm(t, dim=2)
+            order = torch.argsort(norms, dim=1, stable=True)
+            kept = order[:, :keep]
+            picked = torch.gather(
+                t, 1, kept.unsqueeze(-1).expand(-1, -1, t.shape[2])
+            )
+            out = picked.sum(dim=1)
+            if spec.get("mode", "sum") == "mean":
+                out = out / keep
+        else:  # pragma: no cover - guarded by supports()
+            raise NotImplementedError(f"kernel spec {spec!r}")
+        return out.cpu().numpy()
+
+    def projector(self, projection):
+        if isinstance(projection, BoxSet):
+            lower = self._tensor(np.asarray(projection.lower, dtype=float))
+            upper = self._tensor(np.asarray(projection.upper, dtype=float))
+
+            def project_box(X: np.ndarray) -> np.ndarray:
+                X_t = self._tensor(X)
+                return torch.clamp(X_t, lower, upper).cpu().numpy().astype(X.dtype)
+
+            return project_box
+        if isinstance(projection, BallSet):
+            center = np.asarray(projection.center, dtype=float)
+            radius = float(projection.radius)
+            center_t = self._tensor(center)
+
+            def project_ball(X: np.ndarray) -> np.ndarray:
+                X_t = self._tensor(X)
+                delta = X_t - center_t
+                norms = torch.linalg.vector_norm(delta, dim=1, keepdim=True)
+                scale = torch.clamp(radius / torch.clamp(norms, min=1e-300), max=1.0)
+                return (center_t + delta * scale).cpu().numpy().astype(X.dtype)
+
+            return project_ball
+        # Exotic sets project row-by-row through the host implementation.
+        return numpy_batch_projector(projection)

@@ -1,0 +1,475 @@
+"""Array-backend seam: registry, equivalence contracts, precision, tiling.
+
+Two equivalence classes, mirroring ``repro.system.backends``:
+
+- the default numpy backend keeps the engine's **bit-identity** contract
+  (``np.array_equal`` against the sequential runner), including under
+  tiling;
+- optional backends (torch, numba) and the float32 precision mode are held
+  to a **tolerance** contract (``np.allclose`` against the numpy path) plus
+  determinism (two identical invocations agree exactly).
+
+Optional-backend tests skip *visibly* when the extra is not installed —
+and fail, not skip, when ``REPRO_REQUIRE_BACKEND=<name>`` is set, which is
+how the CI extras job guarantees the suite actually ran against the
+dependency it just installed.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.aggregators import kernels
+from repro.aggregators.cge import ComparativeGradientElimination
+from repro.aggregators.clipping import CenteredClipping
+from repro.aggregators.mean import Average, TrimmedSum
+from repro.aggregators.median import CoordinateWiseMedian, GeometricMedian
+from repro.aggregators.trimmed_mean import CoordinateWiseTrimmedMean
+from repro.attacks.registry import make_attack
+from repro.exceptions import BackendUnavailableError, InvalidParameterError
+from repro.experiments.sweep import SweepEngine, _cell_cache_payload, _config_hash
+from repro.problems.linear_regression import make_redundant_regression
+from repro.system.backends import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.system.batch import run_dgd_batch
+from repro.system.runner import DGDConfig, run_dgd
+
+SEEDS = [5, 19, 71]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_redundant_regression(n=8, d=3, f=1, noise_std=0.02, seed=11)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DGDConfig(iterations=40, gradient_filter="cge", faulty_ids=(0,), f=1)
+
+
+def _optional_backend(name):
+    """Resolve an optional backend, or skip (fail under REPRO_REQUIRE_BACKEND)."""
+    try:
+        return resolve_backend(name)
+    except BackendUnavailableError as exc:
+        if os.environ.get("REPRO_REQUIRE_BACKEND") == name:
+            pytest.fail(
+                f"REPRO_REQUIRE_BACKEND={name} is set but the backend did not "
+                f"resolve: {exc}"
+            )
+        pytest.skip(f"optional backend {name!r} not installed: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        assert {"numpy", "torch", "numba"} <= set(backend_names())
+
+    def test_numpy_always_available(self):
+        availability = available_backends()
+        assert availability["numpy"] is True
+        assert set(availability) == set(backend_names())
+
+    def test_resolve_caches_singleton(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown array backend"):
+            resolve_backend("cuda-maybe")
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_custom_registration(self):
+        class Custom(NumpyBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        try:
+            assert isinstance(resolve_backend("custom-test"), Custom)
+            assert available_backends()["custom-test"] is True
+        finally:
+            from repro.system.backends.base import _INSTANCES, _LOADERS
+
+            _LOADERS.pop("custom-test", None)
+            _INSTANCES.pop("custom-test", None)
+
+    def test_unavailable_error_is_import_error(self):
+        # Callers guarding with `except ImportError` keep working.
+        assert issubclass(BackendUnavailableError, ImportError)
+
+
+# ---------------------------------------------------------------------------
+# kernel_spec coverage
+# ---------------------------------------------------------------------------
+
+
+class TestKernelSpec:
+    def test_portable_filters_expose_specs(self):
+        assert ComparativeGradientElimination(f=2).kernel_spec() == {
+            "kind": "cge", "f": 2, "mode": "sum",
+        }
+        assert ComparativeGradientElimination(f=1, mode="mean").kernel_spec() == {
+            "kind": "cge", "f": 1, "mode": "mean",
+        }
+        assert CoordinateWiseTrimmedMean(f=3).kernel_spec() == {
+            "kind": "cwtm", "f": 3,
+        }
+        assert CoordinateWiseMedian(f=1).kernel_spec() == {"kind": "median", "f": 1}
+        assert Average().kernel_spec() == {"kind": "mean"}
+        assert TrimmedSum().kernel_spec() == {"kind": "sum"}
+
+    def test_non_portable_filters_return_none(self):
+        assert GeometricMedian(f=1).kernel_spec() is None
+        assert CenteredClipping(f=1).kernel_spec() is None
+
+    def test_numpy_backend_supports_every_spec(self):
+        backend = resolve_backend("numpy")
+        for gradient_filter in (
+            ComparativeGradientElimination(f=1),
+            CoordinateWiseTrimmedMean(f=1),
+            CoordinateWiseMedian(f=1),
+            Average(),
+            TrimmedSum(),
+        ):
+            assert backend.supports(gradient_filter.kernel_spec())
+        assert not backend.supports(None)
+        assert not backend.supports({"kind": "krum", "f": 1})
+
+
+# ---------------------------------------------------------------------------
+# Numpy backend: the bit-identity contract survives the seam
+# ---------------------------------------------------------------------------
+
+
+class TestNumpyBackend:
+    def test_default_backend_bit_identical_to_sequential(self, instance, config):
+        behavior = make_attack("sign-flip")
+        batched = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, backend="numpy"
+        )
+        for seed, trace in zip(SEEDS, batched):
+            sequential = run_dgd(instance.costs, behavior, config, seed=seed)
+            assert np.array_equal(sequential.estimates, trace.estimates)
+            assert np.array_equal(sequential.directions, trace.directions)
+        assert batched[0].extra["batch"]["backend"] == "numpy"
+        assert batched[0].extra["batch"]["dtype"] == "float64"
+
+    def test_explicit_instance_matches_name(self, instance, config):
+        behavior = make_attack("zero")
+        by_name = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        by_instance = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, backend=NumpyBackend()
+        )
+        for a, b in zip(by_name, by_instance):
+            assert np.array_equal(a.estimates, b.estimates)
+
+    @pytest.mark.parametrize("filter_name", ("cge", "cwtm", "median", "average"))
+    def test_backend_aggregate_matches_filter(self, filter_name):
+        # backend.aggregate(spec) must be byte-for-byte the filter's own
+        # batched kernel — that is what makes routing through the seam safe.
+        from repro.aggregators.registry import make_filter
+
+        backend = resolve_backend("numpy")
+        gradient_filter = make_filter(filter_name, f=2)
+        tensor = np.random.default_rng(3).normal(size=(4, 9, 6))
+        via_backend = backend.aggregate(tensor, gradient_filter.kernel_spec())
+        via_filter = gradient_filter.aggregate_batch(tensor)
+        assert np.array_equal(via_backend, via_filter)
+
+
+# ---------------------------------------------------------------------------
+# Tiling: invisible in the output, bounded in memory
+# ---------------------------------------------------------------------------
+
+
+class TestTiling:
+    @pytest.mark.parametrize("tile_size", (1, 2, 16))
+    def test_tiled_bit_identical_to_untiled(self, instance, config, tile_size):
+        behavior = make_attack("gradient-reverse")
+        whole = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        tiled = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, tile_size=tile_size
+        )
+        for a, b in zip(whole, tiled):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert np.array_equal(a.directions, b.directions)
+
+    def test_tiled_randomized_attack_bit_identical(self, instance, config):
+        # Per-run adversary rng streams must land on the right tile slice.
+        behavior = make_attack("alie")
+        whole = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        tiled = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, tile_size=2
+        )
+        for a, b in zip(whole, tiled):
+            assert np.array_equal(a.estimates, b.estimates)
+
+    def test_tiled_telemetry_run_tags(self, instance, config):
+        from repro.observability import MemorySink, Telemetry
+
+        sink = MemorySink()
+        run_dgd_batch(
+            instance.costs,
+            make_attack("zero"),
+            config,
+            seeds=SEEDS,
+            tile_size=2,
+            telemetry=Telemetry([sink]),
+        )
+        rounds = [r for r in sink.records if r.get("event") == "round"]
+        # Every run index appears, with the tile offset applied.
+        assert {r["run"] for r in rounds} == set(range(len(SEEDS)))
+
+    def test_invalid_tile_size_rejected(self, instance, config):
+        for bad in (0, -3):
+            with pytest.raises(InvalidParameterError, match="tile_size"):
+                run_dgd_batch(
+                    instance.costs,
+                    make_attack("zero"),
+                    config,
+                    seeds=SEEDS,
+                    tile_size=bad,
+                )
+
+
+# ---------------------------------------------------------------------------
+# float32 precision mode (tolerance contract)
+# ---------------------------------------------------------------------------
+
+
+class TestFloat32:
+    def test_close_to_float64_and_deterministic(self, instance, config):
+        behavior = make_attack("sign-flip")
+        exact = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        low = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, dtype="float32"
+        )
+        again = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, dtype="float32"
+        )
+        for a, b, c in zip(exact, low, again):
+            assert b.estimates.dtype == np.float32
+            assert np.allclose(a.estimates, b.estimates, rtol=1e-3, atol=1e-3)
+            assert np.array_equal(b.estimates, c.estimates)
+        assert low[0].extra["batch"]["dtype"] == "float32"
+
+    def test_bad_dtype_rejected(self, instance, config):
+        with pytest.raises(InvalidParameterError, match="dtype"):
+            run_dgd_batch(
+                instance.costs, make_attack("zero"), config, seeds=SEEDS,
+                dtype="float16",
+            )
+
+    def test_fallback_configs_refuse_non_defaults(self, instance):
+        # A stateful filter forces the sequential fallback, which has no
+        # backend/dtype/tiling — silent degradation is an error instead.
+        config = DGDConfig(iterations=10, gradient_filter="clipping", f=1)
+        for kwargs in (
+            {"dtype": "float32"},
+            {"tile_size": 2},
+        ):
+            with pytest.raises(InvalidParameterError, match="fast path"):
+                run_dgd_batch(instance.costs, None, config, seeds=[1], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The partition-based CWTM kernel
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionTrimmedMean:
+    def test_matches_full_sort_reference(self):
+        rng = np.random.default_rng(42)
+        for trial in range(30):
+            K = int(rng.integers(1, 5))
+            n = int(rng.integers(3, 40))
+            f = int(rng.integers(0, (n - 1) // 2 + 1))
+            d = int(rng.integers(1, 12))
+            tensor = rng.normal(size=(K, n, d))
+            if trial % 3 == 0:  # engineered ties across the trim boundary
+                tensor = np.round(tensor)
+            if trial % 4 == 0:
+                tensor = tensor.astype(np.float32)
+            fast = kernels.partition_trimmed_mean(tensor, f)
+            reference = kernels.sort_trimmed_mean(tensor, f)
+            assert np.allclose(fast, reference, rtol=1e-6, atol=1e-6), (K, n, f, d)
+
+    def test_scalar_path_is_singleton_batch(self):
+        # CoordinateWiseTrimmedMean._aggregate == kernel on g[None] — the
+        # construction that keeps scalar/batch bit-identity trivially true.
+        rng = np.random.default_rng(7)
+        gradient_filter = CoordinateWiseTrimmedMean(f=3)
+        tensor = rng.normal(size=(6, 20, 5))
+        batched = gradient_filter.aggregate_batch(tensor)
+        for k in range(tensor.shape[0]):
+            assert np.array_equal(batched[k], gradient_filter(tensor[k]))
+
+    def test_lane_determinism_across_batch_sizes(self):
+        # A lane's result must not depend on how many other lanes share the
+        # call — the property the bit-identity argument rests on.
+        rng = np.random.default_rng(99)
+        tensor = rng.normal(size=(8, 64, 16))
+        whole = kernels.partition_trimmed_mean(tensor, 8)
+        for k in range(8):
+            alone = kernels.partition_trimmed_mean(tensor[k][None], 8)[0]
+            assert np.array_equal(whole[k], alone)
+
+    def test_input_tensor_not_mutated(self):
+        tensor = np.random.default_rng(1).normal(size=(2, 10, 3))
+        snapshot = tensor.copy()
+        kernels.partition_trimmed_mean(tensor, 2)
+        assert np.array_equal(tensor, snapshot)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-engine threading and cache-key namespacing
+# ---------------------------------------------------------------------------
+
+
+class TestSweepThreading:
+    GRID_FIELDS = {"n": 6, "d": 2, "redundancy_f": 1, "noise_std": 0.0,
+                   "instance_seed": 1, "iterations": 50, "x0": None}
+
+    def test_default_payload_unchanged(self):
+        # Defaults must not enter the payload: every pre-seam cache entry
+        # and manifest stays valid.
+        payload = _cell_cache_payload(self.GRID_FIELDS, "cge", "zero", 1, 7)
+        assert "array_backend" not in payload and "dtype" not in payload
+        explicit = _cell_cache_payload(
+            self.GRID_FIELDS, "cge", "zero", 1, 7, "numpy", "float64"
+        )
+        assert _config_hash(payload) == _config_hash(explicit)
+
+    def test_non_default_gets_own_namespace(self):
+        default = _config_hash(
+            _cell_cache_payload(self.GRID_FIELDS, "cge", "zero", 1, 7)
+        )
+        f32 = _config_hash(
+            _cell_cache_payload(self.GRID_FIELDS, "cge", "zero", 1, 7,
+                                "numpy", "float32")
+        )
+        torch_key = _config_hash(
+            _cell_cache_payload(self.GRID_FIELDS, "cge", "zero", 1, 7,
+                                "torch", "float64")
+        )
+        assert len({default, f32, torch_key}) == 3
+
+    def test_sequential_engine_rejects_non_defaults(self):
+        with pytest.raises(InvalidParameterError, match="batch engine only"):
+            SweepEngine(parallel=False, backend="sequential", dtype="float32")
+
+    def test_unknown_array_backend_fails_at_construction(self):
+        with pytest.raises(InvalidParameterError, match="unknown array backend"):
+            SweepEngine(parallel=False, array_backend="cuda-maybe")
+
+    def test_float32_grid_runs_and_is_close(self, tmp_path):
+        from repro.experiments.sweep import RegressionGrid
+
+        grid = RegressionGrid(
+            filters=("cge",), attacks=("zero",), fault_counts=(1,),
+            num_seeds=2, iterations=40,
+        )
+        exact = SweepEngine(parallel=False).run_regression_grid(grid)
+        low = SweepEngine(
+            parallel=False, dtype="float32", cache_dir=str(tmp_path)
+        ).run_regression_grid(grid)
+        assert not any(cell.failed for cell in low)
+        for a, b in zip(exact, low):
+            assert abs(a.final_error - b.final_error) < 1e-3
+        # Rerun is served from the float32 namespace of the cache.
+        rerun = SweepEngine(
+            parallel=False, dtype="float32", cache_dir=str(tmp_path)
+        ).run_regression_grid(grid)
+        assert all(cell.cached for cell in rerun)
+
+
+# ---------------------------------------------------------------------------
+# Optional backends (tolerance contract; visible skip / forced fail)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ("torch", "numba"))
+class TestOptionalBackends:
+    def test_contract_declared(self, name):
+        backend = _optional_backend(name)
+        assert isinstance(backend, ArrayBackend)
+        assert backend.name == name
+        assert backend.equivalence == "tolerance"
+
+    def test_aggregate_close_to_numpy_kernels(self, name):
+        backend = _optional_backend(name)
+        rng = np.random.default_rng(17)
+        tensor = rng.normal(size=(5, 12, 7))
+        cases = [
+            ({"kind": "cge", "f": 3, "mode": "sum"},
+             kernels.cge_aggregate_batch(tensor, 3, "sum")),
+            ({"kind": "cge", "f": 3, "mode": "mean"},
+             kernels.cge_aggregate_batch(tensor, 3, "mean")),
+            ({"kind": "cwtm", "f": 2}, kernels.partition_trimmed_mean(tensor, 2)),
+            ({"kind": "cwtm", "f": 0}, kernels.partition_trimmed_mean(tensor, 0)),
+            ({"kind": "median", "f": 2}, kernels.median_batch(tensor)),
+            ({"kind": "mean"}, kernels.mean_batch(tensor)),
+            ({"kind": "sum"}, kernels.sum_batch(tensor)),
+        ]
+        for spec, expected in cases:
+            assert backend.supports(spec)
+            got = backend.aggregate(tensor, spec)
+            assert np.allclose(got, expected, rtol=1e-8, atol=1e-8), spec
+
+    def test_cge_tie_break_matches_stable_order(self, name):
+        # Tied norms must resolve by agent index, like the numpy kernel.
+        backend = _optional_backend(name)
+        matrix = np.array(
+            [[3.0, 0.0], [1.0, 0.0], [-3.0, 0.0], [0.0, 3.0], [1.0, 0.0],
+             [0.0, 1.0]]
+        )
+        tensor = np.stack([matrix, matrix[::-1].copy()])
+        expected = kernels.cge_aggregate_batch(tensor, 2, "sum")
+        got = backend.aggregate(tensor, {"kind": "cge", "f": 2, "mode": "sum"})
+        assert np.allclose(got, expected)
+
+    def test_even_n_median_semantics(self, name):
+        backend = _optional_backend(name)
+        tensor = np.random.default_rng(23).normal(size=(3, 10, 4))
+        got = backend.aggregate(tensor, {"kind": "median", "f": 0})
+        assert np.allclose(got, np.median(tensor, axis=1))
+
+    def test_affine_map_close_to_numpy(self, name):
+        backend = _optional_backend(name)
+        rng = np.random.default_rng(5)
+        P = rng.normal(size=(6, 4, 4))
+        q = rng.normal(size=(6, 4))
+        X = rng.normal(size=(3, 4))
+        expected = (P[None] @ X[:, None, :, None])[..., 0] + q[None]
+        got = backend.bind_affine(P, q)(X)
+        assert np.allclose(got, expected, rtol=1e-8, atol=1e-8)
+
+    def test_end_to_end_trace_close_and_deterministic(self, name, instance,
+                                                      config):
+        backend = _optional_backend(name)
+        behavior = make_attack("sign-flip")
+        exact = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        alt = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, backend=backend
+        )
+        again = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS, backend=backend
+        )
+        for a, b, c in zip(exact, alt, again):
+            assert np.allclose(a.estimates, b.estimates, rtol=1e-6, atol=1e-8)
+            assert np.array_equal(b.estimates, c.estimates)
+        assert alt[0].extra["batch"]["backend"] == name

@@ -275,3 +275,162 @@ def test_aggregate_batch_rejects_bad_shapes():
         gradient_filter.aggregate_batch(np.zeros((3, 2)))
     with pytest.raises(InvalidParameterError):
         gradient_filter.aggregate_batch(np.zeros((0, 3, 2)))
+
+
+class TestForgedMatrixOwnership:
+    """Regression: ``M = G`` aliasing let the forged write-back mutate the
+    honest gradient tensor in place; anything reading ``G`` after the
+    aggregation step (telemetry, hooks, future per-round diagnostics) saw
+    forged values under honest labels."""
+
+    def test_forged_matrix_does_not_alias_honest_tensor(self):
+        from repro.system.batch import _forged_matrix
+
+        G = np.arange(24, dtype=float).reshape(2, 4, 3)
+        snapshot = G.copy()
+        forged = np.full((2, 2, 3), -99.0)
+        M = _forged_matrix(G, forged, np.array([1, 3]))
+        assert not np.shares_memory(M, G)
+        assert np.array_equal(G, snapshot)  # honest tensor untouched
+        assert np.array_equal(M[:, [1, 3]], forged)
+        assert np.array_equal(M[:, [0, 2]], G[:, [0, 2]])
+
+    def test_honest_gradients_stay_honest_through_a_run(self, instance):
+        # An adaptive behaviour reads honest gradients via AttackContext on
+        # the per-slice path; under the old aliasing it could observe its
+        # own previous round's forgeries.
+        from repro.attacks.base import ByzantineBehavior
+
+        class Probe(ByzantineBehavior):
+            name = "probe"
+
+            def __init__(self, log):
+                self._log = log
+
+            def forge(self, context):
+                self._log.append(np.asarray(context.honest_gradients).copy())
+                return np.full(
+                    (len(context.faulty_ids), context.dimension), 7.5
+                )
+
+        config = DGDConfig(iterations=5, gradient_filter="cge", faulty_ids=(2,), f=1)
+        seen = []
+        run_dgd_batch(instance.costs, Probe(seen), config, seeds=[3])
+        sequential_seen = []
+        run_dgd(instance.costs, Probe(sequential_seen), config, seed=3)
+        assert len(seen) == len(sequential_seen)
+        for a, b in zip(seen, sequential_seen):
+            assert np.array_equal(a, b)
+
+
+class TestConstantBiasValidation:
+    """Regression: the bias-dimension check lived inside the per-round forge
+    closure, so a mismatched bias surfaced only after round 0 had already
+    executed (and, with iterations=0, never)."""
+
+    def test_wrong_dimension_rejected_at_construction(self, instance):
+        from repro.attacks.simple import ConstantBias
+        from repro.system.batch import _vectorized_forger
+
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(InvalidParameterError, match="bias"):
+            _vectorized_forger(
+                ConstantBias(np.ones(5)), [0], [1, 2, 3, 4, 5],
+                instance.costs, rngs,
+            )
+
+    def test_run_fails_before_any_round_executes(self, instance):
+        from repro.attacks.simple import ConstantBias
+
+        fired = []
+        config = DGDConfig(
+            iterations=50, gradient_filter="cge", faulty_ids=(0,), f=1
+        )
+        with pytest.raises(InvalidParameterError, match="bias"):
+            run_dgd_batch(
+                instance.costs,
+                ConstantBias(np.ones(7)),
+                config,
+                seeds=SEEDS,
+                round_hook=lambda *a, **k: fired.append(1),
+            )
+        assert fired == []  # raised before round 0, not during it
+
+
+class TestSingleSanitizePerRound:
+    """Regression: telemetry-enabled rounds sanitized the forged tensor twice
+    (once for aggregation, once for the round record), doubling the cost of
+    the non-finite sweep and leaving the two consumers free to drift."""
+
+    def test_one_sanitize_per_round_with_telemetry(self, instance, monkeypatch):
+        from repro.aggregators.base import GradientFilter
+        from repro.observability import MemorySink, Telemetry
+
+        calls = []
+        original = GradientFilter.sanitize
+
+        def counting(gradients):
+            calls.append(np.asarray(gradients).shape)
+            return original(gradients)
+
+        monkeypatch.setattr(GradientFilter, "sanitize", staticmethod(counting))
+        sink = MemorySink()
+        config = DGDConfig(
+            iterations=12, gradient_filter="cge", faulty_ids=(0,), f=1
+        )
+        run_dgd_batch(
+            instance.costs,
+            make_attack("sign-flip"),
+            config,
+            seeds=SEEDS,
+            telemetry=Telemetry([sink]),
+        )
+        batch_calls = [shape for shape in calls if len(shape) == 3]
+        assert len(batch_calls) == config.iterations
+        rounds = [r for r in sink.records if r.get("event") == "round"]
+        assert len(rounds) == config.iterations * len(SEEDS)
+
+    def test_telemetry_does_not_perturb_estimates(self, instance):
+        from repro.observability import MemorySink, Telemetry
+
+        config = DGDConfig(
+            iterations=30, gradient_filter="cwtm", faulty_ids=(0,), f=1
+        )
+        behavior = make_attack("sign-flip")
+        plain = run_dgd_batch(instance.costs, behavior, config, seeds=SEEDS)
+        with_tel = run_dgd_batch(
+            instance.costs, behavior, config, seeds=SEEDS,
+            telemetry=Telemetry([MemorySink()]),
+        )
+        for a, b in zip(plain, with_tel):
+            assert_traces_identical(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    tie_count=st.integers(2, 12),
+)
+def test_cge_large_n_tie_boundary_is_stable(seed, tie_count):
+    # Large-n stress for the argpartition cut: engineer `tie_count` rows
+    # whose norms all equal the boundary (keep-1) norm, scattered across
+    # the batch, and require the batched kept set to be bit-identical to
+    # the stable sequential (norm, index) resolution.
+    n, d, f = 128, 4, 16
+    keep = n - f
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, d))
+    norms = np.linalg.norm(base, axis=1)
+    boundary_row = base[np.argsort(norms, kind="stable")[keep - 1]]
+    positions = rng.choice(n, size=tie_count, replace=False)
+    matrix = base.copy()
+    matrix[positions] = boundary_row  # ties straddle the cut exactly
+    tensor = np.stack([matrix, matrix[::-1].copy(), base])
+
+    gradient_filter = ComparativeGradientElimination(f=f)
+    batched_kept = gradient_filter._kept_indices_batch(tensor)
+    batched_agg = gradient_filter.aggregate_batch(tensor)
+    for k in range(tensor.shape[0]):
+        scalar_kept = gradient_filter._kept_indices(tensor[k])
+        assert np.array_equal(batched_kept[k], scalar_kept)
+        assert np.array_equal(batched_agg[k], gradient_filter(tensor[k]))
