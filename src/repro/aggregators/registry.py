@@ -19,7 +19,7 @@ from repro.aggregators.median import CoordinateWiseMedian, GeometricMedian
 from repro.aggregators.mom import GeometricMedianOfMeans, MedianOfMeans
 from repro.aggregators.signsgd import SignSGDMajorityVote
 from repro.aggregators.trimmed_mean import CoordinateWiseTrimmedMean
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import UnknownRegistryEntryError
 
 _FACTORIES: Dict[str, Callable[..., GradientFilter]] = {
     Average.name: Average,
@@ -59,7 +59,5 @@ def make_filter(name: str, f: int = 0, **kwargs) -> GradientFilter:
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise InvalidParameterError(
-            f"unknown filter {name!r}; available: {', '.join(available_filters())}"
-        ) from None
+        raise UnknownRegistryEntryError("filter", name, available_filters()) from None
     return factory(f=f, **kwargs)

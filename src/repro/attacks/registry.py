@@ -20,7 +20,7 @@ from repro.attacks.simple import (
     SignFlip,
     ZeroGradient,
 )
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import UnknownRegistryEntryError
 
 _FACTORIES: Dict[str, Callable[..., ByzantineBehavior]] = {
     GradientReverse.name: GradientReverse,
@@ -47,7 +47,5 @@ def make_attack(name: str, **kwargs) -> ByzantineBehavior:
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise InvalidParameterError(
-            f"unknown attack {name!r}; available: {', '.join(available_attacks())}"
-        ) from None
+        raise UnknownRegistryEntryError("attack", name, available_attacks()) from None
     return factory(**kwargs)

@@ -27,6 +27,12 @@ Commands
 ``trace report``
     Analyze a telemetry/sweep JSONL stream (or a directory of streams)
     into hotspot attribution, rounds/sec trends, and anomaly flags.
+``tournament run|leaderboard|report``
+    The adversary tournament: run the full filter × attack-bank
+    cross-product (round-robin with best-response re-tuning) through the
+    cached sweep layer, persist a schema'd ``TOURNAMENT_<name>.json``
+    artifact, and render its Elo robustness leaderboard (exit 0 ok /
+    1 failed matches / 2 usage, the bench convention).
 ``list``
     Show the registered gradient filters, attacks, and experiments.
 """
@@ -343,6 +349,82 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="show the registered benches, their tags and workloads"
     )
     bench_list.add_argument("--tag", default=None)
+
+    tournament = commands.add_parser(
+        "tournament",
+        help="adversary tournament: full filter x attack cross-product "
+        "with an Elo robustness leaderboard",
+    )
+    tournament_commands = tournament.add_subparsers(
+        dest="tournament_command", required=True
+    )
+    tournament_run = tournament_commands.add_parser(
+        "run",
+        help="run the cross-product through the cached sweep layer and "
+        "write TOURNAMENT_<name>.json",
+    )
+    tournament_run.add_argument("--name", default="tournament",
+                                help="artifact name (TOURNAMENT_<name>.json)")
+    tournament_run.add_argument(
+        "--filters", nargs="+", default=None, choices=available_filters(),
+        help="roster (default: every registered filter)",
+    )
+    tournament_run.add_argument(
+        "--attacks", nargs="+", default=None, metavar="NAME",
+        help="subset of the default attack bank by bank name "
+        "(default: the whole bank)",
+    )
+    tournament_run.add_argument("--rounds", type=int, default=2,
+                                help="tournament rounds (best-response "
+                                "re-tuning happens between rounds)")
+    tournament_run.add_argument("--num-seeds", type=int, default=5)
+    tournament_run.add_argument("--master-seed", type=int, default=20200803)
+    tournament_run.add_argument("--n", type=int, default=8)
+    tournament_run.add_argument("--d", type=int, default=2)
+    tournament_run.add_argument("--f", type=int, default=1)
+    tournament_run.add_argument("--noise", type=float, default=0.02)
+    tournament_run.add_argument("--iterations", type=int, default=300)
+    tournament_run.add_argument("--win-threshold", type=float, default=0.1,
+                                help="final distance to x_H at or below "
+                                "which the filter wins")
+    tournament_run.add_argument("--loss-threshold", type=float, default=0.4,
+                                help="final distance at or above which the "
+                                "attack wins")
+    tournament_run.add_argument(
+        "--sequential", action="store_true",
+        help="disable the process pool (single-process execution)",
+    )
+    tournament_run.add_argument("--workers", type=int, default=None,
+                                help="pool size")
+    tournament_run.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the per-match cache (off by default; required "
+        "for --resume)",
+    )
+    tournament_run.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="write a JSONL event log (cache hits/misses, retunes, "
+        "quarantines) and print its summary",
+    )
+    tournament_run.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted tournament from its match cache: "
+        "finished matches are served as cache hits (requires --cache-dir)",
+    )
+    tournament_run.add_argument("--out-dir", default=".",
+                                help="where the artifact lands (default .)")
+
+    tournament_board = tournament_commands.add_parser(
+        "leaderboard", help="render the Elo leaderboard of an artifact"
+    )
+    tournament_board.add_argument("path", help="a TOURNAMENT_*.json artifact")
+
+    tournament_report = tournament_commands.add_parser(
+        "report",
+        help="full report: leaderboard, per-round re-tunes, and the "
+        "most decisive matches",
+    )
+    tournament_report.add_argument("path", help="a TOURNAMENT_*.json artifact")
 
     trace = commands.add_parser(
         "trace", help="analyze telemetry/sweep JSONL streams"
@@ -850,6 +932,158 @@ def _command_bench(args) -> int:
     return 1 if failed else 0
 
 
+def _format_leaderboard(payload) -> str:
+    """Render an artifact's leaderboard as an aligned table."""
+    rows = []
+    for row in payload["leaderboard"]["all"]:
+        rows.append([
+            row["rank"],
+            row["player"],
+            row["role"],
+            f"{row['rating_mean']:.1f} ± {row['ci95']:.1f}",
+            row["wins"],
+            row["losses"],
+            row["draws"],
+            row["errors"],
+        ])
+    counts = payload["counts"]
+    return format_table(
+        ["rank", "player", "role", "elo (mean ± ci95)", "w", "l", "d", "err"],
+        rows,
+        title=(
+            f"robustness leaderboard: {payload['name']} "
+            f"({counts['filters']} filters x {counts['attacks']} attacks, "
+            f"{counts['seeds']} seeds, {counts['rounds']} round(s), "
+            f"{counts['matches']} matches)"
+        ),
+    )
+
+
+def _load_artifact_or_none(path: str):
+    """Load + validate a tournament artifact; print the error on failure."""
+    from repro.exceptions import ReproError
+    from repro.experiments.tournament import load_tournament_artifact
+
+    try:
+        return load_tournament_artifact(path)
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot load tournament artifact {path}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _command_tournament(args) -> int:
+    from repro.exceptions import InvalidParameterError
+    from repro.experiments.sweep import SweepEngine
+    from repro.experiments.tournament import (
+        TournamentConfig,
+        default_attack_bank,
+        run_tournament,
+        write_tournament_artifact,
+    )
+
+    if args.tournament_command in ("leaderboard", "report"):
+        payload = _load_artifact_or_none(args.path)
+        if payload is None:
+            return 2
+        print(_format_leaderboard(payload))
+        failed = payload["counts"].get("failed", 0)
+        if args.tournament_command == "report":
+            for round_doc in payload["rounds"]:
+                for retune in round_doc.get("retuned", []):
+                    print(
+                        f"round {round_doc['round']}: {retune['attack']} "
+                        f"re-tuned against {retune['filter']} -> "
+                        f"level {retune['level']} {retune['params']}"
+                    )
+            scored = [
+                m
+                for round_doc in payload["rounds"]
+                for m in round_doc["matches"]
+                if "final_error" in m
+            ]
+            decisive = sorted(
+                scored, key=lambda m: m["final_error"], reverse=True
+            )[:5]
+            rows = [
+                [m["filter"], m["attack"], m["round"], m["seed"],
+                 f"{m['final_error']:.4f}", m["outcome"]]
+                for m in decisive
+            ]
+            if rows:
+                print(format_table(
+                    ["filter", "attack", "round", "seed", "final error",
+                     "outcome"],
+                    rows, title="most decisive matches",
+                ))
+        if failed:
+            print(f"{failed} failed match(es) recorded in the artifact",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    # run
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir (nothing to resume from)",
+              file=sys.stderr)
+        return 2
+    bank = default_attack_bank()
+    if args.attacks is not None:
+        by_name = {spec.name: spec for spec in bank}
+        unknown = [name for name in args.attacks if name not in by_name]
+        if unknown:
+            print(
+                f"error: unknown bank attack(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(by_name))}",
+                file=sys.stderr,
+            )
+            return 2
+        bank = tuple(by_name[name] for name in args.attacks)
+    try:
+        config = TournamentConfig(
+            name=args.name,
+            filters=tuple(args.filters) if args.filters else (),
+            attacks=bank,
+            rounds=args.rounds,
+            num_seeds=args.num_seeds,
+            master_seed=args.master_seed,
+            n=args.n,
+            d=args.d,
+            f=args.f,
+            noise_std=args.noise,
+            iterations=args.iterations,
+            win_threshold=args.win_threshold,
+            loss_threshold=args.loss_threshold,
+        )
+        engine = SweepEngine(
+            parallel=not args.sequential,
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+            events=args.events,
+        )
+        if args.resume:
+            engine.events.emit("resume", kind="tournament", name=args.name)
+        payload = run_tournament(config, engine)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = write_tournament_artifact(payload, args.out_dir)
+    print(_format_leaderboard(payload))
+    execution = payload["execution"]
+    print(
+        f"{payload['counts']['matches']} matches "
+        f"({execution['cache_hits']} from cache) -> {path}"
+    )
+    if args.events:
+        counts = engine.events.counts()
+        rendered = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        print(f"events -> {args.events}: {rendered}")
+    failed = payload["counts"]["failed"]
+    if failed:
+        print(f"{failed} match(es) failed", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _command_trace(args) -> int:
     from repro.exceptions import InvalidParameterError
     from repro.observability import write_summary_atomic
@@ -905,6 +1139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "redundancy": _command_redundancy,
         "sweep": _command_sweep,
         "bench": _command_bench,
+        "tournament": _command_tournament,
         "trace": _command_trace,
         "list": _command_list,
     }

@@ -21,6 +21,25 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class UnknownRegistryEntryError(InvalidParameterError):
+    """A name-based registry lookup failed.
+
+    Raised by :func:`repro.aggregators.registry.make_filter` and
+    :func:`repro.attacks.registry.make_attack` when the requested name is
+    not registered. Carries the offending :attr:`name` and the sorted
+    :attr:`available` names so callers (CLI, tournament engine) can render
+    actionable suggestions instead of re-parsing the message string.
+    """
+
+    def __init__(self, kind: str, name: str, available):
+        self.kind = str(kind)
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown {self.kind} {name!r}; available: {', '.join(self.available)}"
+        )
+
+
 class DimensionMismatchError(ReproError, ValueError):
     """Two arrays that must share a dimension do not.
 
@@ -81,6 +100,16 @@ class BenchSchemaError(ReproError, ValueError):
     internally inconsistent (e.g. a ``best_seconds`` that is not the
     minimum of its repeats). The regression gate refuses such documents
     instead of comparing against garbage.
+    """
+
+
+class TournamentSchemaError(ReproError, ValueError):
+    """A tournament artifact violates the ``repro.tournament`` schema.
+
+    Raised by :mod:`repro.experiments.tournament` when a
+    ``TOURNAMENT_*.json`` payload is missing required fields, carries an
+    unknown schema tag, or is internally inconsistent. The leaderboard and
+    report CLIs refuse such documents instead of rendering garbage.
     """
 
 

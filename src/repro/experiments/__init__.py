@@ -37,6 +37,15 @@ from repro.experiments.sweep import (
     parallel_map,
     summarize_grid,
 )
+from repro.experiments.tournament import (
+    AttackSpec,
+    EloTable,
+    TournamentConfig,
+    default_attack_bank,
+    load_tournament_artifact,
+    run_tournament,
+    write_tournament_artifact,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.trajectories import run_trajectories
 from repro.experiments.worst_case import run_worst_case_certification
@@ -69,4 +78,11 @@ __all__ = [
     "derive_run_seeds",
     "parallel_map",
     "summarize_grid",
+    "AttackSpec",
+    "EloTable",
+    "TournamentConfig",
+    "default_attack_bank",
+    "load_tournament_artifact",
+    "run_tournament",
+    "write_tournament_artifact",
 ]

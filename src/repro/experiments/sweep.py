@@ -575,6 +575,10 @@ class SweepEngine:
             os.makedirs(telemetry_dir, exist_ok=True)
 
     @property
+    def parallel(self) -> bool:
+        return self._parallel
+
+    @property
     def cache_dir(self) -> Optional[str]:
         return self._cache_dir
 

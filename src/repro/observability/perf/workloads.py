@@ -489,6 +489,81 @@ def _bench_smoke_batch(tel):
     return {"mean_final_error": float(np.mean(errors)), "traces": traces}
 
 
+_TOURNAMENT_SMOKE_WORKLOAD = {
+    "filters": ["cge", "cwtm", "average"],
+    "attacks": ["gradient-reverse", "alie", "zero"],
+    "rounds": 1,
+    "num_seeds": 2,
+    "n": 8,
+    "d": 2,
+    "f": 1,
+    "iterations": 80,
+    "master_seed": 20200803,
+}
+
+
+@register_bench(
+    "tournament_smoke",
+    workload=_TOURNAMENT_SMOKE_WORKLOAD,
+    tags=("smoke", "tournament"),
+    metrics=lambda out: {
+        "cwtm_elo": out["cwtm_elo"],
+        "mean_final_error": out["mean_final_error"],
+        "failed_matches": out["failed_matches"],
+    },
+    description="Smoke: a 3x3x2-seed adversary tournament end-to-end",
+)
+def _bench_tournament_smoke(tel):
+    """One tiny tournament through the full engine/scoring/Elo stack.
+
+    Every future perf PR inherits a standing adversarial workload: the
+    cross-product scheduling, match scoring, per-seed Elo batches, and
+    leaderboard assembly all run; the ``cwtm_elo`` and
+    ``mean_final_error`` quality metrics gate against drift in the
+    scoring pipeline itself.
+    """
+    from repro.experiments.sweep import SweepEngine
+    from repro.experiments.tournament import (
+        AttackSpec,
+        TournamentConfig,
+        run_tournament,
+    )
+
+    config = TournamentConfig(
+        name="bench-smoke",
+        filters=("cge", "cwtm", "average"),
+        attacks=(
+            AttackSpec.with_params("gradient-reverse", "gradient-reverse"),
+            AttackSpec.with_params("alie", "alie", params={"z": 1.5}),
+            AttackSpec.with_params("zero", "zero"),
+        ),
+        rounds=1,
+        num_seeds=2,
+        n=8,
+        iterations=80,
+    )
+    with tel.span("tournament"):
+        payload = run_tournament(config, SweepEngine(parallel=False))
+    ratings = {
+        row["player"]: row["rating_mean"]
+        for row in payload["leaderboard"]["all"]
+    }
+    scored = [
+        m
+        for round_doc in payload["rounds"]
+        for m in round_doc["matches"]
+        if "final_error" in m
+    ]
+    return {
+        "cwtm_elo": float(ratings["cwtm"]),
+        "mean_final_error": float(
+            np.mean([m["final_error"] for m in scored])
+        ),
+        "failed_matches": float(payload["counts"]["failed"]),
+        "payload": payload,
+    }
+
+
 # ----------------------------------------------------------------------
 # Large-n / large-d kernel scaling (the backend seam's reason to exist)
 # ----------------------------------------------------------------------

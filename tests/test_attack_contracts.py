@@ -1,0 +1,143 @@
+"""Registry-wide conformance suite for Byzantine behaviours.
+
+Every test parametrizes over :func:`available_attacks` (plus the
+non-registry φ-minimizing best response), so a newly registered attack
+is covered automatically. The contract: an attack is a pure function of
+its :class:`~repro.attacks.base.AttackContext` and the context's
+dedicated ``rng`` stream (seed-deterministic), it never mutates the
+honest gradient tensor or the broadcast estimate (the PR 6 ``M = G``
+aliasing regression, generalized to the whole bank), its output shares
+no memory with the honest inputs, and it respects its declared
+f-budget: exactly ``(num_faulty, d)`` forged rows, for any ``f``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import make_filter
+from repro.attacks import available_attacks, make_attack
+from repro.attacks.base import AttackContext
+from repro.attacks.best_response import PhiMinimizingAttack
+from repro.attacks.simple import ZeroGradient
+from repro.exceptions import InvalidParameterError, UnknownRegistryEntryError
+from repro.optimization.cost_functions import TranslatedQuadratic
+
+D = 3
+
+
+def make_behavior(name, num_faulty=2, dimension=D):
+    """Instantiate a registered attack with its required kwargs."""
+    kwargs = {}
+    if name == "constant-bias":
+        kwargs = {"bias": np.ones(dimension)}
+    if name == "optimal-direction":
+        kwargs = {"target": np.ones(dimension)}
+    if name == "cost-substitution":
+        kwargs = {
+            "substituted_costs": {
+                i: TranslatedQuadratic(np.zeros(dimension))
+                for i in range(num_faulty)
+            }
+        }
+    if name == "intermittent":
+        kwargs = {"inner": ZeroGradient(), "period": 2}
+    if name == PhiMinimizingAttack.name:
+        return PhiMinimizingAttack(
+            make_filter("cwtm", f=num_faulty),
+            np.zeros(dimension),
+            num_random_probes=2,
+        )
+    return make_attack(name, **kwargs)
+
+
+def make_context(num_faulty=2, dimension=D, num_honest=4, seed=0):
+    rng = np.random.default_rng(seed + 100)
+    honest = rng.normal(size=(num_honest, dimension))
+    faulty_ids = list(range(num_faulty))
+    return AttackContext(
+        round_index=0,
+        estimate=rng.normal(size=dimension),
+        honest_gradients=honest,
+        honest_ids=list(range(num_faulty, num_faulty + num_honest)),
+        faulty_ids=faulty_ids,
+        faulty_costs=[
+            TranslatedQuadratic(np.full(dimension, float(i + 1)))
+            for i in faulty_ids
+        ],
+        rng=np.random.default_rng(seed),
+    )
+
+
+ALL_BEHAVIORS = sorted(available_attacks()) + [PhiMinimizingAttack.name]
+
+
+@pytest.mark.parametrize("name", ALL_BEHAVIORS)
+class TestAttackContracts:
+    def test_seed_deterministic(self, name):
+        """Identical contexts (same rng seed) produce identical forgeries."""
+        out_a = make_behavior(name)(make_context(seed=7))
+        out_b = make_behavior(name)(make_context(seed=7))
+        assert np.array_equal(out_a, out_b), (
+            f"{name} is not deterministic given the context rng"
+        )
+
+    def test_different_rng_streams_allowed(self, name):
+        """The contract permits (does not require) rng-dependent output."""
+        out_a = make_behavior(name)(make_context(seed=1))
+        out_b = make_behavior(name)(make_context(seed=2))
+        assert out_a.shape == out_b.shape  # shapes must still agree
+
+    def test_never_mutates_honest_inputs(self, name):
+        """The whole-bank version of the PR 6 ``M = G`` aliasing regression."""
+        ctx = make_context(seed=3)
+        honest_before = ctx.honest_gradients.copy()
+        estimate_before = ctx.estimate.copy()
+        out = make_behavior(name)(ctx)
+        assert np.array_equal(ctx.honest_gradients, honest_before), (
+            f"{name} mutated the honest gradient tensor"
+        )
+        assert np.array_equal(ctx.estimate, estimate_before), (
+            f"{name} mutated the broadcast estimate"
+        )
+        assert not np.shares_memory(out, ctx.honest_gradients), (
+            f"{name} returned a view of the honest gradients; a later "
+            "in-place edit would corrupt them"
+        )
+        assert not np.shares_memory(out, ctx.estimate)
+
+    @pytest.mark.parametrize("num_faulty", [1, 2, 4])
+    def test_respects_f_budget(self, name, num_faulty):
+        """Exactly ``(num_faulty, d)`` forged rows — never more agents."""
+        # Enough honest agents that every defending filter stays feasible
+        # (phi-minimizing evaluates a filter on all n = honest + faulty rows).
+        ctx = make_context(num_faulty=num_faulty, num_honest=num_faulty + 2, seed=5)
+        out = make_behavior(name, num_faulty=num_faulty)(ctx)
+        assert out.shape == (num_faulty, D), (
+            f"{name} with f={num_faulty} produced shape {out.shape}"
+        )
+        assert out.dtype == np.float64
+
+    def test_output_is_fresh_across_calls(self, name):
+        """Two calls never hand back the same mutable buffer."""
+        behavior = make_behavior(name)
+        out_a = behavior(make_context(seed=11))
+        out_b = behavior(make_context(seed=11))
+        assert not np.shares_memory(out_a, out_b), (
+            f"{name} reuses its output buffer across calls"
+        )
+
+
+class TestRegistryErrors:
+    def test_unknown_attack_is_structured(self):
+        with pytest.raises(UnknownRegistryEntryError) as excinfo:
+            make_attack("no-such-attack")
+        err = excinfo.value
+        assert err.kind == "attack"
+        assert err.name == "no-such-attack"
+        assert err.available == tuple(available_attacks())
+        for name in available_attacks():
+            assert name in str(err)
+
+    def test_unknown_attack_still_invalid_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            make_attack("no-such-attack")

@@ -1,0 +1,480 @@
+"""Tournament engine: config, scoring, caching/resume, artifacts, CLI.
+
+The heavier behaviours (cache hit/miss accounting, kill-and-resume
+bit-identity, exit codes) run on a deliberately tiny tournament — two
+filters, two attacks, two seeds, a handful of iterations — so the suite
+stays fast while exercising the same code paths as the full
+cross-product.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import (
+    CacheIntegrityError,
+    InvalidParameterError,
+    TournamentSchemaError,
+    UnknownRegistryEntryError,
+)
+from repro.experiments.sweep import SweepEngine
+from repro.experiments.tournament import (
+    TOURNAMENT_SCHEMA,
+    AttackSpec,
+    TournamentConfig,
+    artifact_filename,
+    default_attack_bank,
+    load_tournament_artifact,
+    run_tournament,
+    score_match,
+    validate_tournament_payload,
+    write_tournament_artifact,
+)
+from repro.utils.atomicio import write_json_atomic
+
+
+def tiny_config(**overrides):
+    settings = dict(
+        name="unit",
+        filters=("average", "cwtm"),
+        attacks=(
+            AttackSpec.with_params("zero", "zero"),
+            AttackSpec.with_params(
+                "ipm", "ipm", kind="adaptive",
+                palette=[{"scale": 0.5}, {"scale": 8.0}],
+            ),
+        ),
+        rounds=2,
+        num_seeds=2,
+        iterations=40,
+        n=8,
+        d=2,
+        f=1,
+    )
+    settings.update(overrides)
+    return TournamentConfig(**settings)
+
+
+def strip_nondeterministic(payload):
+    """Drop the host-dependent keys; the rest must be bit-identical."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if key not in ("provenance", "execution")
+    }
+
+
+class TestAttackSpec:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="kind"):
+            AttackSpec(name="x", attack="zero", kind="chaotic")
+
+    def test_adaptive_needs_palette(self):
+        with pytest.raises(InvalidParameterError, match="palette"):
+            AttackSpec(name="x", attack="ipm", kind="adaptive")
+
+    def test_palette_escalation_clamps(self):
+        spec = AttackSpec.with_params(
+            "ipm", "ipm", kind="adaptive",
+            palette=[{"scale": 0.5}, {"scale": 2.0}],
+        )
+        assert spec.params_at(0) == {"scale": 0.5}
+        assert spec.params_at(1) == {"scale": 2.0}
+        assert spec.params_at(99) == {"scale": 2.0}  # clamped
+        assert spec.params_at(-3) == {"scale": 0.5}
+        assert spec.max_level() == 1
+
+    def test_static_params_roundtrip(self):
+        spec = AttackSpec.with_params("r", "random", params={"scale": 200.0})
+        assert spec.params_at(0) == {"scale": 200.0}
+        assert spec.max_level() == 0
+
+    def test_default_bank_shape(self):
+        bank = default_attack_bank()
+        assert len(bank) >= 6
+        names = [spec.name for spec in bank]
+        assert len(set(names)) == len(names)
+        kinds = {spec.kind for spec in bank}
+        assert kinds == {"static", "adaptive", "best-response"}
+
+
+class TestTournamentConfig:
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"rounds": 0}, "rounds"),
+            ({"num_seeds": 1}, "num_seeds"),
+            ({"f": 0}, "Byzantine"),
+            ({"f": 4, "n": 8}, "n/2"),
+            ({"iterations": 0}, "iterations"),
+            ({"win_threshold": 0.5, "loss_threshold": 0.4}, "threshold"),
+            ({"win_threshold": 0.0}, "threshold"),
+            ({"attacks": ()}, "non-empty"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides, match):
+        with pytest.raises(InvalidParameterError, match=match):
+            tiny_config(**overrides)
+
+    def test_duplicate_bank_names_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unique"):
+            tiny_config(
+                attacks=(
+                    AttackSpec.with_params("zero", "zero"),
+                    AttackSpec.with_params("zero", "sign-flip"),
+                )
+            )
+
+    def test_empty_filters_means_whole_registry(self):
+        from repro.aggregators import available_filters
+
+        assert tiny_config(filters=()).resolved_filters() == tuple(
+            available_filters()
+        )
+
+    def test_unknown_filter_raises_structured_error(self):
+        with pytest.raises(UnknownRegistryEntryError, match="no-such"):
+            tiny_config(filters=("average", "no-such")).resolved_filters()
+
+    def test_seeds_are_prefix_stable(self):
+        wide = tiny_config(num_seeds=5).seeds()
+        narrow = tiny_config(num_seeds=2).seeds()
+        assert wide[:2] == narrow
+
+
+class TestScoring:
+    def test_bands(self):
+        assert score_match(0.05, 0.1, 0.4) == "win"
+        assert score_match(0.1, 0.1, 0.4) == "win"  # boundary inclusive
+        assert score_match(0.25, 0.1, 0.4) == "draw"
+        assert score_match(0.4, 0.1, 0.4) == "loss"  # boundary inclusive
+        assert score_match(7.0, 0.1, 0.4) == "loss"
+
+    def test_non_finite_is_a_loss(self):
+        assert score_match(float("nan"), 0.1, 0.4) == "loss"
+        assert score_match(float("inf"), 0.1, 0.4) == "loss"
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            score_match(0.2, 0.4, 0.1)
+        with pytest.raises(InvalidParameterError):
+            score_match(0.2, 0.0, 0.4)
+
+
+class TestRunTournament:
+    def test_payload_shape_and_counts(self):
+        payload = run_tournament(tiny_config())
+        validate_tournament_payload(payload)
+        assert payload["schema"] == TOURNAMENT_SCHEMA
+        # rounds x filters x attacks x seeds
+        assert payload["counts"]["matches"] == 2 * 2 * 2 * 2
+        assert payload["counts"]["failed"] == 0
+        roles = {row["player"]: row["role"] for row in
+                 payload["leaderboard"]["all"]}
+        assert roles == {"average": "filter", "cwtm": "filter",
+                         "zero": "attack", "ipm": "attack"}
+        assert len(payload["leaderboard"]["filters"]) == 2
+        assert len(payload["leaderboard"]["attacks"]) == 2
+        assert payload["table"]["headers"] == ["player", "role", "elo"]
+
+    def test_deterministic_given_config(self):
+        first = run_tournament(tiny_config())
+        second = run_tournament(tiny_config())
+        assert strip_nondeterministic(first) == strip_nondeterministic(second)
+
+    def test_robust_filter_outranks_fragile_one(self):
+        payload = run_tournament(
+            tiny_config(
+                filters=("cwtm", "average"),
+                attacks=(
+                    AttackSpec.with_params("gradient-reverse",
+                                           "gradient-reverse"),
+                    AttackSpec.with_params(
+                        "random", "random", params={"scale": 200.0}
+                    ),
+                ),
+                iterations=120,
+            )
+        )
+        filters = payload["leaderboard"]["filters"]
+        assert filters[0]["player"] == "cwtm"
+        assert filters[0]["rating_mean"] > filters[-1]["rating_mean"]
+
+    def test_infeasible_pairing_is_recorded_not_raised(self):
+        # Bulyan needs n >= 4f + 3 = 7; with n = 6 every bulyan match
+        # fails while the feasible filter still plays.
+        payload = run_tournament(
+            tiny_config(filters=("average", "bulyan"), n=6)
+        )
+        assert payload["counts"]["failed"] == 2 * 2 * 2  # rounds x attacks x seeds
+        errors = [
+            m for r in payload["rounds"] for m in r["matches"]
+            if m["outcome"] == "error"
+        ]
+        assert errors and all(m["filter"] == "bulyan" for m in errors)
+        assert all("error" in m for m in errors)
+
+    def test_filter_attack_name_collision_rejected(self):
+        with pytest.raises(InvalidParameterError, match="collide"):
+            run_tournament(
+                tiny_config(
+                    attacks=(AttackSpec.with_params("average", "zero"),)
+                )
+            )
+
+    def test_adaptive_retuning_escalates_on_filter_wins(self):
+        # cwtm beats weak IPM in round 0, so round 1 must re-tune the
+        # (cwtm, ipm) pairing up the palette.
+        payload = run_tournament(
+            tiny_config(filters=("cwtm",), iterations=120, rounds=2)
+        )
+        retuned = payload["rounds"][0]["retuned"]
+        assert any(
+            r["filter"] == "cwtm" and r["attack"] == "ipm" and r["level"] == 1
+            for r in retuned
+        )
+        round1 = {
+            (m["filter"], m["attack"]): m["params"]
+            for m in payload["rounds"][1]["matches"]
+        }
+        assert round1[("cwtm", "ipm")] == {"scale": 8.0}
+
+
+class TestCacheAndResume:
+    def test_cold_run_populates_cache_warm_run_hits(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        # Round 0 misses everything; round 1 re-runs the escalated
+        # (filter, ipm) pairings but hits every unchanged one.
+        assert cold["execution"]["cache_misses"] > 0
+        warm = run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        assert warm["execution"]["cache_misses"] == 0
+        assert warm["execution"]["cache_hits"] == warm["counts"]["matches"]
+        assert strip_nondeterministic(cold) == strip_nondeterministic(warm)
+
+    def test_resume_after_partial_cache_recomputes_only_missing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        entries = sorted(os.listdir(cache))
+        assert entries
+        # Simulate a killed run: delete one finished match entry.
+        os.remove(os.path.join(cache, entries[0]))
+        resumed = run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        assert resumed["execution"]["cache_misses"] == 1
+        assert resumed["execution"]["cache_hits"] == (
+            resumed["counts"]["matches"] - 1
+        )
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        victim = os.path.join(cache, sorted(os.listdir(cache))[0])
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        resumed = run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        assert resumed["counts"]["failed"] == 0
+        assert resumed["execution"]["cache_misses"] == 1
+
+    def test_foreign_shaped_entry_recomputed(self, tmp_path):
+        # A checksummed document of the wrong shape (e.g. a regression
+        # cell under a colliding key) must be discarded, not trusted.
+        cache = str(tmp_path / "cache")
+        run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        victim = os.path.join(cache, sorted(os.listdir(cache))[0])
+        write_json_atomic(victim, {"final_estimate": [0.0], "estimates": []})
+        resumed = run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        assert resumed["counts"]["failed"] == 0
+        assert resumed["execution"]["cache_misses"] == 1
+
+    def test_threshold_change_rescores_for_free(self, tmp_path):
+        # Scoring thresholds are not part of the match cache key.
+        cache = str(tmp_path / "cache")
+        run_tournament(
+            tiny_config(), SweepEngine(parallel=False, cache_dir=cache)
+        )
+        rescored = run_tournament(
+            tiny_config(win_threshold=0.01, loss_threshold=0.02),
+            SweepEngine(parallel=False, cache_dir=cache),
+        )
+        assert rescored["execution"]["cache_misses"] == 0
+
+
+class TestArtifacts:
+    def test_write_load_roundtrip(self, tmp_path):
+        payload = run_tournament(tiny_config())
+        path = write_tournament_artifact(payload, str(tmp_path))
+        assert os.path.basename(path) == artifact_filename("unit")
+        loaded = load_tournament_artifact(path)
+        assert strip_nondeterministic(loaded) == strip_nondeterministic(payload)
+
+    def test_filename_sanitized(self):
+        assert artifact_filename("a b/c") == "TOURNAMENT_a_b_c.json"
+        assert artifact_filename("ok-name_1") == "TOURNAMENT_ok-name_1.json"
+
+    def test_tampered_artifact_rejected(self, tmp_path):
+        payload = run_tournament(tiny_config())
+        path = write_tournament_artifact(payload, str(tmp_path))
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        doc["payload"]["name"] = "tampered"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        with pytest.raises(CacheIntegrityError):
+            load_tournament_artifact(path)
+
+    def test_valid_json_bad_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "TOURNAMENT_bad.json")
+        write_json_atomic(path, {"schema": "nope"})
+        with pytest.raises(TournamentSchemaError):
+            load_tournament_artifact(path)
+
+
+class TestSchemaValidation:
+    def _payload(self):
+        return run_tournament(tiny_config())
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TournamentSchemaError, match="dict"):
+            validate_tournament_payload([1, 2])
+
+    def test_missing_fields_listed(self):
+        with pytest.raises(TournamentSchemaError, match="missing fields"):
+            validate_tournament_payload({"schema": TOURNAMENT_SCHEMA})
+
+    def test_unknown_schema_tag(self):
+        payload = self._payload()
+        payload["schema"] = "repro.tournament/v999"
+        with pytest.raises(TournamentSchemaError, match="schema"):
+            validate_tournament_payload(payload)
+
+    def test_bad_outcome_vocabulary(self):
+        payload = self._payload()
+        payload["rounds"][0]["matches"][0]["outcome"] = "rout"
+        with pytest.raises(TournamentSchemaError, match="outcome"):
+            validate_tournament_payload(payload)
+
+    def test_count_mismatch(self):
+        payload = self._payload()
+        payload["counts"]["matches"] += 1
+        with pytest.raises(TournamentSchemaError, match="disagrees"):
+            validate_tournament_payload(payload)
+
+    def test_unsorted_leaderboard(self):
+        payload = self._payload()
+        payload["leaderboard"]["all"].reverse()
+        with pytest.raises(TournamentSchemaError, match="sorted"):
+            validate_tournament_payload(payload)
+
+    def test_missing_row_field(self):
+        payload = self._payload()
+        del payload["leaderboard"]["all"][0]["ci95"]
+        with pytest.raises(TournamentSchemaError, match="ci95"):
+            validate_tournament_payload(payload)
+
+
+RUN_ARGS = [
+    "tournament", "run", "--name", "cli-unit",
+    "--filters", "average", "cwtm",
+    "--attacks", "zero", "ipm",
+    "--rounds", "1", "--num-seeds", "2", "--iterations", "30",
+    "--sequential",
+]
+
+
+class TestCli:
+    def test_run_writes_artifact_and_prints_leaderboard(self, tmp_path, capsys):
+        assert main(RUN_ARGS + ["--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "robustness leaderboard" in out
+        assert "cwtm" in out
+        path = tmp_path / artifact_filename("cli-unit")
+        assert path.exists()
+        load_tournament_artifact(str(path))
+
+    def test_run_then_resume_hits_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = RUN_ARGS + ["--out-dir", str(tmp_path), "--cache-dir", cache]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(8 from cache)" in out
+
+    def test_resume_without_cache_dir_is_usage_error(self, tmp_path, capsys):
+        args = RUN_ARGS + ["--out-dir", str(tmp_path), "--resume"]
+        assert main(args) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_unknown_bank_attack_is_usage_error(self, tmp_path, capsys):
+        args = [
+            "tournament", "run", "--attacks", "nope",
+            "--out-dir", str(tmp_path), "--sequential",
+        ]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "unknown bank attack" in err
+        assert "gradient-reverse" in err  # available names listed
+
+    def test_failed_matches_exit_one(self, tmp_path, capsys):
+        # n=6 makes bulyan infeasible: matches fail, artifact still lands.
+        args = [
+            "tournament", "run", "--name", "cli-fail",
+            "--filters", "average", "bulyan", "--attacks", "zero",
+            "--rounds", "1", "--num-seeds", "2", "--iterations", "20",
+            "--n", "6", "--sequential", "--out-dir", str(tmp_path),
+        ]
+        assert main(args) == 1
+        assert "failed" in capsys.readouterr().err
+        assert (tmp_path / artifact_filename("cli-fail")).exists()
+
+    def test_invalid_config_is_usage_error(self, tmp_path, capsys):
+        args = RUN_ARGS + ["--out-dir", str(tmp_path), "--rounds", "0"]
+        assert main(args) == 2
+        assert "rounds" in capsys.readouterr().err
+
+    def test_leaderboard_and_report_commands(self, tmp_path, capsys):
+        assert main(RUN_ARGS + ["--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = str(tmp_path / artifact_filename("cli-unit"))
+        assert main(["tournament", "leaderboard", path]) == 0
+        assert "robustness leaderboard" in capsys.readouterr().out
+        assert main(["tournament", "report", path]) == 0
+        assert "most decisive matches" in capsys.readouterr().out
+
+    def test_leaderboard_on_missing_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "TOURNAMENT_nope.json")
+        assert main(["tournament", "leaderboard", missing]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_events_log_records_cache_traffic(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        events = str(tmp_path / "events.jsonl")
+        args = RUN_ARGS + [
+            "--out-dir", str(tmp_path), "--cache-dir", cache,
+            "--events", events,
+        ]
+        assert main(args) == 0
+        kinds = [
+            json.loads(line)["event"]
+            for line in open(events, encoding="utf-8")
+        ]
+        assert "cache_miss" in kinds

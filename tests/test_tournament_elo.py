@@ -1,0 +1,162 @@
+"""Hypothesis properties pinning the tournament's Elo invariances.
+
+Two exact (bit-identical, not approximate) invariances are claimed by
+:mod:`repro.experiments.tournament` and relied on by the CI
+cold-vs-warm artifact comparison:
+
+1. :meth:`EloTable.apply_batch` computes expected scores from the
+   rating snapshot at batch entry and reduces each player's deltas with
+   ``math.fsum`` over the *sorted* delta list, so the post-batch ratings
+   are a pure function of the *set* of matches — any ingestion order of
+   a round-robin batch yields bit-identical ratings at equal K.
+2. :func:`leaderboard_from_ratings` reduces per-seed ratings with the
+   same sorted-fsum machinery, so the leaderboard is bit-identical
+   under any permutation of the seed set.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.tournament import EloTable, leaderboard_from_ratings
+
+PLAYERS = ["cge", "cwtm", "median", "alie", "ipm", "zero"]
+
+match_lists = st.lists(
+    st.tuples(
+        st.sampled_from(PLAYERS[:3]),
+        st.sampled_from(PLAYERS[3:]),
+        st.sampled_from([0.0, 0.5, 1.0]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _ratings_after(matches, k=32.0, batches=1):
+    table = EloTable(PLAYERS, initial=1000.0)
+    for _ in range(batches):
+        table.apply_batch(matches, k=k)
+    return table.ratings()
+
+
+class TestBatchOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(matches=match_lists, seed=st.integers(0, 2**32 - 1))
+    def test_ingestion_order_is_irrelevant_at_equal_k(self, matches, seed):
+        import random
+
+        shuffled = list(matches)
+        random.Random(seed).shuffle(shuffled)
+        assert _ratings_after(matches) == _ratings_after(shuffled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matches=match_lists, seed=st.integers(0, 2**32 - 1))
+    def test_order_invariance_survives_multiple_rounds(self, matches, seed):
+        """Batch-after-batch (round-robin rounds) stays order-free too."""
+        import random
+
+        shuffled = list(matches)
+        random.Random(seed).shuffle(shuffled)
+        assert _ratings_after(matches, batches=3) == _ratings_after(
+            shuffled, batches=3
+        )
+
+    def test_snapshot_semantics_differ_from_sequential(self):
+        """The batch is a set: a second match must not see the first's update.
+
+        A sequential Elo implementation would rate the second match from
+        post-first-match ratings; the snapshot semantics keep both
+        expected scores at the initial 1000-vs-1000 value.
+        """
+        table = EloTable(["a", "b"], initial=1000.0)
+        applied = table.apply_batch([("a", "b", 1.0), ("a", "b", 1.0)], k=32.0)
+        # Both expectations were 0.5, so each win is worth exactly k/2.
+        assert applied["a"] == pytest.approx(32.0)
+        assert applied["b"] == pytest.approx(-32.0)
+
+    def test_zero_sum_per_batch(self):
+        ratings = _ratings_after(
+            [("cge", "alie", 1.0), ("cwtm", "ipm", 0.0), ("median", "zero", 0.5)]
+        )
+        assert math.fsum(sorted(ratings.values())) == pytest.approx(
+            1000.0 * len(PLAYERS)
+        )
+
+    def test_invalid_scores_and_players_rejected(self):
+        table = EloTable(["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            table.apply_batch([("a", "b", 1.5)])
+        with pytest.raises(InvalidParameterError, match="unknown player"):
+            table.apply_batch([("a", "nobody", 1.0)])
+        with pytest.raises(InvalidParameterError):
+            table.apply_batch([("a", "b", 1.0)], k=0.0)
+        with pytest.raises(InvalidParameterError):
+            EloTable([])
+
+
+ratings_dicts = st.fixed_dictionaries(
+    {name: st.floats(600.0, 1400.0, allow_nan=False) for name in PLAYERS}
+)
+
+
+class TestLeaderboardSeedPermutationInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tables=st.lists(ratings_dicts, min_size=2, max_size=6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_leaderboard_bit_identical_under_seed_permutation(
+        self, tables, seed
+    ):
+        import random
+
+        seeds = list(range(1000, 1000 + len(tables)))
+        per_seed = dict(zip(seeds, tables))
+        permuted_seeds = list(seeds)
+        random.Random(seed).shuffle(permuted_seeds)
+        # Same (seed -> ratings) mapping, presented in a different order.
+        permuted = {s: per_seed[s] for s in permuted_seeds}
+        assert leaderboard_from_ratings(per_seed) == leaderboard_from_ratings(
+            permuted
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables=st.lists(ratings_dicts, min_size=2, max_size=5))
+    def test_leaderboard_is_ranked_descending_with_name_tiebreak(self, tables):
+        seeds = list(range(len(tables)))
+        rows = leaderboard_from_ratings(dict(zip(seeds, tables)))
+        assert [row["rank"] for row in rows] == list(range(1, len(rows) + 1))
+        for earlier, later in zip(rows, rows[1:]):
+            assert (
+                earlier["rating_mean"] > later["rating_mean"]
+                or (
+                    earlier["rating_mean"] == later["rating_mean"]
+                    and earlier["player"] < later["player"]
+                )
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables=st.lists(ratings_dicts, min_size=2, max_size=5))
+    def test_ci95_matches_population_std(self, tables):
+        seeds = list(range(len(tables)))
+        rows = leaderboard_from_ratings(dict(zip(seeds, tables)))
+        for row in rows:
+            values = [tables[s][row["player"]] for s in seeds]
+            mean = math.fsum(sorted(values)) / len(values)
+            var = math.fsum(sorted((v - mean) ** 2 for v in values)) / len(values)
+            assert row["rating_std"] == pytest.approx(math.sqrt(var))
+            assert row["ci95"] == pytest.approx(
+                1.96 * math.sqrt(var) / math.sqrt(len(values))
+            )
+
+    def test_mismatched_player_sets_rejected(self):
+        with pytest.raises(InvalidParameterError, match="same player set"):
+            leaderboard_from_ratings(
+                {0: {"a": 1000.0, "b": 1000.0}, 1: {"a": 1000.0}}
+            )
+        with pytest.raises(InvalidParameterError):
+            leaderboard_from_ratings({})
