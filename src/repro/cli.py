@@ -33,6 +33,12 @@ Commands
     cached sweep layer, persist a schema'd ``TOURNAMENT_<name>.json``
     artifact, and render its Elo robustness leaderboard (exit 0 ok /
     1 failed matches / 2 usage, the bench convention).
+``serve`` / ``submit`` / ``status``
+    The long-lived aggregation service: ``serve`` runs the persistent job
+    server (unix socket or TCP) multiplexing run/sweep/bench jobs from
+    many clients onto one shared process pool and cell cache; ``submit``
+    and ``status`` are its thin clients (exit 0 ok / 1 rejected-or-failed
+    job / 2 usage-or-unreachable).
 ``list``
     Show the registered gradient filters, attacks, and experiments.
 """
@@ -40,6 +46,8 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -443,8 +451,123 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report.add_argument("--fail-on-anomaly", action="store_true",
                               help="exit 1 when any stream carries anomaly flags")
 
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived aggregation service: accept run/sweep/bench jobs "
+        "over HTTP or a unix socket onto one shared pool and cell cache",
+    )
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="durable root: job manifests, event streams, "
+                       "results, and the shared cell cache live here")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix socket to listen on "
+                       "(default: <state-dir>/repro.sock)")
+    serve.add_argument("--host", default=None,
+                       help="TCP host to bind (needs --port)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to bind (needs --host)")
+    serve.add_argument("--job-slots", type=int, default=2, metavar="N",
+                       help="jobs executed concurrently (default 2)")
+    serve.add_argument("--pool-workers", type=int, default=None, metavar="N",
+                       help="worker processes in the shared pool")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission bound on queued jobs (default 64)")
+    serve.add_argument("--per-client", type=int, default=8, metavar="N",
+                       help="jobs one client may have queued or running "
+                       "(default 8)")
+    serve.add_argument("--sequential", action="store_true",
+                       help="run jobs without a process pool")
+    serve.add_argument("--backend", choices=["batch", "sequential"],
+                       default="batch",
+                       help="per-cell execution engine for sweep jobs")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS", help="per-chunk wall-clock budget")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="failed attempts per chunk before quarantine")
+
+    submit = commands.add_parser(
+        "submit", help="submit a job to a running `repro serve`"
+    )
+    _add_service_endpoint_flags(submit)
+    submit.add_argument("--client", default="anonymous",
+                        help="client name for per-tenant admission caps")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print the "
+                        "result summary (exit 1 if the job failed)")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="give up waiting after this long (default 600)")
+    submit_commands = submit.add_subparsers(dest="submit_command",
+                                            required=True)
+
+    submit_sweep = submit_commands.add_parser(
+        "sweep", help="a (filter x attack x f x seed) grid job"
+    )
+    submit_sweep.add_argument("--filters", nargs="+",
+                              default=["cge", "cwtm", "median", "average"],
+                              choices=available_filters())
+    submit_sweep.add_argument("--attacks", nargs="+",
+                              default=["gradient-reverse", "random",
+                                       "sign-flip", "zero"],
+                              choices=available_attacks())
+    submit_sweep.add_argument("--fault-counts", type=int, nargs="+",
+                              default=[1])
+    submit_sweep.add_argument("--num-seeds", type=int, default=10)
+    submit_sweep.add_argument("--master-seed", type=int, default=20200803)
+    submit_sweep.add_argument("--n", type=int, default=6)
+    submit_sweep.add_argument("--d", type=int, default=2)
+    submit_sweep.add_argument("--noise", type=float, default=0.0)
+    submit_sweep.add_argument("--iterations", type=int, default=300)
+    submit_sweep.add_argument("--telemetry", action="store_true",
+                              help="keep per-round telemetry streams under "
+                              "the job directory")
+
+    submit_run = submit_commands.add_parser(
+        "run", help="one filtered-DGD execution job"
+    )
+    submit_run.add_argument("--n", type=int, default=6)
+    submit_run.add_argument("--d", type=int, default=2)
+    submit_run.add_argument("--f", type=int, default=1)
+    submit_run.add_argument("--noise", type=float, default=0.02)
+    submit_run.add_argument("--filter", default="cge",
+                            choices=available_filters(), dest="filter_name")
+    submit_run.add_argument("--attack", default="gradient-reverse",
+                            choices=available_attacks())
+    submit_run.add_argument("--iterations", type=int, default=500)
+    submit_run.add_argument("--seed", type=int, default=0)
+
+    submit_bench = submit_commands.add_parser(
+        "bench", help="a registered benchmark job"
+    )
+    submit_bench.add_argument("name", help="registered benchmark name")
+    submit_bench.add_argument("--repeats", type=int, default=1)
+
+    status = commands.add_parser(
+        "status", help="inspect jobs on a running `repro serve`"
+    )
+    _add_service_endpoint_flags(status)
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="one job id (omit to list every job)")
+    status.add_argument("--events", action="store_true",
+                        help="print the job's JSONL event stream")
+    status.add_argument("--follow", action="store_true",
+                        help="with --events: stream until the job finishes")
+    status.add_argument("--result", action="store_true",
+                        help="print the job's result document (JSON)")
+
     commands.add_parser("list", help="show registered filters, attacks, experiments")
     return parser
+
+
+def _add_service_endpoint_flags(sub) -> None:
+    """How ``repro submit`` / ``repro status`` find the server."""
+    sub.add_argument("--socket", default=None, metavar="PATH",
+                     help="the server's unix socket")
+    sub.add_argument("--host", default=None, help="the server's TCP host")
+    sub.add_argument("--port", type=int, default=None,
+                     help="the server's TCP port")
 
 
 def _add_policy_flags(sub) -> None:
@@ -1129,6 +1252,158 @@ def _command_list(_args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    """Run the long-lived aggregation service until interrupted."""
+    import asyncio
+
+    from repro.exceptions import InvalidParameterError
+    from repro.service import ReproService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            state_dir=args.state_dir,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            job_slots=args.job_slots,
+            pool_workers=args.pool_workers,
+            max_queue=args.max_queue,
+            per_client=args.per_client,
+            parallel=not args.sequential,
+            backend=args.backend,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = ReproService(config)
+    target = config.socket_path or f"{config.host}:{config.port}"
+    print(f"repro serve: state in {config.state_dir}, listening on {target}",
+          flush=True)
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _service_client(args):
+    """Build a :class:`ServiceClient` from endpoint flags, or ``None``."""
+    from repro.service import ServiceClient
+
+    try:
+        return ServiceClient(socket_path=args.socket, host=args.host,
+                             port=args.port)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _command_submit(args) -> int:
+    """Submit one job; exit 0 accepted / 1 rejected or failed / 2 usage."""
+    from repro.exceptions import AdmissionRejectedError, ServiceError
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    if args.submit_command == "sweep":
+        kind, params = "sweep", {
+            "filters": args.filters,
+            "attacks": args.attacks,
+            "fault_counts": args.fault_counts,
+            "num_seeds": args.num_seeds,
+            "master_seed": args.master_seed,
+            "n": args.n,
+            "d": args.d,
+            "noise_std": args.noise,
+            "iterations": args.iterations,
+            "telemetry": args.telemetry,
+        }
+    elif args.submit_command == "run":
+        kind, params = "run", {
+            "n": args.n,
+            "d": args.d,
+            "f": args.f,
+            "noise_std": args.noise,
+            "filter": args.filter_name,
+            "attack": args.attack,
+            "iterations": args.iterations,
+            "seed": args.seed,
+        }
+    else:
+        kind, params = "bench", {"name": args.name, "repeats": args.repeats}
+    try:
+        record = client.submit(kind, params, client=args.client,
+                               priority=args.priority)
+    except AdmissionRejectedError as exc:
+        print(f"rejected ({exc.reason}): {exc.detail} "
+              f"[limit {exc.limit}, queue depth {exc.queue_depth}]",
+              file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"accepted {record['job_id']} ({kind}, "
+          f"priority {record['spec']['priority']})")
+    if not args.wait:
+        return 0
+    try:
+        final = client.wait(record["job_id"], timeout=args.wait_timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{final['job_id']}: {final['state']}"
+          + (f" — {final['error']}" if final.get("error") else ""))
+    if final["state"] != "done":
+        return 1
+    if final.get("summary"):
+        print("summary:", json.dumps(final["summary"], sort_keys=True))
+    return 0
+
+
+def _command_status(args) -> int:
+    """Inspect the server's job table; exit codes follow ``submit``."""
+    from repro.exceptions import ServiceError
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    try:
+        if args.job_id is None:
+            rows = [
+                [record["job_id"], record["spec"]["kind"],
+                 record["spec"]["client"], str(record["spec"]["priority"]),
+                 record["state"], str(record["attempts"]),
+                 record.get("error") or ""]
+                for record in client.jobs()
+            ]
+            print(format_table(
+                ["job", "kind", "client", "prio", "state", "attempts",
+                 "error"], rows))
+            return 0
+        if args.events:
+            try:
+                for event in client.events(args.job_id, follow=args.follow):
+                    print(json.dumps(event, sort_keys=True), flush=True)
+            except BrokenPipeError:
+                # downstream consumer (e.g. ``| head``) closed the pipe;
+                # swallow the write error and suppress the one the
+                # interpreter would raise flushing stdout at exit
+                os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        if args.result:
+            print(json.dumps(client.result(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        record = client.job(args.job_id)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if record["state"] != "failed" else 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1141,6 +1416,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _command_bench,
         "tournament": _command_tournament,
         "trace": _command_trace,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "status": _command_status,
         "list": _command_list,
     }
     return handlers[args.command](args)

@@ -113,6 +113,41 @@ class TournamentSchemaError(ReproError, ValueError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The aggregation service (or its client) failed an operation.
+
+    Raised by :mod:`repro.service` for protocol-level failures: a request
+    the server rejected, a job that does not exist, a result requested
+    before the job finished, or a server that cannot be reached. Carries
+    the HTTP-style :attr:`status` code when one applies (0 for transport
+    failures) so CLI handlers can map it onto exit codes.
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class AdmissionRejectedError(ServiceError):
+    """The service refused to enqueue a job (429-style admission control).
+
+    Structured so clients can react without parsing messages:
+    :attr:`reason` is a stable code (``"queue-full"`` or ``"client-cap"``),
+    :attr:`limit` the bound that was hit, and :attr:`queue_depth` the
+    depth observed at rejection time. The request was not enqueued and is
+    safe to retry later.
+    """
+
+    def __init__(self, reason: str, detail: str, limit: int, queue_depth: int):
+        super().__init__(
+            f"job rejected ({reason}): {detail}", status=429
+        )
+        self.reason = str(reason)
+        self.detail = str(detail)
+        self.limit = int(limit)
+        self.queue_depth = int(queue_depth)
+
+
 class InjectedFault(ReproError, RuntimeError):
     """A deliberately injected infrastructure fault (chaos testing).
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.analysis.metrics import final_error
 from repro.analysis.reporting import ExperimentResult
 from repro.attacks.registry import make_attack
+from repro.exceptions import InvalidParameterError
 from repro.core.redundancy import check_2f_redundancy
 from repro.optimization.cost_functions import LeastSquaresCost
 from repro.problems.linear_regression import RegressionInstance
@@ -94,8 +95,19 @@ def run_replication_design(
         try:
             x_H = replicated.honest_minimizer(honest)
             error = final_error(trace, x_H)
-        except Exception:
+        except (
+            InvalidParameterError,  # rank-deficient honest rows: no unique x_H
+            np.linalg.LinAlgError,
+            FloatingPointError,
+        ) as exc:
+            # Only genuine numerical failure (a rank-deficient degree's
+            # minimizer not existing) may degrade to a nan row; anything
+            # else — typos, shape errors, bad refactors — must surface.
             error = float("nan")
+            result.notes.append(
+                f"degree {degree}: honest minimizer undefined "
+                f"({type(exc).__name__}: {exc}); error reported as nan"
+            )
         result.rows.append(
             [degree, float(degree), "yes" if redundant else "no", error]
         )

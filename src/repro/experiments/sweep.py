@@ -64,6 +64,7 @@ import json
 import os
 import pickle
 import random
+import threading
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -87,6 +88,7 @@ from repro.utils.rng import derive_seed, spawn_rngs
 __all__ = [
     "SweepEngine",
     "SweepEvents",
+    "SharedProcessPool",
     "RegressionGrid",
     "SweepCellResult",
     "derive_run_seeds",
@@ -434,6 +436,93 @@ class _PoolUnavailable(ReproError):
     """
 
 
+class SharedProcessPool:
+    """One process pool multiplexed across many :class:`SweepEngine` owners.
+
+    The long-lived aggregation service runs one engine per job so that each
+    job keeps its own event/telemetry streams and cache namespace, but a
+    persistent server must not spawn one worker fleet per job. This handle
+    is the explicit serialization layer: engines that share it take turns
+    using one :class:`~concurrent.futures.ProcessPoolExecutor` — an engine
+    acquires exclusive use for the duration of one pooled ``map``, and the
+    failure ladder's kill/rebuild goes through :meth:`invalidate` so a
+    rebuilt pool is visible to every sharer. Serialization makes the
+    failure ladder sound under sharing: a pool is only ever killed by the
+    engine currently using it, so no other engine can have futures in
+    flight on the executor being torn down.
+
+    Workers are spawned lazily on first use and survive between jobs
+    (amortizing process start-up across the service's lifetime). After
+    :meth:`close`, engines fall back to in-process execution — the same
+    degradation path they take when a pool cannot be created at all.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers <= 0:
+            raise InvalidParameterError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._lock = threading.RLock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self._rebuilds = 0
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self._max_workers
+
+    @property
+    def rebuilds(self) -> int:
+        """How many times the failure ladder has replaced the executor."""
+        return self._rebuilds
+
+    def acquire(self) -> None:
+        """Take exclusive use of the pool (blocks other sharers)."""
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def get(self, workers: int) -> ProcessPoolExecutor:
+        """The live executor, created lazily. Caller must hold the lock."""
+        if self._closed:
+            raise _PoolUnavailable("shared pool is closed")
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers or workers
+                )
+            except (OSError, RuntimeError) as exc:
+                raise _PoolUnavailable(f"{type(exc).__name__}: {exc}") from exc
+        return self._pool
+
+    def invalidate(self) -> None:
+        """Kill the current executor so the next :meth:`get` rebuilds it.
+
+        Called by the failure ladder after a hang or worker crash poisons
+        the pool. Caller must hold the lock.
+        """
+        if self._pool is not None:
+            SweepEngine._kill_pool(self._pool)
+            self._pool = None
+            self._rebuilds += 1
+
+    def close(self) -> None:
+        """Shut the pool down for good; engines degrade to in-process."""
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                SweepEngine._kill_pool(self._pool)
+                self._pool = None
+
+    def __enter__(self) -> "SharedProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def _quarantined_group(exc: BaseException, task: Dict) -> List[Dict]:
     """Per-seed error payloads for a group the engine gave up on."""
     message = f"quarantined: {type(exc).__name__}: {exc}"
@@ -505,6 +594,21 @@ class SweepEngine:
         size, distance to the group's honest minimizer) in the same event
         schema as :class:`SweepEvents`. Cache hits produce no telemetry —
         the stream records actual execution. ``None`` (default) disables.
+    pool:
+        A :class:`SharedProcessPool` to execute on instead of a private
+        per-``map`` pool. Engines sharing one handle take turns using its
+        workers (the aggregation service's execution substrate: one worker
+        fleet, many per-job engines, each keeping its own events/telemetry
+        streams and cache keys). ``max_workers`` is ignored when a shared
+        pool is given — the handle fixes the fleet size.
+
+    Thread safety
+    -------------
+    :meth:`map` (and everything built on it) is serialized by an internal
+    lock, so concurrent callers — the service's job slots, or any two
+    threads sharing one engine — are safe and produce results bit-identical
+    to running the same calls sequentially. Cross-engine pool sharing is
+    serialized by the :class:`SharedProcessPool` handle itself.
     """
 
     def __init__(
@@ -522,6 +626,7 @@ class SweepEngine:
         telemetry_dir: Optional[str] = None,
         array_backend: str = "numpy",
         dtype: str = "float64",
+        pool: Optional[SharedProcessPool] = None,
     ):
         if backend not in ("batch", "sequential"):
             raise InvalidParameterError(
@@ -566,6 +671,8 @@ class SweepEngine:
         self._events = events if isinstance(events, SweepEvents) else SweepEvents(events)
         self._warned: set = set()
         self._retry_rng = random.Random(0x5EED)
+        self._shared_pool = pool
+        self._map_lock = threading.RLock()
         self._telemetry_dir = telemetry_dir
         self._array_backend = str(array_backend)
         self._dtype = dtype
@@ -577,6 +684,10 @@ class SweepEngine:
     @property
     def parallel(self) -> bool:
         return self._parallel
+
+    @property
+    def shared_pool(self) -> Optional[SharedProcessPool]:
+        return self._shared_pool
 
     @property
     def cache_dir(self) -> Optional[str]:
@@ -690,6 +801,26 @@ class SweepEngine:
             out.append(on_item_error(exc, item))
         return out
 
+    def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
+        """A live executor: the shared handle's (lazily built) or a private one."""
+        if self._shared_pool is not None:
+            return self._shared_pool.get(workers)
+        return self._new_pool(workers)
+
+    def _rebuild_pool(self, pool: ProcessPoolExecutor,
+                      workers: int) -> ProcessPoolExecutor:
+        """Replace a poisoned executor after a hang or worker crash."""
+        if self._shared_pool is not None:
+            self._shared_pool.invalidate()
+            return self._shared_pool.get(workers)
+        self._kill_pool(pool)
+        return self._new_pool(workers)
+
+    def _release_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        """Private pools die with their map; shared workers live on."""
+        if self._shared_pool is None and pool is not None:
+            self._kill_pool(pool)
+
     def _map_pooled(
         self,
         worker: Callable,
@@ -701,17 +832,22 @@ class SweepEngine:
 
         Each round submits every pending chunk and collects results in
         order. The first timeout or pool break in a round marks the pool
-        for rebuild: completed chunks are salvaged, everything else is
-        resubmitted to a fresh pool without charging an attempt — only the
-        chunk that actually failed pays one, so an innocent chunk queued
-        behind a hang is never quarantined for it. Every round charges at
-        least one attempt to some chunk, so the loop terminates.
+        for rebuild: completed chunks are salvaged (a salvaged chunk that
+        actually *failed* is charged an attempt — its exception must never
+        vanish into the rebuild), everything still running is resubmitted
+        to a fresh pool without charging an attempt — only chunks that
+        demonstrably failed pay one, so an innocent chunk queued behind a
+        hang is never quarantined for it. Every round charges at least one
+        attempt to some chunk, so the loop terminates.
         """
         results: Dict[int, List] = {}
         attempts = [0] * len(chunks)
         pending = list(range(len(chunks)))
-        pool = self._new_pool(workers)
+        if self._shared_pool is not None:
+            self._shared_pool.acquire()
+        pool = None
         try:
+            pool = self._acquire_pool(workers)
             while pending:
                 futures: Dict[int, object] = {}
                 submitted_at: Dict[int, float] = {}
@@ -747,7 +883,13 @@ class SweepEngine:
                 for index in sorted(futures):
                     if rebuild:
                         # Salvage chunks that finished before the pool was
-                        # marked dead; resubmit the rest, attempt-free.
+                        # marked dead; resubmit still-running ones,
+                        # attempt-free. A chunk that is done but *failed*
+                        # pays for its failure like any other: swallowing
+                        # it here would let a deterministically-failing
+                        # chunk loop through rebuilds forever without its
+                        # exception ever surfacing or counting against
+                        # ``retries``.
                         future = futures[index]
                         if future.done():
                             try:
@@ -758,9 +900,12 @@ class SweepEngine:
                                     attempt=attempts[index] + 1,
                                     elapsed=time.perf_counter() - submitted_at[index],
                                 )
-                                continue
-                            except Exception:
-                                pass
+                            except Exception as exc:
+                                charge_failure(
+                                    index, exc, "chunk_salvage_failed",
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            continue
                         next_round.append(index)
                         continue
                     try:
@@ -805,14 +950,15 @@ class SweepEngine:
                             )
                             next_round.append(index)
                 if rebuild and next_round:
-                    self._kill_pool(pool)
                     self._events.emit("pool_rebuild", pending=len(next_round))
-                    pool = self._new_pool(workers)
+                    pool = self._rebuild_pool(pool, workers)
                 if next_round:
                     self._backoff(max(attempts[i] for i in next_round))
                 pending = sorted(next_round)
         finally:
-            self._kill_pool(pool)
+            self._release_pool(pool)
+            if self._shared_pool is not None:
+                self._shared_pool.release()
         return [item for index in range(len(chunks)) for item in results[index]]
 
     # ------------------------------------------------------------------
@@ -839,7 +985,22 @@ class SweepEngine:
 
         Workers must be effectively idempotent: a chunk interrupted by a
         timeout or crash is re-executed from scratch.
+
+        Thread-safe: concurrent calls are serialized on an internal lock
+        (shared mutable state — the event log, the retry RNG, the pool —
+        admits one map at a time), so racing callers see exactly the
+        results of some sequential ordering of their calls.
         """
+        with self._map_lock:
+            return self._map_locked(worker, items, chunk_size, on_item_error)
+
+    def _map_locked(
+        self,
+        worker: Callable,
+        items: Sequence,
+        chunk_size: Optional[int],
+        on_item_error: Optional[Callable],
+    ) -> List:
         items = list(items)
         if not items:
             return []

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
@@ -72,10 +73,15 @@ class JSONLSink(TelemetrySink):
     JSON types. Each line is written in a single append-and-flush, so a
     reader — or a post-mortem after a kill — sees only whole lines plus at
     most one torn final line, which :func:`load_jsonl` skips.
+
+    Thread-safe: concurrent emitters are serialized on a per-sink lock, so
+    a sink shared by racing writers (the aggregation service's job slots)
+    never interleaves partial lines — every line of the stream parses.
     """
 
     def __init__(self, path: str):
         self.path = path
+        self._lock = threading.Lock()
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8"):
@@ -83,9 +89,10 @@ class JSONLSink(TelemetrySink):
 
     def emit(self, record: Dict) -> None:
         line = json.dumps(record, sort_keys=True, default=_json_default)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
 
 
 def _json_default(value: Any):

@@ -1,0 +1,52 @@
+"""Long-lived aggregation service: ``repro serve``.
+
+Everything else in this package turns the batch sweep machinery into a
+persistent, multi-tenant job server — the "many small fault-tolerant DGD
+jobs from many clients" shape the ROADMAP's north star calls for:
+
+- :mod:`repro.service.jobs` — job specs (``run`` / ``sweep`` / ``bench``),
+  durable job records, and the on-disk :class:`~repro.service.jobs.JobStore`
+  whose atomically-written manifests make jobs survive ``kill -9``.
+- :mod:`repro.service.queue` — the priority queue with admission control
+  (bounded depth, per-client caps, structured 429-style rejection).
+- :mod:`repro.service.executor` — executes claimed jobs on one shared
+  :class:`~repro.experiments.sweep.SharedProcessPool` through per-job
+  :class:`~repro.experiments.sweep.SweepEngine` instances, so every job
+  keeps its own event/telemetry streams while the worker fleet and the
+  sha256 cell cache are shared across tenants.
+- :mod:`repro.service.server` — the asyncio HTTP front end (unix socket or
+  TCP) with submit/status/stream/result endpoints.
+- :mod:`repro.service.client` — the blocking client used by
+  ``repro submit`` / ``repro status`` and the test/CI harnesses.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.executor import JobExecutor
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    grid_from_params,
+    validate_job_spec,
+)
+from repro.service.queue import JobQueue
+from repro.service.server import ReproService, ServiceConfig
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobExecutor",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "grid_from_params",
+    "validate_job_spec",
+]

@@ -1,0 +1,223 @@
+"""Job execution on one shared process pool.
+
+One :class:`~repro.experiments.sweep.SharedProcessPool` is the service's
+entire worker fleet. Each job gets its **own**
+:class:`~repro.experiments.sweep.SweepEngine` pointed at that pool, which
+buys the isolation/sharing split the service needs:
+
+- *isolated per job*: the JSONL event stream (``events.jsonl`` — what the
+  streaming status endpoint serves), optional run telemetry, and the
+  failure ladder's retry/quarantine accounting;
+- *shared across tenants*: the worker processes (amortized start-up, one
+  fleet regardless of job count) and the sha256 cell cache directory — two
+  clients sweeping overlapping grids pay for each cell once, and a job
+  resumed after a crash recomputes only cells no one ever finished.
+
+Everything here is blocking by design; the server runs :meth:`execute` in
+worker threads (``asyncio.to_thread``) and keeps its event loop free. The
+engine's internal lock plus the shared pool's serialization make the
+concurrent calls safe, and results bit-identical to batch execution.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.sweep import SharedProcessPool, SweepEngine
+from repro.service.jobs import JobRecord, JobStore, grid_from_params
+
+__all__ = ["JobExecutor"]
+
+
+class JobExecutor:
+    """Executes claimed jobs; owns the shared pool and the shared cache."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        parallel: bool = True,
+        pool_workers: Optional[int] = None,
+        backend: str = "batch",
+        timeout: Optional[float] = None,
+        retries: int = 2,
+    ):
+        self.store = store
+        self.cache_dir = os.path.join(store.root, "cache")
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._parallel = bool(parallel)
+        self._backend = backend
+        self._timeout = timeout
+        self._retries = int(retries)
+        self.pool: Optional[SharedProcessPool] = (
+            SharedProcessPool(max_workers=pool_workers) if parallel else None
+        )
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+
+    def engine_for(self, record: JobRecord,
+                   telemetry: bool = False) -> SweepEngine:
+        """A fresh per-job engine on the shared pool and shared cache."""
+        return SweepEngine(
+            parallel=self._parallel,
+            pool=self.pool,
+            cache_dir=self.cache_dir,
+            backend=self._backend,
+            timeout=self._timeout,
+            retries=self._retries,
+            events=self.store.events_path(record.job_id),
+            telemetry_dir=(
+                self.store.telemetry_dir(record.job_id) if telemetry else None
+            ),
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def execute(self, record: JobRecord) -> Dict:
+        """Run one job to completion; persist and return its result summary.
+
+        Blocking. Raises on *infrastructure* failure (which the server
+        maps to job state ``failed``); per-cell computation failures are
+        data, not exceptions — they land in the result document exactly as
+        the batch CLI reports them.
+        """
+        handler = {
+            "sweep": self._execute_sweep,
+            "run": self._execute_run,
+            "bench": self._execute_bench,
+        }.get(record.spec.kind)
+        if handler is None:
+            raise InvalidParameterError(
+                f"unknown job kind {record.spec.kind!r}"
+            )
+        result = handler(record)
+        self.store.write_result(record.job_id, result)
+        return result.get("counts", {})
+
+    # -- sweep ---------------------------------------------------------
+
+    def _execute_sweep(self, record: JobRecord) -> Dict:
+        grid = grid_from_params(record.spec.params)
+        engine = self.engine_for(
+            record, telemetry=bool(record.spec.params.get("telemetry", False))
+        )
+        # A restarted attempt is a resume: the event log then proves how
+        # much of the grid was recovered from the shared cell cache.
+        if record.attempts > 1:
+            cells = engine.resume(grid)
+        else:
+            cells = engine.run_regression_grid(grid)
+        counts = engine.events.counts()
+        cell_rows = [
+            {
+                "filter": cell.filter_name,
+                "attack": cell.attack_name,
+                "f": cell.f,
+                "seed": cell.seed,
+                "final_error": cell.final_error,
+                "final_estimate": (
+                    None if cell.final_estimate is None
+                    else np.asarray(cell.final_estimate).tolist()
+                ),
+                "error": cell.error,
+                "cached": cell.cached,
+                "quarantined": cell.quarantined,
+            }
+            for cell in cells
+        ]
+        return {
+            "kind": "sweep",
+            "cells": cell_rows,
+            "counts": {
+                "cells": len(cells),
+                "failed": sum(cell.failed for cell in cells),
+                "quarantined": sum(cell.quarantined for cell in cells),
+                "cached": sum(cell.cached for cell in cells),
+                "cache_hits": counts.get("cache_hit", 0),
+                "cache_misses": counts.get("cache_miss", 0),
+            },
+            "events": counts,
+        }
+
+    # -- single run ----------------------------------------------------
+
+    def _execute_run(self, record: JobRecord) -> Dict:
+        from repro.analysis.metrics import final_error
+        from repro.attacks.registry import make_attack
+        from repro.observability import JSONLSink, MemorySink, Telemetry
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        params = dict(record.spec.params)
+        n = int(params.get("n", 6))
+        d = int(params.get("d", 2))
+        f = int(params.get("f", 1))
+        noise_std = float(params.get("noise_std", 0.02))
+        filter_name = params.get("filter", "cge")
+        attack_name = params.get("attack", "gradient-reverse")
+        iterations = int(params.get("iterations", 500))
+        seed = int(params.get("seed", 0))
+
+        instance = make_redundant_regression(
+            n=n, d=d, f=f, noise_std=noise_std, seed=seed
+        )
+        faulty = tuple(range(f))
+        honest = [i for i in range(n) if i not in faulty]
+        x_H = instance.honest_minimizer(honest)
+        behavior = make_attack(attack_name) if faulty else None
+        telemetry = Telemetry(
+            [MemorySink(), JSONLSink(self.store.events_path(record.job_id))],
+            byzantine_ids=faulty,
+            reference_point=x_H,
+        )
+        try:
+            trace = run_dgd(
+                instance.costs,
+                behavior,
+                gradient_filter=filter_name,
+                faulty_ids=faulty,
+                iterations=iterations,
+                seed=seed,
+                telemetry=telemetry,
+            )
+        finally:
+            telemetry.close()
+        error = final_error(trace, x_H)
+        return {
+            "kind": "run",
+            "final_error": float(error),
+            "final_estimate": trace.final_estimate.tolist(),
+            "honest_minimizer": np.asarray(x_H).tolist(),
+            "wall_time": float(trace.wall_time),
+            "counts": {
+                "iterations": iterations,
+                "telemetry_records": telemetry.emitted,
+            },
+        }
+
+    # -- bench ---------------------------------------------------------
+
+    def _execute_bench(self, record: JobRecord) -> Dict:
+        from repro.observability.perf import load_default_workloads, run_registered
+
+        load_default_workloads()
+        params = dict(record.spec.params)
+        outcome = run_registered(
+            params["name"],
+            repeats=int(params.get("repeats", 1)),
+            output_dir=self.store.job_dir(record.job_id),
+        )
+        timings = outcome.result.timings
+        return {
+            "kind": "bench",
+            "name": params["name"],
+            "artifact": outcome.path,
+            "best_seconds": timings["best_seconds"],
+            "mean_seconds": timings["mean_seconds"],
+            "counts": {"repeats": int(params.get("repeats", 1))},
+        }

@@ -33,6 +33,36 @@ class TestReplicationExperiment:
     def test_storage_factor_reported(self, result):
         assert [row[1] for row in result.rows] == [1.0, 2.0, 3.0, 4.0]
 
+    def test_undefined_minimizer_degrades_to_nan_with_note(self, monkeypatch):
+        # Regression: only *expected* numerical failures (no unique honest
+        # minimizer) may produce a nan row — and they must leave a trace.
+        import math
+
+        from repro.exceptions import InvalidParameterError
+        from repro.problems.replication import ReplicatedInstance
+
+        def undefined(self, honest_ids):
+            raise InvalidParameterError("honest rows are rank-deficient")
+
+        monkeypatch.setattr(ReplicatedInstance, "honest_minimizer", undefined)
+        result = run_replication_design(degrees=(1,), iterations=5)
+        assert math.isnan(result.rows[0][3])
+        assert any("honest minimizer undefined" in note
+                   and "InvalidParameterError" in note
+                   for note in result.notes)
+
+    def test_unexpected_bug_propagates_not_swallowed(self, monkeypatch):
+        # Regression: the old bare ``except Exception`` converted ANY bug
+        # into a silent nan row; arbitrary exceptions must now surface.
+        from repro.problems.replication import ReplicatedInstance
+
+        def buggy(self, honest_ids):
+            raise TypeError("refactor broke the call signature")
+
+        monkeypatch.setattr(ReplicatedInstance, "honest_minimizer", buggy)
+        with pytest.raises(TypeError, match="refactor broke"):
+            run_replication_design(degrees=(1,), iterations=5)
+
 
 class TestDimensionSweepExperiment:
     @pytest.fixture(scope="class")

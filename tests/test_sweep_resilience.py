@@ -329,3 +329,119 @@ class TestRoundHookInjection:
                       DGDConfig(iterations=12, gradient_filter="average"),
                       seeds=[0], round_hook=rounds.append)
         assert rounds == list(range(12))
+
+
+class _FakeDoneFuture:
+    """A future that is already done; ``result()`` replays its outcome."""
+
+    def __init__(self, value=None, exc=None):
+        self._value = value
+        self._exc = exc
+
+    def done(self):
+        return True
+
+    def result(self, timeout=None):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class _ScriptedPool:
+    """Fake executor: per-chunk scripted outcomes, synchronous execution.
+
+    ``script`` maps a chunk's first item to either an exception instance
+    (``result()`` raises it) or ``None`` (compute the chunk for real).
+    The script applies to this pool only — a rebuilt pool gets a fresh
+    (usually empty) script, which is exactly how a transient
+    infrastructure fault looks to the failure ladder.
+    """
+
+    def __init__(self, script):
+        self._script = dict(script)
+
+    def submit(self, fn, worker, chunk):
+        outcome = self._script.get(chunk[0])
+        if isinstance(outcome, BaseException):
+            return _FakeDoneFuture(exc=outcome)
+        try:
+            return _FakeDoneFuture(value=fn(worker, chunk))
+        except BaseException as exc:  # surfaces at result(), like a real pool
+            return _FakeDoneFuture(exc=exc)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def _times_ten(x):
+    return x * 10
+
+
+def _fail_on_one(x):
+    if x == 1:
+        raise ValueError("always fails")
+    return x * 10
+
+
+class TestSalvagePathChargesFailures:
+    """Regression: the pool-rebuild salvage path must never swallow a
+    done-but-failed chunk's exception (it used to resubmit it attempt-free,
+    so a deterministically failing chunk cycled through rebuilds forever
+    with no event, no attempt charged, and no quarantine)."""
+
+    @staticmethod
+    def _engine_with_pools(monkeypatch, pools, **kwargs):
+        from concurrent.futures import BrokenExecutor  # noqa: F401
+
+        engine = SweepEngine(parallel=True, max_workers=2, chunk_size=1,
+                             retry_backoff=0.0, **kwargs)
+        queue = list(pools)
+        monkeypatch.setattr(engine, "_new_pool", lambda workers: queue.pop(0))
+        return engine
+
+    def test_salvaged_failure_charged_and_retried(self, monkeypatch):
+        from concurrent.futures import BrokenExecutor
+
+        # Round 1: chunk [0] breaks the pool (rebuild), chunk [1] is done
+        # but failed — the salvage path must charge it. Round 2 (fresh
+        # pool, empty script): everything computes.
+        pools = [
+            _ScriptedPool({0: BrokenExecutor("worker died"),
+                           1: ValueError("poisoned chunk")}),
+            _ScriptedPool({}),
+        ]
+        engine = self._engine_with_pools(monkeypatch, pools, retries=2)
+        results = engine.map(_times_ten, [0, 1, 2])
+        assert results == [0, 10, 20]
+        counts = engine.events.counts()
+        assert counts.get("chunk_salvage_failed", 0) == 1
+        assert counts.get("pool_rebuild", 0) == 1
+        salvage = [r for r in engine.events.records
+                   if r["event"] == "chunk_salvage_failed"]
+        assert salvage[0]["attempt"] == 1
+        assert "ValueError: poisoned chunk" in salvage[0]["error"]
+
+    def test_persistent_salvaged_failure_quarantines(self, monkeypatch):
+        from concurrent.futures import BrokenExecutor
+
+        # Chunk [0] breaks the pool every round, so chunk [1] — whose
+        # worker genuinely fails — is only ever seen by the salvage path.
+        # With retries=1 both must reach quarantine after two charged
+        # attempts instead of looping attempt-free forever.
+        pools = [
+            _ScriptedPool({0: BrokenExecutor("worker died")}),
+            _ScriptedPool({0: BrokenExecutor("worker died again")}),
+            _ScriptedPool({}),
+        ]
+        engine = self._engine_with_pools(monkeypatch, pools, retries=1)
+        quarantined = []
+        results = engine.map(
+            _fail_on_one, [0, 1, 2],
+            on_item_error=lambda exc, item: quarantined.append((item, exc)) or -1,
+        )
+        assert results == [-1, -1, 20]
+        assert sorted(item for item, _ in quarantined) == [0, 1]
+        failure = dict(quarantined)[1]
+        assert "always fails" in str(failure)
+        counts = engine.events.counts()
+        assert counts.get("chunk_salvage_failed", 0) == 2
