@@ -62,6 +62,7 @@ from repro.attacks.registry import available_attacks, make_attack
 from repro.core.redundancy import measure_redundancy_margin
 from repro.problems.linear_regression import make_redundant_regression
 from repro.system.runner import run_dgd
+from repro.system.topology import available_topologies
 from repro import experiments as experiment_module
 
 #: Experiment id → zero-argument runner.
@@ -82,6 +83,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "E14": experiment_module.run_heterogeneity_sweep,
     "E15": experiment_module.run_communication_costs,
     "E16": experiment_module.run_degraded_network,
+    "E17": experiment_module.run_topology_resilience,
     "A1": experiment_module.run_cge_sum_vs_mean,
     "A2": experiment_module.run_step_size_ablation,
     "A3": experiment_module.run_projection_ablation,
@@ -123,6 +125,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="PATH", default=None,
         help="stream per-round telemetry records (JSONL) to PATH",
     )
+    decentralized = run.add_argument_group(
+        "decentralized architecture",
+        "run the sparse-topology decentralized engine (per-neighborhood "
+        "Byzantine filtering; needs deg_i >= 2 f_i) instead of the "
+        "server-based runner; --drop-prob/--delay/--delay-prob/"
+        "--corrupt-prob/--corrupt-mode then act per directed edge",
+    )
+    decentralized.add_argument(
+        "--architecture", choices=["server", "decentralized"],
+        default="server",
+        help="system architecture (default: server-based)",
+    )
+    decentralized.add_argument(
+        "--topology", default="ring", choices=available_topologies(),
+        help="communication graph for --architecture decentralized",
+    )
+    decentralized.add_argument(
+        "--hops", type=int, default=1,
+        help="ring neighbor radius (ring topology only, default 1)",
+    )
+    decentralized.add_argument(
+        "--degree", type=int, default=6,
+        help="random-regular degree (random-regular topology only)",
+    )
+    decentralized.add_argument(
+        "--topology-seed", type=int, default=0,
+        help="seed of the (deterministic) graph generator",
+    )
+    decentralized.add_argument(
+        "--aggregation", default="cwtm", choices=["cwtm", "cge", "mean"],
+        help="per-neighborhood aggregation rule (default cwtm)",
+    )
+
     degraded = run.add_argument_group(
         "degraded network",
         "partially-synchronous fault injection; any of these flags switches "
@@ -484,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", help="per-chunk wall-clock budget")
     serve.add_argument("--retries", type=int, default=2, metavar="N",
                        help="failed attempts per chunk before quarantine")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="GC terminal jobs (manifest, events, result) "
+                       "older than this; queued/running jobs are never "
+                       "touched (default: keep forever)")
 
     submit = commands.add_parser(
         "submit", help="submit a job to a running `repro serve`"
@@ -652,9 +692,125 @@ def _build_fault_model(args, n: int):
     return NetworkFaultModel(profiles=profiles, seed=args.fault_seed)
 
 
+def _command_run_decentralized(args) -> int:
+    """``repro run --architecture decentralized``: sparse-topology DGD."""
+    from repro.exceptions import ReproError, TopologyInfeasibilityError
+    from repro.experiments.topology_resilience import (
+        _spread_faulty,
+        full_local_rank_costs,
+    )
+    from repro.system.decentralized import run_decentralized_dgd
+    from repro.system.netfaults import LinkFaultModel, LinkFaultProfile
+    from repro.system.topology import make_topology
+
+    unsupported = [
+        flag for flag, value in (
+            ("--duplicate-prob", args.duplicate_prob),
+            ("--stragglers", args.stragglers),
+            ("--crash-recover", args.crash_recover),
+            ("--checkpoint", args.checkpoint),
+        ) if value
+    ]
+    if unsupported:
+        print(
+            f"error: {', '.join(unsupported)} not supported with "
+            "--architecture decentralized (link faults cover "
+            "drops/delay/corruption; churn/partitions have no flag yet)",
+            file=sys.stderr,
+        )
+        return 2
+    params = {}
+    if args.topology == "ring":
+        params["hops"] = args.hops
+    elif args.topology == "random-regular":
+        params["degree"] = args.degree
+    try:
+        topology = make_topology(
+            args.topology, args.n, seed=args.topology_seed, **params
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    costs, x_star = full_local_rank_costs(args.n, args.d, instance_seed=args.seed)
+    faulty = _spread_faulty(args.n, args.f)
+    behavior = make_attack(args.attack) if faulty else None
+    delay_prob = args.delay_prob
+    if delay_prob is None:
+        delay_prob = 0.25 if args.delay > 0 else 0.0
+    profile = LinkFaultProfile(
+        drop_prob=args.drop_prob,
+        delay_prob=delay_prob if args.delay > 0 else 0.0,
+        max_delay=args.delay,
+        corrupt_prob=args.corrupt_prob,
+        corrupt_mode=args.corrupt_mode,
+    )
+    link_faults = (
+        None if profile.is_null
+        else LinkFaultModel(default_profile=profile, seed=args.fault_seed)
+    )
+    telemetry = None
+    if args.telemetry:
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry(
+            args.telemetry, byzantine_ids=tuple(faulty), reference_point=x_star
+        )
+    try:
+        result = run_decentralized_dgd(
+            costs,
+            topology,
+            aggregation=args.aggregation,
+            faulty_ids=faulty,
+            behavior=behavior,
+            iterations=args.iterations,
+            seed=args.seed,
+            link_faults=link_faults,
+            telemetry=telemetry,
+        )
+    except TopologyInfeasibilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: raise the graph's connectivity (--hops / --degree / a "
+            "denser --topology) or lower --f until deg_i >= 2 f_i holds",
+            file=sys.stderr,
+        )
+        return 2
+    distances = result.distances_to(x_star)[result.honest_ids]
+    counters = result.counters
+    rows = [
+        ["topology", f"{args.topology} "
+         + (f"{params}" if params else "(default params)")],
+        ["aggregation", args.aggregation],
+        ["attack", args.attack if faulty else "(none)"],
+        ["agents / edges", f"{topology.n} / {topology.num_edges}"],
+        ["degree (min..max)", f"{topology.min_degree}..{topology.max_degree}"],
+        ["Byzantine (spread)", len(faulty)],
+        ["max honest dist to x*", float(np.max(distances))],
+        ["mean honest dist to x*", float(np.mean(distances))],
+        ["dropped / delayed / corrupted edges",
+         f"{counters['dropped_edges']} / {counters['delayed_edges']} / "
+         f"{counters['corrupted_edges']}"],
+        ["quarantined / stale reuses",
+         f"{counters['quarantined']} / {counters['stale_reuses']}"],
+        ["degraded agent-rounds", counters["degraded_agent_rounds"]],
+        ["wall time (s)", round(result.wall_time, 3)],
+    ]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=(f"decentralized DGD on n={args.n}, f={args.f}, d={args.d}, "
+               f"T={args.iterations}"),
+    ))
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry -> {args.telemetry} ({telemetry.emitted} records)")
+    return 0
+
+
 def _command_run(args) -> int:
     from repro.exceptions import InvalidParameterError
 
+    if args.architecture == "decentralized":
+        return _command_run_decentralized(args)
     instance = make_redundant_regression(
         n=args.n, d=args.d, f=args.f, noise_std=args.noise, seed=args.seed
     )
@@ -1273,6 +1429,7 @@ def _command_serve(args) -> int:
             backend=args.backend,
             timeout=args.timeout,
             retries=args.retries,
+            job_ttl=args.job_ttl,
         )
     except InvalidParameterError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -57,6 +57,43 @@ class InfeasibleConfigurationError(ReproError):
     """
 
 
+class TopologyInfeasibilityError(InfeasibleConfigurationError):
+    """A sparse topology cannot honour its per-neighborhood fault budgets.
+
+    Local 2f-redundancy requires each agent's *closed* neighborhood (the
+    agent plus its graph neighbors) to outnumber its local fault budget:
+    ``deg_i + 1 >= 2 f_i + 1``. Carries the offending agents with their
+    degrees and budgets so callers can repair the topology (densify, or
+    shrink the budget) instead of parsing a message string.
+
+    Attributes
+    ----------
+    agents:
+        Sorted ids of the agents whose neighborhoods are infeasible.
+    degrees:
+        ``{agent: degree}`` for the offending agents.
+    budgets:
+        ``{agent: f_i}`` for the offending agents.
+    """
+
+    def __init__(self, agents, degrees, budgets):
+        self.agents = sorted(int(i) for i in agents)
+        self.degrees = {int(k): int(v) for k, v in dict(degrees).items()}
+        self.budgets = {int(k): int(v) for k, v in dict(budgets).items()}
+        worst = self.agents[0] if self.agents else None
+        detail = (
+            f" (e.g. agent {worst}: degree {self.degrees.get(worst)}, "
+            f"budget f_i={self.budgets.get(worst)})"
+            if worst is not None
+            else ""
+        )
+        super().__init__(
+            f"{len(self.agents)} agent(s) violate local 2f-redundancy "
+            f"(need degree >= 2 f_i): {self.agents[:10]}"
+            f"{'...' if len(self.agents) > 10 else ''}{detail}"
+        )
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative numerical routine failed to converge.
 

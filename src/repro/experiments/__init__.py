@@ -16,6 +16,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.communication import run_communication_costs
 from repro.experiments.degraded_network import run_degraded_network
+from repro.experiments.topology_resilience import run_topology_resilience
 from repro.experiments.dimension_sweep import run_cwtm_dimension_sweep
 from repro.experiments.exact_table import run_exact_algorithm_table
 from repro.experiments.fault_sweep import run_fault_sweep
@@ -65,6 +66,7 @@ __all__ = [
     "run_heterogeneity_sweep",
     "run_communication_costs",
     "run_degraded_network",
+    "run_topology_resilience",
     "summarize_over_seeds",
     "run_aggregator_scaling",
     "run_cge_sum_vs_mean",

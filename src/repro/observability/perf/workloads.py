@@ -641,6 +641,86 @@ for _kind in ("cge", "cwtm", "mean"):
             _make_scale_bench(_kind, _n, _d)
 
 
+# ----------------------------------------------------------------------
+# Decentralized DGD at scale (the batched per-neighborhood gather path)
+# ----------------------------------------------------------------------
+
+
+def _make_decentralized_scale_bench(label: str, topology_name: str,
+                                    params: Dict) -> None:
+    """Register one ``scale_decentralized_<label>`` bench at n=1024.
+
+    The workload is the acceptance scenario of the decentralized engine:
+    1024 agents with full-local-rank quadratics (shared exact minimizer),
+    20 spread Byzantine agents running gradient-reverse, and combined
+    link faults (drops + delays + corruption). The gated quality metric
+    is the worst honest distance to the minimizer — deterministic in the
+    seeds, so a mixing/filtering rewrite that changes trajectories trips
+    the gate even when it is faster.
+    """
+    n, d, iterations = 1024, 8, 60
+
+    def runner(tel, topology_name=topology_name, params=params):
+        from repro.attacks.simple import GradientReverse
+        from repro.experiments.topology_resilience import (
+            full_local_rank_costs,
+        )
+        from repro.system.decentralized import run_decentralized_dgd
+        from repro.system.netfaults import LinkFaultModel, LinkFaultProfile
+        from repro.system.topology import make_topology
+
+        topology = make_topology(topology_name, n, seed=0, **params)
+        costs, x_star = full_local_rank_costs(n, d, instance_seed=11)
+        faulty = list(range(5, n, 52))
+        link_faults = LinkFaultModel(
+            default_profile=LinkFaultProfile(
+                drop_prob=0.05, delay_prob=0.1, max_delay=2,
+                corrupt_prob=0.01,
+            ),
+            seed=3,
+        )
+        with tel.span("decentralized_dgd"):
+            result = run_decentralized_dgd(
+                costs,
+                topology,
+                aggregation="cwtm",
+                faulty_ids=faulty,
+                behavior=GradientReverse(strength=2.0),
+                iterations=iterations,
+                seed=1,
+                link_faults=link_faults,
+            )
+        distances = result.distances_to(x_star)[result.honest_ids]
+        return {
+            "max_honest_dist": float(np.max(distances)),
+            "rounds_per_sec": iterations / max(result.wall_time, 1e-9),
+            **{k: float(v) for k, v in result.counters.items()},
+        }
+
+    register_bench(
+        f"scale_decentralized_{label}",
+        workload={"topology": topology_name, **params, "n": n, "d": d,
+                  "f_count": 20, "iterations": iterations,
+                  "aggregation": "cwtm", "faults": "drops+delay+corrupt"},
+        tags=("scale", "decentralized", "decentralized_smoke"),
+        metrics=lambda out: {"max_honest_dist": out["max_honest_dist"]},
+        observations=lambda out: {
+            k: v for k, v in out.items() if k != "max_honest_dist"
+        },
+        description=(
+            f"Scaling: decentralized CWTM on {topology_name} "
+            f"(n={n}, d={d}, 20 Byzantine, chaotic links)"
+        ),
+    )(runner)
+
+
+for _label, _topology, _params in (
+    ("ring_n1024", "ring", {"hops": 2}),
+    ("rr8_n1024", "random-regular", {"degree": 8}),
+):
+    _make_decentralized_scale_bench(_label, _topology, _params)
+
+
 @register_bench(
     "smoke_aggregators",
     workload={"filters": ["cge", "cwtm", "median"], "agent_counts": [10, 25],

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -396,3 +397,32 @@ class JobStore:
 
     def load_result(self, job_id: str) -> Dict:
         return read_json_dict_checked(self.result_path(job_id))
+
+    # -- garbage collection --------------------------------------------
+
+    def prune(self, ttl: float, now: Optional[float] = None) -> List[str]:
+        """Delete terminal jobs whose age exceeds ``ttl`` seconds.
+
+        Age is measured from ``finished_at`` (falling back to
+        ``submitted_at`` for manifests that predate the field). Only jobs
+        in a :data:`TERMINAL_STATES` state are candidates — queued and
+        running jobs are never touched, however old, and a manifest that
+        cannot be parsed is left alone rather than guessed at. The whole
+        job directory (manifest, events, result, telemetry) is removed.
+
+        Returns the pruned job ids in submission order.
+        """
+        if ttl < 0:
+            raise InvalidParameterError(f"prune ttl must be >= 0, got {ttl}")
+        if now is None:
+            now = time.time()
+        pruned = []
+        for record in self.load_all():
+            if not record.terminal:
+                continue
+            stamp = record.finished_at or record.submitted_at
+            if now - stamp < ttl:
+                continue
+            shutil.rmtree(self.job_dir(record.job_id), ignore_errors=True)
+            pruned.append(record.job_id)
+        return pruned

@@ -80,6 +80,7 @@ class ServiceConfig:
     backend: str = "batch"
     timeout: Optional[float] = None
     retries: int = 2
+    job_ttl: Optional[float] = None
 
     def __post_init__(self):
         tcp = self.host is not None or self.port is not None
@@ -94,6 +95,10 @@ class ServiceConfig:
         if self.job_slots <= 0:
             raise InvalidParameterError(
                 f"job_slots must be positive, got {self.job_slots}"
+            )
+        if self.job_ttl is not None and self.job_ttl < 0:
+            raise InvalidParameterError(
+                f"job_ttl must be >= 0 (seconds), got {self.job_ttl}"
             )
 
 
@@ -135,6 +140,8 @@ class ReproService:
         drop accepted work).
         """
         recovered = []
+        if self.config.job_ttl is not None:
+            self.prune_jobs()
         for record in self.store.load_all():
             self.records[record.job_id] = record
             if record.state in ("queued", "running"):
@@ -167,6 +174,8 @@ class ReproService:
             asyncio.create_task(self._job_slot(i))
             for i in range(self.config.job_slots)
         ]
+        if self.config.job_ttl is not None:
+            self._slots.append(asyncio.create_task(self._prune_loop()))
         if self.queue.depth:
             self._wake.set()
 
@@ -234,6 +243,32 @@ class ReproService:
             record.finished_at = time.time()
             self.store.save(record)
             self.queue.finish(record)
+
+    # -- job GC --------------------------------------------------------
+
+    def prune_jobs(self) -> List[str]:
+        """GC terminal jobs older than ``job_ttl``; returns pruned ids.
+
+        Live state is kept consistent with the disk table: every pruned
+        id is also dropped from the in-memory record map (pruned jobs are
+        terminal, so they are never sitting in the queue or a job slot).
+        """
+        if self.config.job_ttl is None:
+            return []
+        pruned = self.store.prune(self.config.job_ttl)
+        for job_id in pruned:
+            self.records.pop(job_id, None)
+        return pruned
+
+    async def _prune_loop(self) -> None:
+        """Periodic GC sweep; period tracks the ttl but stays responsive."""
+        interval = max(min(self.config.job_ttl, 60.0), 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self.prune_jobs()
+            except OSError:
+                pass  # a transient fs error must not kill the sweeper
 
     # -- HTTP plumbing -------------------------------------------------
 

@@ -40,20 +40,42 @@ from repro.system.faultinjection import (
     deterministic_choice,
     deterministic_draw,
 )
+from repro.system.decentralized import (
+    DECENTRALIZED_AGGREGATIONS,
+    DecentralizedExecutionResult,
+    run_decentralized_dgd,
+)
 from repro.system.healing import (
     LivenessTracker,
+    NeighborhoodLiveness,
     ResiliencePolicy,
     ResilientDGDServer,
     RoundInbox,
 )
 from repro.system.netfaults import (
     CORRUPTION_MODES,
+    ChurnWindow,
     FaultProfile,
+    LinkFaultModel,
+    LinkFaultProfile,
     NetworkFaultModel,
     PartiallySynchronousNetwork,
+    PartitionWindow,
     corrupt_gradient,
+    corrupt_payload_rows,
 )
 from repro.system.peer_to_peer import PeerExecutionResult, run_peer_to_peer_dgd
+from repro.system.topology import (
+    Topology,
+    available_topologies,
+    complete_topology,
+    make_topology,
+    random_geometric_topology,
+    random_regular_topology,
+    ring_topology,
+    scale_free_topology,
+    torus_topology,
+)
 from repro.system.runner import DGDConfig, Trace, apply_config_overrides, run_dgd
 from repro.system.server import DGDServer, fixed_filter_factory
 
@@ -105,7 +127,25 @@ __all__ = [
     "corrupt_gradient",
     "ResiliencePolicy",
     "LivenessTracker",
+    "NeighborhoodLiveness",
     "RoundInbox",
     "ResilientDGDServer",
     "fixed_filter_factory",
+    "ChurnWindow",
+    "LinkFaultModel",
+    "LinkFaultProfile",
+    "PartitionWindow",
+    "corrupt_payload_rows",
+    "Topology",
+    "available_topologies",
+    "complete_topology",
+    "make_topology",
+    "random_geometric_topology",
+    "random_regular_topology",
+    "ring_topology",
+    "scale_free_topology",
+    "torus_topology",
+    "DECENTRALIZED_AGGREGATIONS",
+    "DecentralizedExecutionResult",
+    "run_decentralized_dgd",
 ]

@@ -45,12 +45,13 @@ from repro.observability import TelemetryLike
 from repro.optimization.projections import ConvexSet
 from repro.optimization.step_sizes import StepSizeSchedule
 from repro.system.messages import GradientMessage
-from repro.system.netfaults import NetworkFaultModel
+from repro.system.netfaults import LinkFaultModel, NetworkFaultModel
 from repro.system.server import DGDServer, FilterFactory
 
 __all__ = [
     "ResiliencePolicy",
     "LivenessTracker",
+    "NeighborhoodLiveness",
     "RoundInbox",
     "ResilientDGDServer",
 ]
@@ -119,6 +120,25 @@ class ResiliencePolicy:
         defaults = dict(
             max_staleness=model.staleness_bound(),
             eliminate_on_silence=model.preserves_synchrony,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def for_link_model(
+        cls, model: LinkFaultModel, **overrides
+    ) -> "ResiliencePolicy":
+        """The policy matched to a link-level fault model.
+
+        Under link faults, silence on one edge never proves the *sender*
+        faulty — the link, a partition, or churn explains it equally well
+        — so ``eliminate_on_silence`` is sound only for the null model.
+        ``max_staleness`` follows the model's one-way staleness bound
+        (states travel a single hop in the decentralized architecture).
+        """
+        defaults = dict(
+            max_staleness=model.staleness_bound(),
+            eliminate_on_silence=model.is_null,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -208,6 +228,119 @@ class LivenessTracker:
         self._misses = {int(k): int(v) for k, v in state["misses"].items()}
         self._last_seen = {int(k): int(v) for k, v in state["last_seen"].items()}
         self._suspected = set(int(i) for i in state["suspected"])
+        self.reinstatements = int(state["reinstatements"])
+
+
+class NeighborhoodLiveness:
+    """Vectorized per-*link* liveness over a fixed directed edge list.
+
+    The decentralized analogue of :class:`LivenessTracker`: where the
+    server tracks ``n`` agents, a sparse graph must track ``E`` directed
+    edges — agent ``j`` can be perfectly live toward one neighbor and
+    silent toward another (asymmetric link faults, partitions). State is
+    three flat arrays indexed by edge, so one round of accounting over
+    10k edges is a handful of array ops.
+
+    Like the agent tracker, suspicion is evidence of link *badness*,
+    never proof of sender faultiness; a suspected edge is reinstated the
+    moment it delivers again.
+    """
+
+    def __init__(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        suspicion_threshold: int,
+    ):
+        if suspicion_threshold < 1:
+            raise InvalidParameterError(
+                f"suspicion_threshold must be >= 1, got {suspicion_threshold}"
+            )
+        self._senders = np.asarray(senders, dtype=np.int64).copy()
+        self._receivers = np.asarray(receivers, dtype=np.int64).copy()
+        if self._senders.shape != self._receivers.shape or self._senders.ndim != 1:
+            raise InvalidParameterError(
+                "senders and receivers must be 1-D arrays of equal length"
+            )
+        self._threshold = int(suspicion_threshold)
+        self._misses = np.zeros(self._senders.shape[0], dtype=np.int64)
+        self._last_seen = np.full(self._senders.shape[0], -1, dtype=np.int64)
+        self._suspected = np.zeros(self._senders.shape[0], dtype=bool)
+        self.reinstatements = 0
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._senders.shape[0])
+
+    @property
+    def suspicion_threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def suspected(self) -> np.ndarray:
+        """Boolean ``(E,)`` mask of currently suspected edges (a copy)."""
+        return self._suspected.copy()
+
+    @property
+    def misses(self) -> np.ndarray:
+        """Consecutive missed rounds per edge (a copy)."""
+        return self._misses.copy()
+
+    def last_seen(self) -> np.ndarray:
+        """Round of each edge's last delivery (``-1`` if never; a copy)."""
+        return self._last_seen.copy()
+
+    def suspected_edges(self) -> List[Tuple[int, int]]:
+        """Currently suspected ``(sender, receiver)`` pairs, sorted."""
+        index = np.flatnonzero(self._suspected)
+        return sorted(
+            (int(self._senders[i]), int(self._receivers[i])) for i in index
+        )
+
+    def observe(self, round_index: int, delivered: np.ndarray) -> Tuple[int, int]:
+        """Account one round of deliveries; ``delivered`` is bool ``(E,)``.
+
+        Returns ``(newly_suspected, reinstated)`` edge counts.
+        """
+        delivered = np.asarray(delivered, dtype=bool)
+        if delivered.shape != self._senders.shape:
+            raise InvalidParameterError(
+                f"delivered must have shape {self._senders.shape}, "
+                f"got {delivered.shape}"
+            )
+        reinstated = int((delivered & self._suspected).sum())
+        self._misses = np.where(delivered, 0, self._misses + 1)
+        self._last_seen = np.where(delivered, int(round_index), self._last_seen)
+        now_suspected = self._misses >= self._threshold
+        newly = int((now_suspected & ~self._suspected).sum())
+        self._suspected = now_suspected
+        self.reinstatements += reinstated
+        return newly, reinstated
+
+    def live_in_degree(self, n: int) -> np.ndarray:
+        """Per-receiver count of currently unsuspected incoming edges.
+
+        This is the dynamic ``k_i`` the decentralized engine feeds into
+        its per-neighborhood ``(k_i, f_i)`` re-accounting.
+        """
+        counts = np.zeros(int(n), dtype=np.int64)
+        np.add.at(counts, self._receivers[~self._suspected], 1)
+        return counts
+
+    def state(self) -> Dict:
+        return {
+            "threshold": self._threshold,
+            "misses": self._misses.tolist(),
+            "last_seen": self._last_seen.tolist(),
+            "suspected": self._suspected.tolist(),
+            "reinstatements": self.reinstatements,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._threshold = int(state["threshold"])
+        self._misses = np.asarray(state["misses"], dtype=np.int64)
+        self._last_seen = np.asarray(state["last_seen"], dtype=np.int64)
+        self._suspected = np.asarray(state["suspected"], dtype=bool)
         self.reinstatements = int(state["reinstatements"])
 
 

@@ -39,17 +39,26 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.system.faultinjection import deterministic_choice, deterministic_draw
+from repro.system.faultinjection import (
+    deterministic_choice,
+    deterministic_draw,
+    deterministic_draw_array,
+)
 from repro.system.messages import GradientMessage, Message
 from repro.system.network import DeliveryRecord, SynchronousNetwork
 from repro.utils.validation import check_probability
 
 __all__ = [
     "CORRUPTION_MODES",
+    "ChurnWindow",
     "FaultProfile",
+    "LinkFaultModel",
+    "LinkFaultProfile",
     "NetworkFaultModel",
     "PartiallySynchronousNetwork",
+    "PartitionWindow",
     "corrupt_gradient",
+    "corrupt_payload_rows",
 ]
 
 #: Supported payload corruption modes.
@@ -602,3 +611,435 @@ class PartiallySynchronousNetwork(SynchronousNetwork):
                 )
             )
         self._queue = queue
+
+
+# ----------------------------------------------------------------------
+# Link-level faults (sparse-topology decentralized architecture)
+# ----------------------------------------------------------------------
+#
+# The classes above model faults per *agent* — the right granularity for
+# the server architecture, where every message shares one logical channel.
+# On a sparse graph the failure unit is the *link*: one edge can be lossy
+# while the rest of a neighborhood is clean, a cut can split the graph
+# into components, and an agent can churn (leave and rejoin) without any
+# Byzantine behaviour. ``LinkFaultModel`` expresses those modes with the
+# same determinism discipline: every draw is a pure function of
+# ``(seed, tag, round, sender, receiver)`` via the vectorized
+# :func:`repro.system.faultinjection.deterministic_draw_array`, so a run
+# over 10k edges costs a few array ops per round and replays exactly.
+
+#: Integer draw-domain tags (the vectorized mixer keys on integers).
+_LINK_TAG_DROP = 101
+_LINK_TAG_DELAY_GATE = 102
+_LINK_TAG_DELAY_LAG = 103
+_LINK_TAG_CORRUPT = 104
+_LINK_TAG_CORRUPT_POS = 105
+_LINK_TAG_CORRUPT_SIGN = 106
+_LINK_TAG_CORRUPT_BIT = 107
+
+
+@dataclass(frozen=True)
+class LinkFaultProfile:
+    """Per-link fault knobs: drop, bounded delay, payload corruption.
+
+    The link analogue of :class:`FaultProfile`. All probabilities are per
+    message per round; delays are uniform on ``{1, …, max_delay}`` when
+    the delay gate fires, preserving partial synchrony with bound
+    ``max_delay``.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay: int = 0
+    corrupt_prob: float = 0.0
+    corrupt_mode: str = "nan"
+
+    def __post_init__(self):
+        for name in ("drop_prob", "delay_prob", "corrupt_prob"):
+            check_probability(getattr(self, name), name=name)
+        if self.max_delay < 0:
+            raise InvalidParameterError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.delay_prob > 0 and self.max_delay < 1:
+            raise InvalidParameterError(
+                "delay_prob > 0 requires max_delay >= 1 (the partial-synchrony bound)"
+            )
+        if self.corrupt_mode not in CORRUPTION_MODES:
+            raise InvalidParameterError(
+                f"corrupt_mode must be one of {CORRUPTION_MODES}, got {self.corrupt_mode!r}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.drop_prob == 0.0
+            and self.delay_prob == 0.0
+            and self.corrupt_prob == 0.0
+        )
+
+    def worst_case_delay(self) -> int:
+        return self.max_delay if self.delay_prob > 0 else 0
+
+
+#: The profile of a link with no configured faults.
+NULL_LINK_PROFILE = LinkFaultProfile()
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A scheduled graph cut: for rounds in ``[start, end)`` only edges
+    *within* a group carry traffic.
+
+    ``groups`` lists disjoint agent sets; agents in no listed group form
+    one implicit rest group (so a two-way split needs only one listed
+    group). Windows are closed-open in rounds, matching every other
+    schedule in this module.
+    """
+
+    start: int
+    end: int
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if self.start < 0 or self.end <= self.start:
+            raise InvalidParameterError(
+                f"partition window needs 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        canonical = tuple(
+            tuple(sorted(int(i) for i in group)) for group in self.groups
+        )
+        if not canonical or any(not group for group in canonical):
+            raise InvalidParameterError("partition groups must be non-empty")
+        seen: set = set()
+        for group in canonical:
+            for agent in group:
+                if agent < 0:
+                    raise InvalidParameterError(f"negative agent id {agent} in partition")
+                if agent in seen:
+                    raise InvalidParameterError(
+                        f"agent {agent} appears in two partition groups"
+                    )
+                seen.add(agent)
+        object.__setattr__(self, "groups", canonical)
+
+    def active_at(self, round_index: int) -> bool:
+        return self.start <= round_index < self.end
+
+    def labels(self, n: int) -> np.ndarray:
+        """Per-agent group label in ``[0, len(groups)]``; the implicit rest
+        group gets label ``len(groups)``."""
+        labels = np.full(int(n), len(self.groups), dtype=np.int64)
+        for index, group in enumerate(self.groups):
+            for agent in group:
+                if agent >= n:
+                    raise InvalidParameterError(
+                        f"partition agent {agent} out of range for n={n}"
+                    )
+                labels[agent] = index
+        return labels
+
+
+@dataclass(frozen=True)
+class ChurnWindow:
+    """An agent that leaves at ``down_round`` and rejoins at ``up_round``.
+
+    While down the agent neither sends, receives, nor steps — it is frozen,
+    not Byzantine. ``up_round=None`` makes the departure permanent (a
+    crash). Closed-open in rounds.
+    """
+
+    agent: int
+    down_round: int
+    up_round: Optional[int] = None
+
+    def __post_init__(self):
+        if self.agent < 0:
+            raise InvalidParameterError(f"agent must be >= 0, got {self.agent}")
+        if self.down_round < 0:
+            raise InvalidParameterError(
+                f"down_round must be >= 0, got {self.down_round}"
+            )
+        if self.up_round is not None and self.up_round <= self.down_round:
+            raise InvalidParameterError(
+                f"up_round ({self.up_round}) must exceed down_round ({self.down_round})"
+            )
+
+    def is_down(self, round_index: int) -> bool:
+        if round_index < self.down_round:
+            return False
+        return self.up_round is None or round_index < self.up_round
+
+
+@dataclass(frozen=True)
+class LinkFaultModel:
+    """Edge-granular faults: per-link profiles, partition schedule, churn.
+
+    Attributes
+    ----------
+    default_profile:
+        The :class:`LinkFaultProfile` applied to every edge without an
+        override.
+    link_profiles:
+        ``{(sender, receiver): profile}`` overrides. Lookup tries the
+        directed key first, then its reverse — so one entry faults an
+        undirected edge, and two entries express an asymmetric link.
+    partitions:
+        :class:`PartitionWindow` schedule; at most one window may be
+        active at any round (overlaps are rejected).
+    churn:
+        :class:`ChurnWindow` entries; an agent may have several disjoint
+        windows.
+    seed:
+        Seed of every deterministic draw the model makes.
+    """
+
+    default_profile: LinkFaultProfile = NULL_LINK_PROFILE
+    link_profiles: Mapping[Tuple[int, int], LinkFaultProfile] = field(
+        default_factory=dict
+    )
+    partitions: Tuple[PartitionWindow, ...] = ()
+    churn: Tuple[ChurnWindow, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        links = {}
+        for key, profile in dict(self.link_profiles).items():
+            u, v = (int(key[0]), int(key[1]))
+            if u == v or u < 0 or v < 0:
+                raise InvalidParameterError(f"invalid link key ({u}, {v})")
+            if not isinstance(profile, LinkFaultProfile):
+                raise InvalidParameterError(
+                    f"link_profiles[{(u, v)}] must be a LinkFaultProfile, "
+                    f"got {type(profile).__name__}"
+                )
+            links[(u, v)] = profile
+        object.__setattr__(self, "link_profiles", links)
+        windows = tuple(self.partitions)
+        for window in windows:
+            if not isinstance(window, PartitionWindow):
+                raise InvalidParameterError(
+                    f"partitions entries must be PartitionWindow, "
+                    f"got {type(window).__name__}"
+                )
+        for a in range(len(windows)):
+            for b in range(a + 1, len(windows)):
+                if windows[a].start < windows[b].end and windows[b].start < windows[a].end:
+                    raise InvalidParameterError(
+                        f"partition windows [{windows[a].start}, {windows[a].end}) and "
+                        f"[{windows[b].start}, {windows[b].end}) overlap"
+                    )
+        object.__setattr__(self, "partitions", windows)
+        entries = tuple(self.churn)
+        for entry in entries:
+            if not isinstance(entry, ChurnWindow):
+                raise InvalidParameterError(
+                    f"churn entries must be ChurnWindow, got {type(entry).__name__}"
+                )
+        object.__setattr__(self, "churn", entries)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.default_profile.is_null
+            and all(p.is_null for p in self.link_profiles.values())
+            and not self.partitions
+            and not self.churn
+        )
+
+    def profile_for(self, sender: int, receiver: int) -> LinkFaultProfile:
+        """The profile governing the directed link ``sender -> receiver``."""
+        key = (int(sender), int(receiver))
+        if key in self.link_profiles:
+            return self.link_profiles[key]
+        return self.link_profiles.get((key[1], key[0]), self.default_profile)
+
+    def delay_bound(self) -> int:
+        """The model-wide one-way delay bound ``B``, in rounds."""
+        bound = self.default_profile.worst_case_delay()
+        for profile in self.link_profiles.values():
+            bound = max(bound, profile.worst_case_delay())
+        return bound
+
+    def staleness_bound(self) -> int:
+        """Worst-case useful age of a neighbor state under this model.
+
+        One-way traffic (states travel one hop), so the bound is ``B``; a
+        model that only drops (or cuts/churns) still warrants one round of
+        reuse so a single lost broadcast does not silence a neighbor.
+        """
+        bound = self.delay_bound()
+        if bound == 0 and not self.is_null:
+            return 1
+        return bound
+
+    def edge_parameters(
+        self, senders: np.ndarray, receivers: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Per-edge fault parameters for a fixed directed edge list.
+
+        Resolves profile lookups once so the per-round draw path is pure
+        array arithmetic. ``corrupt_mode_index`` indexes into
+        :data:`CORRUPTION_MODES`.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        profiles = [
+            self.profile_for(u, v)
+            for u, v in zip(senders.tolist(), receivers.tolist())
+        ]
+        return {
+            "drop_prob": np.array([p.drop_prob for p in profiles]),
+            "delay_prob": np.array([p.delay_prob for p in profiles]),
+            "max_delay": np.array([p.max_delay for p in profiles], dtype=np.int64),
+            "corrupt_prob": np.array([p.corrupt_prob for p in profiles]),
+            "corrupt_mode_index": np.array(
+                [CORRUPTION_MODES.index(p.corrupt_mode) for p in profiles],
+                dtype=np.int64,
+            ),
+        }
+
+    # -- per-round draws ------------------------------------------------
+
+    def down_mask(self, round_index: int, n: int) -> np.ndarray:
+        """Boolean ``(n,)`` mask of agents inside a churn window this round."""
+        mask = np.zeros(int(n), dtype=bool)
+        for window in self.churn:
+            if window.is_down(round_index):
+                if window.agent >= n:
+                    raise InvalidParameterError(
+                        f"churn agent {window.agent} out of range for n={n}"
+                    )
+                mask[window.agent] = True
+        return mask
+
+    def partition_labels(self, round_index: int, n: int) -> Optional[np.ndarray]:
+        """Group labels if a partition window is active this round, else None."""
+        for window in self.partitions:
+            if window.active_at(round_index):
+                return window.labels(n)
+        return None
+
+    def draw_link_faults(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        params: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """One round of link fault draws for a directed edge list.
+
+        Returns ``{"dropped": bool(E,), "delay": int(E,), "corrupt":
+        bool(E,)}``. Partition cuts and churn silences are folded into
+        ``dropped``; ``delay`` is 0 for undelayed (or dropped) edges.
+        Every draw is a pure function of ``(seed, tag, round, sender,
+        receiver)`` — no state, exact replay.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if params is None:
+            params = self.edge_parameters(senders, receivers)
+        dropped = (
+            deterministic_draw_array(
+                self.seed, _LINK_TAG_DROP, round_index, senders, receivers
+            )
+            < params["drop_prob"]
+        )
+        labels = self.partition_labels(round_index, int(max(senders.max(initial=-1), receivers.max(initial=-1))) + 1 if senders.size else 0)
+        if labels is not None:
+            dropped |= labels[senders] != labels[receivers]
+        if self.churn:
+            down = self.down_mask(
+                round_index,
+                int(max(senders.max(initial=-1), receivers.max(initial=-1))) + 1
+                if senders.size
+                else 0,
+            )
+            dropped |= down[senders] | down[receivers]
+        delay_gate = (
+            deterministic_draw_array(
+                self.seed, _LINK_TAG_DELAY_GATE, round_index, senders, receivers
+            )
+            < params["delay_prob"]
+        )
+        lag_draw = deterministic_draw_array(
+            self.seed, _LINK_TAG_DELAY_LAG, round_index, senders, receivers
+        )
+        delay = np.where(
+            delay_gate & ~dropped,
+            1 + (lag_draw * np.maximum(params["max_delay"], 1)).astype(np.int64),
+            0,
+        )
+        delay = np.minimum(delay, params["max_delay"])
+        corrupt = (
+            deterministic_draw_array(
+                self.seed, _LINK_TAG_CORRUPT, round_index, senders, receivers
+            )
+            < params["corrupt_prob"]
+        ) & ~dropped
+        return {"dropped": dropped, "delay": delay, "corrupt": corrupt}
+
+
+def corrupt_payload_rows(
+    payloads: np.ndarray,
+    mode_indices: np.ndarray,
+    seed: int,
+    round_index: int,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+) -> np.ndarray:
+    """Vectorized in-flight corruption of ``(m, d)`` payload rows.
+
+    The batch sibling of :func:`corrupt_gradient`: row ``i`` (the payload
+    crossing edge ``senders[i] -> receivers[i]`` at ``round_index``) has
+    one deterministically-chosen coordinate damaged according to
+    ``CORRUPTION_MODES[mode_indices[i]]``. Returns a copy; the damaged
+    coordinate, Inf sign, and flipped bit are pure functions of
+    ``(seed, round, edge)``.
+    """
+    damaged = np.array(payloads, dtype=float, copy=True)
+    if damaged.size == 0 or damaged.shape[0] == 0:
+        return damaged
+    m, d = damaged.shape
+    senders = np.asarray(senders, dtype=np.int64)
+    receivers = np.asarray(receivers, dtype=np.int64)
+    mode_indices = np.asarray(mode_indices, dtype=np.int64)
+    rows = np.arange(m)
+    positions = (
+        deterministic_draw_array(
+            seed, _LINK_TAG_CORRUPT_POS, round_index, senders, receivers
+        )
+        * d
+    ).astype(np.int64)
+    nan_rows = mode_indices == CORRUPTION_MODES.index("nan")
+    inf_rows = mode_indices == CORRUPTION_MODES.index("inf")
+    bit_rows = mode_indices == CORRUPTION_MODES.index("bitflip")
+    damaged[rows[nan_rows], positions[nan_rows]] = np.nan
+    if inf_rows.any():
+        signs = np.where(
+            deterministic_draw_array(
+                seed,
+                _LINK_TAG_CORRUPT_SIGN,
+                round_index,
+                senders[inf_rows],
+                receivers[inf_rows],
+            )
+            < 0.5,
+            1.0,
+            -1.0,
+        )
+        damaged[rows[inf_rows], positions[inf_rows]] = signs * np.inf
+    if bit_rows.any():
+        bits = (
+            deterministic_draw_array(
+                seed,
+                _LINK_TAG_CORRUPT_BIT,
+                round_index,
+                senders[bit_rows],
+                receivers[bit_rows],
+            )
+            * 64
+        ).astype(np.uint64)
+        view = damaged.view(np.uint64)
+        view[rows[bit_rows], positions[bit_rows]] ^= np.uint64(1) << bits
+    return damaged

@@ -205,6 +205,10 @@ def run_peer_to_peer_dgd(
     costs = list(costs)
     n = len(costs)
     faulty = sorted(set(int(i) for i in faulty_ids))
+    if any(i < 0 or i >= n for i in faulty):
+        raise InvalidParameterError(
+            f"faulty_ids must lie in [0, {n}), got {faulty}"
+        )
     f = len(faulty)
     check_fault_bound(n, f, architecture="peer")
     if faulty and behavior is None:

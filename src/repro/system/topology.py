@@ -1,0 +1,490 @@
+"""Seeded sparse communication topologies for decentralized DGD.
+
+The paper's peer-to-peer analysis assumes every agent hears every other
+agent each round. This module drops that assumption: a :class:`Topology` is
+an undirected communication graph, and the decentralized engine
+(:mod:`repro.system.decentralized`) lets each agent see only its graph
+neighborhood. Fault-tolerance then becomes *local*: agent ``i`` can
+tolerate at most ``f_i`` Byzantine neighbors when its closed neighborhood
+(itself plus its ``deg_i`` neighbors) satisfies ``deg_i + 1 >= 2 f_i + 1``
+— the per-neighborhood reading of the paper's 2f-redundancy bound, in the
+spirit of "Byzantine Fault-Tolerance in Peer-to-Peer Distributed
+Gradient-Descent" and the minimal-redundancy decentralized follow-up
+(PAPERS.md).
+
+Every generator is a pure function of its parameters and ``seed``:
+identical calls produce identical graphs (adjacency is canonically stored
+as sorted neighbor lists), so experiment grids, caches, and the CI chaos
+legs can replay a topology from its declaration alone.
+
+Generators
+----------
+``ring``
+    Circulant graph: each agent talks to its ``hops`` nearest neighbors on
+    each side (degree ``2 * hops``).
+``torus``
+    2-D grid with wraparound (degree 4) — the classic low-diameter sparse
+    mesh.
+``random-regular``
+    Configuration-model random ``degree``-regular graph (an expander with
+    high probability), resampled deterministically until simple.
+``random-geometric``
+    Agents at seeded uniform points in the unit square, connected within
+    ``radius``. The one generator that naturally produces *disconnected*
+    graphs — partitions are first-class here, not an error.
+``scale-free``
+    Barabási–Albert preferential attachment with ``attach`` edges per new
+    node: hubs plus a heavy tail of low-degree leaves.
+``complete``
+    The dense graph (every pair connected) — the bridge back to the
+    broadcast-based peer-to-peer architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    InvalidParameterError,
+    TopologyInfeasibilityError,
+    UnknownRegistryEntryError,
+)
+
+__all__ = [
+    "Topology",
+    "available_topologies",
+    "complete_topology",
+    "make_topology",
+    "random_geometric_topology",
+    "random_regular_topology",
+    "ring_topology",
+    "scale_free_topology",
+    "torus_topology",
+]
+
+
+class Topology:
+    """An undirected communication graph with canonical adjacency.
+
+    Neighbor lists are stored sorted, so two topologies built from the same
+    edge set — in any order — are indistinguishable, and every consumer
+    (the decentralized engine, the fault model, the property suite) sees
+    one canonical neighbor ordering.
+    """
+
+    def __init__(self, n: int, edges: Sequence[Tuple[int, int]], name: str = "custom",
+                 params: Optional[Dict] = None):
+        n = int(n)
+        if n <= 0:
+            raise InvalidParameterError(f"n must be positive, got {n}")
+        adjacency: List[set] = [set() for _ in range(n)]
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise InvalidParameterError(f"self-loop on agent {u}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidParameterError(
+                    f"edge ({u}, {v}) out of range for n={n}"
+                )
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self.n = n
+        self.name = str(name)
+        self.params = dict(params or {})
+        self._neighbors: List[np.ndarray] = [
+            np.array(sorted(peers), dtype=np.int64) for peers in adjacency
+        ]
+        self._degrees = np.array([len(a) for a in self._neighbors], dtype=np.int64)
+        self._neighbor_matrix: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def neighbors(self, agent: int) -> np.ndarray:
+        """Sorted neighbor ids of ``agent`` (a copy)."""
+        return self._neighbors[int(agent)].copy()
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-agent degree vector (a copy)."""
+        return self._degrees.copy()
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._degrees.max()) if self.n else 0
+
+    @property
+    def min_degree(self) -> int:
+        return int(self._degrees.min()) if self.n else 0
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count."""
+        return int(self._degrees.sum()) // 2
+
+    def edge_list(self) -> np.ndarray:
+        """``(E, 2)`` array of undirected edges ``(u < v)``, lexicographic."""
+        pairs = [
+            (u, int(v))
+            for u in range(self.n)
+            for v in self._neighbors[u]
+            if u < v
+        ]
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(pairs, dtype=np.int64)
+
+    def neighbor_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded adjacency: ``(nbr, valid)`` of shape ``(n, max_degree)``.
+
+        ``nbr[i, :deg_i]`` holds agent ``i``'s sorted neighbors; padding
+        slots carry ``0`` with ``valid=False`` (a safe gather index). This
+        is the gather layout the vectorized decentralized engine consumes;
+        it is computed once and cached.
+        """
+        if self._neighbor_matrix is None:
+            width = max(self.max_degree, 1)
+            nbr = np.zeros((self.n, width), dtype=np.int64)
+            valid = np.zeros((self.n, width), dtype=bool)
+            for i, peers in enumerate(self._neighbors):
+                nbr[i, : peers.shape[0]] = peers
+                valid[i, : peers.shape[0]] = True
+            nbr.setflags(write=False)
+            valid.setflags(write=False)
+            self._neighbor_matrix = (nbr, valid)
+        return self._neighbor_matrix
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def components(self) -> List[List[int]]:
+        """Connected components as sorted id lists, ordered by smallest member."""
+        parent = list(range(self.n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u in range(self.n):
+            for v in self._neighbors[u]:
+                ru, rv = find(u), find(int(v))
+                if ru != rv:
+                    parent[max(ru, rv)] = min(ru, rv)
+        groups: Dict[int, List[int]] = {}
+        for u in range(self.n):
+            groups.setdefault(find(u), []).append(u)
+        return [sorted(members) for _, members in sorted(groups.items())]
+
+    @property
+    def is_connected(self) -> bool:
+        return len(self.components()) == 1
+
+    # ------------------------------------------------------------------
+    # Per-neighborhood fault accounting
+    # ------------------------------------------------------------------
+
+    def local_fault_counts(self, faulty_ids: Sequence[int]) -> np.ndarray:
+        """``f_i`` = how many of ``faulty_ids`` sit in each agent's neighborhood."""
+        faulty = np.zeros(self.n, dtype=bool)
+        for i in faulty_ids:
+            i = int(i)
+            if not 0 <= i < self.n:
+                raise InvalidParameterError(
+                    f"faulty id {i} out of range for n={self.n}"
+                )
+            faulty[i] = True
+        return np.array(
+            [int(faulty[peers].sum()) for peers in self._neighbors], dtype=np.int64
+        )
+
+    def resolve_budgets(self, budgets, faulty_ids: Sequence[int] = ()) -> np.ndarray:
+        """Normalize a local fault-budget spec to a per-agent int vector.
+
+        ``None`` derives the budgets from the ground truth (each agent
+        budgets exactly the Byzantine agents actually in its neighborhood);
+        an int applies uniformly; a sequence is taken per agent.
+        """
+        if budgets is None:
+            return self.local_fault_counts(faulty_ids)
+        if np.isscalar(budgets):
+            value = int(budgets)
+            if value < 0:
+                raise InvalidParameterError(f"fault budget must be >= 0, got {value}")
+            return np.full(self.n, value, dtype=np.int64)
+        arr = np.asarray(budgets, dtype=np.int64)
+        if arr.shape != (self.n,):
+            raise InvalidParameterError(
+                f"per-agent budgets must have shape ({self.n},), got {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise InvalidParameterError("fault budgets must be >= 0")
+        return arr.copy()
+
+    def feasible_agents(self, budgets: np.ndarray) -> np.ndarray:
+        """Local 2f-redundancy mask: ``deg_i + 1 >= 2 f_i + 1``.
+
+        An agent whose closed neighborhood is too small for its budget
+        cannot run a trimmed aggregation that provably survives ``f_i``
+        Byzantine neighbors.
+        """
+        budgets = np.asarray(budgets, dtype=np.int64)
+        return self._degrees >= 2 * budgets
+
+    def check_local_redundancy(
+        self, budgets, faulty_ids: Sequence[int] = ()
+    ) -> np.ndarray:
+        """Resolve budgets and raise :class:`TopologyInfeasibilityError` on violation.
+
+        Returns the resolved per-agent budget vector when every agent is
+        locally feasible.
+        """
+        resolved = self.resolve_budgets(budgets, faulty_ids)
+        feasible = self.feasible_agents(resolved)
+        if not feasible.all():
+            bad = np.flatnonzero(~feasible)
+            raise TopologyInfeasibilityError(
+                agents=bad.tolist(),
+                degrees={int(i): int(self._degrees[i]) for i in bad},
+                budgets={int(i): int(resolved[i]) for i in bad},
+            )
+        return resolved
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(name={self.name!r}, n={self.n}, edges={self.num_edges}, "
+            f"degree=[{self.min_degree}, {self.max_degree}])"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def ring_topology(n: int, hops: int = 1) -> Topology:
+    """Circulant ring: agent ``i`` talks to ``i ± 1 .. i ± hops`` (mod n)."""
+    n, hops = int(n), int(hops)
+    if n < 3:
+        raise InvalidParameterError(f"ring needs n >= 3, got {n}")
+    if hops < 1 or 2 * hops >= n:
+        raise InvalidParameterError(
+            f"hops must satisfy 1 <= hops < n/2, got hops={hops}, n={n}"
+        )
+    edges = [
+        (i, (i + k) % n) for i in range(n) for k in range(1, hops + 1)
+    ]
+    return Topology(n, edges, name="ring", params={"hops": hops})
+
+
+def torus_topology(rows: int, cols: int) -> Topology:
+    """2-D torus (wraparound grid), degree 4; ``n = rows * cols``."""
+    rows, cols = int(rows), int(cols)
+    if rows < 3 or cols < 3:
+        raise InvalidParameterError(
+            f"torus needs rows, cols >= 3, got {rows}x{cols}"
+        )
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            edges.append((i, r * cols + (c + 1) % cols))
+            edges.append((i, ((r + 1) % rows) * cols + c))
+    return Topology(
+        rows * cols, edges, name="torus", params={"rows": rows, "cols": cols}
+    )
+
+
+def random_regular_topology(n: int, degree: int, seed: int = 0) -> Topology:
+    """Random ``degree``-regular graph (configuration model, seeded).
+
+    Each attempt pairs stubs by a seeded shuffle, keeps the pairs that are
+    neither self-loops nor parallel edges, and re-shuffles the leftover
+    stubs until all are matched; a dead end (no valid pair left among the
+    leftovers) restarts from the next derived seed. The whole rejection
+    sequence is a pure function of ``(n, degree, seed)``, so identical
+    calls always yield the same graph. Random regular graphs of degree
+    ``>= 3`` are expanders (and connected) with overwhelming probability;
+    connectivity is *not* forced, so the rare disconnected sample is
+    reproducible rather than silently resampled.
+    """
+    n, degree = int(n), int(degree)
+    if degree < 1 or degree >= n:
+        raise InvalidParameterError(
+            f"degree must satisfy 1 <= degree < n, got degree={degree}, n={n}"
+        )
+    if (n * degree) % 2 != 0:
+        raise InvalidParameterError(
+            f"n * degree must be even, got n={n}, degree={degree}"
+        )
+    for attempt in range(200):
+        rng = np.random.default_rng([int(seed), attempt, n, degree])
+        adjacency: List[set] = [set() for _ in range(n)]
+        stubs = np.repeat(np.arange(n), degree)
+        stuck = False
+        while stubs.size:
+            rng.shuffle(stubs)
+            leftover: List[int] = []
+            progress = False
+            for u, v in zip(stubs[0::2].tolist(), stubs[1::2].tolist()):
+                if u != v and v not in adjacency[u]:
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+                    progress = True
+                else:
+                    leftover.extend((u, v))
+            stubs = np.array(leftover, dtype=np.int64)
+            if not progress:
+                distinct = set(leftover)
+                if not any(
+                    u != v and v not in adjacency[u]
+                    for u in distinct
+                    for v in distinct
+                ):
+                    stuck = True
+                    break
+        if stuck:
+            continue
+        edges = [
+            (u, v) for u in range(n) for v in adjacency[u] if u < v
+        ]
+        return Topology(
+            n,
+            edges,
+            name="random-regular",
+            params={"degree": degree, "seed": int(seed)},
+        )
+    raise InvalidParameterError(
+        f"could not sample a simple {degree}-regular graph on n={n} agents "
+        f"in 200 attempts (seed {seed})"
+    )
+
+
+def random_geometric_topology(n: int, radius: float, seed: int = 0) -> Topology:
+    """Random geometric graph: seeded points in the unit square, edges within ``radius``."""
+    n = int(n)
+    radius = float(radius)
+    if n < 2:
+        raise InvalidParameterError(f"random-geometric needs n >= 2, got {n}")
+    if not 0.0 < radius <= np.sqrt(2.0):
+        raise InvalidParameterError(
+            f"radius must lie in (0, sqrt(2)], got {radius}"
+        )
+    rng = np.random.default_rng([int(seed), n])
+    points = rng.random((n, 2))
+    deltas = points[:, None, :] - points[None, :, :]
+    close = (deltas ** 2).sum(axis=2) <= radius ** 2
+    u, v = np.nonzero(np.triu(close, k=1))
+    topo = Topology(
+        n,
+        list(zip(u.tolist(), v.tolist())),
+        name="random-geometric",
+        params={"radius": radius, "seed": int(seed)},
+    )
+    topo.params["points"] = points
+    return topo
+
+
+def scale_free_topology(n: int, attach: int = 2, seed: int = 0) -> Topology:
+    """Barabási–Albert preferential attachment (seeded, deterministic).
+
+    Starts from a complete core of ``attach + 1`` nodes; each arriving node
+    connects to ``attach`` distinct existing nodes chosen proportionally to
+    their current degree.
+    """
+    n, attach = int(n), int(attach)
+    if attach < 1:
+        raise InvalidParameterError(f"attach must be >= 1, got {attach}")
+    core = attach + 1
+    if n <= core:
+        raise InvalidParameterError(
+            f"scale-free needs n > attach + 1, got n={n}, attach={attach}"
+        )
+    rng = np.random.default_rng([int(seed), n, attach])
+    edges = [(u, v) for u in range(core) for v in range(u + 1, core)]
+    # The repeated-nodes trick: each endpoint appearance is one "ticket",
+    # so a uniform ticket draw is a degree-proportional node draw.
+    tickets: List[int] = [node for edge in edges for node in edge]
+    for new in range(core, n):
+        chosen: set = set()
+        while len(chosen) < attach:
+            chosen.add(tickets[int(rng.integers(len(tickets)))])
+        for target in sorted(chosen):
+            edges.append((target, new))
+            tickets.extend((target, new))
+    return Topology(
+        n, edges, name="scale-free", params={"attach": attach, "seed": int(seed)}
+    )
+
+
+def complete_topology(n: int) -> Topology:
+    """The dense graph — every pair of agents connected."""
+    n = int(n)
+    if n < 2:
+        raise InvalidParameterError(f"complete needs n >= 2, got {n}")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Topology(n, edges, name="complete", params={})
+
+
+def _make_ring(n: int, seed: int, hops: int = 1) -> Topology:
+    return ring_topology(n, hops=hops)
+
+
+def _make_torus(n: int, seed: int, rows: Optional[int] = None) -> Topology:
+    if rows is None:
+        rows = int(np.sqrt(n))
+        while rows > 3 and n % rows != 0:
+            rows -= 1
+    if n % rows != 0:
+        raise InvalidParameterError(
+            f"torus needs n divisible into a grid, got n={n} (rows={rows})"
+        )
+    return torus_topology(rows, n // rows)
+
+
+def _make_random_regular(n: int, seed: int, degree: int = 6) -> Topology:
+    return random_regular_topology(n, degree, seed=seed)
+
+
+def _make_random_geometric(n: int, seed: int, radius: float = 0.2) -> Topology:
+    return random_geometric_topology(n, radius, seed=seed)
+
+
+def _make_scale_free(n: int, seed: int, attach: int = 2) -> Topology:
+    return scale_free_topology(n, attach=attach, seed=seed)
+
+
+def _make_complete(n: int, seed: int) -> Topology:
+    return complete_topology(n)
+
+
+#: Registry: name -> factory(n, seed, **params).
+TOPOLOGIES: Dict[str, Callable[..., Topology]] = {
+    "ring": _make_ring,
+    "torus": _make_torus,
+    "random-regular": _make_random_regular,
+    "random-geometric": _make_random_geometric,
+    "scale-free": _make_scale_free,
+    "complete": _make_complete,
+}
+
+
+def available_topologies() -> List[str]:
+    """Registered topology generator names, sorted."""
+    return sorted(TOPOLOGIES)
+
+
+def make_topology(name: str, n: int, seed: int = 0, **params) -> Topology:
+    """Build a registered topology by name (seeded, deterministic)."""
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        raise UnknownRegistryEntryError("topology", name, available_topologies()) from None
+    return factory(int(n), int(seed), **params)

@@ -84,5 +84,5 @@ class TestCliExperimentMapMatchesDesign:
     def test_all_experiment_modules_registered(self):
         from repro.cli import EXPERIMENTS
 
-        expected = {f"E{k}" for k in range(1, 17)} | {f"A{k}" for k in range(1, 5)}
+        expected = {f"E{k}" for k in range(1, 18)} | {f"A{k}" for k in range(1, 5)}
         assert set(EXPERIMENTS) == expected

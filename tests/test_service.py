@@ -353,3 +353,103 @@ class TestKillDashNineResume:
                     proc.wait(timeout=15)
                 except subprocess.TimeoutExpired:
                     proc.kill()
+
+
+class TestJobPruning:
+    """``JobStore.prune`` GC: old terminal jobs go, everything else stays."""
+
+    @staticmethod
+    def _spec(seed):
+        from repro.service.jobs import validate_job_spec
+
+        return validate_job_spec(
+            {"kind": "run", "params": {"n": 6, "seed": seed}}
+        )
+
+    def test_prune_removes_old_terminal_jobs_only(self, tmp_path):
+        from repro.service.jobs import JobStore
+
+        store = JobStore(str(tmp_path))
+        now = time.time()
+
+        old_done = store.create(self._spec(1))
+        old_done.state = "done"
+        old_done.finished_at = now - 1000
+        store.save(old_done)
+        store.write_result(old_done.job_id, {"ok": True})
+
+        old_failed = store.create(self._spec(2))
+        old_failed.state = "failed"
+        old_failed.finished_at = now - 1000
+        store.save(old_failed)
+
+        fresh_done = store.create(self._spec(3))
+        fresh_done.state = "done"
+        fresh_done.finished_at = now
+        store.save(fresh_done)
+
+        queued = store.create(self._spec(4))  # queued, however old
+        queued.submitted_at = now - 10_000
+        store.save(queued)
+
+        running = store.create(self._spec(5))
+        running.state = "running"
+        running.started_at = now - 10_000
+        store.save(running)
+
+        pruned = store.prune(ttl=500, now=now)
+        assert pruned == [old_done.job_id, old_failed.job_id]
+        # pruned manifests (and their whole job directories) are gone
+        for job_id in pruned:
+            assert not os.path.exists(store.job_dir(job_id))
+            assert not os.path.exists(store.manifest_path(job_id))
+        # live and queued jobs survive, and fresh terminal jobs do too
+        survivors = {record.job_id for record in store.load_all()}
+        assert survivors == {
+            fresh_done.job_id, queued.job_id, running.job_id
+        }
+
+    def test_prune_ttl_zero_collects_every_terminal_job(self, tmp_path):
+        from repro.service.jobs import JobStore
+
+        store = JobStore(str(tmp_path))
+        done = store.create(self._spec(1))
+        done.state = "cancelled"
+        done.finished_at = time.time()
+        store.save(done)
+        queued = store.create(self._spec(2))
+        assert store.prune(ttl=0) == [done.job_id]
+        assert {r.job_id for r in store.load_all()} == {queued.job_id}
+
+    def test_negative_ttl_rejected(self, tmp_path):
+        from repro.exceptions import InvalidParameterError
+        from repro.service.jobs import JobStore
+
+        with pytest.raises(InvalidParameterError, match="ttl"):
+            JobStore(str(tmp_path)).prune(ttl=-1)
+        with pytest.raises(InvalidParameterError, match="job_ttl"):
+            ServiceConfig(state_dir=str(tmp_path), job_ttl=-5)
+
+    def test_live_service_prunes_finished_jobs(self, tmp_path):
+        # ttl long enough for client.wait to observe the terminal state
+        # before the GC sweep collects it, short enough to test the sweep
+        harness = ServiceHarness(tmp_path / "state", job_ttl=1.0)
+        try:
+            record = harness.client.submit(
+                "run", {"n": 6, "d": 2, "f": 1, "iterations": 20, "seed": 1}
+            )
+            final = harness.client.wait(record["job_id"], timeout=60)
+            assert final["state"] == "done"
+            job_dir = harness.service.store.job_dir(record["job_id"])
+            deadline = time.monotonic() + 10
+            while os.path.exists(job_dir):
+                assert time.monotonic() < deadline, "job never pruned"
+                time.sleep(0.05)
+            # the in-memory table follows the disk table
+            deadline = time.monotonic() + 10
+            while any(j["job_id"] == record["job_id"]
+                      for j in harness.client.jobs()):
+                assert time.monotonic() < deadline, "record never dropped"
+                time.sleep(0.05)
+        finally:
+            harness.stop()

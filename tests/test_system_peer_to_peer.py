@@ -80,3 +80,23 @@ class TestValidation:
         costs = [TranslatedQuadratic([0.0]) for _ in range(4)]
         with pytest.raises(InvalidParameterError):
             run_peer_to_peer_dgd(costs, Average(), iterations=0)
+
+    def test_out_of_range_faulty_ids_rejected(self):
+        # Regression: ids outside range(n) used to count toward f (tightening
+        # the 3f < n bound) while never acting — silently skewing results.
+        costs = [TranslatedQuadratic([0.0]) for _ in range(7)]
+        with pytest.raises(InvalidParameterError, match="faulty_ids"):
+            run_peer_to_peer_dgd(costs, Average(), faulty_ids=[99],
+                                 behavior=GradientReverse(), iterations=5)
+        with pytest.raises(InvalidParameterError, match="faulty_ids"):
+            run_peer_to_peer_dgd(costs, Average(), faulty_ids=[-1],
+                                 behavior=GradientReverse(), iterations=5)
+
+    def test_server_runner_rejects_out_of_range_faulty_ids(self):
+        costs = [TranslatedQuadratic([0.0]) for _ in range(7)]
+        with pytest.raises(InvalidParameterError):
+            run_dgd(costs, GradientReverse(), gradient_filter=Average(),
+                    faulty_ids=[7], iterations=5)
+        with pytest.raises(InvalidParameterError):
+            run_dgd(costs, GradientReverse(), gradient_filter=Average(),
+                    faulty_ids=[-2], iterations=5)

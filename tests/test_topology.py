@@ -1,0 +1,210 @@
+"""Property suite for the seeded topology generators.
+
+Pins the invariants every generator must satisfy — seed determinism,
+symmetric canonical adjacency, degree bounds, connectivity — plus the
+per-neighborhood 2f-redundancy accounting and its structured
+infeasibility error. Hypothesis pins the construction-order invariance:
+a topology built from any permutation of (possibly flipped) edges is
+indistinguishable from the canonical one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    InvalidParameterError,
+    TopologyInfeasibilityError,
+    UnknownRegistryEntryError,
+)
+from repro.system.topology import (
+    Topology,
+    available_topologies,
+    complete_topology,
+    make_topology,
+    random_geometric_topology,
+    random_regular_topology,
+    ring_topology,
+    scale_free_topology,
+    torus_topology,
+)
+
+#: (name, n, params) cells covering every registered generator.
+GENERATOR_CELLS = [
+    ("ring", 12, {"hops": 1}),
+    ("ring", 12, {"hops": 3}),
+    ("torus", 12, {}),
+    ("random-regular", 16, {"degree": 4}),
+    ("random-geometric", 20, {"radius": 0.5}),
+    ("scale-free", 18, {"attach": 2}),
+    ("complete", 9, {}),
+]
+
+
+def _adjacency(topology):
+    return [topology.neighbors(i).tolist() for i in range(topology.n)]
+
+
+class TestGeneratorProperties:
+    @pytest.mark.parametrize("name,n,params", GENERATOR_CELLS)
+    def test_seed_determinism(self, name, n, params):
+        a = make_topology(name, n, seed=7, **params)
+        b = make_topology(name, n, seed=7, **params)
+        assert _adjacency(a) == _adjacency(b)
+
+    @pytest.mark.parametrize("name,n,params", GENERATOR_CELLS)
+    def test_symmetric_adjacency(self, name, n, params):
+        topology = make_topology(name, n, seed=3, **params)
+        for u in range(n):
+            for v in topology.neighbors(u):
+                assert u in topology.neighbors(int(v))
+
+    @pytest.mark.parametrize("name,n,params", GENERATOR_CELLS)
+    def test_neighbor_lists_sorted_no_self_loops(self, name, n, params):
+        topology = make_topology(name, n, seed=3, **params)
+        for u in range(n):
+            peers = topology.neighbors(u).tolist()
+            assert peers == sorted(set(peers))
+            assert u not in peers
+
+    def test_degree_bounds(self):
+        assert set(ring_topology(12, hops=2).degrees) == {4}
+        assert set(torus_topology(3, 4).degrees) == {4}
+        assert set(random_regular_topology(16, 4, seed=0).degrees) == {4}
+        assert set(complete_topology(8).degrees) == {7}
+        sf = scale_free_topology(20, attach=2, seed=1)
+        assert sf.min_degree >= 2
+        geo = random_geometric_topology(20, radius=0.3, seed=5)
+        assert geo.max_degree <= 19
+
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            ring_topology(12, hops=1),
+            torus_topology(3, 5),
+            random_regular_topology(24, 6, seed=2),
+            scale_free_topology(15, attach=2, seed=2),
+            complete_topology(6),
+        ],
+        ids=["ring", "torus", "random-regular", "scale-free", "complete"],
+    )
+    def test_guaranteed_connected(self, topology):
+        assert topology.is_connected
+        assert topology.components() == [list(range(topology.n))]
+
+    def test_geometric_components_partition_ids(self):
+        # The one generator allowed to be disconnected: components must
+        # still partition the id space exactly.
+        topology = random_geometric_topology(30, radius=0.12, seed=0)
+        members = [i for group in topology.components() for i in group]
+        assert sorted(members) == list(range(30))
+
+    def test_random_regular_large_n_feasible(self):
+        topology = random_regular_topology(1024, 8, seed=0)
+        assert set(topology.degrees) == {8}
+        assert topology.is_connected
+
+    def test_neighbor_matrix_matches_lists_and_is_frozen(self):
+        topology = scale_free_topology(14, attach=2, seed=3)
+        nbr, valid = topology.neighbor_matrix()
+        for i in range(topology.n):
+            assert nbr[i, valid[i]].tolist() == topology.neighbors(i).tolist()
+        with pytest.raises(ValueError):
+            nbr[0, 0] = 99
+
+    def test_registry_round_trip_and_unknown_name(self):
+        assert "ring" in available_topologies()
+        for name in available_topologies():
+            topology = make_topology(name, 12, seed=1)
+            assert topology.n == 12
+        with pytest.raises(UnknownRegistryEntryError, match="topology"):
+            make_topology("hypercube", 8)
+
+    def test_generator_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ring_topology(2)
+        with pytest.raises(InvalidParameterError):
+            ring_topology(8, hops=4)  # 2*hops >= n
+        with pytest.raises(InvalidParameterError):
+            torus_topology(2, 5)
+        with pytest.raises(InvalidParameterError):
+            random_regular_topology(7, 3, seed=0)  # odd n * odd degree
+        with pytest.raises(InvalidParameterError):
+            Topology(4, [(0, 0)])  # self-loop
+        with pytest.raises(InvalidParameterError):
+            Topology(4, [(0, 9)])  # out of range
+
+
+@st.composite
+def edge_sets(draw):
+    n = draw(st.integers(4, 12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=len(possible))
+    )
+    return n, edges
+
+
+class TestConstructionOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(data=edge_sets(), flip_seed=st.integers(0, 2**31 - 1))
+    def test_edge_order_and_orientation_irrelevant(self, data, flip_seed):
+        n, edges = data
+        canonical = Topology(n, edges)
+        rng = np.random.default_rng(flip_seed)
+        shuffled = [
+            (v, u) if rng.integers(2) else (u, v)
+            for u, v in rng.permutation(np.array(edges, dtype=np.int64))
+        ]
+        # duplicates of existing edges must also collapse canonically
+        shuffled += edges[: len(edges) // 2]
+        rebuilt = Topology(n, shuffled)
+        assert _adjacency(canonical) == _adjacency(rebuilt)
+        nbr_a, valid_a = canonical.neighbor_matrix()
+        nbr_b, valid_b = rebuilt.neighbor_matrix()
+        assert (nbr_a == nbr_b).all() and (valid_a == valid_b).all()
+
+
+class TestFaultAccounting:
+    def test_local_fault_counts(self):
+        topology = ring_topology(6, hops=1)
+        counts = topology.local_fault_counts([0])
+        # agent 0's neighbors are 1 and 5: they each see one faulty peer
+        assert counts.tolist() == [0, 1, 0, 0, 0, 1]
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            topology.local_fault_counts([6])
+
+    def test_resolve_budget_forms(self):
+        topology = ring_topology(6, hops=1)
+        derived = topology.resolve_budgets(None, [0])
+        assert derived.tolist() == [0, 1, 0, 0, 0, 1]
+        assert topology.resolve_budgets(1).tolist() == [1] * 6
+        per_agent = topology.resolve_budgets([0, 1, 0, 0, 0, 1])
+        assert per_agent.tolist() == [0, 1, 0, 0, 0, 1]
+        with pytest.raises(InvalidParameterError):
+            topology.resolve_budgets(-1)
+        with pytest.raises(InvalidParameterError):
+            topology.resolve_budgets([1, 2])  # wrong shape
+
+    def test_feasibility_boundary_is_exactly_2f(self):
+        topology = ring_topology(8, hops=1)  # degree 2 everywhere
+        assert topology.feasible_agents(np.ones(8, dtype=int)).all()
+        assert not topology.feasible_agents(np.full(8, 2)).any()
+
+    def test_infeasibility_error_is_structured(self):
+        topology = ring_topology(6, hops=1)
+        # faulty {0, 2, 4}: agents 1, 3, 5 each see two Byzantine neighbors
+        with pytest.raises(TopologyInfeasibilityError) as excinfo:
+            topology.check_local_redundancy(None, [0, 2, 4])
+        err = excinfo.value
+        assert err.agents == [1, 3, 5]
+        assert err.degrees == {1: 2, 3: 2, 5: 2}
+        assert err.budgets == {1: 2, 3: 2, 5: 2}
+        assert "2f-redundancy" in str(err)
+
+    def test_check_passes_and_returns_budgets_when_feasible(self):
+        topology = ring_topology(8, hops=2)
+        resolved = topology.check_local_redundancy(None, [0, 4])
+        assert resolved.sum() > 0
+        assert (resolved <= 2).all()
