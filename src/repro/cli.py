@@ -486,6 +486,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report.add_argument("--fail-on-anomaly", action="store_true",
                               help="exit 1 when any stream carries anomaly flags")
 
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="export traced spans from JSONL stream(s) to a viewer format",
+    )
+    trace_export.add_argument("path",
+                              help="a telemetry JSONL file, or a directory "
+                              "of them (e.g. a service job directory)")
+    trace_export.add_argument("--format", choices=["chrome-trace"],
+                              default="chrome-trace",
+                              help="output format (chrome://tracing / "
+                              "Perfetto JSON)")
+    trace_export.add_argument("--output", "-o", metavar="PATH",
+                              default="trace.json",
+                              help="where to write the artifact "
+                              "(default trace.json)")
+
+    trace_flame = trace_commands.add_parser(
+        "flame",
+        help="render the reconstructed cross-process span tree as a "
+        "text flame view",
+    )
+    trace_flame.add_argument("path",
+                             help="a telemetry JSONL file, or a directory "
+                             "of them")
+
     serve = commands.add_parser(
         "serve",
         help="long-lived aggregation service: accept run/sweep/bench jobs "
@@ -1364,6 +1389,54 @@ def _command_tournament(args) -> int:
 
 
 def _command_trace(args) -> int:
+    if args.trace_command == "export":
+        return _command_trace_export(args)
+    if args.trace_command == "flame":
+        return _command_trace_flame(args)
+    return _command_trace_report(args)
+
+
+def _command_trace_export(args) -> int:
+    from repro.exceptions import InvalidParameterError
+    from repro.observability.perf import (
+        collect_trace_records,
+        write_chrome_trace,
+    )
+
+    try:
+        records = collect_trace_records(args.path)
+        document = write_chrome_trace(args.output, records)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    if not events:
+        print("no traced spans found (was tracing enabled?)",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {len(events)} span(s) to {args.output} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _command_trace_flame(args) -> int:
+    from repro.exceptions import InvalidParameterError
+    from repro.observability.perf import (
+        build_span_tree,
+        collect_trace_records,
+        render_flame,
+    )
+
+    try:
+        roots = build_span_tree(collect_trace_records(args.path))
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_flame(roots))
+    return 0
+
+
+def _command_trace_report(args) -> int:
     from repro.exceptions import InvalidParameterError
     from repro.observability import write_summary_atomic
     from repro.observability.perf import analyze_trace_path
@@ -1502,7 +1575,8 @@ def _command_submit(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"accepted {record['job_id']} ({kind}, "
-          f"priority {record['spec']['priority']})")
+          f"priority {record['spec']['priority']}, "
+          f"trace {record['trace_id']})")
     if not args.wait:
         return 0
     try:
@@ -1528,6 +1602,20 @@ def _command_status(args) -> int:
         return 2
     try:
         if args.job_id is None:
+            health = client.healthz()
+            stats = client.stats()
+            cache = stats.get("cache", {})
+            pool = stats.get("pool", {})
+            ratio = cache.get("hit_ratio")
+            print(
+                f"up {health.get('uptime', 0.0):.0f}s | "
+                f"queue depth {stats.get('queue', {}).get('depth', 0)} | "
+                f"pool workers {pool.get('live_workers', 0)} live, "
+                f"{pool.get('rebuilds', 0)} rebuild(s) | "
+                f"cache {cache.get('cells', 0)} cell(s), "
+                + ("hit ratio n/a" if ratio is None
+                   else f"hit ratio {ratio:.0%}")
+            )
             rows = [
                 [record["job_id"], record["spec"]["kind"],
                  record["spec"]["client"], str(record["spec"]["priority"]),

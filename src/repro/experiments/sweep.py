@@ -76,6 +76,7 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentResult
 from repro.exceptions import CacheIntegrityError, InvalidParameterError, ReproError
+from repro.observability.tracing import TraceContext
 from repro.observability.exporters import (
     JSONLSink,
     MemorySink,
@@ -144,6 +145,7 @@ class SweepEvents:
         self.path = path
         self._memory = MemorySink()
         self._sinks = [self._memory]
+        self._trace_fields: Optional[Dict[str, str]] = None
         if path is not None:
             # JSONLSink owns the file: each engine run starts a fresh log.
             self._sinks.append(JSONLSink(path))
@@ -152,8 +154,23 @@ class SweepEvents:
     def records(self) -> List[Dict]:
         return self._memory.records
 
+    def bind_trace(self, context: Optional["TraceContext"]) -> None:
+        """Stamp subsequent records with ``context``'s trace lineage.
+
+        The engine binds its own trace context here, so every event it
+        logs (chunk_done, cache_hit, ...) references the engine's span in
+        the reconstructed cross-process tree. Records that already carry
+        ``trace_id`` (explicit span records) are left untouched.
+        """
+        self._trace_fields = (
+            None if context is None
+            else {"trace_id": context.trace_id, "span_id": context.span_id}
+        )
+
     def emit(self, event: str, **fields) -> Dict:
         record = {"event": event, **fields}
+        if self._trace_fields is not None and "trace_id" not in record:
+            record.update(self._trace_fields)
         for sink in self._sinks:
             sink.emit(record)
         return record
@@ -302,7 +319,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     ``"corrupt"``) so the parent can log cache events.
     """
     from repro.attacks.registry import make_attack
-    from repro.observability import Telemetry
+    from repro.observability import Telemetry, TraceContext
     from repro.problems.linear_regression import make_redundant_regression
     from repro.system.batch import run_dgd_batch
     from repro.system.runner import DGDConfig, run_dgd
@@ -314,6 +331,7 @@ def _run_regression_group(task: Dict) -> List[Dict]:
     array_backend = task.get("array_backend", "numpy")
     dtype = task.get("dtype", "float64")
     telemetry_dir = task.get("telemetry_dir")
+    trace_payload = task.get("trace")
 
     payloads: List[Optional[Dict]] = [None] * len(seeds)
     cache_states: List[str] = ["miss"] * len(seeds)
@@ -365,8 +383,21 @@ def _run_regression_group(task: Dict) -> List[Dict]:
             stream = os.path.join(
                 telemetry_dir, f"f{f}-{filter_name}-{attack_name}.jsonl"
             )
+            group_name = f"group-f{f}-{filter_name}-{attack_name}"
+            group_trace = None
+            if trace_payload is not None:
+                # The chunk context travelled across the process boundary
+                # inside the task payload; derive this group's span under
+                # it so the worker's stream links back to the job's tree.
+                group_trace = TraceContext.from_payload(
+                    trace_payload
+                ).child(group_name)
             telemetry = Telemetry(
-                stream, byzantine_ids=faulty_ids, reference_point=x_H
+                stream,
+                byzantine_ids=faulty_ids,
+                reference_point=x_H,
+                trace=group_trace,
+                trace_name=group_name if group_trace is not None else None,
             )
         try:
             if backend == "batch":
@@ -476,6 +507,27 @@ class SharedProcessPool:
     def rebuilds(self) -> int:
         """How many times the failure ladder has replaced the executor."""
         return self._rebuilds
+
+    @property
+    def live_workers(self) -> int:
+        """Count of worker processes currently alive.
+
+        Deliberately lock-free: the health endpoints scrape this while an
+        engine may hold the pool lock for an entire pooled map, and a
+        monitoring read must never block on (or be blocked by) job
+        execution. The racy read is fine — a worker set mid-churn yields
+        a momentarily stale count, never a crash.
+        """
+        pool = self._pool
+        if pool is None:
+            return 0
+        processes = getattr(pool, "_processes", None)
+        if not processes:
+            return 0
+        try:
+            return sum(1 for p in list(processes.values()) if p.is_alive())
+        except Exception:  # pragma: no cover - interpreter-internal churn
+            return 0
 
     def acquire(self) -> None:
         """Take exclusive use of the pool (blocks other sharers)."""
@@ -627,6 +679,7 @@ class SweepEngine:
         array_backend: str = "numpy",
         dtype: str = "float64",
         pool: Optional[SharedProcessPool] = None,
+        trace: Optional[TraceContext] = None,
     ):
         if backend not in ("batch", "sequential"):
             raise InvalidParameterError(
@@ -676,6 +729,10 @@ class SweepEngine:
         self._telemetry_dir = telemetry_dir
         self._array_backend = str(array_backend)
         self._dtype = dtype
+        self._trace = trace
+        self._trace_map_seq = 0
+        if trace is not None:
+            self._events.bind_trace(trace)
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
         if telemetry_dir is not None:
@@ -712,6 +769,55 @@ class SweepEngine:
     @property
     def dtype(self) -> str:
         return self._dtype
+
+    @property
+    def trace(self) -> Optional[TraceContext]:
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # Trace propagation
+    # ------------------------------------------------------------------
+
+    def _trace_chunk_contexts(
+        self, count: int
+    ) -> Optional[List[TraceContext]]:
+        """Per-chunk child contexts for one ``map`` call, or ``None``.
+
+        The map sequence number keys the derivation, so two maps on one
+        engine (a run plus its resume) produce distinct chunk span ids
+        while a *retry* of the same chunk within one map re-derives the
+        same id (the reconstructor deduplicates re-executions).
+        """
+        if self._trace is None:
+            return None
+        self._trace_map_seq += 1
+        seq = self._trace_map_seq
+        return [
+            self._trace.child(f"chunk-{index}", index=seq)
+            for index in range(count)
+        ]
+
+    @staticmethod
+    def _inject_trace(items: Sequence, context: TraceContext) -> List:
+        """Copy dict items with the chunk context in their payload."""
+        payload = context.to_payload()
+        return [
+            {**item, "trace": payload}
+            if isinstance(item, dict) and "trace" not in item
+            else item
+            for item in items
+        ]
+
+    def _emit_chunk_span(
+        self, context: TraceContext, index: int, ts: float, seconds: float
+    ) -> None:
+        self._events.emit(
+            "span",
+            name=f"chunk-{index}",
+            seconds=seconds,
+            ts=ts,
+            **context.fields(),
+        )
 
     # ------------------------------------------------------------------
     # Resilience plumbing
@@ -827,6 +933,7 @@ class SweepEngine:
         chunks: List[Sequence],
         workers: int,
         on_item_error: Optional[Callable],
+        chunk_contexts: Optional[List[TraceContext]] = None,
     ) -> List:
         """Pool execution of ``chunks`` with the retry/rebuild/quarantine ladder.
 
@@ -851,6 +958,7 @@ class SweepEngine:
             while pending:
                 futures: Dict[int, object] = {}
                 submitted_at: Dict[int, float] = {}
+                submitted_ts: Dict[int, float] = {}
                 rebuild = False
                 next_round: List[int] = []
 
@@ -873,6 +981,8 @@ class SweepEngine:
                         continue
                     try:
                         submitted_at[index] = time.perf_counter()
+                        if chunk_contexts is not None:
+                            submitted_ts[index] = time.time()
                         futures[index] = pool.submit(_run_chunk, worker, chunks[index])
                     except Exception as exc:
                         rebuild = True
@@ -894,12 +1004,18 @@ class SweepEngine:
                         if future.done():
                             try:
                                 results[index] = future.result(timeout=0)
+                                elapsed = time.perf_counter() - submitted_at[index]
                                 self._events.emit(
                                     "chunk_done", chunk=index,
                                     size=len(chunks[index]),
                                     attempt=attempts[index] + 1,
-                                    elapsed=time.perf_counter() - submitted_at[index],
+                                    elapsed=elapsed,
                                 )
+                                if chunk_contexts is not None:
+                                    self._emit_chunk_span(
+                                        chunk_contexts[index], index,
+                                        submitted_ts[index], elapsed,
+                                    )
                             except Exception as exc:
                                 charge_failure(
                                     index, exc, "chunk_salvage_failed",
@@ -910,11 +1026,17 @@ class SweepEngine:
                         continue
                     try:
                         results[index] = futures[index].result(timeout=self._timeout)
+                        elapsed = time.perf_counter() - submitted_at[index]
                         self._events.emit(
                             "chunk_done", chunk=index, size=len(chunks[index]),
                             attempt=attempts[index] + 1,
-                            elapsed=time.perf_counter() - submitted_at[index],
+                            elapsed=elapsed,
                         )
+                        if chunk_contexts is not None:
+                            self._emit_chunk_span(
+                                chunk_contexts[index], index,
+                                submitted_ts[index], elapsed,
+                            )
                     except PoolTimeoutError:
                         rebuild = True
                         charge_failure(
@@ -943,6 +1065,12 @@ class SweepEngine:
                             results[index] = self._run_items_inprocess(
                                 worker, chunks[index], on_item_error, retries=0
                             )
+                            if chunk_contexts is not None:
+                                self._emit_chunk_span(
+                                    chunk_contexts[index], index,
+                                    submitted_ts[index],
+                                    time.perf_counter() - submitted_at[index],
+                                )
                         else:
                             self._events.emit(
                                 "chunk_retry", chunk=index, attempt=attempts[index],
@@ -1022,9 +1150,24 @@ class SweepEngine:
                 )
                 use_pool = False
         if not use_pool:
-            return self._run_items_inprocess(
+            contexts = self._trace_chunk_contexts(1)
+            if contexts is None:
+                return self._run_items_inprocess(
+                    worker, items, on_item_error, retries=self._retries
+                )
+            # Traced in-process execution is modelled as one chunk so the
+            # span chain (engine -> chunk -> worker group) is identical
+            # in shape to the pooled path.
+            items = self._inject_trace(items, contexts[0])
+            started_ts = time.time()
+            started = time.perf_counter()
+            results = self._run_items_inprocess(
                 worker, items, on_item_error, retries=self._retries
             )
+            self._emit_chunk_span(
+                contexts[0], 0, started_ts, time.perf_counter() - started
+            )
+            return results
         workers = self._max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(items)))
         if chunk_size is None:
@@ -1034,8 +1177,18 @@ class SweepEngine:
             chunk_size = max(1, -(-len(items) // (4 * workers)))
         chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
         workers = min(workers, len(chunks))
+        contexts = self._trace_chunk_contexts(len(chunks))
+        if contexts is not None:
+            chunks = [
+                self._inject_trace(chunk, context)
+                for chunk, context in zip(chunks, contexts)
+            ]
+            items = [item for chunk in chunks for item in chunk]
         try:
-            return self._map_pooled(worker, chunks, workers, on_item_error)
+            return self._map_pooled(
+                worker, chunks, workers, on_item_error,
+                chunk_contexts=contexts,
+            )
         except _PoolUnavailable as exc:
             self._warn_once(
                 "pool-unavailable",
@@ -1179,6 +1332,8 @@ class SweepEngine:
         With a cache directory configured, a resume manifest is written
         after every run.
         """
+        started_ts = time.time()
+        started = time.perf_counter()
         seeds = grid.seeds()
         grid_fields = self._grid_fields(grid)
         tasks = [
@@ -1233,6 +1388,16 @@ class SweepEngine:
                     cell.estimates = np.asarray(payload["estimates"])
                 results.append(cell)
         self._write_manifest(grid, results)
+        if self._trace is not None:
+            # The engine's own context *is* the sweep span; emitting it
+            # after the grid closes the engine node in the span tree.
+            self._events.emit(
+                "span",
+                name="sweep",
+                seconds=time.perf_counter() - started,
+                ts=started_ts,
+                **self._trace.fields(),
+            )
         return results
 
     def resume(self, grid: RegressionGrid) -> List[SweepCellResult]:

@@ -18,12 +18,23 @@ from repro.observability.exporters import (
     summarize_records,
     write_summary_atomic,
 )
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
 from repro.observability.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
     Telemetry,
     TelemetryLike,
     ensure_telemetry,
+)
+from repro.observability.tracing import (
+    TraceContext,
+    derive_span_id,
+    derive_trace_id,
 )
 
 __all__ = [
@@ -39,4 +50,11 @@ __all__ = [
     "count_events",
     "summarize_records",
     "write_summary_atomic",
+    "TraceContext",
+    "derive_trace_id",
+    "derive_span_id",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus_text",
 ]

@@ -1,0 +1,395 @@
+"""In-process metrics: counters, gauges, histograms, Prometheus text.
+
+The service exposes its live state through a :class:`MetricsRegistry` —
+queue depth, admission rejections by reason, job latency distributions,
+cross-tenant cache hits, pool rebuilds. The registry is deliberately
+minimal: fixed-bucket histograms only, no timestamps, no metric
+expiry, and **one lock for the whole registry** (the same discipline as
+:class:`~repro.observability.exporters.JSONLSink`), so a scrape is a
+consistent snapshot no matter how many threads are updating concurrently.
+
+:meth:`MetricsRegistry.render_prometheus` emits the Prometheus text
+exposition format (``text/plain; version=0.0.4``) the service serves at
+``GET /metrics``; :func:`parse_prometheus_text` is the matching parser
+the tests and the CI smoke leg use to assert counter monotonicity across
+scrapes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus_text",
+]
+
+#: Content type of the text exposition format served at ``GET /metrics``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default histogram buckets for job/request latencies (seconds): spans
+#: sub-10ms cache hits through multi-minute sweeps.
+DEFAULT_LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise InvalidParameterError(f"invalid label name: {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _format_value(bound)
+
+
+class _Metric:
+    """Base class: a named instrument sharing the registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._lock = lock
+
+    def _header(self) -> List[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing value, optionally partitioned by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, by: float = 1.0, **labels) -> None:
+        amount = float(by)
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name} cannot decrease (inc by {by})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _render(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines
+
+    def _snapshot(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "values": {_render_labels(key)[1:-1] if key else "": value
+                       for key, value in self._values.items()},
+        }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, live workers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, by: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(by)
+
+    def dec(self, by: float = 1.0, **labels) -> None:
+        self.inc(-float(by), **labels)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    _render = Counter._render
+    _snapshot = Counter._snapshot
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with Prometheus cumulative exposition."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise InvalidParameterError(f"histogram {name} needs >= 1 bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise InvalidParameterError(
+                f"histogram {name} buckets must be finite (+Inf is implicit)"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InvalidParameterError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        # Per label set: one count per finite bucket plus the +Inf overflow.
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        amount = float(value)
+        key = _label_key(labels)
+        index = bisect_left(self.buckets, amount)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            counts[index] += 1
+            self._sums[key] += amount
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            counts = self._counts.get(_label_key(labels))
+            return sum(counts) if counts else 0
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            return self._sums.get(_label_key(labels), 0.0)
+
+    def _render(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                labels = _render_labels(key, [("le", _format_bound(bound))])
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += counts[-1]
+            labels = _render_labels(key, [("le", "+Inf")])
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            base = _render_labels(key)
+            lines.append(
+                f"{self.name}_sum{base} {_format_value(self._sums[key])}"
+            )
+            lines.append(f"{self.name}_count{base} {cumulative}")
+        return lines
+
+    def _snapshot(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "buckets": list(self.buckets),
+            "values": {
+                _render_labels(key)[1:-1] if key else "": {
+                    "counts": list(counts),
+                    "sum": self._sums[key],
+                    "count": sum(counts),
+                }
+                for key, counts in self._counts.items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments behind one lock.
+
+    ``counter``/``gauge``/``histogram`` are idempotent per name:
+    re-requesting an existing metric returns the same instrument, and
+    requesting a name under a different kind (or a histogram under
+    different buckets) raises
+    :class:`~repro.exceptions.InvalidParameterError` instead of silently
+    forking state.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or type(existing) is not cls:
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            buckets = kwargs.get("buckets")
+            if buckets is not None and tuple(
+                float(b) for b in buckets
+            ) != existing.buckets:
+                raise InvalidParameterError(
+                    f"histogram {name!r} already registered with "
+                    f"different buckets"
+                )
+            return existing
+        metric = cls(name, help_text, self._lock, **kwargs)
+        with self._lock:
+            racer = self._metrics.setdefault(name, metric)
+        if racer is not metric and type(racer) is not cls:
+            raise InvalidParameterError(
+                f"metric {name!r} already registered as {racer.kind}, "
+                f"not {cls.kind}"
+            )
+        return racer
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render_prometheus(self) -> str:
+        """The full registry in Prometheus text format, sorted by name.
+
+        Rendered under the registry lock, so the result is a consistent
+        point-in-time snapshot even while other threads update metrics.
+        """
+        with self._lock:
+            ordered = [self._metrics[name] for name in sorted(self._metrics)]
+            lines: List[str] = []
+            for metric in ordered:
+                # _render reads metric state; we already hold the shared
+                # lock, so call the unlocked bodies directly.
+                lines.extend(_render_unlocked(metric))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict:
+        """JSON-encodable dump of every metric, for the shutdown flush."""
+        with self._lock:
+            return {
+                name: _snapshot_unlocked(self._metrics[name])
+                for name in sorted(self._metrics)
+            }
+
+
+def _render_unlocked(metric: _Metric) -> List[str]:
+    return metric._render()
+
+
+def _snapshot_unlocked(metric: _Metric) -> Dict:
+    return metric._snapshot()
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse the text exposition format into ``{sample_key: value}``.
+
+    Sample keys are the exact ``name{labels}`` strings from the exposition
+    (labels in rendered order), so two scrapes of the same registry are
+    directly comparable key by key. Comment and blank lines are skipped;
+    malformed sample lines raise
+    :class:`~repro.exceptions.InvalidParameterError`.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        head, _, raw_value = stripped.rpartition(" ")
+        if not head:
+            raise InvalidParameterError(
+                f"malformed metrics line {lineno}: {line!r}"
+            )
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"malformed metrics value on line {lineno}: {raw_value!r}"
+            ) from exc
+        name = head.split("{", 1)[0]
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(
+                f"malformed metric name on line {lineno}: {name!r}"
+            )
+        samples[head] = value
+    return samples

@@ -52,6 +52,15 @@ from repro.observability.perf.regression import (
     format_comparisons,
     worst_verdict,
 )
+from repro.observability.perf.export import (
+    SpanNode,
+    build_span_tree,
+    collect_trace_records,
+    parse_chrome_trace,
+    render_flame,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.observability.perf.traces import (
     TraceAnomaly,
     TraceReport,
@@ -85,6 +94,13 @@ __all__ = [
     "TraceReport",
     "analyze_records",
     "analyze_trace_path",
+    "SpanNode",
+    "build_span_tree",
+    "collect_trace_records",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "parse_chrome_trace",
+    "render_flame",
     "load_default_workloads",
 ]
 

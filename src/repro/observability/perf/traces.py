@@ -48,7 +48,9 @@ __all__ = [
 class TraceAnomaly:
     """One flagged irregularity in a trace stream."""
 
-    kind: str  # "stall" | "precision_drop" | "divergence" | "slowdown"
+    # "stall" | "precision_drop" | "divergence" | "slowdown"
+    # | "agent_degraded" | "partition_unhealed"
+    kind: str
     message: str
     context: Dict[str, Any] = field(default_factory=dict)
 
@@ -69,6 +71,7 @@ class TraceReport:
     elimination: Dict[str, Any]
     counters: Dict[str, int]
     anomalies: List[TraceAnomaly]
+    agent_health: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -81,6 +84,9 @@ class TraceReport:
             "elimination": dict(self.elimination),
             "counters": dict(self.counters),
             "anomalies": [a.to_payload() for a in self.anomalies],
+            "agent_health": (
+                None if self.agent_health is None else dict(self.agent_health)
+            ),
         }
 
     def render(self) -> str:
@@ -124,6 +130,25 @@ class TraceReport:
             )
         for name, value in sorted(self.counters.items()):
             summary_rows.append([f"counter {name}", value])
+        if self.agent_health is not None:
+            health = self.agent_health
+            summary_rows.append(
+                ["agent-health rounds", health.get("rounds", 0)]
+            )
+            summary_rows.append(
+                ["degraded agent-rounds", health.get("degraded_rounds", 0)]
+            )
+            summary_rows.append(
+                ["max degraded streak", health.get("max_degraded_streak", 0)]
+            )
+            summary_rows.append(
+                ["bytes dropped", health.get("bytes_dropped", 0)]
+            )
+            summary_rows.append(
+                ["suspected/reinstated edges",
+                 f"{health.get('suspected_edge_events', 0)}"
+                 f"/{health.get('reinstated_edge_events', 0)}"]
+            )
         blocks.append(format_table(["quantity", "value"], summary_rows,
                                    title="stream summary"))
         if self.anomalies:
@@ -141,6 +166,104 @@ def _window_slices(count: int, windows: int) -> List[slice]:
     return [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
 
+def _analyze_agent_health(
+    health_records: List[Dict],
+    anomalies: List[TraceAnomaly],
+    *,
+    degraded_window: int,
+) -> Dict[str, Any]:
+    """Roll up ``agent_health`` records and flag degradation patterns.
+
+    Emitted by the decentralized engine once per faulted round; each
+    record carries per-agent ``live_in_degree``, the ids currently
+    ``degraded`` (infeasible neighborhood: ``1 + k_i < 2 f_i + 1``) and
+    ``frozen`` (crashed this round), and per-edge suspicion transitions.
+    Two anomaly patterns come out of the streak bookkeeping: an agent
+    degraded for more than ``degraded_window`` consecutive rounds, and a
+    partition that never healed (agents still degraded when the stream
+    ends, after such a streak).
+    """
+    streaks: Dict[int, int] = {}
+    max_streaks: Dict[int, int] = {}
+    degraded_rounds = 0
+    frozen_rounds = 0
+    bytes_dropped = 0
+    dropped_edges = 0
+    suspected_events = 0
+    reinstated_events = 0
+    min_in_degree: Optional[int] = None
+    final_degraded: List[int] = []
+    for record in health_records:
+        degraded = [int(i) for i in record.get("degraded", ())]
+        degraded_set = set(degraded)
+        degraded_rounds += len(degraded)
+        frozen_rounds += len(record.get("frozen", ()))
+        bytes_dropped += int(record.get("bytes_dropped", 0))
+        dropped_edges += int(record.get("dropped_edges", 0))
+        suspected_events += len(record.get("suspected_edges", ()))
+        reinstated_events += len(record.get("reinstated_edges", ()))
+        in_degree = record.get("live_in_degree")
+        if in_degree:
+            low = int(min(in_degree))
+            min_in_degree = (
+                low if min_in_degree is None else min(min_in_degree, low)
+            )
+        for agent in degraded:
+            streaks[agent] = streaks.get(agent, 0) + 1
+            if streaks[agent] > max_streaks.get(agent, 0):
+                max_streaks[agent] = streaks[agent]
+        for agent in list(streaks):
+            if agent not in degraded_set:
+                streaks[agent] = 0
+        final_degraded = sorted(degraded_set)
+    offenders = {
+        agent: streak
+        for agent, streak in sorted(max_streaks.items())
+        if streak > degraded_window
+    }
+    if offenders:
+        worst_agent = max(offenders, key=offenders.get)
+        anomalies.append(TraceAnomaly(
+            kind="agent_degraded",
+            message=(
+                f"{len(offenders)} agent(s) ran degraded for more than "
+                f"{degraded_window} consecutive rounds (worst: agent "
+                f"{worst_agent}, {offenders[worst_agent]} rounds)"
+            ),
+            context={"agents": offenders, "window": degraded_window},
+        ))
+    unhealed = sorted(
+        agent for agent in final_degraded
+        if streaks.get(agent, 0) > degraded_window
+    )
+    if unhealed:
+        anomalies.append(TraceAnomaly(
+            kind="partition_unhealed",
+            message=(
+                f"{len(unhealed)} agent(s) were still degraded when the "
+                f"stream ended (never healed): {unhealed[:8]}"
+            ),
+            context={
+                "agents": unhealed,
+                "final_streaks": {a: streaks[a] for a in unhealed},
+            },
+        ))
+    max_streak = max(max_streaks.values(), default=0)
+    return {
+        "rounds": len(health_records),
+        "degraded_rounds": degraded_rounds,
+        "frozen_rounds": frozen_rounds,
+        "max_degraded_streak": max_streak,
+        "degraded_agents": sorted(max_streaks),
+        "final_degraded": final_degraded,
+        "min_live_in_degree": min_in_degree,
+        "bytes_dropped": bytes_dropped,
+        "dropped_edges": dropped_edges,
+        "suspected_edge_events": suspected_events,
+        "reinstated_edge_events": reinstated_events,
+    }
+
+
 def analyze_records(
     records: Iterable[Dict],
     *,
@@ -150,6 +273,7 @@ def analyze_records(
     slowdown_ratio: float = 0.5,
     precision_drop: float = 0.25,
     divergence_factor: float = 2.0,
+    degraded_window: int = 8,
 ) -> TraceReport:
     """Analyze one record stream into a :class:`TraceReport`.
 
@@ -159,7 +283,10 @@ def analyze_records(
     slowdown; a window's elimination precision ``precision_drop`` under
     the stream's overall precision is a precision drop; a
     distance-to-reference series ending above ``divergence_factor`` times
-    its minimum (and above where it started) is divergence.
+    its minimum (and above where it started) is divergence; an agent
+    degraded for more than ``degraded_window`` consecutive rounds of a
+    decentralized ``agent_health`` series is flagged (still degraded at
+    stream end escalates to ``partition_unhealed``).
     """
     records = list(records)
     summary = summarize_records(records)
@@ -167,6 +294,7 @@ def analyze_records(
 
     span_durations: Dict[str, List[float]] = {}
     round_records: List[Dict] = []
+    health_records: List[Dict] = []
     distances: List[float] = []
     stalled_liveness = 0
     for record in records:
@@ -179,6 +307,8 @@ def analyze_records(
             round_records.append(record)
             if record.get("distance_to_ref") is not None:
                 distances.append(float(record["distance_to_ref"]))
+        elif event == "agent_health":
+            health_records.append(record)
         elif event == "liveness" and record.get("missing"):
             stalled_liveness += 1
 
@@ -294,6 +424,13 @@ def analyze_records(
                          "last": float(arr[-1])},
             ))
 
+    # Decentralized per-agent health series (PR 9 schema).
+    agent_health: Optional[Dict[str, Any]] = None
+    if health_records:
+        agent_health = _analyze_agent_health(
+            health_records, anomalies, degraded_window=degraded_window
+        )
+
     return TraceReport(
         source=source,
         records=len(records),
@@ -304,6 +441,7 @@ def analyze_records(
         elimination=summary["elimination"],
         counters=summary["counters"],
         anomalies=anomalies,
+        agent_health=agent_health,
     )
 
 

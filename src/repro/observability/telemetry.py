@@ -39,6 +39,7 @@ from repro.observability.exporters import (
     TelemetrySink,
     _assemble_summary,
 )
+from repro.observability.tracing import TraceContext
 
 __all__ = [
     "Telemetry",
@@ -122,21 +123,45 @@ NULL_TELEMETRY = NullTelemetry()
 
 
 class _Span:
-    """Times one ``with`` block and reports it to its telemetry handle."""
+    """Times one ``with`` block and reports it to its telemetry handle.
 
-    __slots__ = ("_telemetry", "_name", "_start")
+    On a traced handle, entering derives a deterministic child
+    :class:`~repro.observability.tracing.TraceContext` (parented on the
+    innermost open span) and pushes it on the handle's span stack, so
+    records emitted inside the block carry this span's lineage. Untraced
+    handles skip all of that — the emitted span record is byte-identical
+    to the pre-tracing schema.
+    """
+
+    __slots__ = ("_telemetry", "_name", "_start", "_context", "_ts")
 
     def __init__(self, telemetry: "Telemetry", name: str):
         self._telemetry = telemetry
         self._name = name
 
     def __enter__(self) -> "_Span":
+        tel = self._telemetry
+        self._context = None
+        self._ts = None
+        if tel._trace is not None:
+            tel._span_seq += 1
+            self._context = tel._current_trace_context().child(
+                self._name, index=tel._span_seq
+            )
+            tel._trace_stack.append(self._context)
+            self._ts = time.time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
-        self._telemetry._record_span(
-            self._name, time.perf_counter() - self._start
+        seconds = time.perf_counter() - self._start
+        tel = self._telemetry
+        if self._context is not None:
+            stack = tel._trace_stack
+            if stack and stack[-1] is self._context:
+                stack.pop()
+        tel._record_span(
+            self._name, seconds, context=self._context, ts=self._ts
         )
         return False
 
@@ -162,6 +187,19 @@ class Telemetry:
     reference_point:
         Optional reference (typically the honest minimizer ``x_H``);
         when set, every round record carries ``distance_to_ref``.
+    trace:
+        Optional :class:`~repro.observability.tracing.TraceContext`
+        binding this handle into a distributed trace. When set, every
+        span record carries deterministic ``trace_id``/``span_id``/
+        ``parent_span_id`` lineage plus a wall-clock ``ts``, and every
+        other record references the innermost open span. When unset
+        (the default), emitted records are byte-identical to the
+        untraced schema.
+    trace_name:
+        When set together with ``trace``, the handle times its own
+        lifetime and emits a span record under ``trace``'s own context
+        at :meth:`close` — this is how a pool worker registers the span
+        that parents everything it emitted.
     """
 
     enabled = True
@@ -172,6 +210,8 @@ class Telemetry:
         *,
         byzantine_ids: Iterable = (),
         reference_point=None,
+        trace: Optional[TraceContext] = None,
+        trace_name: Optional[str] = None,
     ):
         self._sinks: List[TelemetrySink] = self._coerce_sinks(sink)
         self.counters: Dict[str, int] = {}
@@ -186,7 +226,22 @@ class Telemetry:
             None if reference_point is None
             else np.asarray(reference_point, dtype=float)
         )
+        self.annotations: Dict[str, object] = {}
+        self._trace = trace
+        self._trace_name = trace_name
+        self._trace_stack: List[TraceContext] = []
+        self._span_seq = 0
+        self._born_ts = time.time() if trace is not None else None
+        self._born_perf = time.perf_counter() if trace is not None else None
         self._closed = False
+
+    @property
+    def trace(self) -> Optional[TraceContext]:
+        """The handle's root trace context (``None`` when untraced)."""
+        return self._trace
+
+    def _current_trace_context(self) -> TraceContext:
+        return self._trace_stack[-1] if self._trace_stack else self._trace
 
     @staticmethod
     def _coerce_sinks(sink) -> List[TelemetrySink]:
@@ -224,8 +279,17 @@ class Telemetry:
     # ------------------------------------------------------------------
 
     def emit(self, event: str, **fields) -> Dict:
-        """Emit one schema record (``{"event": event, **fields}``)."""
+        """Emit one schema record (``{"event": event, **fields}``).
+
+        On a traced handle, records that do not already carry lineage are
+        stamped with the innermost open span's ``trace_id``/``span_id``
+        (span records stamp their own context in :meth:`_record_span`).
+        """
         record = {"event": event, **fields}
+        if self._trace is not None and "trace_id" not in record:
+            context = self._current_trace_context()
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
         for sink in self._sinks:
             sink.emit(record)
         self.emitted += 1
@@ -239,9 +303,20 @@ class Telemetry:
         """Context manager timing one named region of work."""
         return _Span(self, name)
 
-    def _record_span(self, name: str, seconds: float) -> None:
+    def _record_span(
+        self,
+        name: str,
+        seconds: float,
+        context: Optional[TraceContext] = None,
+        ts: Optional[float] = None,
+    ) -> None:
         self._span_durations.setdefault(name, []).append(seconds)
-        self.emit("span", name=name, seconds=seconds)
+        if context is None:
+            self.emit("span", name=name, seconds=seconds)
+        else:
+            self.emit(
+                "span", name=name, seconds=seconds, ts=ts, **context.fields()
+            )
 
     def span_durations(self, name: str) -> List[float]:
         """All recorded durations (seconds) of the named span, in order.
@@ -257,12 +332,22 @@ class Telemetry:
         """Span name → recorded durations, as independent copies."""
         return {name: list(vals) for name, vals in self._span_durations.items()}
 
-    def annotate(self, *, byzantine_ids=None, reference_point=None) -> None:
-        """Attach ground truth the execution layer knows (runners call this)."""
+    def annotate(
+        self, *, byzantine_ids=None, reference_point=None, **fields
+    ) -> None:
+        """Attach ground truth the execution layer knows (runners call this).
+
+        Extra keyword fields (architecture, topology, aggregation, ...)
+        are descriptive annotations kept on :attr:`annotations`.
+        Previously only :class:`NullTelemetry` accepted them, so a live
+        handle attached to the decentralized runner raised ``TypeError``.
+        """
         if byzantine_ids is not None:
             self._byzantine = set(_id_list(byzantine_ids))
         if reference_point is not None:
             self._reference = np.asarray(reference_point, dtype=float)
+        if fields:
+            self.annotations.update(fields)
 
     def record_round(
         self,
@@ -398,6 +483,17 @@ class Telemetry:
         if self._closed:
             return
         self._closed = True
+        if self._trace is not None and self._trace_name is not None:
+            # Register the handle's own lifetime as a span under its root
+            # context, so streams written by a pool worker contribute the
+            # node that parents their "run"/"round" spans in the
+            # reconstructed cross-process tree.
+            self._record_span(
+                self._trace_name,
+                time.perf_counter() - self._born_perf,
+                context=self._trace,
+                ts=self._born_ts,
+            )
         if self.counters:
             self.emit("counters", **self.counters)
         self.emit("summary", **self.summary())

@@ -1,0 +1,144 @@
+"""Deterministic distributed-trace contexts.
+
+A trace follows one unit of work across every execution layer: the service
+accepts a job (root span), hands it to the executor, which runs a
+:class:`~repro.experiments.sweep.SweepEngine` whose chunks cross the
+process boundary into pool workers, which run the batch or decentralized
+engines round by round. Each layer opens child spans, and every telemetry
+record emitted inside a span carries the ``(trace_id, span_id,
+parent_span_id)`` triple, so the per-process JSONL streams can be
+reassembled into one cross-process span tree after the fact (see
+:mod:`repro.observability.perf.export`).
+
+Ids follow the repository's seed/cache-key discipline instead of the
+usual wall-clock-plus-randomness scheme: both trace and span ids are
+SHA-256 digests of canonical JSON key material (the same encoding the
+cell cache and job specs hash). Two consequences matter:
+
+- **No randomness in the numeric path.** Attaching a trace perturbs no
+  RNG stream and no floating-point work; the bit-identity suites pin
+  traced and untraced engine outputs equal.
+- **Replays collide on purpose.** A retried chunk re-derives the same
+  span ids, so the reconstructor deduplicates re-executions instead of
+  growing phantom subtrees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "TraceContext",
+    "derive_trace_id",
+    "derive_span_id",
+    "TRACE_ID_HEX",
+    "SPAN_ID_HEX",
+]
+
+#: Hex digits in a trace id (128 bits, matching W3C trace-context width).
+TRACE_ID_HEX = 32
+#: Hex digits in a span id (64 bits).
+SPAN_ID_HEX = 16
+
+
+def _digest(material) -> str:
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def derive_trace_id(*parts) -> str:
+    """Derive a 32-hex trace id from JSON-encodable key material.
+
+    Callers pass whatever uniquely names the traced unit of work — the
+    service uses ``("job", job_id, spec_hash)`` so a job's trace id is
+    reproducible from its manifest alone.
+    """
+    if not parts:
+        raise InvalidParameterError("derive_trace_id requires key material")
+    return _digest(["trace", list(parts)])[:TRACE_ID_HEX]
+
+
+def derive_span_id(
+    trace_id: str,
+    parent_span_id: Optional[str],
+    name: str,
+    index: int = 0,
+) -> str:
+    """Derive a 16-hex span id from its position in the tree.
+
+    ``index`` disambiguates repeated sibling names (the 300 ``"round"``
+    spans under one ``"run"`` span get indices 1..300 from the telemetry
+    handle's span sequence counter).
+    """
+    material = ["span", str(trace_id), parent_span_id or "", str(name), int(index)]
+    return _digest(material)[:SPAN_ID_HEX]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node's identity in a distributed trace.
+
+    Immutable; :meth:`child` derives new contexts rather than mutating.
+    ``parent_span_id`` is ``None`` exactly for the root span.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def root(cls, trace_id: str, name: str = "root") -> "TraceContext":
+        """The root context of a trace (no parent span)."""
+        return cls(
+            trace_id=str(trace_id),
+            span_id=derive_span_id(trace_id, None, name, 0),
+        )
+
+    def child(self, name: str, index: int = 0) -> "TraceContext":
+        """A child context whose parent is this context's span."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.trace_id, self.span_id, name, index),
+            parent_span_id=self.span_id,
+        )
+
+    def fields(self) -> Dict[str, str]:
+        """The lineage fields a span record carries, omitting null parent."""
+        record = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_span_id is not None:
+            record["parent_span_id"] = self.parent_span_id
+        return record
+
+    def to_payload(self) -> Dict[str, Optional[str]]:
+        """JSON-encodable form for crossing the process boundary."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload) -> "TraceContext":
+        """Rebuild a context serialized by :meth:`to_payload`."""
+        if not isinstance(payload, dict):
+            raise InvalidParameterError(
+                f"trace payload must be a dict, got {type(payload).__name__}"
+            )
+        try:
+            trace_id = payload["trace_id"]
+            span_id = payload["span_id"]
+        except KeyError as exc:
+            raise InvalidParameterError(
+                f"trace payload missing required key {exc.args[0]!r}"
+            ) from exc
+        parent = payload.get("parent_span_id")
+        return cls(
+            trace_id=str(trace_id),
+            span_id=str(span_id),
+            parent_span_id=None if parent is None else str(parent),
+        )

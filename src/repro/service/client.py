@@ -126,6 +126,29 @@ class ServiceClient:
     def stats(self) -> Dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics`` (not JSON)."""
+        conn = self._connection()
+        try:
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"service unreachable at {self._target()}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                try:
+                    document = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    document = {}
+                raise self._error_for(response.status, document)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def submit(self, kind: str, params: Dict, client: str = "anonymous",
                priority: int = 0) -> Dict:
         """Submit a job; returns its record. Raises on 400/429."""

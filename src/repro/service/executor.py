@@ -13,6 +13,13 @@ buys the isolation/sharing split the service needs:
   clients sweeping overlapping grids pay for each cell once, and a job
   resumed after a crash recomputes only cells no one ever finished.
 
+Each job also anchors a distributed trace: the record's deterministic
+``trace_id`` becomes the root ``"job"`` span, the engine's context is its
+``"sweep"`` child, and chunk payloads carry the lineage across the
+process boundary (see :mod:`repro.observability.tracing`). Live cache and
+latency counters are accumulated into the service's
+:class:`~repro.observability.metrics.MetricsRegistry`.
+
 Everything here is blocking by design; the server runs :meth:`execute` in
 worker threads (``asyncio.to_thread``) and keeps its event loop free. The
 engine's internal lock plus the shared pool's serialization make the
@@ -22,12 +29,16 @@ concurrent calls safe, and results bit-identical to batch execution.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+import threading
+import time
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.experiments.sweep import SharedProcessPool, SweepEngine
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TraceContext
 from repro.service.jobs import JobRecord, JobStore, grid_from_params
 
 __all__ = ["JobExecutor"]
@@ -44,6 +55,7 @@ class JobExecutor:
         backend: str = "batch",
         timeout: Optional[float] = None,
         retries: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.store = store
         self.cache_dir = os.path.join(store.root, "cache")
@@ -52,6 +64,17 @@ class JobExecutor:
         self._backend = backend
         self._timeout = timeout
         self._retries = int(retries)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cache_hits_total = self.metrics.counter(
+            "repro_cache_hits_total",
+            "Cross-tenant cell-cache hits served by executed jobs",
+        )
+        self._cache_misses_total = self.metrics.counter(
+            "repro_cache_misses_total",
+            "Cross-tenant cell-cache misses (cells actually computed)",
+        )
+        self._active_lock = threading.Lock()
+        self._active_handles: Dict[str, List] = {}
         self.pool: Optional[SharedProcessPool] = (
             SharedProcessPool(max_workers=pool_workers) if parallel else None
         )
@@ -60,9 +83,62 @@ class JobExecutor:
         if self.pool is not None:
             self.pool.close()
 
+    @property
+    def cache_hits(self) -> int:
+        """Cross-tenant cell-cache hits across every executed job."""
+        return int(self._cache_hits_total.total())
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells actually computed (cache misses) across every job."""
+        return int(self._cache_misses_total.total())
+
+    # -- graceful-shutdown flush --------------------------------------
+
+    def _register_handle(self, job_id: str, handle) -> None:
+        with self._active_lock:
+            self._active_handles.setdefault(job_id, []).append(handle)
+
+    def _unregister_handles(self, job_id: str) -> None:
+        with self._active_lock:
+            self._active_handles.pop(job_id, None)
+
+    def shutdown_flush(self) -> None:
+        """Close every live per-job telemetry handle.
+
+        Called by the server on SIGTERM / ``POST /shutdown`` *before* the
+        pool is torn down: a job interrupted mid-execution still gets its
+        trailing ``counters``/``summary`` records (and its root span, if
+        traced) flushed to its stream instead of losing the tail.
+        ``Telemetry.close`` is idempotent, so racing with the job thread's
+        own ``finally`` close is harmless.
+        """
+        with self._active_lock:
+            handles = [
+                handle
+                for per_job in self._active_handles.values()
+                for handle in per_job
+            ]
+            self._active_handles.clear()
+        for handle in handles:
+            try:
+                handle.close()
+            except Exception:  # pragma: no cover - flush is best-effort
+                pass
+
+    # -- tracing -------------------------------------------------------
+
+    @staticmethod
+    def _trace_root(record: JobRecord) -> Optional[TraceContext]:
+        """The job's root span context (``None`` for pre-tracing jobs)."""
+        if not record.trace_id:
+            return None
+        return TraceContext.root(record.trace_id, name="job")
+
     def engine_for(self, record: JobRecord,
                    telemetry: bool = False) -> SweepEngine:
         """A fresh per-job engine on the shared pool and shared cache."""
+        root = self._trace_root(record)
         return SweepEngine(
             parallel=self._parallel,
             pool=self.pool,
@@ -74,6 +150,7 @@ class JobExecutor:
             telemetry_dir=(
                 self.store.telemetry_dir(record.job_id) if telemetry else None
             ),
+            trace=None if root is None else root.child("sweep"),
         )
 
     # -- dispatch ------------------------------------------------------
@@ -95,7 +172,10 @@ class JobExecutor:
             raise InvalidParameterError(
                 f"unknown job kind {record.spec.kind!r}"
             )
-        result = handler(record)
+        try:
+            result = handler(record)
+        finally:
+            self._unregister_handles(record.job_id)
         self.store.write_result(record.job_id, result)
         return result.get("counts", {})
 
@@ -106,13 +186,28 @@ class JobExecutor:
         engine = self.engine_for(
             record, telemetry=bool(record.spec.params.get("telemetry", False))
         )
+        root = self._trace_root(record)
+        started_ts = time.time()
+        started = time.perf_counter()
         # A restarted attempt is a resume: the event log then proves how
         # much of the grid was recovered from the shared cell cache.
         if record.attempts > 1:
             cells = engine.resume(grid)
         else:
             cells = engine.run_regression_grid(grid)
+        if root is not None:
+            # Close the root "job" span over the engine's own stream so
+            # the whole tree reconstructs from the job directory alone.
+            engine.events.emit(
+                "span",
+                name="job",
+                seconds=time.perf_counter() - started,
+                ts=started_ts,
+                **root.fields(),
+            )
         counts = engine.events.counts()
+        self._cache_hits_total.inc(counts.get("cache_hit", 0))
+        self._cache_misses_total.inc(counts.get("cache_miss", 0))
         cell_rows = [
             {
                 "filter": cell.filter_name,
@@ -170,11 +265,15 @@ class JobExecutor:
         honest = [i for i in range(n) if i not in faulty]
         x_H = instance.honest_minimizer(honest)
         behavior = make_attack(attack_name) if faulty else None
+        root = self._trace_root(record)
         telemetry = Telemetry(
             [MemorySink(), JSONLSink(self.store.events_path(record.job_id))],
             byzantine_ids=faulty,
             reference_point=x_H,
+            trace=root,
+            trace_name="job" if root is not None else None,
         )
+        self._register_handle(record.job_id, telemetry)
         try:
             trace = run_dgd(
                 instance.costs,

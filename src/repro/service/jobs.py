@@ -257,6 +257,7 @@ class JobRecord:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     summary: Dict = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -275,6 +276,7 @@ class JobRecord:
             "finished_at": self.finished_at,
             "error": self.error,
             "summary": self.summary,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -300,6 +302,7 @@ class JobRecord:
             finished_at=payload.get("finished_at"),
             error=payload.get("error"),
             summary=dict(payload.get("summary", {})),
+            trace_id=payload.get("trace_id"),
         )
 
 
@@ -353,12 +356,24 @@ class JobStore:
         return highest + 1
 
     def create(self, spec: JobSpec, seq: Optional[int] = None) -> JobRecord:
-        """Allocate a new job id, persist its manifest, return the record."""
+        """Allocate a new job id, persist its manifest, return the record.
+
+        Every job is born with a deterministic trace id derived from its
+        id and spec hash (the seed/cache-key discipline of
+        :mod:`repro.observability.tracing`), so the cross-process span
+        tree of a recovered job links up exactly like a fresh one's.
+        """
+        from repro.observability.tracing import derive_trace_id
+
         if seq is None:
             seq = self.next_seq()
         job_id = f"j{seq:05d}-{spec.spec_hash()[:8]}"
         record = JobRecord(
-            job_id=job_id, seq=seq, spec=spec, submitted_at=time.time()
+            job_id=job_id,
+            seq=seq,
+            spec=spec,
+            submitted_at=time.time(),
+            trace_id=derive_trace_id("job", job_id, spec.spec_hash()),
         )
         os.makedirs(self.job_dir(job_id), exist_ok=True)
         self.save(record)

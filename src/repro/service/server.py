@@ -8,8 +8,10 @@ default: filesystem permissions are the auth model) or a TCP port.
 
 Endpoints
 ---------
-``GET  /healthz``              liveness + job-state counts
+``GET  /healthz``              liveness + job-state counts + cache/pool health
 ``GET  /stats``                queue/admission/pool/cache statistics
+``GET  /metrics``              Prometheus text exposition (counters, gauges,
+                               job-latency histogram)
 ``POST /jobs``                 submit a job; ``201`` with the record,
                                ``400`` on a malformed spec, ``429`` with a
                                structured admission rejection
@@ -52,9 +54,14 @@ from repro.exceptions import (
     InvalidParameterError,
     ReproError,
 )
+from repro.observability.metrics import (
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+)
 from repro.service.executor import JobExecutor
 from repro.service.jobs import JobRecord, JobStore, validate_job_spec
 from repro.service.queue import JobQueue
+from repro.utils.atomicio import write_json_atomic
 
 __all__ = ["ServiceConfig", "ReproService"]
 
@@ -112,6 +119,7 @@ class ReproService:
         self.queue = JobQueue(
             max_depth=config.max_queue, per_client=config.per_client
         )
+        self.metrics = MetricsRegistry()
         self.executor = JobExecutor(
             self.store,
             parallel=config.parallel,
@@ -119,6 +127,27 @@ class ReproService:
             backend=config.backend,
             timeout=config.timeout,
             retries=config.retries,
+            metrics=self.metrics,
+        )
+        self._requests_total = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by top-level path and method",
+        )
+        self._jobs_submitted_total = self.metrics.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted past admission control",
+        )
+        self._admission_rejected_total = self.metrics.counter(
+            "repro_admission_rejected_total",
+            "Job submissions rejected by admission control, by reason",
+        )
+        self._jobs_completed_total = self.metrics.counter(
+            "repro_jobs_completed_total",
+            "Jobs that reached a terminal state in a job slot, by state",
+        )
+        self._job_latency = self.metrics.histogram(
+            "repro_job_latency_seconds",
+            "Wall-clock seconds from job start to terminal state",
         )
         #: Live view of every job this process knows (id → record).
         self.records: Dict[str, JobRecord] = {}
@@ -187,6 +216,18 @@ class ReproService:
         for task in self._slots:
             task.cancel()
         await asyncio.gather(*self._slots, return_exceptions=True)
+        # Flush every live per-job telemetry stream before tearing the
+        # pool down, then persist a final metrics snapshot: a SIGTERM
+        # mid-job must not lose stream tails or the scrape state.
+        self.executor.shutdown_flush()
+        try:
+            write_json_atomic(
+                os.path.join(self.config.state_dir, "metrics.json"),
+                self.metrics.snapshot(),
+                checksum=False,
+            )
+        except OSError:
+            pass  # snapshot is best-effort; shutdown must still finish
         self.executor.close()
         if self.config.socket_path:
             try:
@@ -243,6 +284,14 @@ class ReproService:
             record.finished_at = time.time()
             self.store.save(record)
             self.queue.finish(record)
+            self._jobs_completed_total.inc(
+                kind=record.spec.kind, state=record.state
+            )
+            if record.started_at is not None:
+                self._job_latency.observe(
+                    record.finished_at - record.started_at,
+                    kind=record.spec.kind,
+                )
 
     # -- job GC --------------------------------------------------------
 
@@ -349,6 +398,19 @@ class ReproService:
         writer.write(head + body)
         await writer.drain()
 
+    @staticmethod
+    async def _respond_text(writer, status: int, body: str,
+                            content_type: str) -> None:
+        data = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {'OK' if status == 200 else 'Error'}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
     async def _respond_stream_head(self, writer) -> None:
         head = (
             "HTTP/1.1 200 OK\r\n"
@@ -363,10 +425,19 @@ class ReproService:
     async def _route(self, writer, method: str, path: str, query: Dict,
                      body: Dict) -> None:
         segments = [s for s in path.split("/") if s]
+        self._requests_total.inc(
+            path=segments[0] if segments else "/", method=method
+        )
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200, self._healthz())
         elif path == "/stats" and method == "GET":
             await self._respond(writer, 200, self._stats())
+        elif path == "/metrics" and method == "GET":
+            self._refresh_gauges()
+            await self._respond_text(
+                writer, 200, self.metrics.render_prometheus(),
+                PROMETHEUS_CONTENT_TYPE,
+            )
         elif path == "/shutdown" and method == "POST":
             await self._respond(writer, 200, {"stopping": True})
             self._stopping.set()
@@ -403,15 +474,63 @@ class ReproService:
 
     # -- handlers ------------------------------------------------------
 
-    def _healthz(self) -> Dict:
+    def _job_states(self) -> Dict[str, int]:
         states: Dict[str, int] = {}
         for record in self.records.values():
             states[record.state] = states.get(record.state, 0) + 1
+        return states
+
+    def _cache_health(self) -> Dict:
+        hits = self.executor.cache_hits
+        misses = self.executor.cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / total) if total else None,
+        }
+
+    def _pool_health(self) -> Dict:
+        pool = self.executor.pool
+        return {
+            "shared": pool is not None,
+            "max_workers": pool.max_workers if pool is not None else None,
+            "rebuilds": pool.rebuilds if pool is not None else 0,
+            "live_workers": pool.live_workers if pool is not None else 0,
+        }
+
+    def _refresh_gauges(self) -> None:
+        """Set scrape-time gauges from live state, just before rendering."""
+        gauges = self.metrics
+        gauges.gauge(
+            "repro_uptime_seconds", "Seconds since the service started",
+        ).set(time.time() - self.started_at)
+        gauges.gauge(
+            "repro_queue_depth", "Jobs currently waiting in the queue",
+        ).set(self.queue.depth)
+        jobs = gauges.gauge(
+            "repro_jobs", "Known jobs by state",
+        )
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            jobs.set(0, state=state)
+        for state, count in self._job_states().items():
+            jobs.set(count, state=state)
+        pool = self._pool_health()
+        gauges.gauge(
+            "repro_pool_rebuilds", "Shared process pool rebuilds",
+        ).set(pool["rebuilds"])
+        gauges.gauge(
+            "repro_pool_live_workers", "Live shared-pool worker processes",
+        ).set(pool["live_workers"])
+
+    def _healthz(self) -> Dict:
         return {
             "ok": True,
             "uptime": time.time() - self.started_at,
-            "jobs": states,
+            "jobs": self._job_states(),
             "recovered": list(self.recovered),
+            "cache": self._cache_health(),
+            "pool": self._pool_health(),
         }
 
     def _stats(self) -> Dict:
@@ -419,37 +538,33 @@ class ReproService:
             1 for name in os.listdir(self.executor.cache_dir)
             if name.endswith(".json") and not name.startswith("manifest")
         )
+        cache = self._cache_health()
+        cache.update({"dir": self.executor.cache_dir, "cells": cache_cells})
         return {
+            "uptime": time.time() - self.started_at,
             "queue": self.queue.snapshot(),
             "job_slots": self.config.job_slots,
-            "pool": {
-                "shared": self.executor.pool is not None,
-                "max_workers": (
-                    self.executor.pool.max_workers
-                    if self.executor.pool is not None else None
-                ),
-                "rebuilds": (
-                    self.executor.pool.rebuilds
-                    if self.executor.pool is not None else 0
-                ),
-            },
-            "cache": {"dir": self.executor.cache_dir, "cells": cache_cells},
+            "pool": self._pool_health(),
+            "cache": cache,
         }
 
     async def _submit(self, writer, body: Dict) -> None:
         if body.get("__malformed__"):
+            self._admission_rejected_total.inc(reason="malformed-json")
             await self._respond(
                 writer, 400, _err("malformed-json", "request body"))
             return
         try:
             spec = validate_job_spec(body)
         except InvalidParameterError as exc:
+            self._admission_rejected_total.inc(reason="invalid-spec")
             await self._respond(writer, 400, _err("invalid-spec", str(exc)))
             return
         record = self.store.create(spec)
         try:
             self.queue.submit(record)
         except AdmissionRejectedError as exc:
+            self._admission_rejected_total.inc(reason=exc.reason)
             record.state = "cancelled"
             record.error = str(exc)
             record.finished_at = time.time()
@@ -464,6 +579,7 @@ class ReproService:
             })
             return
         self.records[record.job_id] = record
+        self._jobs_submitted_total.inc(kind=record.spec.kind)
         self._wake.set()
         await self._respond(writer, 201, record.to_payload())
 

@@ -399,7 +399,8 @@ def run_decentralized_dgd(
                     bad = delivered & ~np.isfinite(payloads).all(axis=1)
                     counters["quarantined"] += int(bad.sum())
                     delivered &= ~bad
-                counters["dropped_edges"] += int(dropped.sum())
+                dropped_now = int(dropped.sum())
+                counters["dropped_edges"] += dropped_now
                 counters["delayed_edges"] += int((delivered & (delay > 0)).sum())
                 newly, reinstated = liveness.observe(t, delivered)
                 counters["suspected_edge_events"] += newly
@@ -468,6 +469,39 @@ def run_decentralized_dgd(
                     kept_ids=None,
                     estimate=mean_trajectory[t + 1],
                 )
+                if faulted:
+                    # Per-agent/per-edge health time-series: the live
+                    # in-degree each agent actually saw, who fell below
+                    # its 2f_i+1 redundancy floor, and which links
+                    # changed suspicion state this round. Consumed by
+                    # the agent_health anomaly pass in perf/traces.py.
+                    degraded_mask = ~feasible
+                    if down is not None:
+                        degraded_mask = degraded_mask & ~down
+                    tel.emit(
+                        "agent_health",
+                        round=t,
+                        live_in_degree=k_live.tolist(),
+                        degraded=np.flatnonzero(degraded_mask).tolist(),
+                        frozen=(
+                            np.flatnonzero(down).tolist()
+                            if down is not None
+                            else []
+                        ),
+                        dropped_edges=dropped_now,
+                        bytes_dropped=dropped_now * dimension * 8,
+                        suspected_edges=[
+                            list(edge)
+                            for edge in liveness.last_newly_suspected_edges()
+                        ],
+                        reinstated_edges=[
+                            list(edge)
+                            for edge in liveness.last_reinstated_edges()
+                        ],
+                        degraded_agent_rounds=counters[
+                            "degraded_agent_rounds"
+                        ],
+                    )
     elapsed = time.perf_counter() - start
 
     extra: Dict[str, object] = {"max_staleness": policy.max_staleness}

@@ -266,6 +266,8 @@ class NeighborhoodLiveness:
         self._misses = np.zeros(self._senders.shape[0], dtype=np.int64)
         self._last_seen = np.full(self._senders.shape[0], -1, dtype=np.int64)
         self._suspected = np.zeros(self._senders.shape[0], dtype=bool)
+        self._last_newly = np.zeros(self._senders.shape[0], dtype=bool)
+        self._last_reinstated = np.zeros(self._senders.shape[0], dtype=bool)
         self.reinstatements = 0
 
     @property
@@ -308,14 +310,32 @@ class NeighborhoodLiveness:
                 f"delivered must have shape {self._senders.shape}, "
                 f"got {delivered.shape}"
             )
-        reinstated = int((delivered & self._suspected).sum())
+        reinstated_mask = delivered & self._suspected
+        reinstated = int(reinstated_mask.sum())
         self._misses = np.where(delivered, 0, self._misses + 1)
         self._last_seen = np.where(delivered, int(round_index), self._last_seen)
         now_suspected = self._misses >= self._threshold
-        newly = int((now_suspected & ~self._suspected).sum())
+        newly_mask = now_suspected & ~self._suspected
+        newly = int(newly_mask.sum())
+        self._last_newly = newly_mask
+        self._last_reinstated = reinstated_mask
         self._suspected = now_suspected
         self.reinstatements += reinstated
         return newly, reinstated
+
+    def _edges_of(self, mask: np.ndarray) -> List[Tuple[int, int]]:
+        index = np.flatnonzero(mask)
+        return sorted(
+            (int(self._senders[i]), int(self._receivers[i])) for i in index
+        )
+
+    def last_newly_suspected_edges(self) -> List[Tuple[int, int]]:
+        """Edges that crossed into suspicion at the latest ``observe``."""
+        return self._edges_of(self._last_newly)
+
+    def last_reinstated_edges(self) -> List[Tuple[int, int]]:
+        """Edges that delivered again at the latest ``observe``."""
+        return self._edges_of(self._last_reinstated)
 
     def live_in_degree(self, n: int) -> np.ndarray:
         """Per-receiver count of currently unsuspected incoming edges.

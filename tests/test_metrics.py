@@ -1,0 +1,191 @@
+"""Metrics registry semantics, Prometheus rendering, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        counter.inc()
+        counter.inc(2, path="jobs")
+        counter.inc(path="jobs")
+        assert counter.value() == 1
+        assert counter.value(path="jobs") == 3
+        assert counter.total() == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(InvalidParameterError):
+            counter.inc(-1)
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.counter("not a name")
+        with pytest.raises(InvalidParameterError):
+            registry.counter("ok").inc(**{"0bad": "x"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+        gauge.set(0, state="queued")
+        gauge.inc(by=3, state="queued")
+        assert gauge.value(state="queued") == 3
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(55.55)
+
+    def test_bucket_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("b", buckets=(1.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("c", buckets=(1.0, float("inf")))
+
+    def test_boundary_lands_in_le_bucket(self):
+        # Prometheus buckets are cumulative "<= bound".
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        text = registry.render_prometheus()
+        samples = parse_prometheus_text(text)
+        assert samples['h_bucket{le="1"}'] == 1
+        assert samples['h_bucket{le="+Inf"}'] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.get("x") is registry.counter("x")
+        assert registry.get("missing") is None
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("x")
+        registry.histogram("h")
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("h", buckets=(1.0, 2.0))
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(path="jobs")
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["c"]["kind"] == "counter"
+        assert round_tripped["h"]["values"][""]["count"] == 1
+
+
+class TestPrometheusText:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "reqs").inc(3, path="jobs",
+                                                       method="GET")
+        registry.gauge("queue_depth").set(7)
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples['requests_total{method="GET",path="jobs"}'] == 3
+        assert samples["queue_depth"] == 7
+        assert samples['latency_seconds_bucket{le="0.1"}'] == 1
+        assert samples['latency_seconds_bucket{le="1"}'] == 2
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 2
+        assert samples["latency_seconds_count"] == 2
+        assert samples["latency_seconds_sum"] == pytest.approx(0.55)
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(InvalidParameterError):
+            parse_prometheus_text("metric_without_value")
+        with pytest.raises(InvalidParameterError):
+            parse_prometheus_text("metric not-a-number")
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# HELP x y\n# TYPE x counter\n\nx 1\n"
+        assert parse_prometheus_text(text) == {"x": 1.0}
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(reason='say "no"\nplease')
+        text = registry.render_prometheus()
+        assert r'reason="say \"no\"\nplease"' in text
+        parse_prometheus_text(text)  # still line-parseable
+
+
+class TestConcurrency:
+    def test_hammered_registry_scrapes_consistently(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        histogram = registry.histogram("op_seconds", buckets=(0.5,))
+        threads, per_thread = 8, 500
+        start = threading.Barrier(threads + 1)
+
+        def worker(i):
+            start.wait()
+            for j in range(per_thread):
+                counter.inc(worker=str(i))
+                histogram.observe((j % 2) * 1.0)
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        start.wait()
+        # Scrape while the writers hammer: every scrape must be
+        # self-consistent and counters monotone between scrapes.
+        previous = {}
+        for _ in range(20):
+            samples = parse_prometheus_text(registry.render_prometheus())
+            assert (samples.get('op_seconds_bucket{le="+Inf"}', 0)
+                    == samples.get("op_seconds_count", 0))
+            assert (samples.get('op_seconds_bucket{le="0.5"}', 0)
+                    <= samples.get("op_seconds_count", 0))
+            for key, value in previous.items():
+                assert samples.get(key, 0) >= value
+            previous = samples
+        for t in pool:
+            t.join()
+        final = parse_prometheus_text(registry.render_prometheus())
+        assert counter.total() == threads * per_thread
+        assert final["op_seconds_count"] == threads * per_thread
+        for i in range(threads):
+            assert final[f'ops_total{{worker="{i}"}}'] == per_thread
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.01
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )

@@ -193,3 +193,136 @@ def test_analyze_path_rejects_missing_and_empty(tmp_path):
     empty.mkdir()
     with pytest.raises(InvalidParameterError, match="no \\*.jsonl"):
         analyze_trace_path(str(empty))
+
+
+# ----------------------------------------------------------------------
+# Per-agent health time-series (decentralized record schema)
+# ----------------------------------------------------------------------
+
+
+def _health(index, degraded=(), frozen=(), dropped=0, suspected=(),
+            reinstated=(), n=4):
+    return {
+        "event": "agent_health",
+        "round": index,
+        "live_in_degree": [2] * n,
+        "degraded": list(degraded),
+        "frozen": list(frozen),
+        "dropped_edges": dropped,
+        "bytes_dropped": dropped * 16,
+        "suspected_edges": [list(edge) for edge in suspected],
+        "reinstated_edges": [list(edge) for edge in reinstated],
+        "degraded_agent_rounds": 0,
+    }
+
+
+def test_healthy_agent_stream_summarized_without_anomalies():
+    records = _healthy_stream(20) + [
+        _health(i, dropped=1, suspected=[(0, 1)] if i == 3 else ())
+        for i in range(20)
+    ]
+    report = analyze_records(records, source="unit")
+    assert report.anomalies == []
+    health = report.agent_health
+    assert health["rounds"] == 20
+    assert health["degraded_rounds"] == 0
+    assert health["bytes_dropped"] == 20 * 16
+    assert health["dropped_edges"] == 20
+    assert health["suspected_edge_events"] == 1
+    assert health["min_live_in_degree"] == 2
+    assert "agent-health rounds" in report.render()
+
+
+def test_long_degraded_streak_flagged():
+    # agent 2 degraded for 12 consecutive rounds, then heals
+    records = _healthy_stream(20) + [
+        _health(i, degraded=[2] if i < 12 else [])
+        for i in range(20)
+    ]
+    report = analyze_records(records)
+    kinds = [a.kind for a in report.anomalies]
+    assert kinds == ["agent_degraded"]
+    assert report.anomalies[0].context["agents"] == {2: 12}
+    assert report.agent_health["max_degraded_streak"] == 12
+    assert report.agent_health["final_degraded"] == []
+
+
+def test_short_blips_below_window_not_flagged():
+    # degraded 3 rounds at a time with recoveries in between
+    records = _healthy_stream(20) + [
+        _health(i, degraded=[1] if (i // 3) % 2 == 0 else [])
+        for i in range(20)
+    ]
+    report = analyze_records(records)
+    assert [a.kind for a in report.anomalies] == []
+
+
+def test_unhealed_partition_flagged():
+    records = _healthy_stream(30) + [
+        _health(i, degraded=[0, 3]) for i in range(30)
+    ]
+    report = analyze_records(records)
+    kinds = sorted(a.kind for a in report.anomalies)
+    assert kinds == ["agent_degraded", "partition_unhealed"]
+    unhealed = next(a for a in report.anomalies
+                    if a.kind == "partition_unhealed")
+    assert unhealed.context["agents"] == [0, 3]
+    assert report.agent_health["final_degraded"] == [0, 3]
+
+
+def test_degraded_window_is_tunable():
+    records = _healthy_stream(10) + [
+        _health(i, degraded=[1] if i < 5 else []) for i in range(10)
+    ]
+    assert analyze_records(records).anomalies == []
+    tight = analyze_records(records, degraded_window=3)
+    assert [a.kind for a in tight.anomalies] == ["agent_degraded"]
+
+
+def test_agent_health_in_payload_and_json_round_trip():
+    records = _healthy_stream(10) + [_health(i) for i in range(10)]
+    report = analyze_records(records)
+    payload = report.to_payload()
+    assert payload["agent_health"]["rounds"] == 10
+    json.dumps(payload)  # JSON-safe
+    assert analyze_records(_healthy_stream(5)).to_payload()[
+        "agent_health"] is None
+
+
+def test_recorded_decentralized_stream_end_to_end(tmp_path):
+    """Regression over a real E17-style recorded decentralized stream."""
+    import numpy as np
+
+    from repro.observability import Telemetry
+    from repro.problems.linear_regression import make_redundant_regression
+    from repro.system.decentralized import run_decentralized_dgd
+    from repro.system.netfaults import LinkFaultModel, LinkFaultProfile
+    from repro.system.topology import ring_topology
+
+    instance = make_redundant_regression(n=12, d=2, f=1, seed=5)
+    topology = ring_topology(12, hops=2)
+    # strangle every in-edge of agent 0: it can never meet 2f+1 live
+    profiles = {(sender, 0): LinkFaultProfile(drop_prob=1.0)
+                for sender in topology.neighbors(0)}
+    model = LinkFaultModel(link_profiles=profiles, seed=3)
+    stream = tmp_path / "decentralized.jsonl"
+    telemetry = Telemetry(str(stream))
+    run_decentralized_dgd(
+        instance.costs, topology, iterations=40, seed=2,
+        local_budgets=1, link_faults=model, telemetry=telemetry,
+    )
+    telemetry.close()
+
+    report = analyze_trace_path(str(stream))[0]
+    kinds = sorted(a.kind for a in report.anomalies)
+    assert "agent_degraded" in kinds
+    assert "partition_unhealed" in kinds
+    health = report.agent_health
+    assert health["rounds"] == 40
+    assert health["max_degraded_streak"] == 40
+    assert health["final_degraded"] == [0]
+    assert health["min_live_in_degree"] == 0
+    assert health["bytes_dropped"] > 0
+    rendered = report.render()
+    assert "max degraded streak" in rendered
+    assert "bytes dropped" in rendered

@@ -1,0 +1,244 @@
+"""Service observability: /metrics, extended health, tracing, shutdown flush.
+
+In-process tests reuse the live-service harness idiom from
+``test_service.py``; the graceful-shutdown test runs ``repro serve`` as a
+subprocess and SIGTERMs it mid-job to prove streams and the metrics
+snapshot are flushed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.observability.metrics import parse_prometheus_text
+from repro.observability.perf import build_span_tree, collect_trace_records
+from repro.service import ServiceClient
+
+from tests.test_service import ServiceHarness
+
+SWEEP_PARAMS = {
+    "filters": ["cge"],
+    "attacks": ["zero"],
+    "fault_counts": [1],
+    "num_seeds": 2,
+    "n": 4,
+    "d": 1,
+    "iterations": 25,
+    "master_seed": 7,
+}
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = ServiceHarness(tmp_path / "state")
+    yield h
+    h.stop()
+
+
+def _counters_only(samples):
+    """Samples that must be monotone between scrapes (drop gauges)."""
+    gauge_prefixes = ("repro_uptime_seconds", "repro_queue_depth",
+                      "repro_jobs{", "repro_pool_")
+    return {key: value for key, value in samples.items()
+            if not key.startswith(gauge_prefixes)}
+
+
+class TestMetricsEndpoint:
+    def test_scrapes_before_during_after_job(self, harness):
+        before = parse_prometheus_text(harness.client.metrics())
+        assert before["repro_uptime_seconds"] >= 0
+
+        record = harness.client.submit("sweep", dict(SWEEP_PARAMS))
+        during = parse_prometheus_text(harness.client.metrics())
+        final = harness.client.wait(record["job_id"], timeout=120)
+        assert final["state"] == "done"
+        after = parse_prometheus_text(harness.client.metrics())
+
+        # counters are monotone across all three scrapes
+        for earlier, later in ((before, during), (during, after)):
+            for key, value in _counters_only(earlier).items():
+                assert later.get(key, 0) >= value
+
+        assert after['repro_jobs_submitted_total{kind="sweep"}'] == 1
+        assert after[
+            'repro_jobs_completed_total{kind="sweep",state="done"}'] == 1
+        assert after[
+            'repro_job_latency_seconds_count{kind="sweep"}'] == 1
+        assert after['repro_job_latency_seconds_sum{kind="sweep"}'] > 0
+        assert after['repro_jobs{state="done"}'] == 1
+        # the full bucket ladder is present and cumulative
+        buckets = [value for key, value in sorted(after.items())
+                   if key.startswith("repro_job_latency_seconds_bucket")]
+        assert buckets and max(buckets) == after[
+            'repro_job_latency_seconds_count{kind="sweep"}']
+
+    def test_request_counter_partitions_by_path(self, harness):
+        harness.client.healthz()
+        harness.client.stats()
+        samples = parse_prometheus_text(harness.client.metrics())
+        assert samples[
+            'repro_http_requests_total{method="GET",path="healthz"}'] >= 1
+        assert samples[
+            'repro_http_requests_total{method="GET",path="stats"}'] >= 1
+
+    def test_admission_rejections_counted_by_reason(self, harness):
+        with pytest.raises(ServiceError):
+            harness.client.submit("nonsense", {})
+        samples = parse_prometheus_text(harness.client.metrics())
+        assert samples[
+            'repro_admission_rejected_total{reason="invalid-spec"}'] == 1
+
+    def test_cache_counters_track_cross_job_hits(self, harness):
+        first = harness.client.submit("sweep", dict(SWEEP_PARAMS))
+        harness.client.wait(first["job_id"], timeout=120)
+        second = harness.client.submit("sweep", dict(SWEEP_PARAMS))
+        harness.client.wait(second["job_id"], timeout=120)
+        samples = parse_prometheus_text(harness.client.metrics())
+        assert samples["repro_cache_misses_total"] == 2
+        assert samples["repro_cache_hits_total"] == 2
+        health = harness.client.healthz()
+        assert health["cache"]["hits"] == 2
+        assert health["cache"]["hit_ratio"] == pytest.approx(0.5)
+
+
+class TestExtendedHealth:
+    def test_healthz_carries_cache_and_pool_health(self, harness):
+        health = harness.client.healthz()
+        assert health["ok"] is True
+        assert health["uptime"] >= 0
+        assert health["cache"] == {
+            "hits": 0, "misses": 0, "hit_ratio": None,
+        }
+        assert health["pool"]["shared"] is False  # harness is sequential
+        assert health["pool"]["live_workers"] == 0
+
+    def test_stats_carries_uptime_and_hit_ratio(self, harness):
+        record = harness.client.submit("sweep", dict(SWEEP_PARAMS))
+        harness.client.wait(record["job_id"], timeout=120)
+        stats = harness.client.stats()
+        assert stats["uptime"] > 0
+        assert stats["cache"]["misses"] == 2
+        assert stats["cache"]["hit_ratio"] == 0.0
+        assert stats["cache"]["cells"] == 2
+        assert {"shared", "max_workers", "rebuilds",
+                "live_workers"} <= set(stats["pool"])
+
+
+class TestServedJobTracing:
+    def test_sweep_job_reconstructs_full_span_tree(self, harness, tmp_path):
+        params = dict(SWEEP_PARAMS, telemetry=True)
+        record = harness.client.submit("sweep", params)
+        final = harness.client.wait(record["job_id"], timeout=120)
+        assert final["state"] == "done"
+        job_dir = os.path.join(
+            str(harness.config.state_dir), "jobs", record["job_id"]
+        )
+        roots = build_span_tree(collect_trace_records(job_dir))
+        assert [root.name for root in roots] == ["job"]
+        job = roots[0]
+        assert [child.name for child in job.children] == ["sweep"]
+        chunk_names = [c.name for c in job.children[0].children]
+        assert chunk_names and all(
+            name.startswith("chunk-") for name in chunk_names
+        )
+        names = [node.name for node in job.walk()]
+        assert "group-f1-cge-zero" in names
+        assert "run" in names and "round" in names
+        # deterministic ids: the root equals the record's trace id root
+        from repro.observability.tracing import TraceContext
+
+        expected = TraceContext.root(record["trace_id"], name="job")
+        assert job.span_id == expected.span_id
+        assert job.trace_id == record["trace_id"]
+
+    def test_run_job_stream_is_traced(self, harness):
+        record = harness.client.submit(
+            "run", {"n": 6, "d": 2, "f": 1, "iterations": 30, "seed": 4})
+        final = harness.client.wait(record["job_id"], timeout=120)
+        assert final["state"] == "done"
+        events = list(harness.client.events(record["job_id"]))
+        spans = [e for e in events if e.get("event") == "span"]
+        assert any(s["name"] == "job" for s in spans)
+        assert all(s["trace_id"] == record["trace_id"] for s in spans)
+
+    def test_job_records_carry_deterministic_trace_id(self, harness):
+        record = harness.client.submit("sweep", dict(SWEEP_PARAMS))
+        assert len(record["trace_id"]) == 32
+        fetched = harness.client.job(record["job_id"])
+        assert fetched["trace_id"] == record["trace_id"]
+        harness.client.wait(record["job_id"], timeout=120)
+
+
+def _start_server(state_dir, sock):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state-dir",
+         str(state_dir), "--job-slots", "1", "--sequential"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    client = ServiceClient(socket_path=sock, timeout=5)
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            client.healthz()
+            return proc, client
+        except ServiceError:
+            if proc.poll() is not None or time.monotonic() > deadline:
+                output = proc.stdout.read().decode()
+                proc.kill()
+                raise RuntimeError(f"server did not come up:\n{output}")
+            time.sleep(0.05)
+
+
+class TestGracefulShutdownFlush:
+    def test_sigterm_mid_job_flushes_streams_and_metrics(self, tmp_path):
+        state_dir = tmp_path / "state"
+        sock = os.path.join(str(state_dir), "repro.sock")
+        proc, client = _start_server(state_dir, sock)
+        try:
+            record = client.submit(
+                "run",
+                {"n": 6, "d": 2, "f": 1, "iterations": 4000, "seed": 1},
+            )
+            deadline = time.monotonic() + 30
+            while client.job(record["job_id"])["state"] != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.05)
+            time.sleep(0.3)  # let it get some rounds in
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # the registry snapshot was written on the way down
+        metrics_path = os.path.join(str(state_dir), "metrics.json")
+        assert os.path.exists(metrics_path)
+        with open(metrics_path) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["repro_jobs_submitted_total"]["kind"] == "counter"
+        assert snapshot["repro_jobs_submitted_total"]["values"][
+            'kind="run"'] == 1
+
+        # the interrupted job's stream was flushed: every line parses and
+        # the trailing summary/counters records made it out
+        events_path = os.path.join(
+            str(state_dir), "jobs", record["job_id"], "events.jsonl")
+        assert os.path.exists(events_path)
+        events = []
+        with open(events_path) as handle:
+            for line in handle:
+                if line.strip():
+                    events.append(json.loads(line))
+        kinds = {event.get("event") for event in events}
+        assert "summary" in kinds
+        assert "round" in kinds

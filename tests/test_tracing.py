@@ -1,0 +1,249 @@
+"""Deterministic trace ids, span lineage, and bit-identity guarantees."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.observability import MemorySink, Telemetry
+from repro.observability.tracing import (
+    SPAN_ID_HEX,
+    TRACE_ID_HEX,
+    TraceContext,
+    derive_span_id,
+    derive_trace_id,
+)
+
+
+class TestIdDerivation:
+    def test_trace_id_is_deterministic_and_hex(self):
+        a = derive_trace_id("job", "j-1", "abc123")
+        b = derive_trace_id("job", "j-1", "abc123")
+        assert a == b
+        assert len(a) == TRACE_ID_HEX
+        int(a, 16)  # valid hex
+
+    def test_distinct_material_distinct_ids(self):
+        assert derive_trace_id("job", "j-1") != derive_trace_id("job", "j-2")
+
+    def test_no_material_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            derive_trace_id()
+
+    def test_span_id_depends_on_every_input(self):
+        trace = derive_trace_id("t")
+        base = derive_span_id(trace, None, "run", 0)
+        assert len(base) == SPAN_ID_HEX
+        assert derive_span_id(trace, None, "run", 1) != base
+        assert derive_span_id(trace, None, "round", 0) != base
+        assert derive_span_id(trace, "aa" * 8, "run", 0) != base
+        assert derive_span_id(trace, None, "run", 0) == base
+
+    def test_no_wall_clock_in_ids(self):
+        # Same material on two "different days" must derive identically —
+        # the discipline the retry dedup and resume paths rely on.
+        ids = {derive_trace_id("job", "x", "h") for _ in range(64)}
+        assert len(ids) == 1
+
+
+class TestTraceContext:
+    def test_root_child_chain(self):
+        trace = derive_trace_id("t")
+        root = TraceContext.root(trace, name="job")
+        child = root.child("sweep")
+        grandchild = child.child("chunk-0", index=3)
+        assert root.parent_span_id is None
+        assert child.parent_span_id == root.span_id
+        assert grandchild.parent_span_id == child.span_id
+        assert child.trace_id == grandchild.trace_id == trace
+        # index participates in derivation
+        assert child.child("chunk-0", index=4).span_id != grandchild.span_id
+
+    def test_payload_round_trip(self):
+        ctx = TraceContext.root(derive_trace_id("t"), name="job").child("s")
+        assert TraceContext.from_payload(ctx.to_payload()) == ctx
+
+    def test_root_payload_round_trip_keeps_none_parent(self):
+        root = TraceContext.root(derive_trace_id("t"))
+        back = TraceContext.from_payload(root.to_payload())
+        assert back.parent_span_id is None
+        assert back == root
+
+    def test_fields_omits_absent_parent(self):
+        root = TraceContext.root(derive_trace_id("t"))
+        assert "parent_span_id" not in root.fields()
+        assert "parent_span_id" in root.child("x").fields()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TraceContext.from_payload("not-a-dict")
+        with pytest.raises(InvalidParameterError):
+            TraceContext.from_payload({"trace_id": "aa"})
+
+
+class TestTelemetryLineage:
+    def _traced(self):
+        sink = MemorySink()
+        root = TraceContext.root(derive_trace_id("t"), name="job")
+        return sink, Telemetry(sink, trace=root, trace_name="job"), root
+
+    def test_spans_nest_and_carry_lineage(self):
+        sink, tel, root = self._traced()
+        with tel.span("run"):
+            with tel.span("round"):
+                tel.emit("probe", value=1)
+        spans = [r for r in sink.records if r["event"] == "span"]
+        by_name = {r["name"]: r for r in spans}
+        assert by_name["run"]["parent_span_id"] == root.span_id
+        assert by_name["round"]["parent_span_id"] == by_name["run"]["span_id"]
+        probe = next(r for r in sink.records if r["event"] == "probe")
+        assert probe["span_id"] == by_name["round"]["span_id"]
+        assert all("ts" in r for r in spans)
+
+    def test_repeated_span_names_get_distinct_ids(self):
+        sink, tel, _ = self._traced()
+        for _ in range(3):
+            with tel.span("round"):
+                pass
+        ids = [r["span_id"] for r in sink.records if r["event"] == "span"]
+        assert len(set(ids)) == 3
+
+    def test_close_emits_handle_lifetime_span(self):
+        sink, tel, root = self._traced()
+        tel.close()
+        spans = [r for r in sink.records if r["event"] == "span"]
+        assert [s["name"] for s in spans] == ["job"]
+        assert spans[0]["span_id"] == root.span_id
+        assert spans[0].get("parent_span_id") is None
+        tel.close()  # idempotent: no duplicate span
+        assert len([r for r in sink.records if r["event"] == "span"]) == 1
+
+    def test_untraced_records_carry_no_lineage_and_no_ts(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        with tel.span("run"):
+            tel.emit("probe", value=1)
+        tel.close()
+        for record in sink.records:
+            assert "trace_id" not in record
+            assert "span_id" not in record
+            assert "ts" not in record
+        span = next(r for r in sink.records if r["event"] == "span")
+        assert set(span) == {"event", "name", "seconds"}
+
+    def test_annotate_accepts_descriptive_fields(self):
+        # Regression: the decentralized runner annotates architecture/
+        # topology/aggregation; a live handle used to raise TypeError.
+        tel = Telemetry(MemorySink())
+        tel.annotate(architecture="decentralized", topology="ring",
+                     aggregation="cwtm", byzantine_ids=[0])
+        assert tel.annotations == {
+            "architecture": "decentralized", "topology": "ring",
+            "aggregation": "cwtm",
+        }
+        assert tel._byzantine == {0}
+
+
+class TestBitIdentity:
+    def test_run_dgd_traced_equals_untraced(self):
+        from repro.attacks.simple import GradientReverse
+        from repro.problems.linear_regression import make_redundant_regression
+        from repro.system.runner import run_dgd
+
+        instance = make_redundant_regression(n=6, d=2, f=1, seed=3)
+        kwargs = dict(
+            gradient_filter="cge", faulty_ids=(0,), iterations=40, seed=3
+        )
+
+        def go(telemetry):
+            return run_dgd(
+                instance.costs, GradientReverse(), telemetry=telemetry,
+                **kwargs,
+            )
+
+        plain = go(None)
+        root = TraceContext.root(derive_trace_id("t"), name="job")
+        traced_tel = Telemetry(MemorySink(), trace=root, trace_name="job")
+        traced = go(traced_tel)
+        traced_tel.close()
+        assert np.array_equal(plain.final_estimate, traced.final_estimate)
+        assert np.array_equal(plain.estimates, traced.estimates)
+
+    def test_decentralized_traced_equals_untraced(self, tmp_path):
+        from repro.system.decentralized import run_decentralized_dgd
+        from repro.system.netfaults import LinkFaultModel, LinkFaultProfile
+        from repro.system.topology import ring_topology
+        from repro.problems.linear_regression import make_redundant_regression
+
+        instance = make_redundant_regression(n=12, d=2, f=1, seed=7)
+        topology = ring_topology(12, hops=2)
+        model = LinkFaultModel(
+            default_profile=LinkFaultProfile(drop_prob=0.2), seed=4
+        )
+
+        def go(telemetry):
+            return run_decentralized_dgd(
+                instance.costs, topology, iterations=60, seed=1,
+                local_budgets=1, link_faults=model, telemetry=telemetry,
+            )
+
+        plain = go(None)
+        stream = tmp_path / "decentralized.jsonl"
+        tel = Telemetry(os.fspath(stream))
+        traced = go(tel)
+        tel.close()
+        assert np.array_equal(plain.final_states, traced.final_states)
+        assert plain.counters == traced.counters
+        # and the stream carries the per-agent health time-series
+        health = [json.loads(line) for line in stream.read_text().splitlines()
+                  if '"agent_health"' in line]
+        assert len(health) == 60
+        keys = set(health[0])
+        assert {"round", "live_in_degree", "degraded", "frozen",
+                "dropped_edges", "bytes_dropped", "suspected_edges",
+                "reinstated_edges", "degraded_agent_rounds"} <= keys
+
+    def test_sweep_engine_traced_equals_untraced(self, tmp_path):
+        from repro.experiments.sweep import RegressionGrid, SweepEngine
+
+        grid = RegressionGrid(
+            filters=("cge",), attacks=("zero",), fault_counts=(1,),
+            num_seeds=2, n=4, d=1, iterations=25,
+        )
+
+        def go(subdir, trace):
+            engine = SweepEngine(
+                parallel=False,
+                events=os.fspath(tmp_path / subdir / "events.jsonl"),
+                cache_dir=os.fspath(tmp_path / subdir / "cache"),
+                trace=trace,
+            )
+            return engine.run_regression_grid(grid)
+
+        root = TraceContext.root(derive_trace_id("t"), name="job")
+        plain = go("plain", None)
+        traced = go("traced", root.child("sweep"))
+        for a, b in zip(plain, traced):
+            assert a.final_error == b.final_error
+            assert np.array_equal(
+                np.asarray(a.final_estimate), np.asarray(b.final_estimate)
+            )
+
+    def test_untraced_sweep_stream_schema_unchanged(self, tmp_path):
+        from repro.experiments.sweep import RegressionGrid, SweepEngine
+
+        events = tmp_path / "events.jsonl"
+        engine = SweepEngine(
+            parallel=False, events=os.fspath(events),
+            cache_dir=os.fspath(tmp_path / "cache"),
+        )
+        engine.run_regression_grid(RegressionGrid(
+            filters=("cge",), attacks=("zero",), fault_counts=(1,),
+            num_seeds=1, n=4, d=1, iterations=10,
+        ))
+        for line in events.read_text().splitlines():
+            record = json.loads(line)
+            assert "trace_id" not in record
+            assert "span_id" not in record
